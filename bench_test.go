@@ -1,0 +1,506 @@
+// Benchmark harness: one benchmark (or benchmark pair) per paper artifact
+// and per extended experiment in DESIGN.md §4. Run with
+//
+//	go test -bench=. -benchmem
+//
+// E1-E3 regenerate Table 1 / Figure 1 / Figure 2 statistics from the
+// calibrated synthetic gazetteer; E4 replays the paper's worked Berlin
+// scenario through the full Figure 3 pipeline; E5-E10 are the quantitative
+// experiments the paper's research questions call for (see EXPERIMENTS.md
+// for the accuracy numbers — these benches measure the cost side).
+package neogeo
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disambig"
+	"repro/internal/extract"
+	"repro/internal/gazetteer"
+	"repro/internal/geo"
+	"repro/internal/integrate"
+	"repro/internal/kb"
+	"repro/internal/ner"
+	"repro/internal/ontology"
+	"repro/internal/pxml"
+	"repro/internal/tweetgen"
+	"repro/internal/uncertain"
+	"repro/internal/xmldb"
+)
+
+// ---------------------------------------------------------------------------
+// Shared fixtures. Building the calibrated 20k-name gazetteer takes real
+// time, so every benchmark shares one read-only copy.
+
+var (
+	benchOnce sync.Once
+	benchGaz  *gazetteer.Gazetteer
+	benchOnt  *ontology.Ontology
+)
+
+func benchFixtures(b *testing.B) (*gazetteer.Gazetteer, *ontology.Ontology) {
+	b.Helper()
+	benchOnce.Do(func() {
+		g, err := gazetteer.Synthesize(gazetteer.Config{Names: 20000, Seed: 2011})
+		if err != nil {
+			panic(err)
+		}
+		o := ontology.New()
+		o.LoadContainment(g)
+		benchGaz, benchOnt = g, o
+	})
+	return benchGaz, benchOnt
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Table 1: the ten most ambiguous geographic names.
+
+func BenchmarkTable1TopAmbiguous(b *testing.B) {
+	g, _ := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := g.TopAmbiguous(10)
+		if len(stats) != 10 {
+			b.Fatalf("want 10 rows, got %d", len(stats))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Figure 1: number of names per ambiguity degree (log-log series).
+
+func BenchmarkFigure1AmbiguityHistogram(b *testing.B) {
+	g, _ := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := g.AmbiguityHistogram()
+		if len(h) == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Figure 2: share of names by reference count (54/12/5/29).
+
+func BenchmarkFigure2ReferenceShares(b *testing.B) {
+	g, _ := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := g.Shares()
+		if s.One <= 0 {
+			b.Fatal("degenerate shares")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4 — the paper's worked scenario: three Berlin hotel tweets ingested,
+// one request answered. Each iteration runs the full Figure 3 workflow
+// (MQ -> MC -> IE -> DI -> XMLDB -> QA).
+
+var paperScenarioMessages = []string{
+	"berlin has some nice hotels i just loved the hetero friendly love that word Axel Hotel in Berlin.",
+	"Good morning Berlin. The sun is out!!!! Very impressed by the customer service at #movenpick hotel in berlin. Well done guys!",
+	"In Berlin hotel room, nice enough, weather grim however",
+}
+
+const paperScenarioRequest = "Can anyone recommend a good, but not ridiculously expensive hotel right in the middle of Berlin?"
+
+func BenchmarkScenarioPipeline(b *testing.B) {
+	g, _ := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := core.New(core.Config{Gazetteer: g})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for j, m := range paperScenarioMessages {
+			if _, err := sys.Ingest(m, fmt.Sprintf("user%d", j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		answer, err := sys.Ask(paperScenarioRequest, "asker")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if answer == "" {
+			b.Fatal("empty answer")
+		}
+		b.StopTimer()
+		sys.Close()
+		b.StartTimer()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E5 — NER on ill-behaved text: informal recogniser vs traditional
+// capitalisation/POS baseline, at increasing noise. EXPERIMENTS.md reports
+// the precision/recall collapse of the baseline; these measure cost.
+
+func benchCorpus(b *testing.B, noise float64, n int) []tweetgen.Message {
+	b.Helper()
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 2011, Noise: noise, Domain: tweetgen.DomainTourism, RequestRatio: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen.Generate(n)
+}
+
+func BenchmarkNERInformal(b *testing.B) {
+	g, o := benchFixtures(b)
+	x := ner.NewExtractor(g, o)
+	for _, noise := range []float64{0, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("noise=%.1f", noise), func(b *testing.B) {
+			msgs := benchCorpus(b, noise, 200)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = x.ExtractInformal(msgs[i%len(msgs)].Text)
+			}
+		})
+	}
+}
+
+func BenchmarkNERTraditional(b *testing.B) {
+	g, o := benchFixtures(b)
+	x := ner.NewExtractor(g, o)
+	for _, noise := range []float64{0, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("noise=%.1f", noise), func(b *testing.B) {
+			msgs := benchCorpus(b, noise, 200)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = x.ExtractTraditional(msgs[i%len(msgs)].Text)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E6 — disambiguation: population-prior baseline vs full context-aware
+// resolver over ambiguous names sampled from the gazetteer.
+
+func ambiguousNames(g *gazetteer.Gazetteer, n int) []string {
+	stats := g.TopAmbiguous(n)
+	names := make([]string, 0, len(stats))
+	for _, s := range stats {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+func BenchmarkDisambiguationPriorOnly(b *testing.B) {
+	g, o := benchFixtures(b)
+	r := disambig.NewResolver(g, o)
+	names := ambiguousNames(g, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ResolvePriorOnly(names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDisambiguationContext(b *testing.B) {
+	g, o := benchFixtures(b)
+	r := disambig.NewResolver(g, o)
+	names := ambiguousNames(g, 100)
+	// A co-toponym near the first reference of each name provides the
+	// geographic coherence signal a real message carries.
+	ctxs := make([]disambig.Context, len(names))
+	for i, name := range names {
+		refs := g.Lookup(name)
+		if len(refs) == 0 {
+			continue
+		}
+		near := g.Near(refs[0].Location, 200_000)
+		if len(near) > 1 {
+			ctxs[i] = disambig.Context{CoToponyms: [][]*gazetteer.Entry{near[:1]}}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(names)
+		if _, err := r.Resolve(names[k], ctxs[k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E7 — integration: probabilistic conflict resolution vs naive overwrite.
+// Each iteration integrates one pre-extracted template into a database
+// seeded with conflicting facts about the same entities.
+
+func benchTemplates(b *testing.B, g *gazetteer.Gazetteer, o *ontology.Ontology, n int) []extract.Template {
+	b.Helper()
+	k := kb.New()
+	ie, err := extract.NewService(k, g, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 7, Noise: 0.3, Domain: tweetgen.DomainTourism, RequestRatio: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tpls []extract.Template
+	now := time.Unix(1_300_000_000, 0)
+	for _, m := range gen.Generate(n * 3) {
+		ex, err := ie.Extract(m.Text, m.Source, now)
+		if err != nil {
+			continue
+		}
+		tpls = append(tpls, ex.Templates...)
+		if len(tpls) >= n {
+			break
+		}
+	}
+	if len(tpls) == 0 {
+		b.Fatal("no templates extracted")
+	}
+	return tpls
+}
+
+func BenchmarkIntegrationProbabilistic(b *testing.B) {
+	g, o := benchFixtures(b)
+	tpls := benchTemplates(b, g, o, 64)
+	db := xmldb.New()
+	di, err := integrate.NewService(kb.New(), db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := di.Integrate(tpls[i%len(tpls)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntegrationNaive(b *testing.B) {
+	g, o := benchFixtures(b)
+	tpls := benchTemplates(b, g, o, 64)
+	db := xmldb.New()
+	di, err := integrate.NewService(kb.New(), db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := di.IntegrateNaive(tpls[i%len(tpls)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E8 — spatial index: R-tree vs linear scan, range and kNN, with the point
+// count swept to expose the crossover, plus the fanout ablation (DESIGN §5).
+
+func randomPoints(n int, seed int64) []geo.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		p, _ := geo.NewPoint(rng.Float64()*180-90, rng.Float64()*360-180)
+		pts[i] = p
+	}
+	return pts
+}
+
+func BenchmarkRTreeRange(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			pts := randomPoints(n, 42)
+			t := geo.NewRTree[int]()
+			for i, p := range pts {
+				if err := t.Insert(geo.BBoxOf(p), i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := randomPoints(64, 43)
+			b.ResetTimer()
+			var dst []int
+			for i := 0; i < b.N; i++ {
+				q := geo.BBoxAround(queries[i%len(queries)], 100_000)
+				dst = t.Search(q, dst[:0])
+			}
+		})
+	}
+}
+
+func BenchmarkLinearScanRange(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			pts := randomPoints(n, 42)
+			queries := randomPoints(64, 43)
+			b.ResetTimer()
+			var hits int
+			for i := 0; i < b.N; i++ {
+				q := geo.BBoxAround(queries[i%len(queries)], 100_000)
+				hits = 0
+				for _, p := range pts {
+					if q.Contains(p) {
+						hits++
+					}
+				}
+			}
+			_ = hits
+		})
+	}
+}
+
+func BenchmarkRTreeKNN(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			pts := randomPoints(n, 42)
+			t := geo.NewRTree[int]()
+			for i, p := range pts {
+				if err := t.Insert(geo.BBoxOf(p), i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := randomPoints(64, 43)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := t.Nearest(queries[i%len(queries)], 10); len(got) != 10 {
+					b.Fatalf("want 10 neighbours, got %d", len(got))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRTreeFanout(b *testing.B) {
+	pts := randomPoints(20000, 42)
+	queries := randomPoints(64, 43)
+	for _, max := range []int{4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("max=%d", max), func(b *testing.B) {
+			t, err := geo.NewRTreeWithFanout[int](max/2, max)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, p := range pts {
+				if err := t.Insert(geo.BBoxOf(p), i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var dst []int
+			for i := 0; i < b.N; i++ {
+				q := geo.BBoxAround(queries[i%len(queries)], 100_000)
+				dst = t.Search(q, dst[:0])
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E9 — end-to-end throughput of the coordinator pipeline over a mixed
+// informative/request stream. ns/op here is "time per message".
+
+func BenchmarkPipelineThroughput(b *testing.B) {
+	g, _ := benchFixtures(b)
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 99, Noise: 0.4, Domain: tweetgen.DomainMixed, RequestRatio: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := gen.Generate(512)
+	sys, err := core.New(core.Config{Gazetteer: g})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := msgs[i%len(msgs)]
+		if _, err := sys.Ingest(m.Text, m.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E10 — probabilistic XML query cost: marginal-probability evaluation vs
+// explicit possible-world enumeration, as the number of distribution nodes
+// (and thus worlds) grows.
+
+func benchPXMLDoc(choices int) *pxml.Node {
+	kids := make([]*pxml.Node, 0, choices+1)
+	kids = append(kids, pxml.ElemText("Name", "Essex House Hotel"))
+	for i := 0; i < choices; i++ {
+		a := pxml.ElemText("City", fmt.Sprintf("City%d-A", i))
+		a.Prob = 0.6
+		bNode := pxml.ElemText("City", fmt.Sprintf("City%d-B", i))
+		bNode.Prob = 0.4
+		kids = append(kids, pxml.Mux(a, bNode))
+	}
+	return pxml.Elem("Hotel", kids...)
+}
+
+func BenchmarkPXMLMarginal(b *testing.B) {
+	for _, choices := range []int{1, 4, 8, 12} {
+		b.Run(fmt.Sprintf("mux=%d", choices), func(b *testing.B) {
+			doc := benchPXMLDoc(choices)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if p := pxml.ValueProb(doc, "/Hotel/City", "City0-A"); p <= 0 {
+					b.Fatalf("prob = %v", p)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPXMLWorlds(b *testing.B) {
+	for _, choices := range []int{1, 4, 8, 12} {
+		b.Run(fmt.Sprintf("mux=%d", choices), func(b *testing.B) {
+			doc := benchPXMLDoc(choices)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				worlds, err := pxml.EnumerateWorlds(doc, pxml.DefaultWorldLimit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(worlds) == 0 {
+					b.Fatal("no worlds")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation (DESIGN §5): MYCIN certainty-factor combination vs Bayesian
+// product fusion for evidence pooling.
+
+func BenchmarkUncertainCombineMYCIN(b *testing.B) {
+	cfs := make([]uncertain.CF, 16)
+	for i := range cfs {
+		cfs[i] = uncertain.CF(0.1 + 0.05*float64(i%10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = uncertain.CombineAll(cfs)
+	}
+}
+
+func BenchmarkUncertainCombineBayes(b *testing.B) {
+	ps := make([]float64, 16)
+	for i := range ps {
+		ps[i] = 0.5 + 0.03*float64(i%10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Odds-product fusion of independent evidence.
+		odds := 1.0
+		for _, p := range ps {
+			odds *= p / (1 - p)
+		}
+		_ = odds / (1 + odds)
+	}
+}

@@ -1,0 +1,64 @@
+// Command geostats regenerates the paper's quantitative artifacts from
+// the calibrated synthetic gazetteer:
+//
+//	geostats -table1    Table 1: the ten most ambiguous geographic names
+//	geostats -fig1      Figure 1: names per ambiguity degree (log-log series)
+//	geostats -fig2      Figure 2: share of names by reference count
+//	geostats -all       everything (default)
+//
+// Flags -names and -seed control the synthetic gazetteer; the defaults
+// match the experiment harness (see EXPERIMENTS.md E1-E3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/gazetteer"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "print the Table 1 reproduction")
+		fig1   = flag.Bool("fig1", false, "print the Figure 1 series")
+		fig2   = flag.Bool("fig2", false, "print the Figure 2 shares")
+		all    = flag.Bool("all", false, "print everything")
+		names  = flag.Int("names", 20000, "distinct generated names")
+		seed   = flag.Int64("seed", 2011, "generation seed")
+		topN   = flag.Int("top", 10, "rows for -table1")
+	)
+	flag.Parse()
+	if !*table1 && !*fig1 && !*fig2 {
+		*all = true
+	}
+
+	g, err := gazetteer.Synthesize(gazetteer.Config{Names: *names, Seed: *seed})
+	if err != nil {
+		log.Fatalf("synthesising gazetteer: %v", err)
+	}
+	fmt.Printf("# synthetic gazetteer: %d references across %d distinct names (seed %d)\n\n",
+		g.Len(), g.NameCount(), *seed)
+
+	if *all || *table1 {
+		fmt.Println("== Table 1: most ambiguous geographic names ==")
+		if err := g.WriteTable1(os.Stdout, *topN); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *fig1 {
+		fmt.Println("== Figure 1: names per ambiguity degree ==")
+		if err := g.WriteFigure1(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *fig2 {
+		fmt.Println("== Figure 2: share of names by reference count ==")
+		if err := g.WriteFigure2(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

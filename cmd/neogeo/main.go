@@ -1,0 +1,86 @@
+// Command neogeo runs the full pipeline interactively: it reads messages
+// from stdin (one per line, "source: message" or bare message), routes
+// each through the Modules Coordinator, and prints classification,
+// integration actions and answers — a terminal stand-in for the SMS
+// gateway of the paper's deployment story.
+//
+//	echo "loved the Axel Hotel in Berlin" | neogeo
+//	neogeo -wal /tmp/neogeo.wal < messages.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	neogeo "repro"
+	"repro/internal/extract"
+)
+
+func main() {
+	var (
+		walPath = flag.String("wal", "", "message-queue write-ahead log path (empty: in-memory)")
+		names   = flag.Int("names", 2000, "synthetic gazetteer size")
+		seed    = flag.Int64("seed", 2011, "gazetteer seed")
+		stats   = flag.Bool("stats", false, "print system statistics on exit")
+	)
+	flag.Parse()
+
+	sys, err := neogeo.New(neogeo.Config{
+		GazetteerNames: *names,
+		GazetteerSeed:  *seed,
+		QueueWAL:       *walPath,
+	})
+	if err != nil {
+		log.Fatalf("building system: %v", err)
+	}
+	defer sys.Close()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lineNo++
+		source := fmt.Sprintf("stdin%03d", lineNo)
+		body := line
+		if i := strings.Index(line, ": "); i > 0 && !strings.Contains(line[:i], " ") {
+			source, body = line[:i], line[i+2:]
+		}
+		out, err := sys.Ingest(body, source)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			continue
+		}
+		switch out.Type {
+		case extract.TypeRequest:
+			fmt.Printf("[%s request p=%.2f] %s\n", source, out.TypeP, out.Answer)
+		default:
+			fmt.Printf("[%s %s/%s p=%.2f] inserted=%d merged=%d\n",
+				source, out.Type, orDash(out.Domain), out.TypeP, out.Inserted, out.Merged)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading stdin: %v", err)
+	}
+	if *stats {
+		st := sys.Stats()
+		fmt.Fprintf(os.Stderr, "\ngazetteer: %d refs / %d names\n", st.GazetteerEntries, st.GazetteerNames)
+		for coll, n := range st.Collections {
+			fmt.Fprintf(os.Stderr, "%s: %d records\n", coll, n)
+		}
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

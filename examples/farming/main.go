@@ -1,0 +1,51 @@
+// Command farming demonstrates the motivation section's farmers-community
+// scenario: sharing pest sightings, market prices and weather by SMS —
+// including heavily abbreviated, noisy messages — and querying the
+// collective knowledge.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	neogeo "repro"
+)
+
+func main() {
+	sys, err := neogeo.New(neogeo.Config{GazetteerNames: 2000, GazetteerSeed: 2011})
+	if err != nil {
+		log.Fatalf("building system: %v", err)
+	}
+	defer sys.Close()
+
+	reports := []struct{ body, source string }{
+		{"locust swarm moving towards Nairobi, protect your maize", "farmer01"},
+		{"maize prices up at the market in Nairobi today", "farmer02"},
+		{"blight spotted on cassava fields near Lagos", "farmer03"},
+		{"gd rains in Cairo, sowing beans 2moro", "farmer04"}, // noisy SMS
+		{"coffee harvest sold at the market in Nairobi for a fair price", "farmer05"},
+	}
+	for _, r := range reports {
+		out, err := sys.Ingest(r.body, r.source)
+		if err != nil {
+			log.Fatalf("ingest %q: %v", r.body, err)
+		}
+		fmt.Printf("%-9s -> domain=%-8s inserted=%d merged=%d\n",
+			r.source, out.Domain, out.Inserted, out.Merged)
+	}
+
+	for _, q := range []string{
+		"any locust sightings around Nairobi?",
+		"how are maize prices at the market in Nairobi?",
+	} {
+		answer, err := sys.Ask(q, "farmer99")
+		if err != nil {
+			log.Fatalf("ask: %v", err)
+		}
+		fmt.Println("\nQ:", q)
+		fmt.Println("A:", answer)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("\nfield reports stored: %d\n", st.Collections["FarmReports"])
+}

@@ -1,0 +1,49 @@
+// Command quickstart is the smallest useful program against the public
+// API: build a system, ingest a handful of informal messages, ask a
+// question, and print the generated answer and system statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	neogeo "repro"
+)
+
+func main() {
+	sys, err := neogeo.New(neogeo.Config{GazetteerNames: 2000, GazetteerSeed: 2011})
+	if err != nil {
+		log.Fatalf("building system: %v", err)
+	}
+	defer sys.Close()
+
+	messages := []struct{ body, source string }{
+		{"loved the Axel Hotel in Berlin, great stay and friendly staff", "maria"},
+		{"very impressed by the service at #movenpick hotel in berlin", "ahmed"},
+		{"terrible night at the Grand Plaza Hotel in Berlin, noisy and dirty", "li"},
+		{"gr8 breakfast at the axel hotel in berlin, pls visit", "tomas"},
+	}
+	for _, m := range messages {
+		out, err := sys.Ingest(m.body, m.source)
+		if err != nil {
+			log.Fatalf("ingest: %v", err)
+		}
+		fmt.Printf("ingested %-8s -> type=%s domain=%s inserted=%d merged=%d\n",
+			m.source, out.Type, out.Domain, out.Inserted, out.Merged)
+	}
+
+	answer, err := sys.Ask("can anyone recommend a good hotel in Berlin?", "guest")
+	if err != nil {
+		log.Fatalf("ask: %v", err)
+	}
+	fmt.Println()
+	fmt.Println("Q: can anyone recommend a good hotel in Berlin?")
+	fmt.Println("A:", answer)
+
+	st := sys.Stats()
+	fmt.Println()
+	fmt.Printf("gazetteer: %d references across %d names\n", st.GazetteerEntries, st.GazetteerNames)
+	for coll, n := range st.Collections {
+		fmt.Printf("collection %s: %d records\n", coll, n)
+	}
+}

@@ -1,0 +1,126 @@
+// Package classify provides the statistical classifiers behind message
+// typing (informative vs request, the IE service's first decision per the
+// paper's workflow rules) and token-level entity detection: a multinomial
+// Naive Bayes classifier and an averaged perceptron, both over string
+// features, stdlib only.
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NaiveBayes is a multinomial Naive Bayes classifier with add-one
+// (Laplace) smoothing over string features.
+type NaiveBayes struct {
+	classes     map[string]*nbClass
+	vocabulary  map[string]bool
+	totalDocs   int
+	smoothAlpha float64
+}
+
+type nbClass struct {
+	docs       int
+	tokenCount int
+	counts     map[string]int
+}
+
+// NewNaiveBayes returns an untrained classifier with Laplace smoothing.
+func NewNaiveBayes() *NaiveBayes {
+	return &NaiveBayes{
+		classes:     make(map[string]*nbClass),
+		vocabulary:  make(map[string]bool),
+		smoothAlpha: 1,
+	}
+}
+
+// Train adds one labelled document (bag of features).
+func (nb *NaiveBayes) Train(label string, features []string) error {
+	if label == "" {
+		return fmt.Errorf("classify: empty label")
+	}
+	c, ok := nb.classes[label]
+	if !ok {
+		c = &nbClass{counts: make(map[string]int)}
+		nb.classes[label] = c
+	}
+	c.docs++
+	nb.totalDocs++
+	for _, f := range features {
+		c.counts[f]++
+		c.tokenCount++
+		nb.vocabulary[f] = true
+	}
+	return nil
+}
+
+// Classes returns the known labels, sorted.
+func (nb *NaiveBayes) Classes() []string {
+	out := make([]string, 0, len(nb.classes))
+	for l := range nb.classes {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Score is a label with its posterior probability.
+type Score struct {
+	Label string
+	P     float64
+}
+
+// Predict returns the labels with normalised posterior probabilities,
+// most probable first. An untrained classifier returns nil.
+func (nb *NaiveBayes) Predict(features []string) []Score {
+	if nb.totalDocs == 0 {
+		return nil
+	}
+	v := float64(len(nb.vocabulary))
+	type ll struct {
+		label string
+		logp  float64
+	}
+	lls := make([]ll, 0, len(nb.classes))
+	for label, c := range nb.classes {
+		logp := math.Log(float64(c.docs) / float64(nb.totalDocs))
+		den := float64(c.tokenCount) + nb.smoothAlpha*v
+		for _, f := range features {
+			num := float64(c.counts[f]) + nb.smoothAlpha
+			logp += math.Log(num / den)
+		}
+		lls = append(lls, ll{label, logp})
+	}
+	// Normalise with log-sum-exp.
+	maxLog := math.Inf(-1)
+	for _, x := range lls {
+		if x.logp > maxLog {
+			maxLog = x.logp
+		}
+	}
+	var z float64
+	for _, x := range lls {
+		z += math.Exp(x.logp - maxLog)
+	}
+	out := make([]Score, len(lls))
+	for i, x := range lls {
+		out[i] = Score{Label: x.label, P: math.Exp(x.logp-maxLog) / z}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// PredictLabel returns the most probable label and its probability.
+func (nb *NaiveBayes) PredictLabel(features []string) (string, float64) {
+	scores := nb.Predict(features)
+	if len(scores) == 0 {
+		return "", 0
+	}
+	return scores[0].Label, scores[0].P
+}

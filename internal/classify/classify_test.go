@@ -1,0 +1,187 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNaiveBayesBasic(t *testing.T) {
+	nb := NewNaiveBayes()
+	// Tiny informative-vs-request corpus.
+	info := [][]string{
+		{"loved", "the", "hotel", "in", "berlin"},
+		{"great", "service", "at", "the", "resort"},
+		{"room", "was", "clean", "and", "cheap"},
+		{"traffic", "jam", "on", "the", "highway"},
+	}
+	req := [][]string{
+		{"can", "anyone", "recommend", "a", "hotel"},
+		{"where", "is", "a", "cheap", "hotel"},
+		{"what", "is", "the", "best", "route"},
+		{"any", "good", "restaurant", "near", "paris"},
+	}
+	for _, f := range info {
+		if err := nb.Train("informative", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range req {
+		if err := nb.Train("request", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	label, p := nb.PredictLabel([]string{"can", "you", "recommend", "a", "good", "hotel"})
+	if label != "request" {
+		t.Errorf("predicted %q, want request", label)
+	}
+	if p <= 0.5 || p > 1 {
+		t.Errorf("posterior = %v", p)
+	}
+	label, _ = nb.PredictLabel([]string{"loved", "the", "clean", "room"})
+	if label != "informative" {
+		t.Errorf("predicted %q, want informative", label)
+	}
+}
+
+func TestNaiveBayesPosteriorsSumToOne(t *testing.T) {
+	nb := NewNaiveBayes()
+	_ = nb.Train("a", []string{"x", "y"})
+	_ = nb.Train("b", []string{"z"})
+	_ = nb.Train("c", []string{"w", "x"})
+	scores := nb.Predict([]string{"x", "q"})
+	var sum float64
+	for _, s := range scores {
+		if s.P < 0 || s.P > 1 {
+			t.Errorf("posterior out of range: %+v", s)
+		}
+		sum += s.P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("posteriors sum to %v", sum)
+	}
+}
+
+func TestNaiveBayesUntrained(t *testing.T) {
+	nb := NewNaiveBayes()
+	if got := nb.Predict([]string{"x"}); got != nil {
+		t.Errorf("untrained Predict = %v", got)
+	}
+	label, p := nb.PredictLabel([]string{"x"})
+	if label != "" || p != 0 {
+		t.Errorf("untrained PredictLabel = %q, %v", label, p)
+	}
+	if err := nb.Train("", []string{"x"}); err == nil {
+		t.Error("empty label accepted")
+	}
+}
+
+func TestNaiveBayesUnseenFeatures(t *testing.T) {
+	nb := NewNaiveBayes()
+	_ = nb.Train("a", []string{"x"})
+	_ = nb.Train("b", []string{"y"})
+	// Entirely unseen features: smoothing keeps this finite and the class
+	// priors decide (both equal here, so both probabilities ~0.5).
+	scores := nb.Predict([]string{"never", "seen"})
+	if len(scores) != 2 {
+		t.Fatalf("scores = %v", scores)
+	}
+	if math.Abs(scores[0].P-0.5) > 1e-9 {
+		t.Errorf("unseen features should fall back to prior: %v", scores)
+	}
+}
+
+func TestNaiveBayesClasses(t *testing.T) {
+	nb := NewNaiveBayes()
+	_ = nb.Train("b", []string{"x"})
+	_ = nb.Train("a", []string{"x"})
+	got := nb.Classes()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Classes = %v", got)
+	}
+}
+
+func TestPerceptronValidation(t *testing.T) {
+	if _, err := NewPerceptron([]string{"only"}); err == nil {
+		t.Error("single class accepted")
+	}
+	p, err := NewPerceptron([]string{"pos", "neg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train("unknown", []string{"x"}); err == nil {
+		t.Error("unknown label accepted")
+	}
+}
+
+func TestPerceptronLearnsSeparable(t *testing.T) {
+	p, err := NewPerceptron([]string{"loc", "other"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	locFeats := []string{"prev:in", "prev:at", "shape:initcap", "gaz:hit"}
+	otherFeats := []string{"prev:the", "shape:alllower", "len:short", "stopword"}
+	var labels []string
+	var feats [][]string
+	for i := 0; i < 200; i++ {
+		if rng.Intn(2) == 0 {
+			labels = append(labels, "loc")
+			feats = append(feats, []string{locFeats[rng.Intn(len(locFeats))], locFeats[rng.Intn(len(locFeats))]})
+		} else {
+			labels = append(labels, "other")
+			feats = append(feats, []string{otherFeats[rng.Intn(len(otherFeats))], otherFeats[rng.Intn(len(otherFeats))]})
+		}
+	}
+	acc, err := p.TrainEpochs(labels, feats, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("training accuracy = %v, want >= 0.95 on separable data", acc)
+	}
+	p.Finalize()
+	if got := p.Predict([]string{"prev:in", "gaz:hit"}); got != "loc" {
+		t.Errorf("Predict loc features = %q", got)
+	}
+	if got := p.Predict([]string{"stopword", "shape:alllower"}); got != "other" {
+		t.Errorf("Predict other features = %q", got)
+	}
+}
+
+func TestPerceptronFinalizeFreezes(t *testing.T) {
+	p, err := NewPerceptron([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train("a", []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	p.Finalize()
+	if _, err := p.Train("a", []string{"x"}); err == nil {
+		t.Error("training after finalise accepted")
+	}
+	// Double finalise is a no-op.
+	p.Finalize()
+}
+
+func TestPerceptronMismatchedData(t *testing.T) {
+	p, err := NewPerceptron([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TrainEpochs([]string{"a"}, nil, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestPerceptronDeterministicUntrained(t *testing.T) {
+	p, err := NewPerceptron([]string{"zebra", "apple"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero weights: alphabetically first class wins deterministically.
+	if got := p.Predict([]string{"x"}); got != "apple" {
+		t.Errorf("untrained Predict = %q", got)
+	}
+}

@@ -1,0 +1,137 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Perceptron is an averaged multi-class perceptron over sparse string
+// features. Averaging the weight vector over all updates gives the
+// regularisation that makes perceptrons competitive for NLP tagging tasks.
+type Perceptron struct {
+	weights map[string]map[string]float64 // class -> feature -> weight
+	totals  map[string]map[string]float64 // accumulated weights for averaging
+	stamps  map[string]map[string]int     // last update step per weight
+	step    int
+	classes []string
+	frozen  bool
+}
+
+// NewPerceptron returns an untrained perceptron for the given classes.
+func NewPerceptron(classes []string) (*Perceptron, error) {
+	if len(classes) < 2 {
+		return nil, fmt.Errorf("classify: perceptron needs at least 2 classes, got %d", len(classes))
+	}
+	p := &Perceptron{
+		weights: make(map[string]map[string]float64),
+		totals:  make(map[string]map[string]float64),
+		stamps:  make(map[string]map[string]int),
+		classes: append([]string(nil), classes...),
+	}
+	sort.Strings(p.classes)
+	for _, c := range p.classes {
+		p.weights[c] = make(map[string]float64)
+		p.totals[c] = make(map[string]float64)
+		p.stamps[c] = make(map[string]int)
+	}
+	return p, nil
+}
+
+// scores returns the raw activation per class.
+func (p *Perceptron) scores(features []string) map[string]float64 {
+	s := make(map[string]float64, len(p.classes))
+	for _, c := range p.classes {
+		w := p.weights[c]
+		var sum float64
+		for _, f := range features {
+			sum += w[f]
+		}
+		s[c] = sum
+	}
+	return s
+}
+
+// Predict returns the highest-scoring class (ties break alphabetically,
+// so an untrained model is deterministic).
+func (p *Perceptron) Predict(features []string) string {
+	s := p.scores(features)
+	best := p.classes[0]
+	for _, c := range p.classes[1:] {
+		if s[c] > s[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Train performs one perceptron update for a labelled example and reports
+// whether the example was already classified correctly.
+func (p *Perceptron) Train(label string, features []string) (bool, error) {
+	if p.frozen {
+		return false, fmt.Errorf("classify: perceptron already finalised")
+	}
+	if _, ok := p.weights[label]; !ok {
+		return false, fmt.Errorf("classify: unknown label %q", label)
+	}
+	p.step++
+	guess := p.Predict(features)
+	if guess == label {
+		return true, nil
+	}
+	for _, f := range features {
+		p.update(label, f, 1)
+		p.update(guess, f, -1)
+	}
+	return false, nil
+}
+
+func (p *Perceptron) update(class, feature string, delta float64) {
+	// Lazily accumulate the averaged total before changing the weight.
+	elapsed := float64(p.step - p.stamps[class][feature])
+	p.totals[class][feature] += elapsed * p.weights[class][feature]
+	p.stamps[class][feature] = p.step
+	p.weights[class][feature] += delta
+}
+
+// Finalize replaces the weights with their training-time averages. After
+// finalising, Train returns an error.
+func (p *Perceptron) Finalize() {
+	if p.frozen {
+		return
+	}
+	for _, c := range p.classes {
+		for f, w := range p.weights[c] {
+			elapsed := float64(p.step - p.stamps[c][f])
+			total := p.totals[c][f] + elapsed*w
+			if p.step > 0 {
+				p.weights[c][f] = total / float64(p.step)
+			}
+		}
+	}
+	p.frozen = true
+}
+
+// TrainEpochs runs multiple passes over a dataset, returning the training
+// accuracy of the final epoch. It does not finalise.
+func (p *Perceptron) TrainEpochs(labels []string, features [][]string, epochs int) (float64, error) {
+	if len(labels) != len(features) {
+		return 0, fmt.Errorf("classify: %d labels vs %d feature sets", len(labels), len(features))
+	}
+	var lastAcc float64
+	for e := 0; e < epochs; e++ {
+		correct := 0
+		for i := range labels {
+			ok, err := p.Train(labels[i], features[i])
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				correct++
+			}
+		}
+		if len(labels) > 0 {
+			lastAcc = float64(correct) / float64(len(labels))
+		}
+	}
+	return lastAcc, nil
+}

@@ -1,0 +1,230 @@
+// Package coordinator is the paper's Modules Coordinator (MC): "the
+// controller of the whole system … responsible for controlling the work
+// and data flow between different services. It receives the user
+// contributions and requests, and sends activation messages to the
+// intended services according to set of workflow rules."
+//
+// The workflow rules are data, not code: a message type maps to a list of
+// named steps, each dispatched to a service. Every activation is recorded
+// as a Signal, mirroring the signal-passing protocol the paper describes.
+package coordinator
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/integrate"
+	"repro/internal/mq"
+	"repro/internal/qa"
+)
+
+// Step names a workflow action.
+type Step string
+
+// Workflow steps.
+const (
+	StepClassify  Step = "classify"
+	StepExtract   Step = "extract"
+	StepIntegrate Step = "integrate"
+	StepAnswer    Step = "answer"
+)
+
+// Rules maps a message type to its step sequence — the paper's Work Flow
+// Rules (WFR) module.
+type Rules map[extract.MessageType][]Step
+
+// DefaultRules reproduces the paper's two workflows: informative messages
+// flow IE → DI; requests flow IE → QA.
+func DefaultRules() Rules {
+	return Rules{
+		extract.TypeInformative: {StepClassify, StepExtract, StepIntegrate},
+		extract.TypeRequest:     {StepClassify, StepExtract, StepAnswer},
+	}
+}
+
+// Signal is one recorded module activation.
+type Signal struct {
+	MessageID int64
+	From, To  string
+	Step      Step
+	At        time.Time
+}
+
+// Outcome summarises the processing of one message.
+type Outcome struct {
+	MessageID int64
+	Type      extract.MessageType
+	TypeP     float64
+	Domain    string
+	// Inserted/Merged count integration actions for informative messages.
+	Inserted, Merged int
+	// Answer is the QA reply for request messages.
+	Answer string
+	// Query is the formulated DB query for request messages.
+	Query string
+}
+
+// Coordinator wires the queue to the services.
+type Coordinator struct {
+	queue *mq.Queue
+	ie    *extract.Service
+	di    *integrate.Service
+	qa    *qa.Service
+	rules Rules
+	clock func() time.Time
+
+	mu      sync.Mutex
+	signals []Signal
+	// maxSignals bounds the in-memory signal log.
+	maxSignals int
+}
+
+// New wires a coordinator. A nil rules uses DefaultRules.
+func New(queue *mq.Queue, ie *extract.Service, di *integrate.Service, ans *qa.Service, rules Rules) (*Coordinator, error) {
+	if queue == nil || ie == nil || di == nil || ans == nil {
+		return nil, fmt.Errorf("coordinator: nil dependency")
+	}
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	return &Coordinator{
+		queue:      queue,
+		ie:         ie,
+		di:         di,
+		qa:         ans,
+		rules:      rules,
+		clock:      time.Now,
+		maxSignals: 10000,
+	}, nil
+}
+
+// SetClock overrides the time source (tests).
+func (c *Coordinator) SetClock(clock func() time.Time) { c.clock = clock }
+
+// Submit enqueues a user message and returns its queue ID ("Once a
+// message is received, it is placed in the MQ").
+func (c *Coordinator) Submit(body, source string) (int64, error) {
+	id, err := c.queue.Enqueue(body, source)
+	if err != nil {
+		return 0, err
+	}
+	c.signal(Signal{MessageID: id, From: "user", To: "MC", Step: "submit"})
+	return id, nil
+}
+
+// ProcessOne handles the next queued message through its workflow. ok is
+// false when the queue is empty. Failed messages are negatively
+// acknowledged for redelivery; after the queue's attempt limit they land
+// in its dead-letter list.
+func (c *Coordinator) ProcessOne() (*Outcome, bool, error) {
+	m, ok := c.queue.Dequeue()
+	if !ok {
+		return nil, false, nil
+	}
+	c.signal(Signal{MessageID: m.ID, From: "MC", To: "IE", Step: StepClassify})
+	out, err := c.process(m)
+	if err != nil {
+		_ = c.queue.Nack(m.ID)
+		return nil, true, fmt.Errorf("coordinator: message %d: %w", m.ID, err)
+	}
+	if err := c.queue.Ack(m.ID); err != nil {
+		return nil, true, err
+	}
+	return out, true, nil
+}
+
+func (c *Coordinator) process(m mq.Message) (*Outcome, error) {
+	now := c.clock()
+	ex, err := c.ie.Extract(m.Body, m.Source, now)
+	if err != nil {
+		return nil, err
+	}
+	// "A tag is then attached to the message on the MQ indicating its
+	// type."
+	_ = c.queue.Tag(m.ID, string(ex.Type))
+
+	out := &Outcome{
+		MessageID: m.ID,
+		Type:      ex.Type,
+		TypeP:     ex.TypeP,
+		Domain:    ex.Domain,
+	}
+	steps, ok := c.rules[ex.Type]
+	if !ok {
+		return nil, fmt.Errorf("no workflow rule for message type %q", ex.Type)
+	}
+	for _, step := range steps {
+		switch step {
+		case StepClassify, StepExtract:
+			// Already performed by the IE call above; recorded for the
+			// signal trail.
+			c.signal(Signal{MessageID: m.ID, From: "IE", To: "MC", Step: step})
+		case StepIntegrate:
+			c.signal(Signal{MessageID: m.ID, From: "MC", To: "DI", Step: step})
+			for _, tpl := range ex.Templates {
+				res, err := c.di.Integrate(tpl)
+				if err != nil {
+					return nil, err
+				}
+				switch res.Action {
+				case integrate.ActionInserted:
+					out.Inserted++
+				case integrate.ActionMerged:
+					out.Merged++
+				}
+			}
+		case StepAnswer:
+			c.signal(Signal{MessageID: m.ID, From: "MC", To: "QA", Step: step})
+			ans, err := c.qa.Answer(ex)
+			if err != nil {
+				return nil, err
+			}
+			out.Answer = ans.Text
+			out.Query = ans.Query
+		default:
+			return nil, fmt.Errorf("unknown workflow step %q", step)
+		}
+	}
+	return out, nil
+}
+
+// Drain processes queued messages until the queue is empty or limit
+// messages have been handled (limit <= 0 means no limit). It returns the
+// outcomes; messages that errored are skipped after redelivery exhaustion
+// and reported in errs.
+func (c *Coordinator) Drain(limit int) (outs []*Outcome, errs []error) {
+	for limit <= 0 || len(outs)+len(errs) < limit {
+		out, ok, err := c.ProcessOne()
+		if !ok {
+			break
+		}
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		outs = append(outs, out)
+	}
+	return outs, errs
+}
+
+func (c *Coordinator) signal(s Signal) {
+	s.At = c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.signals = append(c.signals, s)
+	if len(c.signals) > c.maxSignals {
+		c.signals = c.signals[len(c.signals)-c.maxSignals:]
+	}
+}
+
+// Signals returns a copy of the recorded activation log.
+func (c *Coordinator) Signals() []Signal {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Signal(nil), c.signals...)
+}
+
+// Queue exposes the underlying message queue (for monitoring).
+func (c *Coordinator) Queue() *mq.Queue { return c.queue }

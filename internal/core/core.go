@@ -1,0 +1,205 @@
+// Package core assembles the full neogeography system of the paper's
+// Figure 3: message queue, modules coordinator with workflow rules,
+// information-extraction, data-integration and question-answering
+// services, knowledge base, geo-ontology (Open Linked Data stand-in),
+// gazetteer and the probabilistic spatial XML database.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/coordinator"
+	"repro/internal/extract"
+	"repro/internal/gazetteer"
+	"repro/internal/integrate"
+	"repro/internal/kb"
+	"repro/internal/mq"
+	"repro/internal/ontology"
+	"repro/internal/qa"
+	"repro/internal/uncertain"
+	"repro/internal/xmldb"
+)
+
+// Config parameterises system construction.
+type Config struct {
+	// Gazetteer supplies the toponym database. Nil synthesises one with
+	// GazetteerNames/GazetteerSeed.
+	Gazetteer *gazetteer.Gazetteer
+	// GazetteerNames is the synthetic gazetteer size when Gazetteer is
+	// nil (default 2000 distinct names; the experiment harness uses
+	// 20000).
+	GazetteerNames int
+	// GazetteerSeed seeds synthesis (default 2011).
+	GazetteerSeed int64
+	// QueueWAL, when non-empty, persists the message queue to this file.
+	QueueWAL string
+	// Clock overrides the time source (tests).
+	Clock func() time.Time
+}
+
+// System is the assembled pipeline.
+type System struct {
+	Gaz   *gazetteer.Gazetteer
+	Ont   *ontology.Ontology
+	KB    *kb.KB
+	DB    *xmldb.DB
+	Queue *mq.Queue
+	IE    *extract.Service
+	DI    *integrate.Service
+	QA    *qa.Service
+	MC    *coordinator.Coordinator
+	clock func() time.Time
+}
+
+// New builds a system.
+func New(cfg Config) (*System, error) {
+	s := &System{clock: cfg.Clock}
+	if s.clock == nil {
+		s.clock = time.Now
+	}
+	var err error
+	s.Gaz = cfg.Gazetteer
+	if s.Gaz == nil {
+		names := cfg.GazetteerNames
+		if names == 0 {
+			names = 2000
+		}
+		seed := cfg.GazetteerSeed
+		if seed == 0 {
+			seed = 2011
+		}
+		s.Gaz, err = gazetteer.Synthesize(gazetteer.Config{Names: names, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("core: synthesising gazetteer: %w", err)
+		}
+	}
+	s.Ont = ontology.New()
+	s.Ont.LoadContainment(s.Gaz)
+	s.KB = kb.New()
+	s.DB = xmldb.New()
+	if cfg.Clock != nil {
+		s.DB.SetClock(cfg.Clock)
+	}
+	if cfg.QueueWAL != "" {
+		s.Queue, err = mq.Open(cfg.QueueWAL, mq.WithClock(s.clock))
+		if err != nil {
+			return nil, fmt.Errorf("core: opening queue: %w", err)
+		}
+	} else {
+		s.Queue = mq.New(mq.WithClock(s.clock))
+	}
+	if s.IE, err = extract.NewService(s.KB, s.Gaz, s.Ont); err != nil {
+		return nil, err
+	}
+	if s.DI, err = integrate.NewService(s.KB, s.DB); err != nil {
+		return nil, err
+	}
+	if s.QA, err = qa.NewService(s.DB, s.KB, s.Gaz, s.Ont); err != nil {
+		return nil, err
+	}
+	if s.MC, err = coordinator.New(s.Queue, s.IE, s.DI, s.QA, nil); err != nil {
+		return nil, err
+	}
+	if cfg.Clock != nil {
+		s.MC.SetClock(cfg.Clock)
+	}
+	return s, nil
+}
+
+// Close releases resources (the queue WAL).
+func (s *System) Close() error {
+	return s.Queue.Close()
+}
+
+// Submit enqueues a raw user message for asynchronous processing.
+func (s *System) Submit(body, source string) (int64, error) {
+	return s.MC.Submit(body, source)
+}
+
+// Process drains the queue (up to limit messages; 0 = all) and returns the
+// outcomes.
+func (s *System) Process(limit int) ([]*coordinator.Outcome, []error) {
+	return s.MC.Drain(limit)
+}
+
+// Ingest submits and fully processes one informative message, returning
+// its outcome.
+func (s *System) Ingest(body, source string) (*coordinator.Outcome, error) {
+	if _, err := s.Submit(body, source); err != nil {
+		return nil, err
+	}
+	out, ok, err := s.MC.ProcessOne()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: message vanished from queue")
+	}
+	return out, nil
+}
+
+// Ask submits a question, processes it, and returns the generated answer.
+func (s *System) Ask(question, source string) (string, error) {
+	out, err := s.Ingest(question, source)
+	if err != nil {
+		return "", err
+	}
+	if out.Type != extract.TypeRequest {
+		return "", fmt.Errorf("core: %q was understood as an informative message, not a question", question)
+	}
+	return out.Answer, nil
+}
+
+// DecayAll applies temporal certainty decay to every collection, dropping
+// records below floor.
+func (s *System) DecayAll(now time.Time, floor uncertain.CF) (decayed, deleted int, err error) {
+	for _, coll := range s.DB.Collections() {
+		d, x, err := s.DI.Decay(coll, now, floor)
+		if err != nil {
+			return decayed, deleted, err
+		}
+		decayed += d
+		deleted += x
+	}
+	return decayed, deleted, nil
+}
+
+// Stats is a system snapshot.
+type Stats struct {
+	GazetteerEntries int
+	GazetteerNames   int
+	QueuePending     int
+	QueueInFlight    int
+	Collections      map[string]int
+}
+
+// Stats returns a snapshot of the system's stores.
+func (s *System) Stats() Stats {
+	st := Stats{
+		GazetteerEntries: s.Gaz.Len(),
+		GazetteerNames:   s.Gaz.NameCount(),
+		QueuePending:     s.Queue.Len(),
+		QueueInFlight:    s.Queue.InFlight(),
+		Collections:      make(map[string]int),
+	}
+	for _, c := range s.DB.Collections() {
+		st.Collections[c] = s.DB.Len(c)
+	}
+	return st
+}
+
+// Snapshot writes a consistent image of the probabilistic spatial XML
+// database to w; Restore replaces the database contents from a snapshot.
+// Together with the message queue's WAL this covers the system's durable
+// state — the gazetteer, ontology and KB are rebuilt from configuration.
+func (s *System) Snapshot(w io.Writer) error {
+	return s.DB.Snapshot(w)
+}
+
+// Restore replaces the database contents with a snapshot produced by
+// Snapshot. On error the database is unchanged.
+func (s *System) Restore(r io.Reader) error {
+	return s.DB.Restore(r)
+}

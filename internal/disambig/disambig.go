@@ -1,0 +1,219 @@
+// Package disambig resolves ambiguous geographic names to probability
+// distributions over their gazetteer references (paper RQ2c: "What methods
+// can be used for Named Entities disambiguation in informal short text?").
+// Because short text "lacks enough context", the resolver pools whatever
+// evidence exists — population prominence, co-occurring toponyms, country
+// hints, ontology containment — into a distribution rather than a single
+// forced choice, feeding the probabilistic database downstream.
+package disambig
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/gazetteer"
+	"repro/internal/geo"
+	"repro/internal/ontology"
+	"repro/internal/uncertain"
+)
+
+// Context carries the evidence available when resolving one mention.
+type Context struct {
+	// CoToponyms are the candidate sets of other location mentions in the
+	// same message; candidates geographically coherent with them score
+	// higher.
+	CoToponyms [][]*gazetteer.Entry
+	// CountryHint is an ISO-like code when the message names a country
+	// explicitly.
+	CountryHint string
+	// Anchor is a resolved nearby point (e.g. from a spatial relation
+	// phrase), boosting candidates close to it.
+	Anchor *geo.Point
+	// PreferCities biases toward populated places, appropriate for
+	// "in <X>" mentions.
+	PreferCities bool
+}
+
+// Resolution is the outcome of disambiguating one name.
+type Resolution struct {
+	Name string
+	// Candidates are the references considered, most probable first.
+	Candidates []Candidate
+	// Country is the induced distribution over country display names,
+	// the paper's "Country: P(Germany) > P(USA) > …" template field.
+	Country *uncertain.Dist
+	// Entropy of the reference distribution in bits; 0 means resolved.
+	Entropy float64
+}
+
+// Candidate is one reference with its posterior probability.
+type Candidate struct {
+	Entry *gazetteer.Entry
+	P     float64
+}
+
+// Best returns the most probable candidate, or false when none exist.
+func (r Resolution) Best() (Candidate, bool) {
+	if len(r.Candidates) == 0 {
+		return Candidate{}, false
+	}
+	return r.Candidates[0], true
+}
+
+// Resolver scores candidates against context.
+type Resolver struct {
+	Gaz *gazetteer.Gazetteer
+	Ont *ontology.Ontology
+	// CoherenceRadiusMeters is the distance at which co-toponym support
+	// halves (default 300 km).
+	CoherenceRadiusMeters float64
+}
+
+// NewResolver returns a resolver with default parameters.
+func NewResolver(g *gazetteer.Gazetteer, o *ontology.Ontology) *Resolver {
+	return &Resolver{Gaz: g, Ont: o, CoherenceRadiusMeters: 300000}
+}
+
+// Resolve disambiguates a name with full evidence pooling.
+func (r *Resolver) Resolve(name string, ctx Context) (Resolution, error) {
+	entries := r.Gaz.Lookup(name)
+	return r.resolveEntries(name, entries, ctx, false)
+}
+
+// ResolveEntries disambiguates over an explicit candidate set (e.g. the
+// candidates a fuzzy lookup attached to a NER mention).
+func (r *Resolver) ResolveEntries(name string, ids []int64, ctx Context) (Resolution, error) {
+	entries := make([]*gazetteer.Entry, 0, len(ids))
+	for _, id := range ids {
+		if e, ok := r.Gaz.Get(id); ok {
+			entries = append(entries, e)
+		}
+	}
+	return r.resolveEntries(name, entries, ctx, false)
+}
+
+// ResolvePriorOnly is the population-prominence baseline for the E6
+// ablation: no context evidence at all.
+func (r *Resolver) ResolvePriorOnly(name string) (Resolution, error) {
+	entries := r.Gaz.Lookup(name)
+	return r.resolveEntries(name, entries, Context{}, true)
+}
+
+func (r *Resolver) resolveEntries(name string, entries []*gazetteer.Entry, ctx Context, priorOnly bool) (Resolution, error) {
+	if name == "" {
+		return Resolution{}, fmt.Errorf("disambig: empty name")
+	}
+	res := Resolution{Name: name, Country: uncertain.NewDist()}
+	if len(entries) == 0 {
+		return res, nil
+	}
+	dist := uncertain.NewDist()
+	byKey := make(map[string]*gazetteer.Entry, len(entries))
+	for _, e := range entries {
+		score := r.prior(e, ctx)
+		if !priorOnly {
+			score *= r.contextBoost(e, ctx)
+		}
+		key := strconv.FormatInt(e.ID, 10)
+		byKey[key] = e
+		if err := dist.Set(key, score); err != nil {
+			return Resolution{}, err
+		}
+	}
+	alts := dist.Normalized()
+	res.Candidates = make([]Candidate, 0, len(alts))
+	for _, a := range alts {
+		e := byKey[a.Name]
+		res.Candidates = append(res.Candidates, Candidate{Entry: e, P: a.P})
+		country := e.Country
+		if c, ok := gazetteer.CountryByCode(e.Country); ok {
+			country = c.Name
+		}
+		if err := res.Country.Add(country, a.P); err != nil {
+			return Resolution{}, err
+		}
+	}
+	// Stable order: probability desc, then entry ID.
+	sort.SliceStable(res.Candidates, func(i, j int) bool {
+		if res.Candidates[i].P != res.Candidates[j].P {
+			return res.Candidates[i].P > res.Candidates[j].P
+		}
+		return res.Candidates[i].Entry.ID < res.Candidates[j].Entry.ID
+	})
+	res.Entropy = dist.Entropy()
+	return res, nil
+}
+
+// prior scores a candidate on prominence alone: log population plus a
+// feature-class preference.
+func (r *Resolver) prior(e *gazetteer.Entry, ctx Context) float64 {
+	score := 1 + math.Log1p(float64(e.Population))
+	if ctx.PreferCities && e.Feature == gazetteer.FeatureCity {
+		score *= 2
+	}
+	return score
+}
+
+// contextBoost multiplies in the context evidence.
+func (r *Resolver) contextBoost(e *gazetteer.Entry, ctx Context) float64 {
+	boost := 1.0
+	// Explicit country hint dominates.
+	if ctx.CountryHint != "" {
+		if e.Country == ctx.CountryHint {
+			boost *= 8
+		} else {
+			boost *= 0.25
+		}
+	}
+	// Ontology containment: if the curated knowledge says this name lives
+	// in country C, candidates in C gain modest support. Kept weaker than
+	// direct message evidence so live context can override the default.
+	if code, ok := r.Ont.CountryOf(e.Name); ok {
+		if e.Country == code {
+			boost *= 2
+		}
+	}
+	// Co-toponym coherence: support from other mentions' candidates decays
+	// with distance. Each co-mention contributes its best support.
+	for _, cands := range ctx.CoToponyms {
+		best := 0.0
+		for _, other := range cands {
+			if other.ID == e.ID {
+				continue
+			}
+			d := e.Location.DistanceMeters(other.Location)
+			support := math.Exp(-d / r.CoherenceRadiusMeters)
+			// Same-country co-mentions lend a floor of support even when
+			// distant (a message about "Berlin" and "Munich" coheres).
+			if other.Country == e.Country && support < 0.3 {
+				support = 0.3
+			}
+			if support > best {
+				best = support
+			}
+		}
+		boost *= 1 + 6*best
+	}
+	// Anchor proximity is strong, near-direct evidence.
+	if ctx.Anchor != nil {
+		d := e.Location.DistanceMeters(*ctx.Anchor)
+		boost *= 1 + 10*math.Exp(-d/r.CoherenceRadiusMeters)
+	}
+	return boost
+}
+
+// GroundRelative resolves a relative reference (RQ2d): given an anchor
+// point and a fuzzy region built from a relation phrase, it returns the
+// membership-weighted centroid as a concrete location estimate with an
+// uncertainty radius derived from the region's extent.
+func GroundRelative(region geo.FuzzyRegion) (geo.Point, float64, bool) {
+	centroid, peak, ok := geo.RegionCentroid(region, 32)
+	if !ok || peak == 0 {
+		return geo.Point{}, 0, false
+	}
+	b := region.Bounds()
+	radius := b.Center().DistanceMeters(geo.Point{Lat: b.MaxLat, Lon: b.MaxLon})
+	return centroid, radius, true
+}

@@ -1,0 +1,284 @@
+// Package gazetteer implements a GeoNames-like toponym store: named
+// geographic references with coordinates, feature classes, countries and
+// populations, indexed for exact, prefix and misspelling-tolerant lookup
+// and for spatial queries.
+//
+// The paper uses the GeoNames database for its ambiguity statistics
+// (Table 1, Figures 1 and 2) and as the candidate source for geographic
+// name disambiguation. GeoNames itself is not shippable here, so
+// synth.go provides a calibrated synthetic generator whose name→reference
+// multiplicity distribution matches the paper's published statistics; see
+// DESIGN.md §2 for the substitution argument.
+package gazetteer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/text"
+)
+
+// FeatureClass is a coarse GeoNames-style feature category.
+type FeatureClass string
+
+// Feature classes used by the synthetic gazetteer.
+const (
+	FeatureCity     FeatureClass = "P" // populated place
+	FeatureChurch   FeatureClass = "S" // spot/building (churches etc.)
+	FeatureStream   FeatureClass = "H" // hydrographic (creeks, lakes)
+	FeatureMountain FeatureClass = "T" // hypsographic
+	FeatureRegion   FeatureClass = "A" // administrative region
+)
+
+// Entry is one geographic reference: a (name, location) pair with metadata.
+// Many entries may share a name — that is precisely the ambiguity the
+// paper quantifies ("'Cairo' is the name of more than ten cities …").
+type Entry struct {
+	ID         int64
+	Name       string // canonical display name
+	NormName   string // text.NormalizeName(Name)
+	AltNames   []string
+	Location   geo.Point
+	Feature    FeatureClass
+	Country    string // ISO-like country code
+	Population int64  // 0 for non-populated features
+}
+
+// Gazetteer is an in-memory toponym database with name and spatial indexes.
+// Reads are safe for concurrent use; Add must not race with readers.
+type Gazetteer struct {
+	mu      sync.RWMutex
+	entries map[int64]*Entry
+	byName  map[string][]int64 // normalised name -> entry IDs
+	// lenBuckets groups names by (first byte, rune length) so fuzzy lookup
+	// only scans names whose length is within the edit-distance budget.
+	lenBuckets map[bucketKey][]string
+	spatial    *geo.RTree[int64]
+	nextID     int64
+}
+
+type bucketKey struct {
+	first  byte
+	length int
+}
+
+// New returns an empty gazetteer.
+func New() *Gazetteer {
+	return &Gazetteer{
+		entries:    make(map[int64]*Entry),
+		byName:     make(map[string][]int64),
+		lenBuckets: make(map[bucketKey][]string),
+		spatial:    geo.NewRTree[int64](),
+		nextID:     1,
+	}
+}
+
+// Add inserts an entry, assigning its ID and normalised name, and returns
+// the stored copy.
+func (g *Gazetteer) Add(e Entry) (*Entry, error) {
+	if strings.TrimSpace(e.Name) == "" {
+		return nil, fmt.Errorf("gazetteer: empty name")
+	}
+	if err := e.Location.Validate(); err != nil {
+		return nil, fmt.Errorf("gazetteer: entry %q: %w", e.Name, err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	stored := e
+	stored.ID = g.nextID
+	g.nextID++
+	stored.NormName = text.NormalizeName(stored.Name)
+	if stored.NormName == "" {
+		return nil, fmt.Errorf("gazetteer: name %q normalises to empty", e.Name)
+	}
+	g.entries[stored.ID] = &stored
+	g.indexName(stored.NormName, stored.ID)
+	for _, alt := range stored.AltNames {
+		if norm := text.NormalizeName(alt); norm != "" && norm != stored.NormName {
+			g.indexName(norm, stored.ID)
+		}
+	}
+	if err := g.spatial.Insert(geo.BBoxOf(stored.Location), stored.ID); err != nil {
+		return nil, fmt.Errorf("gazetteer: spatial index: %w", err)
+	}
+	return &stored, nil
+}
+
+func (g *Gazetteer) indexName(norm string, id int64) {
+	ids := g.byName[norm]
+	if len(ids) == 0 {
+		key := bucketKey{first: norm[0], length: runeCount(norm)}
+		g.lenBuckets[key] = append(g.lenBuckets[key], norm)
+	}
+	g.byName[norm] = append(ids, id)
+}
+
+func runeCount(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+// Len returns the number of entries (references).
+func (g *Gazetteer) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}
+
+// NameCount returns the number of distinct indexed names.
+func (g *Gazetteer) NameCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.byName)
+}
+
+// Get returns the entry with the given ID.
+func (g *Gazetteer) Get(id int64) (*Entry, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.entries[id]
+	return e, ok
+}
+
+// Lookup returns all entries whose (normalised) name or alternate name
+// equals the given name, in ID order. This is the "degree of ambiguity" of
+// the name: len(Lookup(name)) is its reference count.
+func (g *Gazetteer) Lookup(name string) []*Entry {
+	norm := text.NormalizeName(name)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := g.byName[norm]
+	out := make([]*Entry, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, g.entries[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FuzzyMatch is a fuzzy-lookup result: the matched indexed name, its edit
+// distance from the query, and the entries it refers to.
+type FuzzyMatch struct {
+	Name     string
+	Distance int
+	Entries  []*Entry
+}
+
+// LookupFuzzy returns entries whose names are within maxDist
+// Damerau-Levenshtein edits of the query, grouped by matched name and
+// ordered by increasing distance then name. Exact matches are included at
+// distance 0. Length bucketing keeps the scan to names that could possibly
+// match.
+func (g *Gazetteer) LookupFuzzy(name string, maxDist int) []FuzzyMatch {
+	norm := text.NormalizeName(name)
+	if norm == "" {
+		return nil
+	}
+	if maxDist < 0 {
+		maxDist = 0
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	qLen := runeCount(norm)
+	seen := make(map[string]int) // name -> distance
+	// Candidate first bytes: the query's own first byte always; if the
+	// budget allows deleting/substituting the first rune, all buckets with
+	// matching length must be scanned.
+	for key, names := range g.lenBuckets {
+		if key.length < qLen-maxDist || key.length > qLen+maxDist {
+			continue
+		}
+		if key.first != norm[0] && maxDist == 0 {
+			continue
+		}
+		for _, cand := range names {
+			if _, done := seen[cand]; done {
+				continue
+			}
+			if cand == norm {
+				seen[cand] = 0
+				continue
+			}
+			if maxDist == 0 {
+				continue
+			}
+			if text.WithinDistance(norm, cand, maxDist) {
+				seen[cand] = text.DamerauLevenshtein(norm, cand)
+			}
+		}
+	}
+	out := make([]FuzzyMatch, 0, len(seen))
+	for cand, dist := range seen {
+		ids := g.byName[cand]
+		entries := make([]*Entry, 0, len(ids))
+		for _, id := range ids {
+			entries = append(entries, g.entries[id])
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+		out = append(out, FuzzyMatch{Name: cand, Distance: dist, Entries: entries})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// HasName reports whether the exact normalised name is indexed.
+func (g *Gazetteer) HasName(name string) bool {
+	norm := text.NormalizeName(name)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.byName[norm]) > 0
+}
+
+// Near returns the entries within radiusMeters of p ordered by distance.
+func (g *Gazetteer) Near(p geo.Point, radiusMeters float64) []*Entry {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ns := g.spatial.Within(p, radiusMeters)
+	out := make([]*Entry, 0, len(ns))
+	for _, n := range ns {
+		out = append(out, g.entries[n.Value])
+	}
+	return out
+}
+
+// NearestCity returns the closest populated place to p, or false when the
+// gazetteer holds none.
+func (g *Gazetteer) NearestCity(p geo.Point) (*Entry, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	// Over-fetch because the nearest entries may be non-cities.
+	for _, k := range []int{8, 64, 512} {
+		for _, n := range g.spatial.Nearest(p, k) {
+			e := g.entries[n.Value]
+			if e.Feature == FeatureCity {
+				return e, true
+			}
+		}
+		if k >= g.spatial.Len() {
+			break
+		}
+	}
+	return nil, false
+}
+
+// EachEntry visits every entry in unspecified order until fn returns false.
+func (g *Gazetteer) EachEntry(fn func(*Entry) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, e := range g.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}

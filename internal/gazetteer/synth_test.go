@@ -1,0 +1,230 @@
+package gazetteer
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// testGazetteer builds a small calibrated gazetteer once per test binary.
+var testGaz *Gazetteer
+
+func synthForTest(t *testing.T) *Gazetteer {
+	t.Helper()
+	if testGaz == nil {
+		g, err := Synthesize(Config{Names: 4000, Seed: 2011})
+		if err != nil {
+			t.Fatalf("Synthesize: %v", err)
+		}
+		testGaz = g
+	}
+	return testGaz
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, err := Synthesize(Config{Names: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(Config{Names: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() || a.NameCount() != b.NameCount() {
+		t.Errorf("same seed differs: %d/%d vs %d/%d", a.Len(), a.NameCount(), b.Len(), b.NameCount())
+	}
+	c, err := Synthesize(Config{Names: 300, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == c.Len() && a.TopAmbiguous(50)[20] == c.TopAmbiguous(50)[20] {
+		t.Log("different seeds gave identical mid-rank stats; suspicious but not fatal")
+	}
+}
+
+func TestSynthesizeInvalid(t *testing.T) {
+	if _, err := Synthesize(Config{Names: -1}); err == nil {
+		t.Error("negative names accepted")
+	}
+}
+
+func TestTable1Reproduction(t *testing.T) {
+	g := synthForTest(t)
+	top := g.TopAmbiguous(10)
+	if len(top) != 10 {
+		t.Fatalf("TopAmbiguous returned %d", len(top))
+	}
+	for i, seed := range table1Seeds {
+		if top[i].Name != seed.name {
+			t.Errorf("rank %d: got %q, want %q", i+1, top[i].Name, seed.name)
+		}
+		if top[i].Count != seed.count {
+			t.Errorf("rank %d (%s): count %d, want %d", i+1, seed.name, top[i].Count, seed.count)
+		}
+	}
+}
+
+func TestFigure2Shares(t *testing.T) {
+	g := synthForTest(t)
+	s := g.Shares()
+	// Paper: 54% / 12% / 5% / 29%. Sampling noise at 4k names stays well
+	// within 3 percentage points.
+	check := func(got, want float64, label string) {
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("%s share = %.3f, want %.2f ± 0.03", label, got, want)
+		}
+	}
+	check(s.One, 0.54, "1-reference")
+	check(s.Two, 0.12, "2-reference")
+	check(s.Three, 0.05, "3-reference")
+	check(s.FourOrMore, 0.29, "4+-reference")
+	if sum := s.One + s.Two + s.Three + s.FourOrMore; math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestFigure1LongTail(t *testing.T) {
+	g := synthForTest(t)
+	hist := g.AmbiguityHistogram()
+	if len(hist) < 20 {
+		t.Fatalf("histogram has only %d degrees; no long tail", len(hist))
+	}
+	// Monotone-ish decay: names at degree 1 >> names at degree 10 >> names
+	// at degree 100.
+	byDegree := map[int]int{}
+	maxDegree := 0
+	for _, b := range hist {
+		byDegree[b.Degree] = b.Names
+		if b.Degree > maxDegree {
+			maxDegree = b.Degree
+		}
+	}
+	if byDegree[1] < 10*byDegree[10] {
+		t.Errorf("tail not steep: %d names at degree 1 vs %d at degree 10", byDegree[1], byDegree[10])
+	}
+	// The maximum degree must reach the Table 1 ceiling (2382).
+	if maxDegree != 2382 {
+		t.Errorf("max degree = %d, want 2382 (First Baptist Church)", maxDegree)
+	}
+}
+
+func TestAnchorCitiesPresent(t *testing.T) {
+	g := synthForTest(t)
+	// Berlin's most populous reference is the real one in Germany.
+	best := mostPopulous(g.Lookup("Berlin"))
+	if best == nil || best.Country != "DE" {
+		t.Fatalf("dominant Berlin = %+v", best)
+	}
+	if best.Location.DistanceMeters(berlinPoint()) > 1000 {
+		t.Error("Berlin anchored at wrong location")
+	}
+	// Paris has 62 references, per the paper.
+	if n := len(g.Lookup("Paris")); n != 62 {
+		t.Errorf("Paris has %d references, want 62", n)
+	}
+	// Cairo has more than ten, per the paper.
+	if n := len(g.Lookup("Cairo")); n <= 10 {
+		t.Errorf("Cairo has %d references, want > 10", n)
+	}
+}
+
+func mostPopulous(entries []*Entry) *Entry {
+	var best *Entry
+	for _, e := range entries {
+		if best == nil || e.Population > best.Population {
+			best = e
+		}
+	}
+	return best
+}
+
+func berlinPoint() (p struct{ Lat, Lon float64 }) {
+	p.Lat, p.Lon = 52.52, 13.405
+	return
+}
+
+func TestSynthEntriesValid(t *testing.T) {
+	g := synthForTest(t)
+	count := 0
+	g.EachEntry(func(e *Entry) bool {
+		count++
+		if err := e.Location.Validate(); err != nil {
+			t.Errorf("entry %d (%s): %v", e.ID, e.Name, err)
+			return false
+		}
+		if e.NormName == "" || strings.TrimSpace(e.Name) == "" {
+			t.Errorf("entry %d has empty name", e.ID)
+			return false
+		}
+		if _, ok := CountryByCode(e.Country); !ok {
+			t.Errorf("entry %d has unknown country %q", e.ID, e.Country)
+			return false
+		}
+		if e.Population < 0 {
+			t.Errorf("entry %d negative population", e.ID)
+			return false
+		}
+		return true
+	})
+	if count != g.Len() {
+		t.Errorf("visited %d of %d", count, g.Len())
+	}
+	// Average ambiguity should land near the calibrated expectation
+	// (E[degree] ≈ 5-9 with the power-law tail).
+	avg := float64(g.Len()) / float64(g.NameCount())
+	if avg < 2 || avg > 15 {
+		t.Errorf("average ambiguity = %.2f, outside plausible calibration", avg)
+	}
+}
+
+func TestSampleDegreeCalibration(t *testing.T) {
+	// Direct unit check of the degree sampler, independent of Synthesize.
+	rng := newTestRand(99)
+	n := 200000
+	buckets := map[string]int{}
+	for i := 0; i < n; i++ {
+		switch d := sampleDegree(rng); {
+		case d == 1:
+			buckets["1"]++
+		case d == 2:
+			buckets["2"]++
+		case d == 3:
+			buckets["3"]++
+		case d >= 4 && d <= 1000:
+			buckets["4+"]++
+		default:
+			t.Fatalf("degree %d out of range", d)
+		}
+	}
+	checks := []struct {
+		key  string
+		want float64
+	}{{"1", 0.54}, {"2", 0.12}, {"3", 0.05}, {"4+", 0.29}}
+	for _, c := range checks {
+		got := float64(buckets[c.key]) / float64(n)
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("P(%s) = %.3f, want %.2f", c.key, got, c.want)
+		}
+	}
+}
+
+func TestSamplePowerLawRange(t *testing.T) {
+	rng := newTestRand(5)
+	for i := 0; i < 10000; i++ {
+		d := samplePowerLaw(rng, 4, 1000, 2.2)
+		if d < 4 || d > 1000 {
+			t.Fatalf("power-law sample %d out of [4, 1000]", d)
+		}
+	}
+}
+
+func TestMisspellNameOneEdit(t *testing.T) {
+	rng := newTestRand(13)
+	for i := 0; i < 200; i++ {
+		name := "Movenpick"
+		m := misspellName(rng, name)
+		if m == name {
+			t.Errorf("misspelling identical: %q", m)
+		}
+	}
+}

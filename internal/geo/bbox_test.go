@@ -1,0 +1,187 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBBoxContains(t *testing.T) {
+	b := NewBBox(Point{50, 10}, Point{55, 15})
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{52, 12}, true},
+		{Point{50, 10}, true}, // boundary
+		{Point{55, 15}, true}, // boundary
+		{Point{49.999, 12}, false},
+		{Point{52, 15.001}, false},
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBBoxCornerOrderIrrelevant(t *testing.T) {
+	b1 := NewBBox(Point{50, 10}, Point{55, 15})
+	b2 := NewBBox(Point{55, 15}, Point{50, 10})
+	if b1 != b2 {
+		t.Errorf("corner order changed box: %v vs %v", b1, b2)
+	}
+}
+
+func TestEmptyBBox(t *testing.T) {
+	e := EmptyBBox()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyBBox not empty")
+	}
+	if e.Contains(Point{0, 0}) {
+		t.Error("empty box contains a point")
+	}
+	b := NewBBox(Point{1, 1}, Point{2, 2})
+	if got := e.Union(b); got != b {
+		t.Errorf("empty Union identity failed: %v", got)
+	}
+	if got := b.Union(e); got != b {
+		t.Errorf("Union with empty failed: %v", got)
+	}
+	if e.Intersects(b) || b.Intersects(e) {
+		t.Error("empty box intersects something")
+	}
+	if e.Area() != 0 {
+		t.Errorf("empty area = %v", e.Area())
+	}
+}
+
+func TestBBoxIntersects(t *testing.T) {
+	a := NewBBox(Point{0, 0}, Point{10, 10})
+	cases := []struct {
+		b    BBox
+		want bool
+	}{
+		{NewBBox(Point{5, 5}, Point{15, 15}), true},
+		{NewBBox(Point{10, 10}, Point{20, 20}), true}, // touching corner
+		{NewBBox(Point{11, 11}, Point{20, 20}), false},
+		{NewBBox(Point{-5, -5}, Point{-1, -1}), false},
+		{NewBBox(Point{2, 2}, Point{3, 3}), true}, // contained
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestBBoxUnionProperties(t *testing.T) {
+	f := func(a1, o1, a2, o2, a3, o3, a4, o4 float64) bool {
+		a := NewBBox(clampPoint(a1, o1), clampPoint(a2, o2))
+		b := NewBBox(clampPoint(a3, o3), clampPoint(a4, o4))
+		u := a.Union(b)
+		// Union contains both inputs and is commutative.
+		return u.ContainsBBox(a) && u.ContainsBBox(b) && u == b.Union(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBBoxIntersectionArea(t *testing.T) {
+	a := NewBBox(Point{0, 0}, Point{10, 10})
+	b := NewBBox(Point{5, 5}, Point{15, 15})
+	if got := a.IntersectionArea(b); math.Abs(got-25) > 1e-9 {
+		t.Errorf("IntersectionArea = %v, want 25", got)
+	}
+	c := NewBBox(Point{20, 20}, Point{30, 30})
+	if got := a.IntersectionArea(c); got != 0 {
+		t.Errorf("disjoint IntersectionArea = %v, want 0", got)
+	}
+}
+
+func TestBBoxEnlargement(t *testing.T) {
+	a := NewBBox(Point{0, 0}, Point{10, 10})
+	if got := a.Enlargement(NewBBox(Point{2, 2}, Point{3, 3})); got != 0 {
+		t.Errorf("contained enlargement = %v, want 0", got)
+	}
+	if got := a.Enlargement(NewBBox(Point{0, 0}, Point{10, 20})); math.Abs(got-100) > 1e-9 {
+		t.Errorf("enlargement = %v, want 100", got)
+	}
+}
+
+func TestMinDistanceMeters(t *testing.T) {
+	b := NewBBox(Point{50, 10}, Point{55, 15})
+	if d := b.MinDistanceMeters(Point{52, 12}); d != 0 {
+		t.Errorf("inside point distance = %v, want 0", d)
+	}
+	outside := Point{52, 20}
+	d := b.MinDistanceMeters(outside)
+	// The clamp point (52, 15) gives an upper bound; the true minimum lies
+	// slightly poleward on the meridian edge but within 1%.
+	upper := outside.DistanceMeters(Point{52, 15})
+	if d > upper+1e-6 {
+		t.Errorf("MinDistanceMeters = %v exceeds clamp-point distance %v", d, upper)
+	}
+	if d < upper*0.99 {
+		t.Errorf("MinDistanceMeters = %v implausibly far below clamp-point distance %v", d, upper)
+	}
+}
+
+func TestMinDistanceLowerBound(t *testing.T) {
+	// MinDistanceMeters must never exceed the distance to any point in the box.
+	f := func(a1, o1, a2, o2, a3, o3, fr1, fr2 float64) bool {
+		b := NewBBox(clampPoint(a1, o1), clampPoint(a2, o2))
+		p := clampPoint(a3, o3)
+		// A point sampled inside the box via fractions in [0, 1).
+		u := math.Abs(math.Mod(fr1, 1))
+		v := math.Abs(math.Mod(fr2, 1))
+		in := Point{
+			Lat: b.MinLat + (b.MaxLat-b.MinLat)*u,
+			Lon: b.MinLon + (b.MaxLon-b.MinLon)*v,
+		}
+		d := p.DistanceMeters(in)
+		// Relative tolerance: the bound and the haversine to the sampled
+		// point are computed along different float paths.
+		return b.MinDistanceMeters(p) <= d+d*1e-9+1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBBoxAroundContainsCircle(t *testing.T) {
+	centers := []Point{berlin, sydney, {Lat: 89, Lon: 0}, {Lat: 0, Lon: 179}}
+	for _, c := range centers {
+		for _, r := range []float64{100, 10000, 500000} {
+			box := BBoxAround(c, r)
+			// Sample points on the circle; all must be inside (modulo
+			// antimeridian wrap, which we skip).
+			for brg := 0.0; brg < 360; brg += 30 {
+				p := c.Destination(brg, r)
+				if math.Abs(p.Lon-c.Lon) > 180 {
+					continue // wrapped across the antimeridian
+				}
+				if !box.Contains(p) {
+					t.Errorf("BBoxAround(%v, %v) misses circle point %v", c, r, p)
+				}
+			}
+		}
+	}
+}
+
+func TestBBoxValidate(t *testing.T) {
+	if err := NewBBox(Point{0, 0}, Point{10, 10}).Validate(); err != nil {
+		t.Errorf("valid box: %v", err)
+	}
+	bad := BBox{MinLat: -100, MinLon: 0, MaxLat: 0, MaxLon: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid box passed validation")
+	}
+	if err := EmptyBBox().Validate(); err != nil {
+		t.Errorf("empty box should validate: %v", err)
+	}
+}

@@ -1,0 +1,9 @@
+package geo
+
+// Test-only accessors for internal invariants.
+
+// CheckInvariants exposes structural validation to tests.
+func (t *RTree[T]) CheckInvariants() error { return t.checkInvariants() }
+
+// Depth exposes the tree height to tests.
+func (t *RTree[T]) Depth() int { return t.depth() }

@@ -1,0 +1,167 @@
+package geo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// geohashBase32 is the standard geohash alphabet (no a, i, l, o).
+const geohashBase32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+var geohashDecode = func() map[byte]int {
+	m := make(map[byte]int, len(geohashBase32))
+	for i := 0; i < len(geohashBase32); i++ {
+		m[geohashBase32[i]] = i
+	}
+	return m
+}()
+
+// EncodeGeohash returns the geohash of p at the given precision (number of
+// base-32 characters, 1..12). Geohashes are used as coarse spatial keys for
+// duplicate detection in the data-integration service.
+func EncodeGeohash(p Point, precision int) string {
+	if precision < 1 {
+		precision = 1
+	}
+	if precision > 12 {
+		precision = 12
+	}
+	latMin, latMax := -90.0, 90.0
+	lonMin, lonMax := -180.0, 180.0
+	var sb strings.Builder
+	sb.Grow(precision)
+	bit := 0
+	ch := 0
+	even := true // even bits encode longitude
+	for sb.Len() < precision {
+		if even {
+			mid := (lonMin + lonMax) / 2
+			if p.Lon >= mid {
+				ch = ch<<1 | 1
+				lonMin = mid
+			} else {
+				ch <<= 1
+				lonMax = mid
+			}
+		} else {
+			mid := (latMin + latMax) / 2
+			if p.Lat >= mid {
+				ch = ch<<1 | 1
+				latMin = mid
+			} else {
+				ch <<= 1
+				latMax = mid
+			}
+		}
+		even = !even
+		bit++
+		if bit == 5 {
+			sb.WriteByte(geohashBase32[ch])
+			bit, ch = 0, 0
+		}
+	}
+	return sb.String()
+}
+
+// DecodeGeohash returns the bounding box a geohash denotes.
+func DecodeGeohash(hash string) (BBox, error) {
+	if hash == "" {
+		return BBox{}, fmt.Errorf("geo: empty geohash")
+	}
+	latMin, latMax := -90.0, 90.0
+	lonMin, lonMax := -180.0, 180.0
+	even := true
+	for i := 0; i < len(hash); i++ {
+		c := hash[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		v, ok := geohashDecode[c]
+		if !ok {
+			return BBox{}, fmt.Errorf("geo: invalid geohash character %q in %q", hash[i], hash)
+		}
+		for mask := 16; mask > 0; mask >>= 1 {
+			if even {
+				mid := (lonMin + lonMax) / 2
+				if v&mask != 0 {
+					lonMin = mid
+				} else {
+					lonMax = mid
+				}
+			} else {
+				mid := (latMin + latMax) / 2
+				if v&mask != 0 {
+					latMin = mid
+				} else {
+					latMax = mid
+				}
+			}
+			even = !even
+		}
+	}
+	return BBox{MinLat: latMin, MinLon: lonMin, MaxLat: latMax, MaxLon: lonMax}, nil
+}
+
+// GeohashCenter decodes a geohash to the centre point of its cell.
+func GeohashCenter(hash string) (Point, error) {
+	b, err := DecodeGeohash(hash)
+	if err != nil {
+		return Point{}, err
+	}
+	return b.Center(), nil
+}
+
+// GeohashNeighbors returns the geohashes of the 8 cells surrounding the
+// given hash at the same precision. The centre cell is not included.
+// Neighbours are computed by decoding to the cell centre and re-encoding a
+// point offset by one cell size in each direction.
+func GeohashNeighbors(hash string) ([]string, error) {
+	box, err := DecodeGeohash(hash)
+	if err != nil {
+		return nil, err
+	}
+	c := box.Center()
+	dLat := box.MaxLat - box.MinLat
+	dLon := box.MaxLon - box.MinLon
+	var out []string
+	seen := map[string]bool{hash: true}
+	for _, dy := range []float64{-1, 0, 1} {
+		for _, dx := range []float64{-1, 0, 1} {
+			if dy == 0 && dx == 0 {
+				continue
+			}
+			lat := c.Lat + dy*dLat
+			lon := c.Lon + dx*dLon
+			if lat > 90 || lat < -90 {
+				continue
+			}
+			// Wrap longitude across the antimeridian.
+			for lon > 180 {
+				lon -= 360
+			}
+			for lon < -180 {
+				lon += 360
+			}
+			n := EncodeGeohash(Point{Lat: lat, Lon: lon}, len(hash))
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out, nil
+}
+
+// GeohashPrecisionForRadius returns a geohash precision whose cell size is
+// no larger than roughly the given radius, suitable for blocking keys in
+// duplicate detection. Cell heights per precision are approximate.
+func GeohashPrecisionForRadius(radiusMeters float64) int {
+	// Approximate cell height in metres per precision level.
+	heights := []float64{5000000, 1250000, 156000, 39100, 4890, 1220, 153, 38.2, 4.77, 1.19, 0.149, 0.0372}
+	for i, h := range heights {
+		if h <= radiusMeters {
+			return i + 1
+		}
+	}
+	return 12
+}

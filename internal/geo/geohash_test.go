@@ -1,0 +1,160 @@
+package geo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeGeohashKnown(t *testing.T) {
+	// Reference value widely used in geohash documentation.
+	p := Point{Lat: 57.64911, Lon: 10.40744}
+	if got := EncodeGeohash(p, 11); got != "u4pruydqqvj" {
+		t.Errorf("EncodeGeohash = %q, want u4pruydqqvj", got)
+	}
+}
+
+func TestGeohashRoundTrip(t *testing.T) {
+	f := func(lat, lon float64) bool {
+		p := clampPoint(lat, lon)
+		h := EncodeGeohash(p, 9)
+		box, err := DecodeGeohash(h)
+		if err != nil {
+			return false
+		}
+		return box.Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeohashPrefixProperty(t *testing.T) {
+	// A longer hash's cell must be contained in every prefix's cell.
+	h := EncodeGeohash(berlin, 10)
+	inner, err := DecodeGeohash(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l < 10; l++ {
+		outer, err := DecodeGeohash(h[:l])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !outer.ContainsBBox(inner) {
+			t.Errorf("prefix %q cell does not contain full cell", h[:l])
+		}
+	}
+}
+
+func TestDecodeGeohashErrors(t *testing.T) {
+	if _, err := DecodeGeohash(""); err == nil {
+		t.Error("empty hash accepted")
+	}
+	if _, err := DecodeGeohash("ab!c"); err == nil {
+		t.Error("invalid character accepted")
+	}
+	// 'a' is not in the geohash alphabet.
+	if _, err := DecodeGeohash("aaa"); err == nil {
+		t.Error("letter a accepted")
+	}
+}
+
+func TestDecodeGeohashCaseInsensitive(t *testing.T) {
+	lo, err := DecodeGeohash("u4pruy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := DecodeGeohash("U4PRUY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != hi {
+		t.Errorf("case sensitivity: %v vs %v", lo, hi)
+	}
+}
+
+func TestGeohashPrecisionClamping(t *testing.T) {
+	if got := EncodeGeohash(berlin, 0); len(got) != 1 {
+		t.Errorf("precision 0 gave %q", got)
+	}
+	if got := EncodeGeohash(berlin, 99); len(got) != 12 {
+		t.Errorf("precision 99 gave length %d", len(got))
+	}
+}
+
+func TestGeohashNeighbors(t *testing.T) {
+	ns, err := GeohashNeighbors("u33db2") // a cell over Berlin
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 8 {
+		t.Fatalf("got %d neighbours, want 8: %v", len(ns), ns)
+	}
+	for _, n := range ns {
+		if n == "u33db2" {
+			t.Error("neighbours include the centre cell")
+		}
+		if len(n) != 6 {
+			t.Errorf("neighbour %q has wrong precision", n)
+		}
+	}
+}
+
+func TestGeohashCenter(t *testing.T) {
+	h := EncodeGeohash(berlin, 8)
+	c, err := GeohashCenter(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DistanceMeters(berlin) > 100 {
+		t.Errorf("centre %v too far from original %v", c, berlin)
+	}
+}
+
+func TestGeohashPrecisionForRadius(t *testing.T) {
+	cases := []struct {
+		radius float64
+		min    int
+	}{
+		{10000000, 1}, {100000, 3}, {1000, 6}, {1, 10},
+	}
+	for _, c := range cases {
+		p := GeohashPrecisionForRadius(c.radius)
+		if p < 1 || p > 12 {
+			t.Errorf("precision %d out of range", p)
+		}
+		if p < c.min {
+			t.Errorf("GeohashPrecisionForRadius(%v) = %d, want >= %d", c.radius, p, c.min)
+		}
+	}
+	if GeohashPrecisionForRadius(0.000001) != 12 {
+		t.Error("tiny radius should give max precision")
+	}
+}
+
+func TestGeohashAlphabet(t *testing.T) {
+	h := EncodeGeohash(sydney, 12)
+	for i := 0; i < len(h); i++ {
+		if !strings.ContainsRune(geohashBase32, rune(h[i])) {
+			t.Errorf("hash %q contains non-alphabet character %q", h, h[i])
+		}
+	}
+}
+
+func TestGeohashCellShrinks(t *testing.T) {
+	prev := math.Inf(1)
+	for prec := 1; prec <= 12; prec++ {
+		h := EncodeGeohash(berlin, prec)
+		box, err := DecodeGeohash(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a := box.Area(); a >= prev {
+			t.Errorf("precision %d cell area %v did not shrink from %v", prec, a, prev)
+		} else {
+			prev = a
+		}
+	}
+}

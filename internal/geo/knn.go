@@ -1,0 +1,141 @@
+package geo
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Neighbor is one result of a nearest-neighbour query.
+type Neighbor[T comparable] struct {
+	Value          T
+	Box            BBox
+	DistanceMeters float64
+}
+
+// knnItem is an element of the best-first search priority queue: either an
+// internal node or a leaf entry, ordered by minimum possible distance.
+type knnItem[T comparable] struct {
+	dist  float64
+	node  *rtreeNode[T] // non-nil for tree nodes
+	box   BBox
+	value T
+}
+
+type knnHeap[T comparable] []knnItem[T]
+
+func (h knnHeap[T]) Len() int            { return len(h) }
+func (h knnHeap[T]) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h knnHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap[T]) Push(x interface{}) { *h = append(*h, x.(knnItem[T])) }
+func (h *knnHeap[T]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Nearest returns up to k stored values closest to p, ordered by increasing
+// great-circle distance from p to each value's bounding box. Best-first
+// traversal guarantees no node is expanded unless it could contain a closer
+// result than the kth found so far.
+func (t *RTree[T]) Nearest(p Point, k int) []Neighbor[T] {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &knnHeap[T]{}
+	heap.Init(h)
+	heap.Push(h, knnItem[T]{dist: 0, node: t.root})
+	out := make([]Neighbor[T], 0, k)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(knnItem[T])
+		if it.node == nil {
+			out = append(out, Neighbor[T]{Value: it.value, Box: it.box, DistanceMeters: it.dist})
+			if len(out) == k {
+				return out
+			}
+			continue
+		}
+		for i := range it.node.entries {
+			e := it.node.entries[i]
+			d := e.box.MinDistanceMeters(p)
+			if it.node.leaf {
+				heap.Push(h, knnItem[T]{dist: d, box: e.box, value: e.value})
+			} else {
+				heap.Push(h, knnItem[T]{dist: d, node: e.child})
+			}
+		}
+	}
+	return out
+}
+
+// Within returns all stored values whose box lies within radiusMeters of p,
+// ordered by increasing distance. It pre-filters with a bounding box and
+// verifies with exact haversine distance.
+func (t *RTree[T]) Within(p Point, radiusMeters float64) []Neighbor[T] {
+	pre := BBoxAround(p, radiusMeters)
+	var out []Neighbor[T]
+	t.SearchFunc(pre, func(box BBox, v T) bool {
+		d := box.MinDistanceMeters(p)
+		if d <= radiusMeters {
+			out = append(out, Neighbor[T]{Value: v, Box: box, DistanceMeters: d})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].DistanceMeters < out[j].DistanceMeters })
+	return out
+}
+
+// JoinPair is one matched pair produced by a spatial join.
+type JoinPair[A, B comparable] struct {
+	Left           A
+	Right          B
+	DistanceMeters float64
+}
+
+// DistanceJoin returns every pair (a, b) with a in left and b in right whose
+// boxes lie within maxMeters of one another. It iterates the smaller tree's
+// leaves and probes the larger tree, the classic index nested-loop spatial
+// join.
+func DistanceJoin[A, B comparable](left *RTree[A], right *RTree[B], maxMeters float64) []JoinPair[A, B] {
+	var out []JoinPair[A, B]
+	left.SearchFunc(left.Bounds(), func(aBox BBox, a A) bool {
+		pre := BBoxAround(aBox.Center(), maxMeters+aBox.Center().DistanceMeters(Point{aBox.MinLat, aBox.MinLon}))
+		right.SearchFunc(pre, func(bBox BBox, b B) bool {
+			d := minBoxDistanceMeters(aBox, bBox)
+			if d <= maxMeters {
+				out = append(out, JoinPair[A, B]{Left: a, Right: b, DistanceMeters: d})
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// IntersectJoin returns every pair of entries whose boxes intersect.
+func IntersectJoin[A, B comparable](left *RTree[A], right *RTree[B]) []JoinPair[A, B] {
+	var out []JoinPair[A, B]
+	left.SearchFunc(left.Bounds(), func(aBox BBox, a A) bool {
+		right.SearchFunc(aBox, func(bBox BBox, b B) bool {
+			out = append(out, JoinPair[A, B]{Left: a, Right: b})
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// minBoxDistanceMeters lower-bounds the distance between two boxes by
+// clamping each box's centre into the other box.
+func minBoxDistanceMeters(a, b BBox) float64 {
+	if a.Intersects(b) {
+		return 0
+	}
+	d1 := a.MinDistanceMeters(b.Center())
+	d2 := b.MinDistanceMeters(a.Center())
+	if d2 < d1 {
+		return d2
+	}
+	return d1
+}

@@ -1,0 +1,192 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNearestMatchesLinearScan(t *testing.T) {
+	pts := randomPoints(1500, 21)
+	tr := NewRTree[int]()
+	for i, p := range pts {
+		if err := tr.Insert(BBoxOf(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(31))
+	for q := 0; q < 25; q++ {
+		origin := Point{Lat: rng.Float64()*170 - 85, Lon: rng.Float64()*360 - 180}
+		k := 1 + rng.Intn(20)
+		got := tr.Nearest(origin, k)
+		if len(got) != k {
+			t.Fatalf("Nearest returned %d, want %d", len(got), k)
+		}
+		// Linear-scan reference.
+		type distIdx struct {
+			d float64
+			i int
+		}
+		ref := make([]distIdx, len(pts))
+		for i, p := range pts {
+			ref[i] = distIdx{origin.DistanceMeters(p), i}
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i].d < ref[j].d })
+		for i := 0; i < k; i++ {
+			// Compare distances (values may differ under exact ties).
+			if diff := got[i].DistanceMeters - ref[i].d; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("k=%d rank %d: distance %v, want %v", k, i, got[i].DistanceMeters, ref[i].d)
+			}
+		}
+		// Results must be sorted by distance.
+		for i := 1; i < len(got); i++ {
+			if got[i].DistanceMeters < got[i-1].DistanceMeters {
+				t.Fatalf("Nearest results unsorted at %d", i)
+			}
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	tr := NewRTree[int]()
+	if got := tr.Nearest(berlin, 5); got != nil {
+		t.Errorf("empty tree Nearest = %v", got)
+	}
+	if err := tr.Insert(BBoxOf(paris), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Nearest(berlin, 0); got != nil {
+		t.Errorf("k=0 Nearest = %v", got)
+	}
+	got := tr.Nearest(berlin, 10)
+	if len(got) != 1 || got[0].Value != 1 {
+		t.Errorf("k greater than size: %v", got)
+	}
+}
+
+func TestWithinRadius(t *testing.T) {
+	tr := NewRTree[string]()
+	cities := map[string]Point{
+		"berlin":   berlin,
+		"paris":    paris,
+		"enschede": enschede,
+		"sydney":   sydney,
+	}
+	for name, p := range cities {
+		if err := tr.Insert(BBoxOf(p), name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1000 km around Berlin covers Paris (~878 km) and Enschede (~445 km).
+	got := tr.Within(berlin, 1000000)
+	names := make([]string, len(got))
+	for i, n := range got {
+		names[i] = n.Value
+	}
+	if len(names) != 3 || names[0] != "berlin" || names[1] != "enschede" || names[2] != "paris" {
+		t.Errorf("Within 1000km of Berlin = %v, want [berlin enschede paris] by distance", names)
+	}
+	// 100 km finds only Berlin itself.
+	got = tr.Within(berlin, 100000)
+	if len(got) != 1 || got[0].Value != "berlin" {
+		t.Errorf("Within 100km = %v", got)
+	}
+}
+
+func TestWithinMatchesLinearScan(t *testing.T) {
+	pts := randomPoints(800, 55)
+	tr := NewRTree[int]()
+	for i, p := range pts {
+		if err := tr.Insert(BBoxOf(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(66))
+	for q := 0; q < 20; q++ {
+		origin := Point{Lat: rng.Float64()*140 - 70, Lon: rng.Float64()*340 - 170}
+		radius := 100000 + rng.Float64()*2000000
+		got := tr.Within(origin, radius)
+		gotSet := make(map[int]bool, len(got))
+		for _, n := range got {
+			gotSet[n.Value] = true
+		}
+		for i, p := range pts {
+			in := origin.DistanceMeters(p) <= radius
+			if in != gotSet[i] {
+				t.Fatalf("Within(%v, %.0f): point %d in=%v indexed=%v", origin, radius, i, in, gotSet[i])
+			}
+		}
+	}
+}
+
+func TestDistanceJoin(t *testing.T) {
+	hotels := NewRTree[string]()
+	stations := NewRTree[string]()
+	if err := hotels.Insert(BBoxOf(berlin), "hotel-berlin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := hotels.Insert(BBoxOf(sydney), "hotel-sydney"); err != nil {
+		t.Fatal(err)
+	}
+	nearBerlin := berlin.Destination(90, 3000)
+	if err := stations.Insert(BBoxOf(nearBerlin), "station-east"); err != nil {
+		t.Fatal(err)
+	}
+	if err := stations.Insert(BBoxOf(paris), "station-paris"); err != nil {
+		t.Fatal(err)
+	}
+	pairs := DistanceJoin(hotels, stations, 5000)
+	if len(pairs) != 1 {
+		t.Fatalf("DistanceJoin = %v, want 1 pair", pairs)
+	}
+	if pairs[0].Left != "hotel-berlin" || pairs[0].Right != "station-east" {
+		t.Errorf("wrong pair: %+v", pairs[0])
+	}
+	if pairs[0].DistanceMeters > 5000 {
+		t.Errorf("pair distance %v exceeds limit", pairs[0].DistanceMeters)
+	}
+}
+
+func TestIntersectJoin(t *testing.T) {
+	left := NewRTree[string]()
+	right := NewRTree[string]()
+	if err := left.Insert(NewBBox(Point{0, 0}, Point{10, 10}), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Insert(NewBBox(Point{50, 50}, Point{60, 60}), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Insert(NewBBox(Point{5, 5}, Point{15, 15}), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Insert(NewBBox(Point{-20, -20}, Point{-10, -10}), "y"); err != nil {
+		t.Fatal(err)
+	}
+	pairs := IntersectJoin(left, right)
+	if len(pairs) != 1 || pairs[0].Left != "a" || pairs[0].Right != "x" {
+		t.Errorf("IntersectJoin = %v", pairs)
+	}
+}
+
+func TestNearestAfterDeletes(t *testing.T) {
+	pts := randomPoints(300, 88)
+	tr := NewRTree[int]()
+	for i, p := range pts {
+		if err := tr.Insert(BBoxOf(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove the true nearest to Berlin, re-query, and confirm the runner-up
+	// wins.
+	first := tr.Nearest(berlin, 2)
+	if len(first) != 2 {
+		t.Fatal("need two neighbours")
+	}
+	if !tr.Delete(BBoxOf(pts[first[0].Value]), first[0].Value) {
+		t.Fatal("delete nearest failed")
+	}
+	second := tr.Nearest(berlin, 1)
+	if len(second) != 1 || second[0].Value != first[1].Value {
+		t.Errorf("after delete nearest = %v, want %v", second, first[1].Value)
+	}
+}

@@ -1,0 +1,154 @@
+// Package geo provides the spatial substrate for the neogeography system:
+// geographic points, bounding boxes, great-circle distance, geohashing, an
+// R-tree spatial index with range and k-nearest-neighbour search, spatial
+// joins, and fuzzy regions used to ground vague spatial relations such as
+// "north of" or "in the vicinity of".
+//
+// All coordinates are WGS84 degrees: latitude in [-90, 90], longitude in
+// [-180, 180]. Distances are metres unless stated otherwise.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used for great-circle math.
+const EarthRadiusMeters = 6371008.8
+
+// Point is a geographic coordinate in WGS84 degrees.
+type Point struct {
+	Lat float64 // latitude, degrees north
+	Lon float64 // longitude, degrees east
+}
+
+// NewPoint returns a Point after validating coordinate ranges.
+func NewPoint(lat, lon float64) (Point, error) {
+	p := Point{Lat: lat, Lon: lon}
+	if err := p.Validate(); err != nil {
+		return Point{}, err
+	}
+	return p, nil
+}
+
+// Validate reports whether the point's coordinates are in range.
+func (p Point) Validate() error {
+	if math.IsNaN(p.Lat) || math.IsNaN(p.Lon) {
+		return fmt.Errorf("geo: point has NaN coordinate (%v, %v)", p.Lat, p.Lon)
+	}
+	if p.Lat < -90 || p.Lat > 90 {
+		return fmt.Errorf("geo: latitude %v out of range [-90, 90]", p.Lat)
+	}
+	if p.Lon < -180 || p.Lon > 180 {
+		return fmt.Errorf("geo: longitude %v out of range [-180, 180]", p.Lon)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.5f, %.5f)", p.Lat, p.Lon)
+}
+
+// Equal reports whether two points are identical to within eps degrees.
+func (p Point) Equal(q Point, eps float64) bool {
+	return math.Abs(p.Lat-q.Lat) <= eps && math.Abs(p.Lon-q.Lon) <= eps
+}
+
+func deg2rad(d float64) float64 { return d * math.Pi / 180 }
+func rad2deg(r float64) float64 { return r * 180 / math.Pi }
+
+// DistanceMeters returns the haversine great-circle distance between p and q.
+func (p Point) DistanceMeters(q Point) float64 {
+	lat1, lon1 := deg2rad(p.Lat), deg2rad(p.Lon)
+	lat2, lon2 := deg2rad(q.Lat), deg2rad(q.Lon)
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	a := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if a > 1 {
+		a = 1
+	}
+	return 2 * EarthRadiusMeters * math.Asin(math.Sqrt(a))
+}
+
+// BearingDegrees returns the initial great-circle bearing from p to q, in
+// degrees clockwise from north, normalised to [0, 360).
+func (p Point) BearingDegrees(q Point) float64 {
+	lat1, lon1 := deg2rad(p.Lat), deg2rad(p.Lon)
+	lat2, lon2 := deg2rad(q.Lat), deg2rad(q.Lon)
+	dLon := lon2 - lon1
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	b := rad2deg(math.Atan2(y, x))
+	return math.Mod(b+360, 360)
+}
+
+// Destination returns the point reached by travelling distanceMeters from p
+// along the given initial bearing (degrees clockwise from north).
+func (p Point) Destination(bearingDeg, distanceMeters float64) Point {
+	lat1, lon1 := deg2rad(p.Lat), deg2rad(p.Lon)
+	brg := deg2rad(bearingDeg)
+	d := distanceMeters / EarthRadiusMeters
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(d) + math.Cos(lat1)*math.Sin(d)*math.Cos(brg))
+	lon2 := lon1 + math.Atan2(
+		math.Sin(brg)*math.Sin(d)*math.Cos(lat1),
+		math.Cos(d)-math.Sin(lat1)*math.Sin(lat2),
+	)
+	lon2 = math.Mod(lon2+3*math.Pi, 2*math.Pi) - math.Pi
+	return Point{Lat: rad2deg(lat2), Lon: rad2deg(lon2)}
+}
+
+// Midpoint returns the great-circle midpoint of p and q.
+func (p Point) Midpoint(q Point) Point {
+	lat1, lon1 := deg2rad(p.Lat), deg2rad(p.Lon)
+	lat2, lon2 := deg2rad(q.Lat), deg2rad(q.Lon)
+	dLon := lon2 - lon1
+	bx := math.Cos(lat2) * math.Cos(dLon)
+	by := math.Cos(lat2) * math.Sin(dLon)
+	lat3 := math.Atan2(
+		math.Sin(lat1)+math.Sin(lat2),
+		math.Sqrt((math.Cos(lat1)+bx)*(math.Cos(lat1)+bx)+by*by),
+	)
+	lon3 := lon1 + math.Atan2(by, math.Cos(lat1)+bx)
+	lon3 = math.Mod(lon3+3*math.Pi, 2*math.Pi) - math.Pi
+	return Point{Lat: rad2deg(lat3), Lon: rad2deg(lon3)}
+}
+
+// CardinalDirection names the compass octant of the bearing from p to q,
+// e.g. "north", "northeast". It is used when generating natural-language
+// answers that involve relative directions.
+func CardinalDirection(bearingDeg float64) string {
+	names := []string{"north", "northeast", "east", "southeast", "south", "southwest", "west", "northwest"}
+	idx := int(math.Mod(bearingDeg+22.5, 360) / 45)
+	if idx < 0 || idx >= len(names) {
+		idx = 0
+	}
+	return names[idx]
+}
+
+// BearingForDirection maps a cardinal-direction word to a bearing in degrees.
+// Recognised inputs include abbreviations ("ne", "sw") and full names.
+// The second return value reports whether the word was recognised.
+func BearingForDirection(word string) (float64, bool) {
+	switch word {
+	case "north", "n":
+		return 0, true
+	case "northeast", "north-east", "ne":
+		return 45, true
+	case "east", "e":
+		return 90, true
+	case "southeast", "south-east", "se":
+		return 135, true
+	case "south", "s":
+		return 180, true
+	case "southwest", "south-west", "sw":
+		return 225, true
+	case "west", "w":
+		return 270, true
+	case "northwest", "north-west", "nw":
+		return 315, true
+	}
+	return 0, false
+}

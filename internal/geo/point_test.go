@@ -1,0 +1,179 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	berlin   = Point{Lat: 52.5200, Lon: 13.4050}
+	paris    = Point{Lat: 48.8566, Lon: 2.3522}
+	enschede = Point{Lat: 52.2215, Lon: 6.8937}
+	sydney   = Point{Lat: -33.8688, Lon: 151.2093}
+	cairoEG  = Point{Lat: 30.0444, Lon: 31.2357}
+	cairoIL  = Point{Lat: 37.0050, Lon: -89.1763} // Cairo, Illinois
+)
+
+func TestNewPointValidation(t *testing.T) {
+	cases := []struct {
+		lat, lon float64
+		wantErr  bool
+	}{
+		{0, 0, false},
+		{90, 180, false},
+		{-90, -180, false},
+		{90.0001, 0, true},
+		{-90.0001, 0, true},
+		{0, 180.0001, true},
+		{0, -180.0001, true},
+		{math.NaN(), 0, true},
+		{0, math.NaN(), true},
+	}
+	for _, c := range cases {
+		_, err := NewPoint(c.lat, c.lon)
+		if (err != nil) != c.wantErr {
+			t.Errorf("NewPoint(%v, %v) err = %v, wantErr %v", c.lat, c.lon, err, c.wantErr)
+		}
+	}
+}
+
+func TestDistanceBerlinParis(t *testing.T) {
+	d := berlin.DistanceMeters(paris)
+	// Real-world distance is about 878 km.
+	if d < 860000 || d > 895000 {
+		t.Errorf("Berlin-Paris distance = %.0f m, want about 878 km", d)
+	}
+}
+
+func TestDistanceZero(t *testing.T) {
+	if d := berlin.DistanceMeters(berlin); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		p := clampPoint(lat1, lon1)
+		q := clampPoint(lat2, lon2)
+		d1 := p.DistanceMeters(q)
+		d2 := q.DistanceMeters(p)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(a1, o1, a2, o2, a3, o3 float64) bool {
+		p := clampPoint(a1, o1)
+		q := clampPoint(a2, o2)
+		r := clampPoint(a3, o3)
+		// Allow a tiny epsilon for floating-point error.
+		return p.DistanceMeters(r) <= p.DistanceMeters(q)+q.DistanceMeters(r)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceNonNegative(t *testing.T) {
+	f := func(a1, o1, a2, o2 float64) bool {
+		d := clampPoint(a1, o1).DistanceMeters(clampPoint(a2, o2))
+		return d >= 0 && d <= math.Pi*EarthRadiusMeters+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampPoint maps arbitrary floats into valid coordinates.
+func clampPoint(lat, lon float64) Point {
+	if math.IsNaN(lat) || math.IsInf(lat, 0) {
+		lat = 0
+	}
+	if math.IsNaN(lon) || math.IsInf(lon, 0) {
+		lon = 0
+	}
+	lat = math.Mod(lat, 90)
+	lon = math.Mod(lon, 180)
+	return Point{Lat: lat, Lon: lon}
+}
+
+func TestBearing(t *testing.T) {
+	north := berlin.Destination(0, 100000)
+	if b := berlin.BearingDegrees(north); b > 1 && b < 359 {
+		t.Errorf("bearing to due-north point = %v, want about 0", b)
+	}
+	east := berlin.Destination(90, 100000)
+	if b := berlin.BearingDegrees(east); math.Abs(b-90) > 1 {
+		t.Errorf("bearing to due-east point = %v, want about 90", b)
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	for _, brg := range []float64{0, 45, 90, 135, 180, 225, 270, 315} {
+		for _, dist := range []float64{100, 5000, 250000} {
+			q := berlin.Destination(brg, dist)
+			back := q.DistanceMeters(berlin)
+			if math.Abs(back-dist) > dist*0.001+1 {
+				t.Errorf("Destination(%v, %v): round-trip distance %v", brg, dist, back)
+			}
+		}
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	m := berlin.Midpoint(paris)
+	db := m.DistanceMeters(berlin)
+	dp := m.DistanceMeters(paris)
+	if math.Abs(db-dp) > 1000 {
+		t.Errorf("midpoint distances differ: %v vs %v", db, dp)
+	}
+}
+
+func TestCardinalDirection(t *testing.T) {
+	cases := []struct {
+		brg  float64
+		want string
+	}{
+		{0, "north"}, {44, "northeast"}, {90, "east"}, {135, "southeast"},
+		{180, "south"}, {225, "southwest"}, {270, "west"}, {315, "northwest"},
+		{359, "north"}, {22, "north"}, {23, "northeast"},
+	}
+	for _, c := range cases {
+		if got := CardinalDirection(c.brg); got != c.want {
+			t.Errorf("CardinalDirection(%v) = %q, want %q", c.brg, got, c.want)
+		}
+	}
+}
+
+func TestBearingForDirection(t *testing.T) {
+	for _, c := range []struct {
+		word string
+		want float64
+		ok   bool
+	}{
+		{"north", 0, true}, {"ne", 45, true}, {"south-west", 225, true},
+		{"w", 270, true}, {"upwards", 0, false}, {"", 0, false},
+	} {
+		got, ok := BearingForDirection(c.word)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("BearingForDirection(%q) = %v, %v; want %v, %v", c.word, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestDirectionRoundTrip(t *testing.T) {
+	words := []string{"north", "northeast", "east", "southeast", "south", "southwest", "west", "northwest"}
+	for _, w := range words {
+		brg, ok := BearingForDirection(w)
+		if !ok {
+			t.Fatalf("BearingForDirection(%q) not ok", w)
+		}
+		if got := CardinalDirection(brg); got != w {
+			t.Errorf("round trip %q -> %v -> %q", w, brg, got)
+		}
+	}
+}

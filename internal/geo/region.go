@@ -1,0 +1,239 @@
+package geo
+
+import (
+	"math"
+)
+
+// FuzzyRegion models a vague spatial reference — "near X", "north of X",
+// "5 km from X", "in the vicinity of X" — as a membership function over the
+// globe. Membership returns a degree in [0, 1]: 1 means the point certainly
+// satisfies the description, 0 means it certainly does not. The paper's
+// §Problem Statement calls out exactly this vagueness ("terms like 'nearby',
+// 'north of', or 'in vicinity of' … imply some degree of uncertainty about
+// the referred place").
+type FuzzyRegion interface {
+	// Membership returns the degree to which p belongs to the region.
+	Membership(p Point) float64
+	// Bounds returns a box outside of which Membership is (near) zero,
+	// enabling index-assisted evaluation.
+	Bounds() BBox
+}
+
+// trapezoid returns a membership that is 1 for x <= full, falls linearly to
+// 0 at zero, and is 0 beyond. Requires full <= zero.
+func trapezoid(x, full, zero float64) float64 {
+	switch {
+	case x <= full:
+		return 1
+	case x >= zero:
+		return 0
+	default:
+		return (zero - x) / (zero - full)
+	}
+}
+
+// NearRegion is the fuzzy region "near anchor": full membership within
+// CoreMeters, decaying to zero at FringeMeters.
+type NearRegion struct {
+	Anchor       Point
+	CoreMeters   float64
+	FringeMeters float64
+}
+
+// NewNearRegion builds a NearRegion with a fringe of twice the core radius.
+func NewNearRegion(anchor Point, coreMeters float64) NearRegion {
+	return NearRegion{Anchor: anchor, CoreMeters: coreMeters, FringeMeters: 2 * coreMeters}
+}
+
+// Membership implements FuzzyRegion.
+func (r NearRegion) Membership(p Point) float64 {
+	return trapezoid(r.Anchor.DistanceMeters(p), r.CoreMeters, r.FringeMeters)
+}
+
+// Bounds implements FuzzyRegion.
+func (r NearRegion) Bounds() BBox {
+	return BBoxAround(r.Anchor, r.FringeMeters)
+}
+
+// DirectionRegion is the fuzzy region "<direction> of anchor": a cone whose
+// axis follows Bearing, with membership decaying as the angular deviation
+// grows past HalfAngle up to twice that, and as distance grows past
+// MaxMeters.
+type DirectionRegion struct {
+	Anchor    Point
+	Bearing   float64 // axis, degrees clockwise from north
+	HalfAngle float64 // degrees of full membership either side of the axis
+	MaxMeters float64 // distance at which membership starts to decay
+}
+
+// NewDirectionRegion builds a standard cone for a cardinal-direction word:
+// ±45° of full membership and a 20 km reach, suitable for intra-city
+// references; callers can scale MaxMeters for country-level references.
+func NewDirectionRegion(anchor Point, bearingDeg float64) DirectionRegion {
+	return DirectionRegion{Anchor: anchor, Bearing: bearingDeg, HalfAngle: 45, MaxMeters: 20000}
+}
+
+// Membership implements FuzzyRegion.
+func (r DirectionRegion) Membership(p Point) float64 {
+	d := r.Anchor.DistanceMeters(p)
+	if d == 0 {
+		return 0 // the anchor itself is not "north of" the anchor
+	}
+	brg := r.Anchor.BearingDegrees(p)
+	dev := math.Abs(math.Mod(brg-r.Bearing+540, 360) - 180)
+	angular := trapezoid(dev, r.HalfAngle, 2*r.HalfAngle)
+	radial := trapezoid(d, r.MaxMeters, 2*r.MaxMeters)
+	return angular * radial
+}
+
+// Bounds implements FuzzyRegion.
+func (r DirectionRegion) Bounds() BBox {
+	return BBoxAround(r.Anchor, 2*r.MaxMeters)
+}
+
+// DistanceRegion is the fuzzy region "about D metres from anchor": an
+// annulus centred on Meters with a tolerance band. Grounds phrases such as
+// "5 km of" with the fuzziness the paper attributes to them.
+type DistanceRegion struct {
+	Anchor          Point
+	Meters          float64
+	ToleranceMeters float64 // half-width of the full-membership band
+}
+
+// NewDistanceRegion builds a DistanceRegion with 25% tolerance.
+func NewDistanceRegion(anchor Point, meters float64) DistanceRegion {
+	return DistanceRegion{Anchor: anchor, Meters: meters, ToleranceMeters: meters / 4}
+}
+
+// Membership implements FuzzyRegion.
+func (r DistanceRegion) Membership(p Point) float64 {
+	dev := math.Abs(r.Anchor.DistanceMeters(p) - r.Meters)
+	return trapezoid(dev, r.ToleranceMeters, 2*r.ToleranceMeters)
+}
+
+// Bounds implements FuzzyRegion.
+func (r DistanceRegion) Bounds() BBox {
+	return BBoxAround(r.Anchor, r.Meters+2*r.ToleranceMeters)
+}
+
+// BoxRegion is a crisp region with membership 1 inside the box and 0
+// outside; it grounds topological phrases such as "within" or "in".
+type BoxRegion struct {
+	Box BBox
+}
+
+// Membership implements FuzzyRegion.
+func (r BoxRegion) Membership(p Point) float64 {
+	if r.Box.Contains(p) {
+		return 1
+	}
+	return 0
+}
+
+// Bounds implements FuzzyRegion.
+func (r BoxRegion) Bounds() BBox { return r.Box }
+
+// IntersectRegions is the fuzzy AND of several regions (minimum membership).
+// Used when a message constrains a place with multiple clues, e.g.
+// "a few blocks north of your hotel" AND "a few blocks west of McCormick's".
+type IntersectRegions []FuzzyRegion
+
+// Membership implements FuzzyRegion.
+func (rs IntersectRegions) Membership(p Point) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	m := 1.0
+	for _, r := range rs {
+		v := r.Membership(p)
+		if v < m {
+			m = v
+		}
+		if m == 0 {
+			return 0
+		}
+	}
+	return m
+}
+
+// Bounds implements FuzzyRegion.
+func (rs IntersectRegions) Bounds() BBox {
+	if len(rs) == 0 {
+		return EmptyBBox()
+	}
+	b := rs[0].Bounds()
+	for _, r := range rs[1:] {
+		o := r.Bounds()
+		if !b.Intersects(o) {
+			return EmptyBBox()
+		}
+		b = BBox{
+			MinLat: math.Max(b.MinLat, o.MinLat),
+			MinLon: math.Max(b.MinLon, o.MinLon),
+			MaxLat: math.Min(b.MaxLat, o.MaxLat),
+			MaxLon: math.Min(b.MaxLon, o.MaxLon),
+		}
+	}
+	return b
+}
+
+// UnionRegions is the fuzzy OR of several regions (maximum membership).
+type UnionRegions []FuzzyRegion
+
+// Membership implements FuzzyRegion.
+func (rs UnionRegions) Membership(p Point) float64 {
+	m := 0.0
+	for _, r := range rs {
+		if v := r.Membership(p); v > m {
+			m = v
+		}
+		if m == 1 {
+			return 1
+		}
+	}
+	return m
+}
+
+// Bounds implements FuzzyRegion.
+func (rs UnionRegions) Bounds() BBox {
+	b := EmptyBBox()
+	for _, r := range rs {
+		b = b.Union(r.Bounds())
+	}
+	return b
+}
+
+// RegionCentroid estimates the membership-weighted centroid of a region by
+// sampling a grid over its bounds. It returns the centroid, the peak
+// membership seen, and false if the region is everywhere (near) zero. The
+// disambiguation service uses it to turn "a few blocks north of X" into a
+// concrete candidate location with an uncertainty radius.
+func RegionCentroid(r FuzzyRegion, gridSize int) (Point, float64, bool) {
+	if gridSize < 2 {
+		gridSize = 2
+	}
+	b := r.Bounds()
+	if b.IsEmpty() {
+		return Point{}, 0, false
+	}
+	var sumLat, sumLon, sumW, peak float64
+	for i := 0; i < gridSize; i++ {
+		for j := 0; j < gridSize; j++ {
+			p := Point{
+				Lat: b.MinLat + (b.MaxLat-b.MinLat)*(float64(i)+0.5)/float64(gridSize),
+				Lon: b.MinLon + (b.MaxLon-b.MinLon)*(float64(j)+0.5)/float64(gridSize),
+			}
+			w := r.Membership(p)
+			if w > peak {
+				peak = w
+			}
+			sumLat += w * p.Lat
+			sumLon += w * p.Lon
+			sumW += w
+		}
+	}
+	if sumW < 1e-12 {
+		return Point{}, 0, false
+	}
+	return Point{Lat: sumLat / sumW, Lon: sumLon / sumW}, peak, true
+}

@@ -1,0 +1,222 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNearRegionMembership(t *testing.T) {
+	r := NewNearRegion(berlin, 1000)
+	if m := r.Membership(berlin); m != 1 {
+		t.Errorf("membership at anchor = %v, want 1", m)
+	}
+	if m := r.Membership(berlin.Destination(0, 500)); m != 1 {
+		t.Errorf("membership inside core = %v, want 1", m)
+	}
+	mid := r.Membership(berlin.Destination(0, 1500))
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("membership in fringe = %v, want in (0,1)", mid)
+	}
+	if m := r.Membership(berlin.Destination(0, 3000)); m != 0 {
+		t.Errorf("membership beyond fringe = %v, want 0", m)
+	}
+	if m := r.Membership(paris); m != 0 {
+		t.Errorf("membership far away = %v, want 0", m)
+	}
+}
+
+func TestNearRegionMonotone(t *testing.T) {
+	r := NewNearRegion(berlin, 2000)
+	prev := 1.0
+	for d := 0.0; d <= 6000; d += 250 {
+		m := r.Membership(berlin.Destination(45, d))
+		if m > prev+1e-9 {
+			t.Errorf("membership not monotone at %v m: %v > %v", d, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestDirectionRegion(t *testing.T) {
+	r := NewDirectionRegion(berlin, 0) // north of Berlin
+	if m := r.Membership(berlin.Destination(0, 5000)); m != 1 {
+		t.Errorf("due north membership = %v, want 1", m)
+	}
+	if m := r.Membership(berlin.Destination(180, 5000)); m != 0 {
+		t.Errorf("due south membership = %v, want 0", m)
+	}
+	east := r.Membership(berlin.Destination(90, 5000))
+	if east >= 1 || east < 0 {
+		t.Errorf("due east membership = %v, want in [0,1)", east)
+	}
+	if m := r.Membership(berlin); m != 0 {
+		t.Errorf("anchor membership = %v, want 0", m)
+	}
+	// Beyond twice MaxMeters, membership must vanish.
+	if m := r.Membership(berlin.Destination(0, 50000)); m != 0 {
+		t.Errorf("far north membership = %v, want 0", m)
+	}
+}
+
+func TestDirectionRegionWrapAround(t *testing.T) {
+	// Bearing 350 vs point at bearing 10: deviation is 20 degrees, inside
+	// the 45-degree core.
+	r := DirectionRegion{Anchor: berlin, Bearing: 350, HalfAngle: 45, MaxMeters: 20000}
+	if m := r.Membership(berlin.Destination(10, 5000)); m != 1 {
+		t.Errorf("wrap-around membership = %v, want 1", m)
+	}
+}
+
+func TestDistanceRegion(t *testing.T) {
+	r := NewDistanceRegion(berlin, 5000)
+	if m := r.Membership(berlin.Destination(123, 5000)); m != 1 {
+		t.Errorf("on-ring membership = %v, want 1", m)
+	}
+	if m := r.Membership(berlin); m != 0 {
+		t.Errorf("centre membership = %v, want 0", m)
+	}
+	if m := r.Membership(berlin.Destination(0, 20000)); m != 0 {
+		t.Errorf("far membership = %v, want 0", m)
+	}
+	band := r.Membership(berlin.Destination(0, 6500))
+	if band <= 0 || band >= 1 {
+		t.Errorf("tolerance-band membership = %v, want in (0,1)", band)
+	}
+}
+
+func TestBoxRegion(t *testing.T) {
+	r := BoxRegion{Box: NewBBox(Point{50, 10}, Point{55, 15})}
+	if m := r.Membership(berlin); m != 1 {
+		t.Errorf("inside = %v", m)
+	}
+	if m := r.Membership(paris); m != 0 {
+		t.Errorf("outside = %v", m)
+	}
+}
+
+func TestIntersectRegions(t *testing.T) {
+	// "north of A" and "near B" where B is north of A: intersection peaks
+	// between them.
+	a := berlin
+	b := berlin.Destination(0, 3000)
+	rs := IntersectRegions{
+		NewDirectionRegion(a, 0),
+		NewNearRegion(b, 2000),
+	}
+	probe := berlin.Destination(0, 2500)
+	if m := rs.Membership(probe); m != 1 {
+		t.Errorf("intersection membership = %v, want 1", m)
+	}
+	south := berlin.Destination(180, 2500)
+	if m := rs.Membership(south); m != 0 {
+		t.Errorf("south membership = %v, want 0", m)
+	}
+	if m := (IntersectRegions{}).Membership(probe); m != 0 {
+		t.Errorf("empty intersection = %v, want 0", m)
+	}
+}
+
+func TestUnionRegions(t *testing.T) {
+	rs := UnionRegions{
+		NewNearRegion(berlin, 1000),
+		NewNearRegion(paris, 1000),
+	}
+	if m := rs.Membership(berlin); m != 1 {
+		t.Errorf("union at berlin = %v", m)
+	}
+	if m := rs.Membership(paris); m != 1 {
+		t.Errorf("union at paris = %v", m)
+	}
+	if m := rs.Membership(sydney); m != 0 {
+		t.Errorf("union at sydney = %v", m)
+	}
+}
+
+func TestMembershipBounded(t *testing.T) {
+	regions := []FuzzyRegion{
+		NewNearRegion(berlin, 1000),
+		NewDirectionRegion(berlin, 45),
+		NewDistanceRegion(berlin, 5000),
+		BoxRegion{Box: NewBBox(Point{50, 10}, Point{55, 15})},
+	}
+	f := func(lat, lon float64) bool {
+		p := clampPoint(lat, lon)
+		for _, r := range regions {
+			m := r.Membership(p)
+			if m < 0 || m > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsCoverSupport(t *testing.T) {
+	// Membership outside Bounds() must be zero.
+	regions := []FuzzyRegion{
+		NewNearRegion(berlin, 1000),
+		NewDistanceRegion(berlin, 5000),
+	}
+	for _, r := range regions {
+		b := r.Bounds()
+		far := []Point{
+			{Lat: b.MaxLat + 1, Lon: berlin.Lon},
+			{Lat: b.MinLat - 1, Lon: berlin.Lon},
+			{Lat: berlin.Lat, Lon: b.MaxLon + 1},
+		}
+		for _, p := range far {
+			if p.Validate() != nil {
+				continue
+			}
+			if m := r.Membership(p); m != 0 {
+				t.Errorf("%T: membership outside bounds = %v at %v", r, m, p)
+			}
+		}
+	}
+}
+
+func TestRegionCentroid(t *testing.T) {
+	r := NewNearRegion(berlin, 2000)
+	c, peak, ok := RegionCentroid(r, 24)
+	if !ok {
+		t.Fatal("centroid not found")
+	}
+	if peak != 1 {
+		t.Errorf("peak = %v, want 1", peak)
+	}
+	if c.DistanceMeters(berlin) > 1500 {
+		t.Errorf("centroid %v too far from anchor (%.0f m)", c, c.DistanceMeters(berlin))
+	}
+
+	// Directional region centroid must sit in the right direction.
+	d := NewDirectionRegion(berlin, 0)
+	c2, _, ok := RegionCentroid(d, 32)
+	if !ok {
+		t.Fatal("direction centroid not found")
+	}
+	if c2.Lat <= berlin.Lat {
+		t.Errorf("north-of centroid %v not north of anchor", c2)
+	}
+
+	// Empty intersection yields no centroid.
+	empty := IntersectRegions{
+		NewNearRegion(berlin, 500),
+		NewNearRegion(paris, 500),
+	}
+	if _, _, ok := RegionCentroid(empty, 16); ok {
+		t.Error("disjoint intersection produced a centroid")
+	}
+}
+
+func TestIntersectBoundsDisjoint(t *testing.T) {
+	rs := IntersectRegions{
+		NewNearRegion(berlin, 100),
+		NewNearRegion(sydney, 100),
+	}
+	if b := rs.Bounds(); !b.IsEmpty() {
+		t.Errorf("disjoint intersection bounds = %v, want empty", b)
+	}
+}

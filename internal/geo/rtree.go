@@ -1,0 +1,400 @@
+package geo
+
+import (
+	"fmt"
+)
+
+// RTree is an in-memory R-tree over values of comparable type T, using the
+// quadratic split of Guttman's original design. It supports insertion,
+// deletion, rectangle search, radius search and best-first k-nearest-
+// neighbour search. It is the spatial index behind the probabilistic
+// spatial XML database ("spatial databases support spatial data types …
+// providing spatial indexing and spatial join methods", paper §Problem
+// Statement).
+//
+// RTree is not safe for concurrent mutation; the xmldb layer serialises
+// writers and allows concurrent readers under its own lock.
+type RTree[T comparable] struct {
+	root     *rtreeNode[T]
+	minEntry int
+	maxEntry int
+	size     int
+}
+
+type rtreeEntry[T comparable] struct {
+	box   BBox
+	child *rtreeNode[T] // non-nil for internal entries
+	value T             // set for leaf entries
+}
+
+type rtreeNode[T comparable] struct {
+	leaf    bool
+	entries []rtreeEntry[T]
+}
+
+// DefaultRTreeMax is the default maximum node fanout.
+const DefaultRTreeMax = 16
+
+// NewRTree returns an R-tree with the default fanout.
+func NewRTree[T comparable]() *RTree[T] {
+	t, err := NewRTreeWithFanout[T](DefaultRTreeMax/2, DefaultRTreeMax)
+	if err != nil {
+		panic(err) // defaults are always valid
+	}
+	return t
+}
+
+// NewRTreeWithFanout returns an R-tree with the given minimum and maximum
+// entries per node. Requires 2 <= min <= max/2.
+func NewRTreeWithFanout[T comparable](min, max int) (*RTree[T], error) {
+	if min < 2 || max < 4 || min > max/2 {
+		return nil, fmt.Errorf("geo: invalid rtree fanout min=%d max=%d (need 2 <= min <= max/2)", min, max)
+	}
+	return &RTree[T]{
+		root:     &rtreeNode[T]{leaf: true},
+		minEntry: min,
+		maxEntry: max,
+	}, nil
+}
+
+// Len returns the number of stored values.
+func (t *RTree[T]) Len() int { return t.size }
+
+// Bounds returns the bounding box of everything in the tree.
+func (t *RTree[T]) Bounds() BBox {
+	return nodeBBox(t.root)
+}
+
+func nodeBBox[T comparable](n *rtreeNode[T]) BBox {
+	b := EmptyBBox()
+	for i := range n.entries {
+		b = b.Union(n.entries[i].box)
+	}
+	return b
+}
+
+// Insert adds a value with the given bounding box. Point data should use
+// BBoxOf(p).
+func (t *RTree[T]) Insert(box BBox, value T) error {
+	if box.IsEmpty() {
+		return fmt.Errorf("geo: cannot insert empty bbox")
+	}
+	if err := box.Validate(); err != nil {
+		return err
+	}
+	t.insertEntry(rtreeEntry[T]{box: box, value: value})
+	t.size++
+	return nil
+}
+
+func (t *RTree[T]) insertEntry(e rtreeEntry[T]) {
+	leafPath := t.chooseLeaf(e.box)
+	leaf := leafPath[len(leafPath)-1]
+	leaf.entries = append(leaf.entries, e)
+	t.adjustPath(leafPath)
+}
+
+// chooseLeaf descends from the root picking the child whose box needs the
+// least enlargement (ties by smallest area), returning the root-to-leaf path.
+func (t *RTree[T]) chooseLeaf(box BBox) []*rtreeNode[T] {
+	path := []*rtreeNode[T]{t.root}
+	n := t.root
+	for !n.leaf {
+		bestIdx := 0
+		bestEnl := box.Union(n.entries[0].box).Area() - n.entries[0].box.Area()
+		bestArea := n.entries[0].box.Area()
+		for i := 1; i < len(n.entries); i++ {
+			enl := box.Union(n.entries[i].box).Area() - n.entries[i].box.Area()
+			area := n.entries[i].box.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				bestIdx, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n = n.entries[bestIdx].child
+		path = append(path, n)
+	}
+	return path
+}
+
+// adjustPath walks back up the path, tightening parent boxes and splitting
+// overfull nodes.
+func (t *RTree[T]) adjustPath(path []*rtreeNode[T]) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if len(n.entries) <= t.maxEntry {
+			// Tighten the parent entry box.
+			if i > 0 {
+				t.refreshParentBox(path[i-1], n)
+			}
+			continue
+		}
+		left, right := t.splitNode(n)
+		if i == 0 {
+			// Grew the root.
+			t.root = &rtreeNode[T]{
+				leaf: false,
+				entries: []rtreeEntry[T]{
+					{box: nodeBBox(left), child: left},
+					{box: nodeBBox(right), child: right},
+				},
+			}
+			return
+		}
+		parent := path[i-1]
+		// Replace the parent entry for n with the two split halves.
+		for j := range parent.entries {
+			if parent.entries[j].child == n {
+				parent.entries[j] = rtreeEntry[T]{box: nodeBBox(left), child: left}
+				break
+			}
+		}
+		parent.entries = append(parent.entries, rtreeEntry[T]{box: nodeBBox(right), child: right})
+	}
+}
+
+func (t *RTree[T]) refreshParentBox(parent, child *rtreeNode[T]) {
+	for j := range parent.entries {
+		if parent.entries[j].child == child {
+			parent.entries[j].box = nodeBBox(child)
+			return
+		}
+	}
+}
+
+// splitNode performs Guttman's quadratic split, distributing n's entries
+// into two new nodes. n's entry slice is consumed.
+func (t *RTree[T]) splitNode(n *rtreeNode[T]) (*rtreeNode[T], *rtreeNode[T]) {
+	entries := n.entries
+	// Pick the pair of seeds wasting the most area if grouped together.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := entries[i].box.Union(entries[j].box).Area() -
+				entries[i].box.Area() - entries[j].box.Area()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	left := &rtreeNode[T]{leaf: n.leaf, entries: []rtreeEntry[T]{entries[seedA]}}
+	right := &rtreeNode[T]{leaf: n.leaf, entries: []rtreeEntry[T]{entries[seedB]}}
+	leftBox, rightBox := entries[seedA].box, entries[seedB].box
+
+	rest := make([]rtreeEntry[T], 0, len(entries)-2)
+	for i := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, entries[i])
+		}
+	}
+	for len(rest) > 0 {
+		// If one side must take everything remaining to reach minEntry, do so.
+		if len(left.entries)+len(rest) == t.minEntry {
+			left.entries = append(left.entries, rest...)
+			for i := range rest {
+				leftBox = leftBox.Union(rest[i].box)
+			}
+			break
+		}
+		if len(right.entries)+len(rest) == t.minEntry {
+			right.entries = append(right.entries, rest...)
+			for i := range rest {
+				rightBox = rightBox.Union(rest[i].box)
+			}
+			break
+		}
+		// Pick the entry with the greatest preference difference.
+		bestIdx, bestDiff := 0, -1.0
+		for i := range rest {
+			dLeft := leftBox.Enlargement(rest[i].box)
+			dRight := rightBox.Enlargement(rest[i].box)
+			diff := dLeft - dRight
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		dLeft := leftBox.Enlargement(e.box)
+		dRight := rightBox.Enlargement(e.box)
+		toLeft := dLeft < dRight ||
+			(dLeft == dRight && leftBox.Area() < rightBox.Area()) ||
+			(dLeft == dRight && leftBox.Area() == rightBox.Area() && len(left.entries) <= len(right.entries))
+		if toLeft {
+			left.entries = append(left.entries, e)
+			leftBox = leftBox.Union(e.box)
+		} else {
+			right.entries = append(right.entries, e)
+			rightBox = rightBox.Union(e.box)
+		}
+	}
+	return left, right
+}
+
+// Search appends to dst every value whose box intersects query, returning
+// the extended slice. Results are in no particular order.
+func (t *RTree[T]) Search(query BBox, dst []T) []T {
+	return t.searchNode(t.root, query, dst)
+}
+
+func (t *RTree[T]) searchNode(n *rtreeNode[T], query BBox, dst []T) []T {
+	for i := range n.entries {
+		if !n.entries[i].box.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			dst = append(dst, n.entries[i].value)
+		} else {
+			dst = t.searchNode(n.entries[i].child, query, dst)
+		}
+	}
+	return dst
+}
+
+// SearchFunc visits every (box, value) pair intersecting query until fn
+// returns false.
+func (t *RTree[T]) SearchFunc(query BBox, fn func(box BBox, value T) bool) {
+	t.searchFuncNode(t.root, query, fn)
+}
+
+func (t *RTree[T]) searchFuncNode(n *rtreeNode[T], query BBox, fn func(BBox, T) bool) bool {
+	for i := range n.entries {
+		if !n.entries[i].box.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if !fn(n.entries[i].box, n.entries[i].value) {
+				return false
+			}
+		} else if !t.searchFuncNode(n.entries[i].child, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete removes one occurrence of value stored under the exact box.
+// It reports whether a matching entry was found. Underfull nodes are
+// condensed by re-inserting their remaining entries, per Guttman.
+func (t *RTree[T]) Delete(box BBox, value T) bool {
+	var orphans []rtreeEntry[T]
+	found := t.deleteFrom(t.root, box, value, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	// Shrink a root with a single internal child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &rtreeNode[T]{leaf: true}
+	}
+	for _, e := range orphans {
+		if e.child != nil {
+			t.reinsertSubtree(e.child)
+		} else {
+			t.insertEntry(e)
+		}
+	}
+	return true
+}
+
+func (t *RTree[T]) reinsertSubtree(n *rtreeNode[T]) {
+	if n.leaf {
+		for _, e := range n.entries {
+			t.insertEntry(e)
+		}
+		return
+	}
+	for _, e := range n.entries {
+		t.reinsertSubtree(e.child)
+	}
+}
+
+func (t *RTree[T]) deleteFrom(n *rtreeNode[T], box BBox, value T, orphans *[]rtreeEntry[T]) bool {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].value == value && n.entries[i].box == box {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.entries {
+		if !n.entries[i].box.ContainsBBox(box) && !n.entries[i].box.Intersects(box) {
+			continue
+		}
+		child := n.entries[i].child
+		if t.deleteFrom(child, box, value, orphans) {
+			if len(child.entries) < t.minEntry {
+				// Condense: orphan the whole child for re-insertion.
+				*orphans = append(*orphans, child.entries...)
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			} else {
+				n.entries[i].box = nodeBBox(child)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// depth returns the tree height (leaf = 1); used by invariant tests.
+func (t *RTree[T]) depth() int {
+	d := 1
+	n := t.root
+	for !n.leaf {
+		d++
+		if len(n.entries) == 0 {
+			break
+		}
+		n = n.entries[0].child
+	}
+	return d
+}
+
+// checkInvariants validates structural invariants and returns the first
+// violation found: entry counts within [min, max] (root excepted), parent
+// boxes covering children, and uniform leaf depth. Exposed to tests via
+// export_test.go.
+func (t *RTree[T]) checkInvariants() error {
+	leafDepth := -1
+	var walk func(n *rtreeNode[T], depth int, isRoot bool) error
+	walk = func(n *rtreeNode[T], depth int, isRoot bool) error {
+		if !isRoot && (len(n.entries) < t.minEntry || len(n.entries) > t.maxEntry) {
+			return fmt.Errorf("node at depth %d has %d entries, want [%d,%d]", depth, len(n.entries), t.minEntry, t.maxEntry)
+		}
+		if len(n.entries) > t.maxEntry {
+			return fmt.Errorf("root has %d entries, want <= %d", len(n.entries), t.maxEntry)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("leaves at depths %d and %d", leafDepth, depth)
+			}
+			return nil
+		}
+		for i := range n.entries {
+			child := n.entries[i].child
+			if child == nil {
+				return fmt.Errorf("internal entry %d at depth %d has nil child", i, depth)
+			}
+			cb := nodeBBox(child)
+			if !n.entries[i].box.ContainsBBox(cb) {
+				return fmt.Errorf("parent box %v does not cover child %v", n.entries[i].box, cb)
+			}
+			if err := walk(child, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0, true)
+}

@@ -1,0 +1,317 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randomPoints returns n deterministic pseudo-random points.
+func randomPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Lat: rng.Float64()*170 - 85, Lon: rng.Float64()*360 - 180}
+	}
+	return pts
+}
+
+func TestRTreeInsertSearchBasic(t *testing.T) {
+	tr := NewRTree[int]()
+	pts := []Point{{52, 13}, {48, 2}, {40, -74}, {-33, 151}}
+	for i, p := range pts {
+		if err := tr.Insert(BBoxOf(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	got := tr.Search(NewBBox(Point{45, 0}, Point{55, 20}), nil)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Search Europe = %v, want [0 1]", got)
+	}
+	if got := tr.Search(NewBBox(Point{-10, -10}, Point{-5, -5}), nil); len(got) != 0 {
+		t.Errorf("empty region returned %v", got)
+	}
+}
+
+func TestRTreeInvalidFanout(t *testing.T) {
+	for _, c := range []struct{ min, max int }{{1, 10}, {6, 10}, {2, 3}, {0, 0}} {
+		if _, err := NewRTreeWithFanout[int](c.min, c.max); err == nil {
+			t.Errorf("fanout (%d,%d) accepted", c.min, c.max)
+		}
+	}
+}
+
+func TestRTreeInsertEmptyBox(t *testing.T) {
+	tr := NewRTree[int]()
+	if err := tr.Insert(EmptyBBox(), 1); err == nil {
+		t.Error("empty box insert accepted")
+	}
+	bad := BBox{MinLat: -95, MinLon: 0, MaxLat: 0, MaxLon: 0}
+	if err := tr.Insert(bad, 1); err == nil {
+		t.Error("invalid box insert accepted")
+	}
+}
+
+func TestRTreeMatchesLinearScan(t *testing.T) {
+	pts := randomPoints(2000, 42)
+	tr := NewRTree[int]()
+	for i, p := range pts {
+		if err := tr.Insert(BBoxOf(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after insert: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 50; q++ {
+		a := Point{Lat: rng.Float64()*170 - 85, Lon: rng.Float64()*360 - 180}
+		b := Point{Lat: a.Lat + rng.Float64()*30, Lon: a.Lon + rng.Float64()*60}
+		if b.Lat > 90 {
+			b.Lat = 90
+		}
+		if b.Lon > 180 {
+			b.Lon = 180
+		}
+		query := NewBBox(a, b)
+		got := tr.Search(query, nil)
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if query.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d results, want %d", query, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %v: result mismatch at %d: %d vs %d", query, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRTreeDelete(t *testing.T) {
+	pts := randomPoints(500, 9)
+	tr := NewRTree[int]()
+	for i, p := range pts {
+		if err := tr.Insert(BBoxOf(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every even-indexed point.
+	for i := 0; i < len(pts); i += 2 {
+		if !tr.Delete(BBoxOf(pts[i]), i) {
+			t.Fatalf("Delete(%d) not found", i)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len after delete = %d, want 250", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after delete: %v", err)
+	}
+	// Deleted points must be gone; remaining must be findable.
+	for i, p := range pts {
+		got := tr.Search(BBoxOf(p), nil)
+		found := false
+		for _, v := range got {
+			if v == i {
+				found = true
+			}
+		}
+		if i%2 == 0 && found {
+			t.Errorf("deleted %d still present", i)
+		}
+		if i%2 == 1 && !found {
+			t.Errorf("surviving %d missing", i)
+		}
+	}
+	// Double delete fails.
+	if tr.Delete(BBoxOf(pts[0]), 0) {
+		t.Error("second delete of same entry succeeded")
+	}
+}
+
+func TestRTreeDeleteAll(t *testing.T) {
+	pts := randomPoints(200, 3)
+	tr := NewRTree[int]()
+	for i, p := range pts {
+		if err := tr.Insert(BBoxOf(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range pts {
+		if !tr.Delete(BBoxOf(p), i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if got := tr.Search(NewBBox(Point{-90, -180}, Point{90, 180}), nil); len(got) != 0 {
+		t.Errorf("empty tree returned %v", got)
+	}
+	// Tree must be reusable.
+	if err := tr.Insert(BBoxOf(pts[0]), 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Search(BBoxOf(pts[0]), nil); len(got) != 1 || got[0] != 99 {
+		t.Errorf("reuse after drain: %v", got)
+	}
+}
+
+func TestRTreeDuplicatePoints(t *testing.T) {
+	tr := NewRTree[int]()
+	p := Point{52, 13}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(BBoxOf(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Search(BBoxOf(p), nil)
+	if len(got) != 100 {
+		t.Fatalf("got %d duplicates, want 100", len(got))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants with duplicates: %v", err)
+	}
+}
+
+func TestRTreeRectEntries(t *testing.T) {
+	// Non-point boxes (regions) must also index correctly.
+	tr := NewRTree[string]()
+	regions := map[string]BBox{
+		"germany": NewBBox(Point{47.3, 5.9}, Point{55.1, 15.0}),
+		"france":  NewBBox(Point{41.3, -5.1}, Point{51.1, 9.6}),
+		"egypt":   NewBBox(Point{22.0, 24.7}, Point{31.7, 36.9}),
+	}
+	for name, b := range regions {
+		if err := tr.Insert(b, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Search(BBoxOf(berlin), nil)
+	if len(got) != 1 || got[0] != "germany" {
+		t.Errorf("point-in-region search = %v, want [germany]", got)
+	}
+	// Berlin-to-Paris corridor intersects both Germany and France.
+	got = tr.Search(NewBBox(berlin, paris), nil)
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "france" || got[1] != "germany" {
+		t.Errorf("corridor search = %v", got)
+	}
+}
+
+func TestRTreeSearchFuncEarlyStop(t *testing.T) {
+	tr := NewRTree[int]()
+	for i, p := range randomPoints(100, 5) {
+		if err := tr.Insert(BBoxOf(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	tr.SearchFunc(tr.Bounds(), func(BBox, int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d, want 10", count)
+	}
+}
+
+func TestRTreeFanoutSweepInvariants(t *testing.T) {
+	pts := randomPoints(800, 11)
+	for _, fan := range []struct{ min, max int }{{2, 4}, {2, 8}, {4, 16}, {8, 32}, {16, 64}} {
+		tr, err := NewRTreeWithFanout[int](fan.min, fan.max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pts {
+			if err := tr.Insert(BBoxOf(p), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Errorf("fanout (%d,%d): %v", fan.min, fan.max, err)
+		}
+		if got := len(tr.Search(tr.Bounds(), nil)); got != len(pts) {
+			t.Errorf("fanout (%d,%d): full search returned %d of %d", fan.min, fan.max, got, len(pts))
+		}
+	}
+}
+
+func TestRTreeQuickSearchEquivalence(t *testing.T) {
+	// Property: for random point sets and queries, R-tree search equals a
+	// linear scan.
+	type input struct {
+		Seed  int64
+		QLat  float64
+		QLon  float64
+		QSpan float64
+	}
+	f := func(in input) bool {
+		pts := randomPoints(150, in.Seed)
+		tr := NewRTree[int]()
+		for i, p := range pts {
+			if err := tr.Insert(BBoxOf(p), i); err != nil {
+				return false
+			}
+		}
+		c := clampPoint(in.QLat, in.QLon)
+		span := in.QSpan
+		if span < 0 {
+			span = -span
+		}
+		span = 1 + span
+		for span > 60 {
+			span /= 10
+		}
+		q := NewBBox(c, clampPoint(c.Lat+span, c.Lon+span))
+		got := tr.Search(q, nil)
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if q.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRTreeDepthGrowth(t *testing.T) {
+	tr := NewRTree[int]()
+	if d := tr.Depth(); d != 1 {
+		t.Errorf("empty depth = %d", d)
+	}
+	for i, p := range randomPoints(5000, 77) {
+		if err := tr.Insert(BBoxOf(p), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := tr.Depth(); d < 3 {
+		t.Errorf("depth after 5000 inserts = %d, want >= 3", d)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,436 @@
+// Package integrate is the paper's Data Integration (DI) service: it
+// merges freshly extracted templates with the information already in the
+// probabilistic spatial XML database, "finds the conflicting facts, and
+// tries to resolve such conflicts using the knowledgebase independently of
+// the user by assigning several levels of certainty to each new piece of
+// information".
+//
+// Duplicate detection matches the template's key field against stored
+// records (normalised, misspelling-tolerant, optionally location-blocked);
+// field-level conflicts resolve per the KB's policies (distribution
+// pooling, trust-weighted choice, newest-wins); record certainty evolves
+// by MYCIN combination of trust-attenuated evidence; and source trust is
+// fed back from agreement and contradiction.
+package integrate
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/geo"
+	"repro/internal/kb"
+	"repro/internal/pxml"
+	"repro/internal/text"
+	"repro/internal/uncertain"
+	"repro/internal/xmldb"
+)
+
+// Service is the DI module.
+type Service struct {
+	kb *kb.KB
+	db *xmldb.DB
+	// MatchThreshold is the minimum name similarity treated as the same
+	// entity (default 0.75).
+	MatchThreshold float64
+	// BlockRadiusMeters restricts duplicate candidates to this distance
+	// when both sides have locations (default 50 km).
+	BlockRadiusMeters float64
+}
+
+// NewService wires the DI service.
+func NewService(k *kb.KB, db *xmldb.DB) (*Service, error) {
+	if k == nil || db == nil {
+		return nil, fmt.Errorf("integrate: nil dependency")
+	}
+	return &Service{
+		kb:                k,
+		db:                db,
+		MatchThreshold:    0.75,
+		BlockRadiusMeters: 50000,
+	}, nil
+}
+
+// Action says what integration did with a template.
+type Action string
+
+// Actions.
+const (
+	ActionInserted Action = "inserted"
+	ActionMerged   Action = "merged"
+)
+
+// Conflict records one field-level disagreement that integration resolved.
+type Conflict struct {
+	Field    string
+	Stored   string
+	Incoming string
+	Kept     string
+}
+
+// Result reports one integration.
+type Result struct {
+	Action    Action
+	RecordID  int64
+	Conflicts []Conflict
+}
+
+// Integrate merges one extracted template into the database.
+func (s *Service) Integrate(tpl extract.Template) (*Result, error) {
+	domain, ok := s.kb.Domain(tpl.Domain)
+	if !ok {
+		return nil, fmt.Errorf("integrate: unknown domain %q", tpl.Domain)
+	}
+	key, ok := tpl.Fields[domain.KeyField]
+	if !ok || key.Text == "" {
+		return nil, fmt.Errorf("integrate: template missing key field %s", domain.KeyField)
+	}
+	existing := s.findDuplicate(domain, tpl)
+	if existing == nil {
+		return s.insert(domain, tpl)
+	}
+	return s.merge(domain, existing, tpl)
+}
+
+// IntegrateNaive is the last-write-wins baseline for experiment E7: no
+// duplicate merging beyond key equality, no distribution pooling, no
+// trust — the incoming template simply replaces the stored record.
+func (s *Service) IntegrateNaive(tpl extract.Template) (*Result, error) {
+	domain, ok := s.kb.Domain(tpl.Domain)
+	if !ok {
+		return nil, fmt.Errorf("integrate: unknown domain %q", tpl.Domain)
+	}
+	key := tpl.Fields[domain.KeyField]
+	existing := s.findDuplicate(domain, tpl)
+	doc, err := tpl.ToDoc()
+	if err != nil {
+		return nil, err
+	}
+	_ = key
+	if existing == nil {
+		rec, err := s.db.Insert(domain.Collection, doc, tpl.Certainty, tpl.Location)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Action: ActionInserted, RecordID: rec.ID}, nil
+	}
+	if err := s.db.Update(domain.Collection, existing.ID, doc, tpl.Certainty, tpl.Location); err != nil {
+		return nil, err
+	}
+	return &Result{Action: ActionMerged, RecordID: existing.ID}, nil
+}
+
+// findDuplicate scans the domain collection for a record whose key field
+// names the same entity, using location blocking when available.
+func (s *Service) findDuplicate(domain kb.Domain, tpl extract.Template) *xmldb.Record {
+	keyText := text.NormalizeName(tpl.Fields[domain.KeyField].Text)
+	var best *xmldb.Record
+	bestSim := s.MatchThreshold
+	consider := func(rec *xmldb.Record) {
+		stored, ok := recordKey(rec, domain.KeyField)
+		if !ok {
+			return
+		}
+		sim := nameSimilarity(keyText, stored)
+		if sim >= bestSim {
+			// Location veto: same name far away is a different entity.
+			if tpl.Location != nil && rec.Location != nil &&
+				tpl.Location.DistanceMeters(*rec.Location) > s.BlockRadiusMeters {
+				return
+			}
+			best, bestSim = rec, sim
+		}
+	}
+	if tpl.Location != nil {
+		for _, id := range s.db.Near(domain.Collection, *tpl.Location, s.BlockRadiusMeters) {
+			if rec, ok := s.db.Get(domain.Collection, id); ok {
+				consider(rec)
+			}
+		}
+		// Also consider location-less records by name.
+		s.db.Each(domain.Collection, func(rec *xmldb.Record) bool {
+			if rec.Location == nil {
+				consider(rec)
+			}
+			return true
+		})
+		return best
+	}
+	s.db.Each(domain.Collection, func(rec *xmldb.Record) bool {
+		consider(rec)
+		return true
+	})
+	return best
+}
+
+// nameSimilarity blends token-set and edit similarity, so both "Hotel
+// Essex House"/"Essex House Hotel" and "movenpick"/"movenpik" match.
+func nameSimilarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return math.Max(text.JaccardTokens(a, b), text.Similarity(a, b))
+}
+
+// recordKey reads the normalised key field of a stored record.
+func recordKey(rec *xmldb.Record, field string) (string, bool) {
+	n, _ := rec.Doc.FirstChild(field)
+	if n == nil {
+		return "", false
+	}
+	v := n.TextContent()
+	if v == "" {
+		return "", false
+	}
+	return text.NormalizeName(v), true
+}
+
+func (s *Service) insert(domain kb.Domain, tpl extract.Template) (*Result, error) {
+	doc, err := tpl.ToDoc()
+	if err != nil {
+		return nil, err
+	}
+	setObservedAt(doc, tpl.Extracted)
+	cf := uncertain.Attenuate(tpl.Certainty, s.kb.Trust().Reliability(tpl.Source))
+	rec, err := s.db.Insert(domain.Collection, doc, cf, tpl.Location)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Action: ActionInserted, RecordID: rec.ID}, nil
+}
+
+// merge folds the template into an existing record field by field.
+func (s *Service) merge(domain kb.Domain, rec *xmldb.Record, tpl extract.Template) (*Result, error) {
+	res := &Result{Action: ActionMerged, RecordID: rec.ID}
+	trust := s.kb.Trust().Reliability(tpl.Source)
+	doc := rec.Doc.Clone()
+	agreed, contradicted := 0, 0
+	// newest-wins compares observation times (the "when" of W4), so a
+	// late-arriving report about an older state cannot clobber fresher
+	// information. Records integrated before observation stamping exist
+	// only in tests; their zero time makes any incoming report newer.
+	storedObs := observedAt(doc)
+	incomingNewer := !tpl.Extracted.Before(storedObs)
+
+	for _, spec := range domain.Fields {
+		fv, ok := tpl.Fields[spec.Name]
+		if !ok {
+			continue
+		}
+		// Key-field agreement is how the duplicate was found; it carries
+		// no corroboration signal.
+		trivial := spec.Name == domain.KeyField
+		node, _ := doc.FirstChild(spec.Name)
+		switch spec.Kind {
+		case kb.FieldDist, kb.FieldAttitude:
+			if fv.Dist == nil {
+				continue
+			}
+			if node == nil {
+				mux, err := extract.DistToMux(fv.Dist)
+				if err != nil {
+					continue
+				}
+				doc.Add(pxml.Elem(spec.Name, mux))
+				continue
+			}
+			stored := extract.MuxToDist(node)
+			storedTop, _ := stored.Top()
+			newTop, _ := fv.Dist.Top()
+			if storedTop.Name != "" && newTop.Name != "" {
+				if storedTop.Name == newTop.Name {
+					if !trivial {
+						agreed++
+					}
+				} else {
+					contradicted++
+					res.Conflicts = append(res.Conflicts, Conflict{
+						Field: spec.Name, Stored: storedTop.Name,
+						Incoming: newTop.Name,
+					})
+				}
+			}
+			// State-like distributions (traffic Condition) replace under
+			// newest-wins: the road being clear *now* supersedes this
+			// morning's jam rather than pooling with it. Stale incoming
+			// reports leave the stored state untouched.
+			var merged *uncertain.Dist
+			if spec.Policy == kb.PolicyNewest {
+				if incomingNewer {
+					merged = fv.Dist.Clone()
+				} else {
+					merged = stored.Clone()
+				}
+			} else {
+				merged = stored.Clone()
+				if err := merged.Merge(fv.Dist, trust); err != nil {
+					return nil, err
+				}
+			}
+			mux, err := extract.DistToMux(merged)
+			if err != nil {
+				return nil, err
+			}
+			node.Children = []*pxml.Node{mux}
+			if len(res.Conflicts) > 0 {
+				c := &res.Conflicts[len(res.Conflicts)-1]
+				if c.Field == spec.Name && c.Kept == "" {
+					if top, ok := merged.Top(); ok {
+						c.Kept = top.Name
+					}
+				}
+			}
+		case kb.FieldText, kb.FieldLocation, kb.FieldNumber:
+			incoming := fv.Text
+			if spec.Kind == kb.FieldNumber {
+				incoming = strconv.FormatFloat(fv.Num, 'g', -1, 64)
+			}
+			if node == nil {
+				doc.Add(pxml.ElemText(spec.Name, incoming))
+				continue
+			}
+			stored := node.TextContent()
+			if valuesEqual(spec.Kind, stored, incoming) {
+				if !trivial {
+					agreed++
+				}
+				continue
+			}
+			contradicted++
+			kept := stored
+			switch spec.Policy {
+			case kb.PolicyNewest:
+				if incomingNewer {
+					kept = incoming
+				}
+			case kb.PolicyTrustWeighted:
+				// Replace only when the incoming trust-weighted certainty
+				// beats the record's standing certainty.
+				incomingCF := uncertain.Attenuate(fv.CF, trust)
+				if float64(incomingCF) > float64(rec.Certainty) {
+					kept = incoming
+				}
+			}
+			if kept != stored {
+				node.Children = []*pxml.Node{pxml.Text(kept)}
+			}
+			res.Conflicts = append(res.Conflicts, Conflict{
+				Field: spec.Name, Stored: stored, Incoming: incoming, Kept: kept,
+			})
+		}
+	}
+
+	// Trust feedback: contradicting an established fact is the rarer,
+	// more diagnostic event, so any contradiction counts against the
+	// source; corroboration counts for it only on conflict-free merges.
+	if contradicted > 0 {
+		s.kb.Trust().Contradict(tpl.Source)
+	} else if agreed > 0 {
+		s.kb.Trust().Confirm(tpl.Source)
+	}
+
+	// Record certainty: MYCIN-combine the standing certainty with the new
+	// trust-attenuated evidence. Contradictory messages contribute
+	// (weak) negative evidence.
+	evidence := uncertain.Attenuate(tpl.Certainty, trust)
+	if contradicted > agreed {
+		evidence = uncertain.Attenuate(-evidence, 0.5)
+	}
+	newCF := uncertain.Combine(rec.Certainty, evidence)
+
+	if incomingNewer {
+		setObservedAt(doc, tpl.Extracted)
+	}
+
+	// A nil location leaves the stored one untouched (xmldb semantics).
+	if err := s.db.Update(domain.Collection, rec.ID, doc, newCF, tpl.Location); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func valuesEqual(kind kb.FieldKind, a, b string) bool {
+	if kind == kb.FieldNumber {
+		fa, errA := strconv.ParseFloat(a, 64)
+		fb, errB := strconv.ParseFloat(b, 64)
+		if errA == nil && errB == nil {
+			return fa == fb
+		}
+	}
+	return text.NormalizeName(a) == text.NormalizeName(b)
+}
+
+// Decay ages a collection's certainty factors: each record's CF is scaled
+// by decayPerDay^(days since update), implementing "the validation of the
+// information over time. Geographical information is dynamic … always
+// changing over time". Records whose certainty drops below floor are
+// deleted. It returns (decayed, deleted).
+func (s *Service) Decay(collection string, now time.Time, floor uncertain.CF) (int, int, error) {
+	type change struct {
+		id  int64
+		doc *pxml.Node
+		cf  uncertain.CF
+		loc *geo.Point
+		del bool
+	}
+	var changes []change
+	rate := s.kb.DecayPerDay()
+	s.db.Each(collection, func(rec *xmldb.Record) bool {
+		days := now.Sub(rec.Updated).Hours() / 24
+		if days <= 0 {
+			return true
+		}
+		factor := math.Pow(rate, days)
+		cf := uncertain.Attenuate(rec.Certainty, factor)
+		changes = append(changes, change{
+			id: rec.ID, doc: rec.Doc, cf: cf, loc: rec.Location,
+			del: float64(cf) < float64(floor),
+		})
+		return true
+	})
+	decayed, deleted := 0, 0
+	for _, c := range changes {
+		if c.del {
+			if err := s.db.Delete(collection, c.id); err != nil {
+				return decayed, deleted, err
+			}
+			deleted++
+			continue
+		}
+		if err := s.db.Update(collection, c.id, c.doc, c.cf, c.loc); err != nil {
+			return decayed, deleted, err
+		}
+		decayed++
+	}
+	return decayed, deleted, nil
+}
+
+// observedAtField is the document element carrying the record's
+// observation timestamp (the latest "when" integrated into it).
+const observedAtField = "Observed_At"
+
+// setObservedAt stamps (or replaces) the document's observation time.
+func setObservedAt(doc *pxml.Node, t time.Time) {
+	stamp := t.UTC().Format(time.RFC3339Nano)
+	if n, _ := doc.FirstChild(observedAtField); n != nil {
+		n.Children = []*pxml.Node{pxml.Text(stamp)}
+		return
+	}
+	doc.Add(pxml.ElemText(observedAtField, stamp))
+}
+
+// observedAt reads the document's observation time; the zero time when the
+// document carries none or it fails to parse.
+func observedAt(doc *pxml.Node) time.Time {
+	n, _ := doc.FirstChild(observedAtField)
+	if n == nil {
+		return time.Time{}
+	}
+	t, err := time.Parse(time.RFC3339Nano, n.TextContent())
+	if err != nil {
+		return time.Time{}
+	}
+	return t
+}

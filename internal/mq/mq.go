@@ -1,0 +1,261 @@
+// Package mq implements the paper's Messages Queue (MQ): "the queue of
+// text messages received from users that need to be processed". It is a
+// lease-based queue with acknowledgement, negative acknowledgement,
+// visibility timeouts with automatic redelivery, and optional write-ahead
+// logging so an interrupted pipeline can resume without losing user
+// contributions.
+package mq
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is one user contribution or request.
+type Message struct {
+	ID       int64
+	Body     string
+	Source   string    // sender identity (phone number, handle …)
+	Received time.Time // enqueue time
+	Attempts int       // delivery attempts so far
+	// Tag is the message-type annotation the IE service attaches ("A tag
+	// is then attached to the message on the MQ indicating its type").
+	Tag string
+}
+
+// Queue is a FIFO message queue with leases. All methods are safe for
+// concurrent use.
+type Queue struct {
+	mu sync.Mutex
+	// pending holds undelivered message IDs in order.
+	pending []int64
+	// messages maps ID to message for both pending and in-flight.
+	messages map[int64]*Message
+	// inflight maps ID to lease expiry.
+	inflight map[int64]time.Time
+	nextID   int64
+	// visibility is the lease duration before redelivery.
+	visibility time.Duration
+	clock      func() time.Time
+	wal        *wal
+	maxAttempt int
+	dead       []*Message // messages that exhausted their attempts
+}
+
+// Option configures a queue.
+type Option func(*Queue)
+
+// WithVisibility sets the lease duration (default 30s).
+func WithVisibility(d time.Duration) Option {
+	return func(q *Queue) { q.visibility = d }
+}
+
+// WithClock overrides the time source (tests).
+func WithClock(clock func() time.Time) Option {
+	return func(q *Queue) { q.clock = clock }
+}
+
+// WithMaxAttempts sets how many deliveries a message gets before moving to
+// the dead-letter list (default 5).
+func WithMaxAttempts(n int) Option {
+	return func(q *Queue) { q.maxAttempt = n }
+}
+
+// New returns an in-memory queue.
+func New(opts ...Option) *Queue {
+	q := &Queue{
+		messages:   make(map[int64]*Message),
+		inflight:   make(map[int64]time.Time),
+		nextID:     1,
+		visibility: 30 * time.Second,
+		clock:      time.Now,
+		maxAttempt: 5,
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Open returns a queue backed by a write-ahead log at path, replaying any
+// existing log so unacknowledged messages survive restarts.
+func Open(path string, opts ...Option) (*Queue, error) {
+	q := New(opts...)
+	w, entries, err := openWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	q.wal = w
+	acked := make(map[int64]bool)
+	for _, e := range entries {
+		switch e.Op {
+		case opEnqueue:
+			m := e.Msg
+			q.messages[m.ID] = &m
+			if m.ID >= q.nextID {
+				q.nextID = m.ID + 1
+			}
+		case opAck:
+			acked[e.ID] = true
+		}
+	}
+	for id := range q.messages {
+		if acked[id] {
+			delete(q.messages, id)
+		}
+	}
+	// Rebuild pending order by ID (receive order).
+	for id := int64(1); id < q.nextID; id++ {
+		if _, ok := q.messages[id]; ok {
+			q.pending = append(q.pending, id)
+		}
+	}
+	return q, nil
+}
+
+// Close releases the WAL file handle, if any.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.wal != nil {
+		return q.wal.close()
+	}
+	return nil
+}
+
+// Enqueue adds a message and returns its ID.
+func (q *Queue) Enqueue(body, source string) (int64, error) {
+	if body == "" {
+		return 0, fmt.Errorf("mq: empty message body")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m := &Message{
+		ID:       q.nextID,
+		Body:     body,
+		Source:   source,
+		Received: q.clock(),
+	}
+	q.nextID++
+	if q.wal != nil {
+		if err := q.wal.append(walEntry{Op: opEnqueue, Msg: *m}); err != nil {
+			return 0, fmt.Errorf("mq: wal: %w", err)
+		}
+	}
+	q.messages[m.ID] = m
+	q.pending = append(q.pending, m.ID)
+	return m.ID, nil
+}
+
+// Dequeue leases the next message. ok is false when the queue is empty.
+// Expired leases are reclaimed first.
+func (q *Queue) Dequeue() (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.clock()
+	q.reclaimExpired(now)
+	for len(q.pending) > 0 {
+		id := q.pending[0]
+		q.pending = q.pending[1:]
+		m, ok := q.messages[id]
+		if !ok {
+			continue
+		}
+		m.Attempts++
+		if m.Attempts > q.maxAttempt {
+			q.dead = append(q.dead, m)
+			delete(q.messages, id)
+			if q.wal != nil {
+				_ = q.wal.append(walEntry{Op: opAck, ID: id})
+			}
+			continue
+		}
+		q.inflight[id] = now.Add(q.visibility)
+		return *m, true
+	}
+	return Message{}, false
+}
+
+func (q *Queue) reclaimExpired(now time.Time) {
+	for id, deadline := range q.inflight {
+		if now.After(deadline) {
+			delete(q.inflight, id)
+			q.pending = append(q.pending, id)
+		}
+	}
+}
+
+// Ack acknowledges a leased message, removing it permanently.
+func (q *Queue) Ack(id int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.inflight[id]; !ok {
+		return fmt.Errorf("mq: message %d not in flight", id)
+	}
+	delete(q.inflight, id)
+	delete(q.messages, id)
+	if q.wal != nil {
+		if err := q.wal.append(walEntry{Op: opAck, ID: id}); err != nil {
+			return fmt.Errorf("mq: wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Nack returns a leased message to the front of the queue for immediate
+// redelivery.
+func (q *Queue) Nack(id int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.inflight[id]; !ok {
+		return fmt.Errorf("mq: message %d not in flight", id)
+	}
+	delete(q.inflight, id)
+	q.pending = append([]int64{id}, q.pending...)
+	return nil
+}
+
+// Tag annotates a leased or pending message with its classified type.
+func (q *Queue) Tag(id int64, tag string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m, ok := q.messages[id]
+	if !ok {
+		return fmt.Errorf("mq: message %d not found", id)
+	}
+	m.Tag = tag
+	return nil
+}
+
+// Len returns the number of undelivered (pending) messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimExpired(q.clock())
+	n := 0
+	for _, id := range q.pending {
+		if _, ok := q.messages[id]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// InFlight returns the number of leased, unacknowledged messages.
+func (q *Queue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.inflight)
+}
+
+// DeadLetters returns messages that exhausted their delivery attempts.
+func (q *Queue) DeadLetters() []Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Message, len(q.dead))
+	for i, m := range q.dead {
+		out[i] = *m
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package mq
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The write-ahead log is a newline-delimited JSON file of enqueue and ack
+// entries. Replay reconstructs the set of unacknowledged messages. Dead-
+// lettered messages are logged as acks (they will not be redelivered).
+
+type walOp string
+
+const (
+	opEnqueue walOp = "enq"
+	opAck     walOp = "ack"
+)
+
+type walEntry struct {
+	Op  walOp   `json:"op"`
+	ID  int64   `json:"id,omitempty"`
+	Msg Message `json:"msg,omitempty"`
+}
+
+type wal struct {
+	f *os.File
+}
+
+// openWAL opens (creating if needed) the log and returns its replayed
+// entries. A trailing partial line (torn write) is tolerated and ignored.
+func openWAL(path string) (*wal, []walEntry, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mq: open wal: %w", err)
+	}
+	var entries []walEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e walEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Torn final write after a crash: stop replaying here.
+			break
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("mq: read wal: %w", err)
+	}
+	// Position at end for appends.
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("mq: seek wal: %w", err)
+	}
+	return &wal{f: f}, entries, nil
+}
+
+func (w *wal) append(e walEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	return w.f.Close()
+}

@@ -1,0 +1,378 @@
+package ner
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/text"
+)
+
+// RelationKind classifies a spatial relation phrase per the paper's
+// taxonomy: "topological (ex: within, touches overlap, contains, etc.),
+// directional (ex: east of, north west of, front of, etc.), or distance
+// relation (ex: 5 km of, 30 min of, etc.)".
+type RelationKind string
+
+// Relation kinds.
+const (
+	RelTopological RelationKind = "topological"
+	RelDirectional RelationKind = "directional"
+	RelDistance    RelationKind = "distance"
+	RelProximity   RelationKind = "proximity" // "near", "in vicinity of"
+)
+
+// Relation is one parsed spatial relation phrase. Object names the
+// reference entity text that follows the phrase (the anchor), which the
+// caller resolves against extracted entities.
+type Relation struct {
+	Kind RelationKind
+	// Direction is the bearing in degrees for directional relations.
+	Direction float64
+	// DistanceMeters is the stated or implied distance (0 when unstated).
+	DistanceMeters float64
+	// Fuzzy marks hedged phrases ("a few blocks", "about 5 km", "nearby").
+	Fuzzy bool
+	// Start/End are token indexes of the whole phrase including object.
+	Start, End int
+	// Object is the surface text of the reference entity, "" if the phrase
+	// was intransitive ("nearby").
+	Object string
+}
+
+// blocksMeters approximates one city block.
+const blocksMeters = 100.0
+
+// minuteMeters approximates one minute of travel ("30 min of") assuming
+// urban driving (~500 m/min).
+const minuteMeters = 500.0
+
+var unitMeters = map[string]float64{
+	"km": 1000, "kilometre": 1000, "kilometres": 1000, "kilometer": 1000,
+	"kilometers": 1000, "m": 1, "meter": 1, "meters": 1, "metre": 1,
+	"metres": 1, "mi": 1609, "mile": 1609, "miles": 1609,
+	"block": blocksMeters, "blocks": blocksMeters,
+	"min": minuteMeters, "mins": minuteMeters, "minute": minuteMeters,
+	"minutes": minuteMeters, "hr": 60 * minuteMeters, "hour": 60 * minuteMeters,
+	"hours": 60 * minuteMeters,
+}
+
+var vagueQuantities = map[string]float64{
+	"few": 3, "couple": 2, "some": 3, "several": 5,
+}
+
+// ParseRelations finds spatial relation phrases in a token stream.
+func ParseRelations(tokens []text.Token) []Relation {
+	var out []Relation
+	for i := 0; i < len(tokens); i++ {
+		if r, ok := parseDistanceAt(tokens, i); ok {
+			out = append(out, r)
+			i = r.End - 1
+			continue
+		}
+		if r, ok := parseDirectionalAt(tokens, i); ok {
+			out = append(out, r)
+			i = r.End - 1
+			continue
+		}
+		if r, ok := parseProximityAt(tokens, i); ok {
+			out = append(out, r)
+			i = r.End - 1
+			continue
+		}
+		if r, ok := parseTopologicalAt(tokens, i); ok {
+			out = append(out, r)
+			i = r.End - 1
+			continue
+		}
+	}
+	return out
+}
+
+// parseDistanceAt matches "<number><unit> (of|from) X", "<number> <unit>
+// (of|from) X" and "a few blocks (north) of X".
+func parseDistanceAt(tokens []text.Token, i int) (Relation, bool) {
+	fuzzy := false
+	qty := 0.0
+	unit := ""
+	j := i
+
+	// Optional hedging determiner: "a few", "a couple of".
+	if j < len(tokens) && tokens[j].Lower == "a" && j+1 < len(tokens) {
+		if q, ok := vagueQuantities[tokens[j+1].Lower]; ok {
+			qty = q
+			fuzzy = true
+			j += 2
+			if j < len(tokens) && tokens[j].Lower == "of" {
+				j++
+			}
+		}
+	}
+	if qty == 0 {
+		if j >= len(tokens) {
+			return Relation{}, false
+		}
+		tok := tokens[j]
+		if tok.Kind != text.KindNumber {
+			return Relation{}, false
+		}
+		n, u, ok := splitNumberUnit(tok.Lower)
+		if !ok {
+			return Relation{}, false
+		}
+		qty = n
+		unit = u
+		j++
+		if tokens[j-1].Lower == "about" || (i > 0 && tokens[i-1].Lower == "about") {
+			fuzzy = true
+		}
+	}
+	// Unit as its own token ("5 km", "a few blocks").
+	if unit == "" {
+		if j >= len(tokens) {
+			return Relation{}, false
+		}
+		if _, ok := unitMeters[tokens[j].Lower]; !ok {
+			return Relation{}, false
+		}
+		unit = tokens[j].Lower
+		j++
+	}
+	meters, ok := unitMeters[unit]
+	if !ok {
+		return Relation{}, false
+	}
+	dist := qty * meters
+
+	// Optional direction: "a few blocks north of".
+	direction := -1.0
+	if j < len(tokens) {
+		if b, ok := geo.BearingForDirection(tokens[j].Lower); ok {
+			direction = b
+			j++
+		}
+	}
+	// Connective: "of" / "from" / "to". A directional phrase without a
+	// connective is still a relation with an implicit anchor ("McCormick &
+	// Schmicks is a few blocks west" — the paper leaves the anchor to
+	// discourse context).
+	if j >= len(tokens) || (tokens[j].Lower != "of" && tokens[j].Lower != "from" && tokens[j].Lower != "to") {
+		if direction >= 0 {
+			return Relation{
+				Kind:           RelDirectional,
+				Direction:      direction,
+				DistanceMeters: dist,
+				Fuzzy:          true,
+				Start:          i,
+				End:            j,
+			}, true
+		}
+		return Relation{}, false
+	}
+	j++
+	obj, objEnd := grabObject(tokens, j)
+	r := Relation{
+		Kind:           RelDistance,
+		DistanceMeters: dist,
+		Fuzzy:          fuzzy || unit == "blocks" || unit == "block" || strings.HasPrefix(unit, "min") || strings.HasPrefix(unit, "hour") || unit == "hr",
+		Start:          i,
+		End:            objEnd,
+		Object:         obj,
+	}
+	if direction >= 0 {
+		r.Kind = RelDirectional
+		r.Direction = direction
+	}
+	return r, true
+}
+
+// parseDirectionalAt matches "<direction> of X" and "to the <direction> of X".
+func parseDirectionalAt(tokens []text.Token, i int) (Relation, bool) {
+	j := i
+	// Optional "to the".
+	if j+1 < len(tokens) && tokens[j].Lower == "to" && tokens[j+1].Lower == "the" {
+		j += 2
+	}
+	if j >= len(tokens) {
+		return Relation{}, false
+	}
+	b, ok := geo.BearingForDirection(tokens[j].Lower)
+	if !ok {
+		return Relation{}, false
+	}
+	j++
+	if j >= len(tokens) || tokens[j].Lower != "of" {
+		return Relation{}, false
+	}
+	j++
+	obj, objEnd := grabObject(tokens, j)
+	if obj == "" {
+		return Relation{}, false
+	}
+	return Relation{
+		Kind:      RelDirectional,
+		Direction: b,
+		Fuzzy:     true, // bare directions are inherently vague (RQ2d)
+		Start:     i,
+		End:       objEnd,
+		Object:    obj,
+	}, true
+}
+
+// parseProximityAt matches "near X", "nearby", "close to X",
+// "in the vicinity of X".
+func parseProximityAt(tokens []text.Token, i int) (Relation, bool) {
+	low := tokens[i].Lower
+	j := i
+	switch {
+	case low == "near":
+		j++
+	case low == "nearby":
+		return Relation{Kind: RelProximity, Fuzzy: true, Start: i, End: i + 1}, true
+	case low == "close" && j+1 < len(tokens) && tokens[j+1].Lower == "to":
+		j += 2
+	case low == "in" && matchWords(tokens, j+1, "the", "vicinity", "of"):
+		j += 4
+	case low == "in" && matchWords(tokens, j+1, "vicinity", "of"):
+		j += 3
+	default:
+		return Relation{}, false
+	}
+	obj, objEnd := grabObject(tokens, j)
+	if obj == "" {
+		return Relation{}, false
+	}
+	return Relation{Kind: RelProximity, Fuzzy: true, Start: i, End: objEnd, Object: obj}, true
+}
+
+// parseTopologicalAt matches containment ("within X", "inside X") and
+// adjacency ("next to X", "beside X", "adjacent to X", "touching X",
+// "in front of X" — the paper's scenario message says "Lola is next to the
+// restaurant"). Plain "in" is far too common to treat as a relation by
+// itself; containment via "in" is handled by the extraction templates'
+// location logic instead.
+func parseTopologicalAt(tokens []text.Token, i int) (Relation, bool) {
+	low := tokens[i].Lower
+	j := i
+	adjacent := false
+	switch {
+	case low == "within" || low == "inside":
+		j++
+	case low == "next" && matchWords(tokens, j+1, "to"):
+		j += 2
+		adjacent = true
+	case low == "beside" || low == "touching" || low == "adjoining":
+		j++
+		adjacent = true
+	case low == "adjacent" && matchWords(tokens, j+1, "to"):
+		j += 2
+		adjacent = true
+	case low == "in" && matchWords(tokens, j+1, "front", "of"):
+		j += 3
+		adjacent = true
+	default:
+		return Relation{}, false
+	}
+	obj, objEnd := grabObject(tokens, j)
+	if obj == "" {
+		return Relation{}, false
+	}
+	r := Relation{Kind: RelTopological, Start: i, End: objEnd, Object: obj}
+	if adjacent {
+		// Adjacency pins the referent much tighter than containment;
+		// record the implied scale so RegionFor can use it, and mark it
+		// fuzzy — "next to" carries no exact bound.
+		r.Fuzzy = true
+		r.DistanceMeters = 50
+	}
+	return r, true
+}
+
+// grabObject collects up to 4 word tokens after a connective, skipping a
+// leading determiner/possessive, stopping at punctuation or a verb-ish
+// stopword. Returns the surface text and the end token index.
+func grabObject(tokens []text.Token, j int) (string, int) {
+	if j < len(tokens) && (tokens[j].Lower == "the" || tokens[j].Lower == "your" ||
+		tokens[j].Lower == "my" || tokens[j].Lower == "our" || tokens[j].Lower == "a" || tokens[j].Lower == "an") {
+		j++
+	}
+	start := j
+	for j < len(tokens) && j-start < 4 {
+		tok := tokens[j]
+		if !isWordish(tok) && tok.Kind != text.KindNumber {
+			break
+		}
+		lw := strings.TrimPrefix(tok.Lower, "#")
+		if j > start && text.IsStopword(lw) {
+			break
+		}
+		j++
+	}
+	if j == start {
+		return "", j
+	}
+	parts := make([]string, 0, j-start)
+	for k := start; k < j; k++ {
+		parts = append(parts, strings.TrimPrefix(tokens[k].Text, "#"))
+	}
+	return strings.Join(parts, " "), j
+}
+
+func matchWords(tokens []text.Token, i int, words ...string) bool {
+	if i+len(words) > len(tokens) {
+		return false
+	}
+	for k, w := range words {
+		if tokens[i+k].Lower != w {
+			return false
+		}
+	}
+	return true
+}
+
+// splitNumberUnit splits "5km" into (5, "km"); returns ok=false when the
+// token has no digits. A bare number returns unit "".
+func splitNumberUnit(s string) (float64, string, bool) {
+	s = strings.TrimLeft(s, "$€£")
+	idx := len(s)
+	for i, r := range s {
+		if !(r >= '0' && r <= '9' || r == '.' || r == ',') {
+			idx = i
+			break
+		}
+	}
+	numPart := strings.ReplaceAll(s[:idx], ",", "")
+	if numPart == "" {
+		return 0, "", false
+	}
+	n, err := strconv.ParseFloat(numPart, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return n, s[idx:], true
+}
+
+// RegionFor converts a resolved relation into a fuzzy region around the
+// anchor point, the geometric grounding of RQ2d ("How to infer about the
+// referred location from relative references?").
+func (r Relation) RegionFor(anchor geo.Point) geo.FuzzyRegion {
+	switch r.Kind {
+	case RelDirectional:
+		reg := geo.NewDirectionRegion(anchor, r.Direction)
+		if r.DistanceMeters > 0 {
+			reg.MaxMeters = r.DistanceMeters
+		}
+		return reg
+	case RelDistance:
+		return geo.NewDistanceRegion(anchor, r.DistanceMeters)
+	case RelProximity:
+		return geo.NewNearRegion(anchor, 1000)
+	default: // topological
+		if r.DistanceMeters > 0 {
+			// Adjacency ("next to", "beside"): a tight band around
+			// the anchor.
+			return geo.NewNearRegion(anchor, r.DistanceMeters)
+		}
+		return geo.NewNearRegion(anchor, 5000)
+	}
+}

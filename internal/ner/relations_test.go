@@ -1,0 +1,261 @@
+package ner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/text"
+)
+
+func parseOne(t *testing.T, msg string) Relation {
+	t.Helper()
+	rs := ParseRelations(text.Tokenize(msg))
+	if len(rs) == 0 {
+		t.Fatalf("no relation parsed from %q", msg)
+	}
+	return rs[0]
+}
+
+func TestParseDistanceKm(t *testing.T) {
+	r := parseOne(t, "the farm is 5 km from the market")
+	if r.Kind != RelDistance {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if r.DistanceMeters != 5000 {
+		t.Errorf("distance = %v", r.DistanceMeters)
+	}
+	if r.Object != "market" {
+		t.Errorf("object = %q", r.Object)
+	}
+}
+
+func TestParseDistanceAttachedUnit(t *testing.T) {
+	r := parseOne(t, "roadblock 5km from Nairobi")
+	if r.Kind != RelDistance || r.DistanceMeters != 5000 {
+		t.Errorf("relation = %+v", r)
+	}
+	if r.Object != "Nairobi" {
+		t.Errorf("object = %q", r.Object)
+	}
+}
+
+func TestParseMinutesRelation(t *testing.T) {
+	// "30 min of" from the paper's taxonomy of distance relations.
+	r := parseOne(t, "the hotel is 30 min from the airport")
+	if r.Kind != RelDistance {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if r.DistanceMeters != 30*500 {
+		t.Errorf("distance = %v", r.DistanceMeters)
+	}
+	if !r.Fuzzy {
+		t.Error("travel-time distance should be fuzzy")
+	}
+}
+
+func TestParsePaperBlocksNorth(t *testing.T) {
+	// "Fox Sports Grill is a few blocks north of your hotel" (verbatim
+	// from the paper).
+	r := parseOne(t, "is a few blocks north of your hotel")
+	if r.Kind != RelDirectional {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if r.Direction != 0 {
+		t.Errorf("direction = %v, want 0 (north)", r.Direction)
+	}
+	if !r.Fuzzy {
+		t.Error("'a few blocks' should be fuzzy")
+	}
+	if r.DistanceMeters != 3*blocksMeters {
+		t.Errorf("distance = %v", r.DistanceMeters)
+	}
+	if r.Object != "hotel" {
+		t.Errorf("object = %q", r.Object)
+	}
+}
+
+func TestParseBlocksWest(t *testing.T) {
+	// "McCormick & Schmicks is a few blocks west" (verbatim from the
+	// paper): no explicit anchor, so the relation is objectless with an
+	// implicit discourse anchor.
+	r := parseOne(t, "McCormick & Schmicks is a few blocks west")
+	if r.Kind != RelDirectional || r.Direction != 270 {
+		t.Fatalf("relation = %+v", r)
+	}
+	if r.Object != "" {
+		t.Errorf("object = %q, want implicit", r.Object)
+	}
+	if !r.Fuzzy {
+		t.Error("should be fuzzy")
+	}
+}
+
+func TestParseDirectional(t *testing.T) {
+	r := parseOne(t, "the village lies north of Cairo")
+	if r.Kind != RelDirectional || r.Direction != 0 {
+		t.Fatalf("relation = %+v", r)
+	}
+	if r.Object != "Cairo" {
+		t.Errorf("object = %q", r.Object)
+	}
+	if !r.Fuzzy {
+		t.Error("bare directional should be fuzzy")
+	}
+	r = parseOne(t, "fields to the southwest of Nairobi are flooded")
+	if r.Kind != RelDirectional || r.Direction != 225 {
+		t.Errorf("relation = %+v", r)
+	}
+}
+
+func TestParseProximity(t *testing.T) {
+	r := parseOne(t, "any good hotels near Paris?")
+	if r.Kind != RelProximity || r.Object != "Paris" {
+		t.Fatalf("relation = %+v", r)
+	}
+	r = parseOne(t, "the market is in the vicinity of the station")
+	if r.Kind != RelProximity || r.Object != "station" {
+		t.Errorf("vicinity relation = %+v", r)
+	}
+	r = parseOne(t, "there is a pharmacy close to the hotel")
+	if r.Kind != RelProximity || r.Object != "hotel" {
+		t.Errorf("close-to relation = %+v", r)
+	}
+	r = parseOne(t, "lots of cafes nearby")
+	if r.Kind != RelProximity || r.Object != "" {
+		t.Errorf("nearby relation = %+v", r)
+	}
+}
+
+func TestParseTopological(t *testing.T) {
+	r := parseOne(t, "flooding within the city")
+	if r.Kind != RelTopological || r.Object != "city" {
+		t.Fatalf("relation = %+v", r)
+	}
+}
+
+func TestParseNoRelations(t *testing.T) {
+	if rs := ParseRelations(text.Tokenize("loved the breakfast, staff were great")); len(rs) != 0 {
+		t.Errorf("spurious relations: %+v", rs)
+	}
+	if rs := ParseRelations(nil); len(rs) != 0 {
+		t.Errorf("relations from nil: %+v", rs)
+	}
+}
+
+func TestParsePricesNotRelations(t *testing.T) {
+	// "$154 USD" must not parse as a distance.
+	rs := ParseRelations(text.Tokenize("Essex House Hotel and Suites from $154 USD"))
+	for _, r := range rs {
+		if r.Kind == RelDistance {
+			t.Errorf("price parsed as distance: %+v", r)
+		}
+	}
+}
+
+func TestRegionFor(t *testing.T) {
+	anchor := geo.Point{Lat: 52.52, Lon: 13.405}
+
+	dir := Relation{Kind: RelDirectional, Direction: 0, DistanceMeters: 300}
+	reg := dir.RegionFor(anchor)
+	north := anchor.Destination(0, 250)
+	south := anchor.Destination(180, 250)
+	if reg.Membership(north) <= reg.Membership(south) {
+		t.Error("directional region does not prefer north")
+	}
+
+	dist := Relation{Kind: RelDistance, DistanceMeters: 5000}
+	reg = dist.RegionFor(anchor)
+	onRing := anchor.Destination(90, 5000)
+	if m := reg.Membership(onRing); m != 1 {
+		t.Errorf("on-ring membership = %v", m)
+	}
+
+	prox := Relation{Kind: RelProximity}
+	reg = prox.RegionFor(anchor)
+	if m := reg.Membership(anchor); m != 1 {
+		t.Errorf("proximity membership at anchor = %v", m)
+	}
+
+	topo := Relation{Kind: RelTopological}
+	if reg := topo.RegionFor(anchor); reg.Membership(anchor) != 1 {
+		t.Error("topological region rejects anchor")
+	}
+}
+
+func TestSplitNumberUnit(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    float64
+		unit string
+		ok   bool
+	}{
+		{"5km", 5, "km", true},
+		{"30min", 30, "min", true},
+		{"154", 154, "", true},
+		{"$154", 154, "", true},
+		{"1,500m", 1500, "m", true},
+		{"abc", 0, "", false},
+		{"", 0, "", false},
+	}
+	for _, c := range cases {
+		n, unit, ok := splitNumberUnit(c.in)
+		if ok != c.ok || (ok && (math.Abs(n-c.n) > 1e-9 || unit != c.unit)) {
+			t.Errorf("splitNumberUnit(%q) = %v, %q, %v; want %v, %q, %v",
+				c.in, n, unit, ok, c.n, c.unit, c.ok)
+		}
+	}
+}
+
+func TestParseNextTo(t *testing.T) {
+	// "Lola is next to the restaurant" — verbatim from the paper's RQ2d
+	// example message.
+	r := parseOne(t, "Lola is next to the restaurant")
+	if r.Kind != RelTopological {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if r.Object != "restaurant" {
+		t.Errorf("object = %q", r.Object)
+	}
+	if !r.Fuzzy {
+		t.Error("adjacency should be fuzzy")
+	}
+	if r.DistanceMeters <= 0 || r.DistanceMeters > 200 {
+		t.Errorf("adjacency scale = %v, want a tight positive bound", r.DistanceMeters)
+	}
+}
+
+func TestParseAdjacencyVariants(t *testing.T) {
+	for _, msg := range []string{
+		"the cafe is beside the station",
+		"parked adjacent to the market",
+		"stall touching the fence",
+		"queue in front of the clinic",
+	} {
+		rs := ParseRelations(text.Tokenize(msg))
+		if len(rs) != 1 {
+			t.Errorf("%q: parsed %d relations, want 1", msg, len(rs))
+			continue
+		}
+		if rs[0].Kind != RelTopological {
+			t.Errorf("%q: kind = %v, want topological", msg, rs[0].Kind)
+		}
+		if rs[0].Object == "" {
+			t.Errorf("%q: empty object", msg)
+		}
+	}
+}
+
+func TestAdjacencyRegionTighterThanContainment(t *testing.T) {
+	anchor, err := geo.NewPoint(47.6, -122.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := parseOne(t, "next to the restaurant")
+	within := parseOne(t, "within the city")
+	nb := next.RegionFor(anchor).Bounds()
+	wb := within.RegionFor(anchor).Bounds()
+	if nb.Area() >= wb.Area() {
+		t.Errorf("adjacency bounds area %v >= containment area %v", nb.Area(), wb.Area())
+	}
+}

@@ -1,0 +1,75 @@
+package ner
+
+import (
+	"repro/internal/text"
+	"repro/internal/uncertain"
+)
+
+// ExtractTraditional is the classic newswire-style recogniser: maximal runs
+// of mid-sentence capitalised tokens (proper-noun POS tags) become
+// entities, typed by gazetteer membership. On well-edited text it performs
+// respectably; on lowercase informal text it collapses — which is the
+// paper's central claim about applying existing IE to ill-behaved streams
+// (RQ1), quantified in experiment E5.
+func (x *Extractor) ExtractTraditional(msg string) []Entity {
+	tokens := text.Tokenize(msg)
+	return x.ExtractTraditionalTokens(tokens)
+}
+
+// ExtractTraditionalTokens is ExtractTraditional over pre-tokenised input.
+func (x *Extractor) ExtractTraditionalTokens(tokens []text.Token) []Entity {
+	tags := text.TagTokens(tokens)
+	var out []Entity
+	i := 0
+	for i < len(tokens) {
+		if tags[i] != text.TagProperNoun {
+			i++
+			continue
+		}
+		j := i
+		for j < len(tokens) && tags[j] == text.TagProperNoun {
+			j++
+		}
+		surface := surfaceText(tokens, i, j)
+		norm := text.NormalizeName(surface)
+		ent := Entity{
+			Text:       surface,
+			Norm:       norm,
+			Start:      i,
+			End:        j,
+			Confidence: uncertain.CF(0.5),
+		}
+		if refs := x.Gaz.Lookup(norm); len(refs) > 0 {
+			ent.Type = TypeLocation
+			for _, r := range refs {
+				ent.GazetteerIDs = append(ent.GazetteerIDs, r.ID)
+			}
+			ent.Confidence = uncertain.Combine(ent.Confidence, 0.2)
+		} else if concept, ok := x.lastCueConcept(tokens, i, j); ok {
+			ent.Type = TypeFacility
+			ent.Concept = concept
+		} else {
+			ent.Type = TypePerson
+		}
+		out = append(out, ent)
+		i = j
+	}
+	return out
+}
+
+// lastCueConcept reports the ontology concept if the span's last word, or
+// the word right after the span, is a facility cue ("Axel Hotel" /
+// "Movenpick hotel").
+func (x *Extractor) lastCueConcept(tokens []text.Token, start, end int) (string, bool) {
+	if end-start > 0 {
+		if c, ok := x.Ont.ConceptOf(tokens[end-1].Lower); ok && x.Ont.IsA(c, "place") {
+			return c, true
+		}
+	}
+	if end < len(tokens) {
+		if c, ok := x.Ont.ConceptOf(tokens[end].Lower); ok && x.Ont.IsA(c, "place") {
+			return c, true
+		}
+	}
+	return "", false
+}

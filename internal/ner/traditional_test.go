@@ -1,0 +1,65 @@
+package ner
+
+import (
+	"testing"
+)
+
+func TestTraditionalOnFormalText(t *testing.T) {
+	x := testExtractor(t)
+	// Well-edited text: capitalisation works.
+	ents := x.ExtractTraditional("We visited the Axel Hotel in Berlin last summer.")
+	if loc := findEntity(ents, TypeLocation, "berlin"); loc == nil {
+		t.Errorf("traditional NER missed capitalised Berlin: %+v", ents)
+	}
+	if fac := findEntity(ents, TypeFacility, "axel hotel"); fac == nil {
+		t.Errorf("traditional NER missed Axel Hotel: %+v", ents)
+	}
+}
+
+func TestTraditionalFailsOnLowercase(t *testing.T) {
+	x := testExtractor(t)
+	// The paper's claim (RQ1/RQ2a): the capitalisation cue vanishes in
+	// informal text, so traditional NER finds nothing.
+	ents := x.ExtractTraditional("we visited the axel hotel in berlin last summer")
+	if len(ents) != 0 {
+		t.Errorf("traditional NER found %+v on lowercase text; expected the documented failure", ents)
+	}
+	// The informal recogniser recovers both entities from the same input.
+	informal := x.ExtractInformal("we visited the axel hotel in berlin last summer")
+	if findEntity(informal, TypeLocation, "berlin") == nil {
+		t.Error("informal NER missed lowercase berlin")
+	}
+	if findEntity(informal, TypeFacility, "axel hotel") == nil {
+		t.Error("informal NER missed lowercase axel hotel")
+	}
+}
+
+func TestTraditionalSentenceInitialNotEntity(t *testing.T) {
+	x := testExtractor(t)
+	// "The" at sentence start must not be an entity; neither should
+	// sentence-initial non-gazetteer capitalised words.
+	ents := x.ExtractTraditional("The weather was lovely. Nothing else to report.")
+	if len(ents) != 0 {
+		t.Errorf("false positives: %+v", ents)
+	}
+}
+
+func TestTraditionalPersonFallback(t *testing.T) {
+	x := testExtractor(t)
+	ents := x.ExtractTraditional("I met Obama at the conference")
+	p := findEntity(ents, TypePerson, "obama")
+	if p == nil {
+		t.Fatalf("capitalised unknown name not typed person: %+v", ents)
+	}
+}
+
+func TestTraditionalMultiwordRun(t *testing.T) {
+	x := testExtractor(t)
+	ents := x.ExtractTraditional("We loved McCormick Schmicks downtown")
+	if len(ents) != 1 {
+		t.Fatalf("entities = %+v", ents)
+	}
+	if ents[0].Norm != "mccormick schmicks" {
+		t.Errorf("run = %q", ents[0].Norm)
+	}
+}

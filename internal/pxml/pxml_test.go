@@ -1,0 +1,334 @@
+package pxml
+
+import (
+	"math"
+	"testing"
+)
+
+// hotelDoc builds the paper's Template 1 as a probabilistic document:
+// hotel "Axel Hotel" in city Berlin, Country P(Germany)=0.7 > P(USA)=0.3,
+// attitude P(Positive)=0.8 > P(Negative)=0.2.
+func hotelDoc() *Node {
+	return Elem("Hotel",
+		ElemText("Hotel_Name", "Axel Hotel"),
+		ElemText("City", "Berlin"),
+		Elem("Country", Mux(
+			Text("Germany").WithProb(0.7),
+			Text("USA").WithProb(0.3),
+		)),
+		Elem("User_Attitude", Mux(
+			Text("Positive").WithProb(0.8),
+			Text("Negative").WithProb(0.2),
+		)),
+	)
+}
+
+func TestValidate(t *testing.T) {
+	if err := hotelDoc().Validate(); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	bad := Elem("X", Elem("Y", Mux(Text("a").WithProb(0.7), Text("b").WithProb(0.5))))
+	if err := bad.Validate(); err == nil {
+		t.Error("mux sum > 1 accepted")
+	}
+	if err := (&Node{Kind: KindElem, Tag: "", Prob: 1}).Validate(); err == nil {
+		t.Error("empty tag accepted")
+	}
+	if err := Mux().Validate(); err == nil {
+		t.Error("distribution root accepted")
+	}
+	if err := (&Node{Kind: KindElem, Tag: "x", Prob: 1.5}).Validate(); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if err := (&Node{Kind: KindElem, Tag: "x", Prob: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN probability accepted")
+	}
+	withNil := Elem("x")
+	withNil.Children = append(withNil.Children, nil)
+	if err := withNil.Validate(); err == nil {
+		t.Error("nil child accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := hotelDoc()
+	c := d.Clone()
+	c.Children[0].Children[0].Text = "Changed"
+	if d.Children[0].Children[0].Text != "Axel Hotel" {
+		t.Error("clone shares structure with original")
+	}
+	if c.CountNodes() != d.CountNodes() {
+		t.Error("clone size differs")
+	}
+}
+
+func TestFirstChildAndText(t *testing.T) {
+	d := hotelDoc()
+	name, p := d.FirstChild("Hotel_Name")
+	if name == nil || p != 1 {
+		t.Fatalf("FirstChild(Hotel_Name) = %v, %v", name, p)
+	}
+	if name.TextContent() != "Axel Hotel" {
+		t.Errorf("text = %q", name.TextContent())
+	}
+	if n, _ := d.FirstChild("Nope"); n != nil {
+		t.Error("found nonexistent child")
+	}
+}
+
+func TestIsDeterministic(t *testing.T) {
+	if hotelDoc().IsDeterministic() {
+		t.Error("probabilistic doc reported deterministic")
+	}
+	if !Elem("a", ElemText("b", "c")).IsDeterministic() {
+		t.Error("plain doc reported probabilistic")
+	}
+}
+
+func TestEnumerateWorldsSumToOne(t *testing.T) {
+	worlds, err := EnumerateWorlds(hotelDoc(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 countries x 2 attitudes = 4 worlds.
+	if len(worlds) != 4 {
+		t.Fatalf("got %d worlds, want 4", len(worlds))
+	}
+	var sum float64
+	for _, w := range worlds {
+		if w.P <= 0 || w.P > 1 {
+			t.Errorf("world probability %v", w.P)
+		}
+		if w.Doc == nil {
+			t.Error("nil world doc")
+			continue
+		}
+		if !w.Doc.IsDeterministic() {
+			t.Error("world doc still probabilistic")
+		}
+		sum += w.P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("world probabilities sum to %v", sum)
+	}
+	// Sorted by decreasing probability; top world = Germany+Positive = 0.56.
+	if math.Abs(worlds[0].P-0.56) > 1e-9 {
+		t.Errorf("top world P = %v, want 0.56", worlds[0].P)
+	}
+}
+
+func TestEnumerateWorldsMuxRemainder(t *testing.T) {
+	// Mux summing to 0.9 leaves a 0.1 "value absent" world.
+	d := Elem("Place", Elem("Country", Mux(
+		Text("Germany").WithProb(0.6),
+		Text("USA").WithProb(0.3),
+	)))
+	worlds, err := EnumerateWorlds(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 3 {
+		t.Fatalf("got %d worlds, want 3", len(worlds))
+	}
+	var sum float64
+	for _, w := range worlds {
+		sum += w.P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("worlds sum to %v", sum)
+	}
+}
+
+func TestEnumerateWorldsInd(t *testing.T) {
+	// Two independent optional amenities: 4 worlds.
+	d := Elem("Hotel", Ind(
+		ElemText("Pool", "yes").WithProb(0.5),
+		ElemText("Spa", "yes").WithProb(0.4),
+	))
+	worlds, err := EnumerateWorlds(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 4 {
+		t.Fatalf("got %d worlds, want 4", len(worlds))
+	}
+	var sum float64
+	for _, w := range worlds {
+		sum += w.P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("worlds sum to %v", sum)
+	}
+}
+
+func TestEnumerateWorldsLimit(t *testing.T) {
+	// 2^20 worlds exceeds a limit of 1000.
+	ind := Ind()
+	for i := 0; i < 20; i++ {
+		ind.Add(ElemText("Opt", "x").WithProb(0.5))
+	}
+	d := Elem("Big", ind)
+	if _, err := EnumerateWorlds(d, 1000); err == nil {
+		t.Error("limit not enforced")
+	}
+}
+
+func TestWorldCount(t *testing.T) {
+	if got := WorldCount(hotelDoc()); got != 4 {
+		t.Errorf("WorldCount = %d, want 4", got)
+	}
+	d := Elem("Place", Elem("Country", Mux(Text("a").WithProb(0.5))))
+	if got := WorldCount(d); got != 2 {
+		t.Errorf("WorldCount with remainder = %d, want 2", got)
+	}
+}
+
+func TestPathProb(t *testing.T) {
+	d := hotelDoc()
+	if p := PathProb(d, "Hotel/Hotel_Name"); p != 1 {
+		t.Errorf("certain path P = %v", p)
+	}
+	if p := PathProb(d, "Hotel/Country"); p != 1 {
+		t.Errorf("Country element P = %v", p)
+	}
+	if p := PathProb(d, "Hotel/Nope"); p != 0 {
+		t.Errorf("missing path P = %v", p)
+	}
+	if p := PathProb(d, "Wrong/Hotel_Name"); p != 0 {
+		t.Errorf("wrong root P = %v", p)
+	}
+	if p := PathProb(d, ""); p != 0 {
+		t.Errorf("empty path P = %v", p)
+	}
+}
+
+func TestValueProb(t *testing.T) {
+	d := hotelDoc()
+	if p := ValueProb(d, "Hotel/Country", "Germany"); math.Abs(p-0.7) > 1e-9 {
+		t.Errorf("P(Germany) = %v, want 0.7", p)
+	}
+	if p := ValueProb(d, "Hotel/Country", "USA"); math.Abs(p-0.3) > 1e-9 {
+		t.Errorf("P(USA) = %v, want 0.3", p)
+	}
+	if p := ValueProb(d, "Hotel/Country", "France"); p != 0 {
+		t.Errorf("P(France) = %v, want 0", p)
+	}
+	if p := ValueProb(d, "Hotel/City", "Berlin"); p != 1 {
+		t.Errorf("P(City=Berlin) = %v, want 1", p)
+	}
+	if p := ValueProb(d, "Hotel/City", "Paris"); p != 0 {
+		t.Errorf("P(City=Paris) = %v, want 0", p)
+	}
+}
+
+func TestValueProbMatchesWorldEnumeration(t *testing.T) {
+	// The marginal computed directly must equal the sum over worlds —
+	// the core correctness property of the query evaluator (E10).
+	d := hotelDoc()
+	worlds, err := EnumerateWorlds(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ path, value string }{
+		{"Hotel/Country", "Germany"},
+		{"Hotel/Country", "USA"},
+		{"Hotel/User_Attitude", "Positive"},
+		{"Hotel/City", "Berlin"},
+		{"Hotel/City", "Nowhere"},
+	}
+	for _, c := range cases {
+		var fromWorlds float64
+		for _, w := range worlds {
+			if w.Doc == nil {
+				continue
+			}
+			if ValueProb(w.Doc, c.path, c.value) == 1 {
+				fromWorlds += w.P
+			}
+		}
+		direct := ValueProb(d, c.path, c.value)
+		if math.Abs(direct-fromWorlds) > 1e-9 {
+			t.Errorf("%s=%s: direct %v vs worlds %v", c.path, c.value, direct, fromWorlds)
+		}
+	}
+}
+
+func TestValueProbIndependentCombination(t *testing.T) {
+	// Two independent chances to have a Pool: P = 1-(1-0.5)(1-0.4) = 0.7.
+	d := Elem("Hotel",
+		Ind(ElemText("Pool", "yes").WithProb(0.5)),
+		Ind(ElemText("Pool", "yes").WithProb(0.4)),
+	)
+	if p := ValueProb(d, "Hotel/Pool", "yes"); math.Abs(p-0.7) > 1e-9 {
+		t.Errorf("independent combination = %v, want 0.7", p)
+	}
+}
+
+func TestValueDist(t *testing.T) {
+	d := hotelDoc()
+	dist := ValueDist(d, "Hotel/Country")
+	alts := dist.Normalized()
+	if len(alts) != 2 {
+		t.Fatalf("alternatives = %v", alts)
+	}
+	if alts[0].Name != "Germany" || math.Abs(alts[0].P-0.7) > 1e-9 {
+		t.Errorf("top alternative = %+v", alts[0])
+	}
+	// Missing path yields empty dist.
+	if ValueDist(d, "Hotel/Nope").Len() != 0 {
+		t.Error("missing path produced alternatives")
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	d := Elem("Hotels",
+		Elem("Hotel", ElemText("Name", "A")),
+		Elem("Hotel", ElemText("Name", "B")),
+		Mux(Elem("Hotel", ElemText("Name", "C")).WithProb(0.4)),
+	)
+	ms := FindAll(d, "Hotels/Hotel")
+	if len(ms) != 3 {
+		t.Fatalf("matches = %d", len(ms))
+	}
+	if ms[0].P != 1 || ms[1].P != 1 {
+		t.Error("certain matches lost probability")
+	}
+	if math.Abs(ms[2].P-0.4) > 1e-9 {
+		t.Errorf("mux match P = %v", ms[2].P)
+	}
+}
+
+func TestNestedDistributionPath(t *testing.T) {
+	// Nested uncertainty: hotel exists with p=0.9; its country is Germany
+	// with p=0.7 given existence. P(Country=Germany) = 0.63.
+	d := Elem("Hotels", Mux(
+		Elem("Hotel",
+			Elem("Country", Mux(Text("Germany").WithProb(0.7))),
+		).WithProb(0.9),
+	))
+	if p := ValueProb(d, "Hotels/Hotel/Country", "Germany"); math.Abs(p-0.63) > 1e-9 {
+		t.Errorf("nested P = %v, want 0.63", p)
+	}
+	// Cross-check with world enumeration.
+	worlds, err := EnumerateWorlds(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromWorlds float64
+	for _, w := range worlds {
+		if w.Doc != nil && ValueProb(w.Doc, "Hotels/Hotel/Country", "Germany") == 1 {
+			fromWorlds += w.P
+		}
+	}
+	if math.Abs(fromWorlds-0.63) > 1e-9 {
+		t.Errorf("world sum = %v, want 0.63", fromWorlds)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{KindElem, KindText, KindMux, KindInd, Kind(99)} {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", k)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package pxml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// World is one possible deterministic document with its probability.
+type World struct {
+	Doc *Node // deterministic tree (no distribution nodes); nil for the
+	// world where the root's existence itself was resolved away
+	P float64
+}
+
+// DefaultWorldLimit bounds possible-world enumeration; beyond it,
+// EnumerateWorlds returns an error rather than exploding.
+const DefaultWorldLimit = 1 << 16
+
+// EnumerateWorlds expands a probabilistic document into its possible
+// worlds. Worlds with probability 0 are dropped. The returned worlds'
+// probabilities sum to 1 (within floating error). limit <= 0 uses
+// DefaultWorldLimit.
+func EnumerateWorlds(doc *Node, limit int) ([]World, error) {
+	if limit <= 0 {
+		limit = DefaultWorldLimit
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	worlds, err := expand(doc, limit)
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic output order: by decreasing probability, then by
+	// serialised form length (cheap stable-ish tiebreak).
+	sort.SliceStable(worlds, func(i, j int) bool { return worlds[i].P > worlds[j].P })
+	return worlds, nil
+}
+
+// expand returns the worlds of the subtree rooted at n. For distribution
+// nodes the "world doc" may be a special nil marker meaning "this subtree
+// contributes no node".
+type subWorld struct {
+	nodes []*Node // contributed nodes (0 or more, in order)
+	p     float64
+}
+
+func expand(n *Node, limit int) ([]World, error) {
+	subs, err := expandNode(n, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]World, 0, len(subs))
+	for _, s := range subs {
+		if s.p == 0 {
+			continue
+		}
+		switch len(s.nodes) {
+		case 0:
+			out = append(out, World{Doc: nil, P: s.p})
+		case 1:
+			out = append(out, World{Doc: s.nodes[0], P: s.p})
+		default:
+			return nil, fmt.Errorf("pxml: root expanded to %d nodes", len(s.nodes))
+		}
+	}
+	return out, nil
+}
+
+// expandNode returns all deterministic materialisations of the subtree.
+func expandNode(n *Node, limit int) ([]subWorld, error) {
+	switch n.Kind {
+	case KindText:
+		return []subWorld{{nodes: []*Node{Text(n.Text)}, p: 1}}, nil
+	case KindElem:
+		childWorlds, err := expandChildren(n.Children, limit)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]subWorld, 0, len(childWorlds))
+		for _, cw := range childWorlds {
+			e := &Node{Kind: KindElem, Tag: n.Tag, Prob: 1, Children: cw.nodes}
+			out = append(out, subWorld{nodes: []*Node{e}, p: cw.p})
+		}
+		return out, nil
+	case KindMux:
+		// Exactly one child (or none, with leftover probability).
+		var out []subWorld
+		var sum float64
+		for _, c := range n.Children {
+			sum += c.Prob
+			cws, err := expandNode(c, limit)
+			if err != nil {
+				return nil, err
+			}
+			for _, cw := range cws {
+				out = append(out, subWorld{nodes: cw.nodes, p: c.Prob * cw.p})
+			}
+			if len(out) > limit {
+				return nil, fmt.Errorf("pxml: world count exceeds limit %d", limit)
+			}
+		}
+		if rest := 1 - sum; rest > 1e-12 {
+			out = append(out, subWorld{nodes: nil, p: rest})
+		}
+		return out, nil
+	case KindInd:
+		// Cross product of (include child with p, exclude with 1-p).
+		acc := []subWorld{{nodes: nil, p: 1}}
+		for _, c := range n.Children {
+			cws, err := expandNode(c, limit)
+			if err != nil {
+				return nil, err
+			}
+			var next []subWorld
+			for _, a := range acc {
+				// Exclude.
+				if 1-c.Prob > 1e-12 {
+					next = append(next, subWorld{nodes: a.nodes, p: a.p * (1 - c.Prob)})
+				}
+				// Include, in each materialisation.
+				for _, cw := range cws {
+					nodes := append(append([]*Node(nil), a.nodes...), cw.nodes...)
+					next = append(next, subWorld{nodes: nodes, p: a.p * c.Prob * cw.p})
+				}
+				if len(next) > limit {
+					return nil, fmt.Errorf("pxml: world count exceeds limit %d", limit)
+				}
+			}
+			acc = next
+		}
+		return acc, nil
+	default:
+		return nil, fmt.Errorf("pxml: unknown node kind %d", n.Kind)
+	}
+}
+
+// expandChildren expands an ordered child list into combined materialised
+// child sequences.
+func expandChildren(children []*Node, limit int) ([]subWorld, error) {
+	acc := []subWorld{{nodes: nil, p: 1}}
+	for _, c := range children {
+		cws, err := expandNode(c, limit)
+		if err != nil {
+			return nil, err
+		}
+		var next []subWorld
+		for _, a := range acc {
+			for _, cw := range cws {
+				nodes := append(append([]*Node(nil), a.nodes...), cw.nodes...)
+				next = append(next, subWorld{nodes: nodes, p: a.p * cw.p})
+			}
+			if len(next) > limit {
+				return nil, fmt.Errorf("pxml: world count exceeds limit %d", limit)
+			}
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// WorldCount returns the number of possible worlds without materialising
+// them (probability-0 pruning not applied).
+func WorldCount(n *Node) int {
+	switch n.Kind {
+	case KindText:
+		return 1
+	case KindElem:
+		total := 1
+		for _, c := range n.Children {
+			total *= WorldCount(c)
+		}
+		return total
+	case KindMux:
+		total := 0
+		var sum float64
+		for _, c := range n.Children {
+			total += WorldCount(c)
+			sum += c.Prob
+		}
+		if 1-sum > 1e-12 {
+			total++ // the "none" world
+		}
+		return total
+	case KindInd:
+		total := 1
+		for _, c := range n.Children {
+			total *= WorldCount(c) + 1 // include-in-each-way or exclude
+		}
+		return total
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,178 @@
+package pxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialisation renders distribution nodes as <p:mux> / <p:ind> elements
+// whose children carry p="…" attributes, a common concrete syntax for
+// probabilistic XML. Round-tripping Marshal → Unmarshal is lossless.
+
+const (
+	muxTag  = "p:mux"
+	indTag  = "p:ind"
+	probKey = "p"
+)
+
+// Marshal renders the tree as indented XML.
+func Marshal(n *Node) (string, error) {
+	if err := n.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	enc := xml.NewEncoder(&sb)
+	enc.Indent("", "  ")
+	if err := encodeNode(enc, n, false); err != nil {
+		return "", err
+	}
+	if err := enc.Flush(); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func encodeNode(enc *xml.Encoder, n *Node, underDist bool) error {
+	switch n.Kind {
+	case KindText:
+		if underDist {
+			// A bare text alternative needs a wrapper carrying its
+			// probability.
+			start := xml.StartElement{
+				Name: xml.Name{Local: "p:text"},
+				Attr: []xml.Attr{probAttr(n.Prob)},
+			}
+			if err := enc.EncodeToken(start); err != nil {
+				return err
+			}
+			if err := enc.EncodeToken(xml.CharData(n.Text)); err != nil {
+				return err
+			}
+			return enc.EncodeToken(start.End())
+		}
+		return enc.EncodeToken(xml.CharData(n.Text))
+	case KindElem:
+		start := xml.StartElement{Name: xml.Name{Local: n.Tag}}
+		if underDist {
+			start.Attr = append(start.Attr, probAttr(n.Prob))
+		}
+		if err := enc.EncodeToken(start); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := encodeNode(enc, c, false); err != nil {
+				return err
+			}
+		}
+		return enc.EncodeToken(start.End())
+	case KindMux, KindInd:
+		tag := muxTag
+		if n.Kind == KindInd {
+			tag = indTag
+		}
+		start := xml.StartElement{Name: xml.Name{Local: tag}}
+		if err := enc.EncodeToken(start); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := encodeNode(enc, c, true); err != nil {
+				return err
+			}
+		}
+		return enc.EncodeToken(start.End())
+	default:
+		return fmt.Errorf("pxml: cannot encode node kind %d", n.Kind)
+	}
+}
+
+func probAttr(p float64) xml.Attr {
+	return xml.Attr{
+		Name:  xml.Name{Local: probKey},
+		Value: strconv.FormatFloat(p, 'g', -1, 64),
+	}
+}
+
+// Unmarshal parses XML produced by Marshal (or hand-written in the same
+// dialect) back into a probabilistic tree.
+func Unmarshal(s string) (*Node, error) {
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("pxml: no root element")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pxml: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		n, err := decodeElement(dec, start)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+}
+
+func decodeElement(dec *xml.Decoder, start xml.StartElement) (*Node, error) {
+	// Go's decoder maps the undeclared "p:" prefix into Name.Space.
+	name := start.Name.Local
+	if start.Name.Space == "p" {
+		name = "p:" + name
+	}
+	var n *Node
+	switch name {
+	case muxTag:
+		n = Mux()
+	case indTag:
+		n = Ind()
+	case "p:text":
+		n = Text("")
+	default:
+		n = Elem(start.Name.Local)
+	}
+	n.Prob = 1
+	for _, a := range start.Attr {
+		if a.Name.Local == probKey {
+			p, err := strconv.ParseFloat(a.Value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pxml: bad probability %q: %w", a.Value, err)
+			}
+			n.Prob = p
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("pxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := decodeElement(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+		case xml.CharData:
+			text := strings.TrimSpace(string(t))
+			if text == "" {
+				break
+			}
+			if n.Kind == KindText {
+				n.Text += text
+			} else {
+				n.Children = append(n.Children, Text(text))
+			}
+		case xml.EndElement:
+			return n, nil
+		}
+	}
+}

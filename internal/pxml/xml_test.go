@@ -1,0 +1,101 @@
+package pxml
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	d := hotelDoc()
+	s, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "p:mux") || !strings.Contains(s, `p="0.7"`) {
+		t.Errorf("serialised form missing distribution syntax:\n%s", s)
+	}
+	back, err := Unmarshal(s)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, s)
+	}
+	// Semantics preserved: same marginals.
+	cases := []struct{ path, value string }{
+		{"Hotel/Hotel_Name", "Axel Hotel"},
+		{"Hotel/Country", "Germany"},
+		{"Hotel/Country", "USA"},
+		{"Hotel/User_Attitude", "Positive"},
+	}
+	for _, c := range cases {
+		orig := ValueProb(d, c.path, c.value)
+		got := ValueProb(back, c.path, c.value)
+		if math.Abs(orig-got) > 1e-9 {
+			t.Errorf("%s=%s: %v -> %v after round trip", c.path, c.value, orig, got)
+		}
+	}
+}
+
+func TestMarshalIndRoundTrip(t *testing.T) {
+	d := Elem("Hotel", Ind(
+		ElemText("Pool", "yes").WithProb(0.5),
+		ElemText("Spa", "yes").WithProb(0.25),
+	))
+	s, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := ValueProb(back, "Hotel/Pool", "yes"); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("Pool P after round trip = %v", p)
+	}
+	if p := ValueProb(back, "Hotel/Spa", "yes"); math.Abs(p-0.25) > 1e-9 {
+		t.Errorf("Spa P after round trip = %v", p)
+	}
+}
+
+func TestMarshalInvalid(t *testing.T) {
+	bad := Elem("X", Elem("Y", Mux(Text("a").WithProb(0.9), Text("b").WithProb(0.9))))
+	if _, err := Marshal(bad); err == nil {
+		t.Error("invalid doc marshalled")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"not xml at all <",
+		"<a><b p='2'>x</b></a>", // probability out of range fails validation
+	} {
+		if _, err := Unmarshal(s); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded", s)
+		}
+	}
+}
+
+func TestUnmarshalPlainXML(t *testing.T) {
+	// Ordinary XML without distribution nodes parses as a certain doc.
+	n, err := Unmarshal("<hotel><name>Axel</name><city>Berlin</city></hotel>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsDeterministic() {
+		t.Error("plain XML parsed as probabilistic")
+	}
+	if p := ValueProb(n, "hotel/city", "Berlin"); p != 1 {
+		t.Errorf("P(city=Berlin) = %v", p)
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	d := Elem("a", ElemText("b", "hello"))
+	s, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, "p:") {
+		t.Errorf("deterministic doc has distribution syntax:\n%s", s)
+	}
+}

@@ -1,0 +1,354 @@
+// Package qa is the paper's Question Answering (QA) service: "receives the
+// request keywords from the IE service, formulates the XML query, runs
+// this query on the DB, retrieves the results, applies some inference on
+// the results using geo-ontology if needed and sends the results back to
+// the user in the form of natural language generated text".
+package qa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/extract"
+	"repro/internal/gazetteer"
+	"repro/internal/geo"
+	"repro/internal/kb"
+	"repro/internal/ner"
+	"repro/internal/ontology"
+	"repro/internal/xmldb"
+)
+
+// Service is the QA module.
+type Service struct {
+	db  *xmldb.DB
+	kb  *kb.KB
+	gaz *gazetteer.Gazetteer
+	ont *ontology.Ontology
+	// K is the number of results returned (paper uses topk(3, …)).
+	K int
+	// MinCondP drops results whose where-clause probability falls below
+	// this threshold: a hotel that is probably NOT good should not appear
+	// in a "good hotels" answer even if topk has room for it.
+	MinCondP float64
+}
+
+// NewService wires the QA service.
+func NewService(db *xmldb.DB, k *kb.KB, g *gazetteer.Gazetteer, o *ontology.Ontology) (*Service, error) {
+	if db == nil || k == nil || g == nil || o == nil {
+		return nil, fmt.Errorf("qa: nil dependency")
+	}
+	return &Service{db: db, kb: k, gaz: g, ont: o, K: 3, MinCondP: 0.5}, nil
+}
+
+// Answer is the QA output for one request.
+type Answer struct {
+	// Text is the generated natural-language reply.
+	Text string
+	// Query is the formulated XML query, for transparency/debugging (the
+	// paper shows it explicitly in the worked scenario).
+	Query string
+	// Results are the underlying ranked records.
+	Results []xmldb.Result
+}
+
+// request captures what the QA service understood from the keywords.
+type request struct {
+	domain    kb.Domain
+	city      string
+	cityFound bool
+	positive  bool   // asked for good/nice/recommended
+	cheap     bool   // asked for cheap / not expensive
+	place     string // traffic/farming place keyword
+	// nearPlace/nearPoint/nearRadius ground a proximity request ("What
+	// are the good/cheap hotels near Paris?", paper §Alternative
+	// Validation Scenario) as a spatial predicate instead of a City
+	// equality — hotels near Paris need not be in Paris.
+	nearPlace  string
+	nearPoint  *geo.Point
+	nearRadius float64
+}
+
+// Answer answers a request-message extraction.
+func (s *Service) Answer(ex *extract.Extraction) (Answer, error) {
+	if ex == nil {
+		return Answer{}, fmt.Errorf("qa: nil extraction")
+	}
+	req, ok := s.analyze(ex)
+	if !ok {
+		return Answer{
+			Text: "Sorry, I could not understand what you are looking for.",
+		}, nil
+	}
+	query := s.formulate(req)
+	results, err := s.db.Run(query)
+	if err != nil {
+		return Answer{}, fmt.Errorf("qa: executing %q: %w", query, err)
+	}
+	kept := results[:0]
+	for _, r := range results {
+		if r.CondP >= s.MinCondP {
+			kept = append(kept, r)
+		}
+	}
+	results = kept
+	return Answer{
+		Text:    s.generate(req, results),
+		Query:   query,
+		Results: results,
+	}, nil
+}
+
+// analyze maps keywords and entities onto a domain, a location and
+// qualifiers.
+func (s *Service) analyze(ex *extract.Extraction) (request, bool) {
+	var req request
+	domainName := ex.Domain
+	if domainName == "" {
+		// Fall back to concept scan over keywords.
+		for _, w := range ex.Keywords {
+			if c, ok := s.ont.ConceptOf(w); ok {
+				switch {
+				case s.ont.IsA(c, "lodging") || s.ont.IsA(c, "food"):
+					domainName = "tourism"
+				case s.ont.IsA(c, "transport"):
+					domainName = "traffic"
+				case s.ont.IsA(c, "agriculture"):
+					domainName = "farming"
+				}
+			}
+			if domainName != "" {
+				break
+			}
+		}
+	}
+	d, ok := s.kb.Domain(domainName)
+	if !ok {
+		return req, false
+	}
+	req.domain = d
+
+	// Location: prefer a recognised location entity; else a gazetteer hit
+	// among keywords.
+	for _, e := range ex.Entities {
+		if e.Type == ner.TypeLocation {
+			req.city = e.Text
+			req.cityFound = true
+			break
+		}
+	}
+	if !req.cityFound {
+		for _, w := range ex.Keywords {
+			if s.gaz.HasName(w) {
+				req.city = w
+				req.cityFound = true
+				break
+			}
+		}
+	}
+	// A resolved location entity is the most reliable place reference;
+	// relation objects ("near the station") fill in when no toponym was
+	// recognised.
+	if req.cityFound {
+		req.place = req.city
+	} else {
+		for _, r := range ex.Relations {
+			if r.Object != "" {
+				req.place = r.Object
+				break
+			}
+		}
+	}
+
+	// Proximity request ("hotels near Paris", "within 5 km of Nairobi"):
+	// ground the relation's object against the gazetteer and query the
+	// spatial index rather than demanding City equality.
+	for _, r := range ex.Relations {
+		if r.Object == "" || (r.Kind != ner.RelProximity && r.Kind != ner.RelDistance) {
+			continue
+		}
+		p, ok := s.resolvePlace(r.Object)
+		if !ok {
+			continue
+		}
+		req.nearPlace = r.Object
+		req.nearPoint = &p
+		req.nearRadius = r.DistanceMeters
+		if req.nearRadius == 0 {
+			req.nearRadius = defaultNearMeters
+		}
+		break
+	}
+
+	for _, w := range ex.Keywords {
+		switch w {
+		case "good", "nice", "best", "great", "recommend", "recommended", "lovely":
+			req.positive = true
+		case "cheap", "affordable", "budget", "inexpensive":
+			req.cheap = true
+		case "expensive":
+			// "not ridiculously expensive" normalises with "not" as a
+			// separate keyword; treat any expensive-mention as a price
+			// concern.
+			req.cheap = true
+		}
+	}
+	return req, true
+}
+
+// defaultNearMeters is the radius implied by an unquantified "near X" in a
+// request about lodging/venues.
+const defaultNearMeters = 20_000
+
+// resolvePlace grounds a request-time place reference to a point, taking
+// the most prominent (highest-population) gazetteer reference — request
+// messages carry too little context for full disambiguation, and for a
+// question the population prior is the user's most likely intent.
+func (s *Service) resolvePlace(name string) (geo.Point, bool) {
+	entries := s.gaz.Lookup(name)
+	if len(entries) == 0 {
+		return geo.Point{}, false
+	}
+	best := entries[0]
+	for _, e := range entries[1:] {
+		if e.Population > best.Population {
+			best = e
+		}
+	}
+	return best.Location, true
+}
+
+// formulate builds the query string — for the tourism scenario, exactly
+// the paper's topk query.
+func (s *Service) formulate(req request) string {
+	var conds []string
+	switch req.domain.Name {
+	case "tourism":
+		switch {
+		case req.nearPoint != nil:
+			conds = append(conds, fmt.Sprintf("near($x, %.4f, %.4f, %.0f)",
+				req.nearPoint.Lat, req.nearPoint.Lon, req.nearRadius))
+		case req.cityFound:
+			conds = append(conds, fmt.Sprintf(`$x/City == "%s"`, titleWord(req.city)))
+		}
+		if req.positive {
+			conds = append(conds, `$x/User_Attitude == "Positive"`)
+		}
+	case "traffic":
+		if req.place != "" {
+			conds = append(conds, fmt.Sprintf(`$x/Place == "%s"`, titleWord(req.place)))
+		}
+	case "farming":
+		if req.place != "" {
+			conds = append(conds, fmt.Sprintf(`$x/Region == "%s"`, titleWord(req.place)))
+		}
+	}
+	where := ""
+	if len(conds) > 0 {
+		where = " where " + strings.Join(conds, " and ")
+	}
+	return fmt.Sprintf("topk(%d, for $x in //%s%s orderby score($x) return $x)",
+		s.K, req.domain.Collection, where)
+}
+
+// generate renders the natural-language answer.
+func (s *Service) generate(req request, results []xmldb.Result) string {
+	if len(results) == 0 {
+		where := ""
+		switch {
+		case req.nearPlace != "":
+			where = " near " + titleWord(req.nearPlace)
+		case req.cityFound:
+			where = " in " + titleWord(req.city)
+		case req.place != "":
+			where = " near " + req.place
+		}
+		return fmt.Sprintf("Sorry, I have no information about %s%s yet.",
+			strings.TrimSuffix(req.domain.Collection, "s"), where)
+	}
+	switch req.domain.Name {
+	case "tourism":
+		names := make([]string, 0, len(results))
+		for _, r := range results {
+			if n, _ := r.Record.Doc.FirstChild("Hotel_Name"); n != nil {
+				names = append(names, n.TextContent())
+			}
+		}
+		qualifier := "good "
+		if !req.positive {
+			qualifier = ""
+		}
+		if req.cheap {
+			qualifier += "affordable "
+		}
+		where := ""
+		switch {
+		case req.nearPlace != "":
+			where = " near " + titleWord(req.nearPlace)
+		case req.cityFound:
+			where = " in " + titleWord(req.city)
+		}
+		return fmt.Sprintf("Some %shotels%s are %s.", qualifier, where, joinNatural(names))
+	case "traffic":
+		var parts []string
+		for _, r := range results {
+			place := fieldText(r, "Place")
+			cond := topAlt(r, "Condition")
+			parts = append(parts, fmt.Sprintf("%s: %s reported (certainty %.2f)", place, cond, r.Score))
+		}
+		return "Latest road reports — " + strings.Join(parts, "; ") + "."
+	case "farming":
+		var parts []string
+		for _, r := range results {
+			region := fieldText(r, "Region")
+			topic := topAlt(r, "Topic")
+			parts = append(parts, fmt.Sprintf("%s: %s (certainty %.2f)", region, topic, r.Score))
+		}
+		return "Latest field reports — " + strings.Join(parts, "; ") + "."
+	default:
+		return fmt.Sprintf("Found %d matching records.", len(results))
+	}
+}
+
+func fieldText(r xmldb.Result, field string) string {
+	if n, _ := r.Record.Doc.FirstChild(field); n != nil {
+		return n.TextContent()
+	}
+	return "unknown"
+}
+
+func topAlt(r xmldb.Result, field string) string {
+	n, _ := r.Record.Doc.FirstChild(field)
+	if n == nil {
+		return "unknown"
+	}
+	dist := extract.MuxToDist(n)
+	if top, ok := dist.Top(); ok {
+		// Concept identifiers read as prose ("flooded_road" -> "flooded road").
+		return strings.ReplaceAll(top.Name, "_", " ")
+	}
+	return "unknown"
+}
+
+// joinNatural renders "A, B, C" as "A, B and C".
+func joinNatural(names []string) string {
+	switch len(names) {
+	case 0:
+		return "none"
+	case 1:
+		return names[0]
+	default:
+		return strings.Join(names[:len(names)-1], ", ") + " and " + names[len(names)-1]
+	}
+}
+
+// titleWord uppercases the first letter of each word for display and for
+// matching stored City values ("berlin" -> "Berlin").
+func titleWord(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		if len(w) > 0 {
+			words[i] = strings.ToUpper(w[:1]) + w[1:]
+		}
+	}
+	return strings.Join(words, " ")
+}

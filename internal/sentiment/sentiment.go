@@ -1,0 +1,218 @@
+// Package sentiment scores the attitude a message expresses towards an
+// entity, producing the P(Positive)/P(Negative) distribution the paper's
+// extraction templates carry in their User_Attitude field. It is a
+// lexicon-based analyser with negation, intensifier and informality
+// handling (elongations and "!!!" runs amplify, emoticons count).
+package sentiment
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/text"
+	"repro/internal/uncertain"
+)
+
+// polarity lexicon: word -> valence in [-2, 2].
+var lexicon = map[string]float64{
+	// Positive.
+	"good": 1, "great": 1.5, "nice": 1, "lovely": 1.5, "excellent": 2,
+	"amazing": 2, "awesome": 2, "wonderful": 2, "fantastic": 2, "perfect": 2,
+	"love": 1.5, "loved": 1.5, "like": 0.8, "liked": 0.8, "enjoy": 1,
+	"enjoyed": 1, "clean": 1, "friendly": 1, "helpful": 1, "comfortable": 1,
+	"cozy": 1, "cosy": 1, "impressed": 1.5, "recommend": 1.2, "recommended": 1.2,
+	"cheap": 0.6, "affordable": 0.8, "spacious": 1, "quiet": 0.8,
+	"beautiful": 1.5, "charming": 1.2, "best": 1.8, "well": 0.8,
+	"fresh": 0.8, "tasty": 1.2, "delicious": 1.6, "safe": 0.8, "fine": 0.6,
+	"happy": 1.2, "glad": 1, "thanks": 0.8, "sunny": 0.6, "smooth": 0.8,
+	"fast": 0.6, "clear": 0.6, "open": 0.4,
+	// Negative.
+	"bad": -1, "terrible": -2, "horrible": -2, "awful": -2, "worst": -2,
+	"hate": -1.8, "hated": -1.8, "dirty": -1.2, "noisy": -1, "rude": -1.4,
+	"expensive": -0.8, "overpriced": -1.2, "broken": -1.2, "smelly": -1.4,
+	"cold": -0.6, "grim": -1.2, "slow": -0.8, "crowded": -0.8,
+	"disappointed": -1.5, "disappointing": -1.5, "avoid": -1.5, "scam": -2,
+	"bedbugs": -2, "unsafe": -1.5, "dangerous": -1.5, "closed": -0.6,
+	"blocked": -1, "jam": -1, "jammed": -1.2, "accident": -1.5,
+	"flooded": -1.4, "stuck": -1.2, "delayed": -1, "cancelled": -1.2,
+	"blight": -1.5, "locusts": -1.5, "drought": -1.5, "failed": -1.5,
+	"sad": -1, "angry": -1.4, "never": -0.4, "problem": -1, "problems": -1,
+	"leak": -1, "leaking": -1.2, "bland": -0.8, "poor": -1.2,
+}
+
+// negators flip the valence of the next few content words.
+var negators = map[string]bool{
+	"not": true, "no": true, "never": false, "nothing": true,
+	"hardly": true, "barely": true, "cannot": true, "isnt": true,
+	"wasnt": true, "dont": true, "didnt": true, "wont": true,
+	"without": true, "lacks": true, "lacking": true,
+}
+
+// intensifiers scale the valence of the next sentiment word.
+var intensifiers = map[string]float64{
+	"very": 1.5, "really": 1.4, "so": 1.3, "extremely": 1.8,
+	"absolutely": 1.7, "totally": 1.5, "super": 1.5, "quite": 1.2,
+	"ridiculously": 1.8, "incredibly": 1.7, "pretty": 1.2, "too": 1.3,
+}
+
+// emoticonValence maps emoticon tokens to valence.
+var emoticonValence = map[string]float64{
+	":)": 1, ":-)": 1, "=)": 1, ":D": 1.5, ":-D": 1.5, ";)": 0.8,
+	";-)": 0.8, "<3": 1.5, ":P": 0.5, ":-P": 0.5, "xD": 1.2, "XD": 1.2,
+	":(": -1, ":-(": -1, "=(": -1, ":'(": -1.5, ":/": -0.6, ":-/": -0.6,
+}
+
+// offTopicScopes are subjects whose following sentiment word is discounted
+// because it describes them rather than the reviewed entity.
+var offTopicScopes = map[string]bool{
+	"weather": true, "sky": true, "sun": true, "rain": true,
+}
+
+// collapseDoubles reduces every doubled-letter run to a single letter
+// ("niice" -> "nice").
+func collapseDoubles(w string) string {
+	var sb strings.Builder
+	var prev rune
+	for _, r := range w {
+		if r == prev {
+			continue
+		}
+		sb.WriteRune(r)
+		prev = r
+	}
+	return sb.String()
+}
+
+// Result is the outcome of analysing one message.
+type Result struct {
+	// Valence is the raw summed score; sign gives polarity.
+	Valence float64
+	// Attitude is the P(Positive)/P(Negative) distribution the extraction
+	// template stores.
+	Attitude *uncertain.Dist
+	// Hits counts sentiment-bearing tokens found; zero means "no opinion
+	// detected" and the distribution is uniform.
+	Hits int
+}
+
+// Positive and Negative are the attitude alternative names.
+const (
+	Positive = "Positive"
+	Negative = "Negative"
+)
+
+// Analyze scores a raw informal message.
+func Analyze(msg string) Result {
+	return AnalyzeTokens(text.Tokenize(msg))
+}
+
+// AnalyzeTokens scores an already-tokenised message.
+func AnalyzeTokens(tokens []text.Token) Result {
+	var valence float64
+	hits := 0
+	negation := 0  // countdown window of words affected by a negator
+	boost := 1.0   // pending intensifier multiplier
+	exclaim := 1.0 // message-level amplification from "!!!" runs
+	elongSeen := false
+	prevWord := ""
+
+	for _, tok := range tokens {
+		switch tok.Kind {
+		case text.KindEmoticon:
+			if v, ok := emoticonValence[tok.Text]; ok {
+				valence += v
+				hits++
+			}
+			continue
+		case text.KindPunct:
+			if strings.HasPrefix(tok.Text, "!") && len(tok.Text) >= 2 {
+				exclaim = 1.25
+			}
+			if strings.ContainsAny(tok.Text, ".!?,;") {
+				negation = 0
+				boost = 1
+			}
+			continue
+		case text.KindWord, text.KindHashtag:
+			// fall through to word handling
+		default:
+			continue
+		}
+		w := strings.TrimPrefix(tok.Lower, "#")
+		if text.IsElongated(w) {
+			elongSeen = true
+			w = text.CollapseElongation(w)
+			// The collapse keeps doubled letters ("niiiice" -> "niice");
+			// if that form is unknown, try singling every doubled run.
+			if _, ok := lexicon[w]; !ok {
+				if single := collapseDoubles(w); lexicon[single] != 0 || negators[single] || intensifiers[single] != 0 {
+					w = single
+				}
+			}
+		}
+		if exp, ok := text.ExpandAbbreviation(w); ok && !strings.Contains(exp, " ") {
+			w = exp
+		}
+		if negators[w] {
+			negation = 3
+			continue
+		}
+		if m, ok := intensifiers[w]; ok {
+			boost = m
+			continue
+		}
+		v, ok := lexicon[w]
+		if !ok {
+			if negation > 0 {
+				negation--
+			}
+			prevWord = w
+			continue
+		}
+		v *= boost
+		boost = 1
+		if negation > 0 {
+			v = -v
+			negation = 0
+		}
+		// Sentiment aimed at the weather is only weakly about the entity
+		// under review ("nice enough, weather grim however" is still a
+		// positive hotel report in the paper's Template 3).
+		if offTopicScopes[prevWord] {
+			v *= 0.5
+		}
+		valence += v
+		hits++
+		prevWord = w
+	}
+
+	valence *= exclaim
+	if elongSeen && valence != 0 {
+		valence *= 1.15
+	}
+
+	dist := uncertain.NewDist()
+	if hits == 0 {
+		_ = dist.Set(Positive, 0.5)
+		_ = dist.Set(Negative, 0.5)
+		return Result{Valence: 0, Attitude: dist, Hits: 0}
+	}
+	// Squash valence into P(Positive) with a logistic curve.
+	pPos := 1 / (1 + math.Exp(-valence))
+	_ = dist.Set(Positive, pPos)
+	_ = dist.Set(Negative, 1-pPos)
+	return Result{Valence: valence, Attitude: dist, Hits: hits}
+}
+
+// Polarity returns +1, -1 or 0 for a message, a convenience over Analyze.
+func Polarity(msg string) int {
+	r := Analyze(msg)
+	switch {
+	case r.Hits == 0 || r.Valence == 0:
+		return 0
+	case r.Valence > 0:
+		return 1
+	default:
+		return -1
+	}
+}

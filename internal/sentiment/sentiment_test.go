@@ -1,0 +1,135 @@
+package sentiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperScenarioMessages(t *testing.T) {
+	// The three Berlin messages of the paper's worked scenario all carry
+	// P(Positive) > P(Negative).
+	msgs := []string{
+		"berlin has some nice hotels i just loved the hetero friendly love that word Axel Hotel in Berlin.",
+		"Good morning Berlin. The sun is out!!!! Very impressed by the customer service at #movenpick hotel in berlin. Well done guys!",
+		"In Berlin hotel room, nice enough, weather grim however",
+	}
+	for _, m := range msgs {
+		r := Analyze(m)
+		if r.Attitude.P(Positive) <= r.Attitude.P(Negative) {
+			t.Errorf("message %q: P(Positive)=%v <= P(Negative)=%v",
+				m, r.Attitude.P(Positive), r.Attitude.P(Negative))
+		}
+	}
+}
+
+func TestClearNegative(t *testing.T) {
+	msgs := []string{
+		"terrible hotel, dirty rooms and rude staff",
+		"worst stay ever, avoid this place",
+		"huge traffic jam after the accident, stuck for hours",
+	}
+	for _, m := range msgs {
+		r := Analyze(m)
+		if r.Attitude.P(Negative) <= r.Attitude.P(Positive) {
+			t.Errorf("message %q not negative: %+v", m, r.Attitude.Normalized())
+		}
+	}
+}
+
+func TestNegationFlips(t *testing.T) {
+	pos := Analyze("the room was clean")
+	neg := Analyze("the room was not clean")
+	if pos.Valence <= 0 {
+		t.Fatalf("baseline valence = %v", pos.Valence)
+	}
+	if neg.Valence >= 0 {
+		t.Errorf("negated valence = %v, want negative", neg.Valence)
+	}
+}
+
+func TestNegationWindowCloses(t *testing.T) {
+	// Negation must not leak across punctuation: "not far. lovely place"
+	// keeps "lovely" positive.
+	r := Analyze("not far. lovely place")
+	if r.Valence <= 0 {
+		t.Errorf("valence = %v, want positive (negation leaked)", r.Valence)
+	}
+}
+
+func TestIntensifier(t *testing.T) {
+	plain := Analyze("the staff was friendly")
+	strong := Analyze("the staff was very friendly")
+	if strong.Valence <= plain.Valence {
+		t.Errorf("intensifier did not amplify: %v vs %v", strong.Valence, plain.Valence)
+	}
+}
+
+func TestExclamationAmplifies(t *testing.T) {
+	plain := Analyze("great hotel")
+	excited := Analyze("great hotel !!!!")
+	if excited.Valence <= plain.Valence {
+		t.Errorf("exclamations did not amplify: %v vs %v", excited.Valence, plain.Valence)
+	}
+}
+
+func TestElongationAmplifies(t *testing.T) {
+	plain := Analyze("the view is nice")
+	elong := Analyze("the view is niiiiice")
+	if elong.Valence <= 0 {
+		t.Errorf("elongated sentiment word missed: %v", elong.Valence)
+	}
+	if elong.Valence <= plain.Valence {
+		t.Errorf("elongation did not amplify: %v vs %v", elong.Valence, plain.Valence)
+	}
+}
+
+func TestEmoticons(t *testing.T) {
+	if r := Analyze("the breakfast :)"); r.Valence <= 0 {
+		t.Errorf("positive emoticon: %v", r.Valence)
+	}
+	if r := Analyze("the breakfast :("); r.Valence >= 0 {
+		t.Errorf("negative emoticon: %v", r.Valence)
+	}
+}
+
+func TestNeutralMessage(t *testing.T) {
+	r := Analyze("the hotel is in berlin near the station")
+	if r.Hits != 0 {
+		t.Errorf("neutral message got %d hits", r.Hits)
+	}
+	if p := r.Attitude.P(Positive); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("neutral P(Positive) = %v, want 0.5", p)
+	}
+	if got := Polarity("the hotel is in berlin"); got != 0 {
+		t.Errorf("neutral polarity = %d", got)
+	}
+}
+
+func TestAttitudeDistributionSumsToOne(t *testing.T) {
+	for _, m := range []string{"great", "awful", "hotel in berlin", "not bad", ""} {
+		r := Analyze(m)
+		sum := r.Attitude.P(Positive) + r.Attitude.P(Negative)
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("message %q: attitude sums to %v", m, sum)
+		}
+	}
+}
+
+func TestPolarity(t *testing.T) {
+	if got := Polarity("wonderful stay"); got != 1 {
+		t.Errorf("positive polarity = %d", got)
+	}
+	if got := Polarity("horrible stay"); got != -1 {
+		t.Errorf("negative polarity = %d", got)
+	}
+}
+
+func TestAbbreviatedSentiment(t *testing.T) {
+	// "gd" expands to "good", "gr8" to "great".
+	if r := Analyze("gr8 hotel pls visit"); r.Valence <= 0 {
+		t.Errorf("gr8 not scored: %+v", r)
+	}
+	if r := Analyze("gd service here"); r.Valence <= 0 {
+		t.Errorf("gd not scored: %+v", r)
+	}
+}

@@ -1,0 +1,304 @@
+package text
+
+// Levenshtein returns the edit distance (insert/delete/substitute, unit
+// costs) between two strings, comparing runes. It is the misspelling
+// tolerance behind gazetteer fuzzy lookup ("language used in short messages
+// … sometimes contains misspelling", paper §Problem Statement).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// DamerauLevenshtein additionally counts adjacent transpositions as one
+// edit ("teh" → "the"), the most common typing error class.
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Three rows: i-2, i-1, i.
+	rows := make([][]int, 3)
+	for k := range rows {
+		rows[k] = make([]int, len(rb)+1)
+	}
+	for j := range rows[1] {
+		rows[1][j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr := rows[(i+1)%3]
+		prev := rows[i%3]
+		prev2 := rows[(i+2)%3]
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d := minInt(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t
+				}
+			}
+			curr[j] = d
+		}
+	}
+	return rows[(len(ra)+1)%3][len(rb)]
+}
+
+// Similarity returns a normalised similarity in [0, 1]:
+// 1 - distance/maxLen, using Damerau-Levenshtein. Two empty strings are
+// fully similar.
+func Similarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	max := la
+	if lb > max {
+		max = lb
+	}
+	return 1 - float64(DamerauLevenshtein(a, b))/float64(max)
+}
+
+// WithinDistance reports whether the edit distance between a and b is at
+// most k, with an early exit when the length difference alone exceeds k.
+func WithinDistance(a, b string, k int) bool {
+	if k == 1 && isASCII(a) && isASCII(b) {
+		// The dominant case in gazetteer fuzzy lookup (normalised names
+		// are mostly ASCII): byte-wise linear scan, no allocation.
+		diff := len(a) - len(b)
+		if diff < -1 || diff > 1 {
+			return false
+		}
+		return withinOneASCII(a, b)
+	}
+	ra, rb := []rune(a), []rune(b)
+	diff := len(ra) - len(rb)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > k {
+		return false
+	}
+	switch {
+	case k <= 0:
+		return a == b
+	case k == 1:
+		return withinOne(ra, rb)
+	default:
+		return withinBanded(ra, rb, k)
+	}
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// withinOneASCII is withinOne specialised to byte strings.
+func withinOneASCII(a, b string) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	i := 0
+	for i < len(a) && a[i] == b[i] {
+		i++
+	}
+	if i == len(a) {
+		return true
+	}
+	if len(a) == len(b) {
+		if a[i+1:] == b[i+1:] {
+			return true
+		}
+		return i+1 < len(a) && a[i] == b[i+1] && a[i+1] == b[i] && a[i+2:] == b[i+2:]
+	}
+	return a[i:] == b[i+1:]
+}
+
+// withinOne decides Damerau-Levenshtein distance <= 1 in a single pass:
+// after the common prefix, the strings may differ by one substitution, one
+// adjacent transposition, or one insertion/deletion.
+func withinOne(a, b []rune) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	i := 0
+	for i < len(a) && a[i] == b[i] {
+		i++
+	}
+	if i == len(a) {
+		return true // equal, or b has one extra trailing rune
+	}
+	if len(a) == len(b) {
+		if equalRunes(a[i+1:], b[i+1:]) {
+			return true // one substitution
+		}
+		return i+1 < len(a) && a[i] == b[i+1] && a[i+1] == b[i] &&
+			equalRunes(a[i+2:], b[i+2:]) // one transposition
+	}
+	return equalRunes(a[i:], b[i+1:]) // one insertion into b
+}
+
+func equalRunes(a, b []rune) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// withinBanded runs the Damerau-Levenshtein (optimal string alignment)
+// recurrence restricted to the diagonal band |i-j| <= k — cells outside
+// the band cannot participate in any alignment of cost <= k — and exits
+// early when a whole row exceeds k.
+func withinBanded(a, b []rune, k int) bool {
+	const inf = 1 << 30
+	width := len(b) + 1
+	rows := [3][]int{make([]int, width), make([]int, width), make([]int, width)}
+	for j := 0; j <= len(b); j++ {
+		if j <= k {
+			rows[1][j] = j
+		} else {
+			rows[1][j] = inf
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		curr := rows[(i+1)%3]
+		prev := rows[i%3]
+		prev2 := rows[(i+2)%3]
+		lo, hi := i-k, i+k
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		for j := range curr {
+			curr[j] = inf
+		}
+		if i <= k {
+			curr[0] = i
+		}
+		best := curr[0]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := prev[j-1] + cost
+			if v := prev[j] + 1; v < d {
+				d = v
+			}
+			if v := curr[j-1] + 1; v < d {
+				d = v
+			}
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if v := prev2[j-2] + 1; v < d {
+					d = v
+				}
+			}
+			curr[j] = d
+			if d < best {
+				best = d
+			}
+		}
+		if best > k {
+			return false
+		}
+	}
+	return rows[(len(a)+1)%3][len(b)] <= k
+}
+
+// JaccardTokens returns the Jaccard similarity of the token sets of two
+// normalised names — the word-order-insensitive complement to edit
+// distance, used when matching "Hotel Essex House" to "Essex House Hotel".
+func JaccardTokens(a, b string) float64 {
+	as := tokenSet(a)
+	bs := tokenSet(b)
+	if len(as) == 0 && len(bs) == 0 {
+		return 1
+	}
+	inter := 0
+	for w := range as {
+		if bs[w] {
+			inter++
+		}
+	}
+	union := len(as) + len(bs) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func tokenSet(s string) map[string]bool {
+	m := make(map[string]bool)
+	for _, w := range splitFields(s) {
+		m[w] = true
+	}
+	return m
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func minInt(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,214 @@
+package text
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"berlin", "berlin", 0},
+		{"berlin", "brelin", 2}, // transposition costs 2 in plain Levenshtein
+		{"paris", "pariss", 1},
+		{"café", "cafe", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDamerauKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"berlin", "brelin", 1}, // adjacent transposition
+		{"teh", "the", 1},
+		{"kitten", "sitting", 3},
+		{"abc", "cba", 2},
+		{"", "", 0},
+		{"a", "", 1},
+	}
+	for _, c := range cases {
+		if got := DamerauLevenshtein(c.a, c.b); got != c.want {
+			t.Errorf("DamerauLevenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	// Symmetry and identity for both metrics.
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		if Levenshtein(a, b) != Levenshtein(b, a) {
+			return false
+		}
+		if DamerauLevenshtein(a, b) != DamerauLevenshtein(b, a) {
+			return false
+		}
+		if Levenshtein(a, a) != 0 || DamerauLevenshtein(a, a) != 0 {
+			return false
+		}
+		// Damerau never exceeds Levenshtein.
+		return DamerauLevenshtein(a, b) <= Levenshtein(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		if len(c) > 20 {
+			c = c[:20]
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if s := Similarity("", ""); s != 1 {
+		t.Errorf("empty similarity = %v", s)
+	}
+	if s := Similarity("berlin", "berlin"); s != 1 {
+		t.Errorf("identical similarity = %v", s)
+	}
+	if s := Similarity("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint similarity = %v", s)
+	}
+	s := Similarity("movenpick", "movenpik")
+	if s <= 0.8 || s >= 1 {
+		t.Errorf("near-miss similarity = %v, want in (0.8, 1)", s)
+	}
+}
+
+func TestSimilarityBounded(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinDistance(t *testing.T) {
+	if !WithinDistance("berlin", "brelin", 1) {
+		t.Error("transposition should be within 1")
+	}
+	if WithinDistance("berlin", "munich", 2) {
+		t.Error("berlin/munich within 2")
+	}
+	// Early exit path: length difference alone exceeds k.
+	if WithinDistance("a", "abcdef", 2) {
+		t.Error("length-gap early exit failed")
+	}
+}
+
+func TestJaccardTokens(t *testing.T) {
+	if j := JaccardTokens("essex house hotel", "hotel essex house"); j != 1 {
+		t.Errorf("word-order jaccard = %v, want 1", j)
+	}
+	if j := JaccardTokens("", ""); j != 1 {
+		t.Errorf("empty jaccard = %v", j)
+	}
+	j := JaccardTokens("essex house hotel", "essex house hotel and suites")
+	if j <= 0.5 || j >= 1 {
+		t.Errorf("partial jaccard = %v, want in (0.5, 1)", j)
+	}
+	if j := JaccardTokens("axel hotel", "central station"); j != 0 {
+		t.Errorf("disjoint jaccard = %v", j)
+	}
+}
+
+// TestWithinDistanceMatchesOracle: the fast paths (linear k=1 scan, banded
+// DP) must agree with the full Damerau-Levenshtein matrix on random pairs.
+func TestWithinDistanceMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2011))
+	alphabet := []rune("abcde")
+	randWord := func() string {
+		n := rng.Intn(12)
+		rs := make([]rune, n)
+		for i := range rs {
+			rs[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(rs)
+	}
+	for trial := 0; trial < 20000; trial++ {
+		a, b := randWord(), randWord()
+		k := rng.Intn(4)
+		got := WithinDistance(a, b, k)
+		want := DamerauLevenshtein(a, b) <= k
+		if got != want {
+			t.Fatalf("WithinDistance(%q, %q, %d) = %t, oracle %t (dist=%d)",
+				a, b, k, got, want, DamerauLevenshtein(a, b))
+		}
+	}
+}
+
+// TestWithinDistanceMutations: systematic single-edit mutations of a word
+// must all be within distance 1.
+func TestWithinDistanceMutations(t *testing.T) {
+	base := "marrakesh"
+	rs := []rune(base)
+	var muts []string
+	for i := range rs {
+		// deletion
+		muts = append(muts, string(rs[:i])+string(rs[i+1:]))
+		// substitution
+		sub := append([]rune{}, rs...)
+		sub[i] = 'z'
+		muts = append(muts, string(sub))
+		// insertion
+		muts = append(muts, string(rs[:i])+"q"+string(rs[i:]))
+		// transposition
+		if i+1 < len(rs) {
+			tr := append([]rune{}, rs...)
+			tr[i], tr[i+1] = tr[i+1], tr[i]
+			muts = append(muts, string(tr))
+		}
+	}
+	for _, m := range muts {
+		if !WithinDistance(base, m, 1) {
+			t.Errorf("WithinDistance(%q, %q, 1) = false", base, m)
+		}
+		if !WithinDistance(m, base, 1) {
+			t.Errorf("WithinDistance(%q, %q, 1) = false (swapped)", m, base)
+		}
+	}
+	for _, far := range []string{"marrqkzsh", "arrakeshm", "", "zzzzzzzzz"} {
+		if WithinDistance(base, far, 1) {
+			t.Errorf("WithinDistance(%q, %q, 1) = true, want false", base, far)
+		}
+	}
+}

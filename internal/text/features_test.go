@@ -1,0 +1,103 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestShape(t *testing.T) {
+	cases := []struct {
+		in    string
+		check func(Orthographic) bool
+		desc  string
+	}{
+		{"First", func(o Orthographic) bool { return o.InitialCap && !o.AllCaps }, "initial cap"},
+		{"NYC", func(o Orthographic) bool { return o.AllCaps }, "all caps"},
+		{"obama", func(o Orthographic) bool { return o.AllLower }, "all lower"},
+		{"McCormick", func(o Orthographic) bool { return o.MixedCase }, "mixed case"},
+		{"l8r", func(o Orthographic) bool { return o.HasDigit }, "has digit"},
+		{"2010", func(o Orthographic) bool { return o.AllDigit && !o.HasDigit }, "all digit"},
+		{"Schmick's", func(o Orthographic) bool { return o.HasApostro }, "apostrophe"},
+		{"north-east", func(o Orthographic) bool { return o.HasHyphen }, "hyphen"},
+		{"sooooo", func(o Orthographic) bool { return o.IsElongated }, "elongated"},
+		{"gr8", func(o Orthographic) bool { return o.IsAbbrev }, "abbrev"},
+		{"b", func(o Orthographic) bool { return o.SingleLetter && o.IsAbbrev }, "single letter"},
+	}
+	for _, c := range cases {
+		if o := Shape(c.in); !c.check(o) {
+			t.Errorf("Shape(%q) failed %s check: %+v", c.in, c.desc, o)
+		}
+	}
+}
+
+func TestShapeLength(t *testing.T) {
+	if o := Shape("café"); o.Length != 4 {
+		t.Errorf("rune length = %d, want 4", o.Length)
+	}
+}
+
+func TestFeatureStrings(t *testing.T) {
+	fs := Shape("McCormick").FeatureStrings()
+	if len(fs) == 0 {
+		t.Fatal("no features")
+	}
+	want := map[string]bool{"shape:mixed": true, "len:long": true}
+	got := map[string]bool{}
+	for _, f := range fs {
+		got[f] = true
+	}
+	for f := range want {
+		if !got[f] {
+			t.Errorf("missing feature %q in %v", f, fs)
+		}
+	}
+}
+
+func TestContextFeatures(t *testing.T) {
+	toks := Tokenize("stayed at Axel Hotel")
+	// Feature of "Axel" (index 2).
+	fs := ContextFeatures(toks, 2)
+	got := map[string]bool{}
+	for _, f := range fs {
+		got[f] = true
+	}
+	if !got["prev:at"] || !got["next:hotel"] {
+		t.Errorf("ContextFeatures = %v", fs)
+	}
+	// Boundaries.
+	first := ContextFeatures(toks, 0)
+	if !reflect.DeepEqual(first[0], "prev:<s>") {
+		t.Errorf("first features = %v", first)
+	}
+	last := ContextFeatures(toks, len(toks)-1)
+	found := false
+	for _, f := range last {
+		if f == "next:</s>" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("last features = %v", last)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "The", "and", "IS"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"hotel", "berlin", ""} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true", w)
+		}
+	}
+}
+
+func TestContentWords(t *testing.T) {
+	got := ContentWords([]string{"the", "Good", "hotels", "in", "Berlin", "a", "x"})
+	want := []string{"good", "hotels", "berlin"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ContentWords = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,215 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// abbreviations maps SMS/tweet shorthand to standard English. The paper's
+// running example is the tweet "obama should b told NO vote …", where "b"
+// stands for "be"; informal shorthand like this defeats POS taggers trained
+// on edited text, so we expand it before tagging.
+var abbreviations = map[string]string{
+	"b":     "be",
+	"r":     "are",
+	"u":     "you",
+	"ur":    "your",
+	"yr":    "your",
+	"n":     "and",
+	"nd":    "and",
+	"pls":   "please",
+	"plz":   "please",
+	"thx":   "thanks",
+	"ty":    "thanks",
+	"gr8":   "great",
+	"l8r":   "later",
+	"2nite": "tonight",
+	"2day":  "today",
+	"2moro": "tomorrow",
+	"b4":    "before",
+	"bc":    "because",
+	"cuz":   "because",
+	"coz":   "because",
+	"w/":    "with",
+	"w/o":   "without",
+	"abt":   "about",
+	"msg":   "message",
+	"ppl":   "people",
+	"rly":   "really",
+	"v":     "very",
+	"vry":   "very",
+	"gd":    "good",
+	"luv":   "love",
+	"wanna": "want to",
+	"gonna": "going to",
+	"gotta": "got to",
+	"im":    "i am",
+	"ive":   "i have",
+	"dont":  "do not",
+	"cant":  "cannot",
+	"wont":  "will not",
+	"didnt": "did not",
+	"isnt":  "is not",
+	"rec":   "recommend",
+	"hr":    "hour",
+	"hrs":   "hours",
+	"min":   "minute",
+	"mins":  "minutes",
+	"km":    "kilometre",
+	"mi":    "mile",
+	"st":    "street",
+	"rd":    "road",
+	"ave":   "avenue",
+	"blvd":  "boulevard",
+	"sq":    "square",
+	"stn":   "station",
+	"apt":   "apartment",
+	"nr":    "near",
+	"btw":   "by the way",
+	"imo":   "in my opinion",
+	"imho":  "in my opinion",
+	"afaik": "as far as i know",
+	"idk":   "i do not know",
+	"tho":   "though",
+	"thru":  "through",
+	"ppl r": "people are",
+}
+
+// ExpandAbbreviation returns the standard form of a shorthand word and
+// whether an expansion applied. Lookup is case-insensitive.
+func ExpandAbbreviation(word string) (string, bool) {
+	exp, ok := abbreviations[strings.ToLower(word)]
+	return exp, ok
+}
+
+// Normalize rewrites an informal message into a more standard form:
+// shorthand expanded, character elongations collapsed ("sooooo" → "so"),
+// whitespace squeezed. Token positions are NOT preserved; use Normalize for
+// classification and sentiment, and raw tokens for span extraction.
+func Normalize(s string) string {
+	tokens := Tokenize(s)
+	parts := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		switch t.Kind {
+		case KindWord:
+			w := CollapseElongation(t.Lower)
+			if exp, ok := ExpandAbbreviation(w); ok {
+				parts = append(parts, exp)
+			} else {
+				parts = append(parts, w)
+			}
+		case KindHashtag:
+			parts = append(parts, strings.TrimPrefix(t.Lower, "#"))
+		case KindNumber, KindMention, KindEmoticon:
+			parts = append(parts, t.Text)
+		case KindPunct:
+			// Collapse "!!!!" to "!" for normalised text.
+			parts = append(parts, t.Text[:1])
+		case KindURL:
+			// URLs carry no linguistic content for our extractors.
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// CollapseElongation shrinks runs of 3+ identical letters to 2 and, if the
+// doubled form is not a known word pattern, to 1 ("loooove" → "loove" →
+// caller may fuzzy-match). Runs of exactly 2 are preserved ("good").
+func CollapseElongation(w string) string {
+	var sb strings.Builder
+	var prev rune
+	run := 0
+	for _, r := range w {
+		if r == prev {
+			run++
+			if run >= 2 {
+				continue
+			}
+		} else {
+			run = 0
+			prev = r
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// IsElongated reports whether the word contains a run of 3+ identical
+// letters — a strong informality and intensity signal ("sooooo nice").
+func IsElongated(w string) bool {
+	var prev rune
+	run := 0
+	for _, r := range w {
+		if r == prev {
+			run++
+			if run >= 2 {
+				return true
+			}
+		} else {
+			run = 0
+			prev = r
+		}
+	}
+	return false
+}
+
+// NormalizeName canonicalises an entity or place name for index lookup:
+// lowercase, diacritics folded for common Latin accents, punctuation
+// stripped, whitespace squeezed. "Mövenpick  Hotel!" → "movenpick hotel".
+func NormalizeName(s string) string {
+	var sb strings.Builder
+	prevSpace := true
+	for _, r := range strings.ToLower(s) {
+		r = foldDiacritic(r)
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			sb.WriteRune(r)
+			prevSpace = false
+		case r == '&':
+			if sb.Len() > 0 {
+				if !prevSpace {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString("and ")
+				prevSpace = true
+			}
+		default:
+			if !prevSpace {
+				sb.WriteByte(' ')
+				prevSpace = true
+			}
+		}
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// foldDiacritic maps common accented Latin letters to ASCII. A full Unicode
+// decomposition is out of scope for stdlib-only code; this table covers the
+// European toponyms and hotel names in our corpora.
+func foldDiacritic(r rune) rune {
+	switch r {
+	case 'á', 'à', 'â', 'ä', 'ã', 'å', 'ā':
+		return 'a'
+	case 'é', 'è', 'ê', 'ë', 'ē':
+		return 'e'
+	case 'í', 'ì', 'î', 'ï', 'ī':
+		return 'i'
+	case 'ó', 'ò', 'ô', 'ö', 'õ', 'ø', 'ō':
+		return 'o'
+	case 'ú', 'ù', 'û', 'ü', 'ū':
+		return 'u'
+	case 'ñ':
+		return 'n'
+	case 'ç':
+		return 'c'
+	case 'ß':
+		return 's' // "straße" → "strase"; close enough for fuzzy lookup
+	case 'ý', 'ÿ':
+		return 'y'
+	case 'š':
+		return 's'
+	case 'ž':
+		return 'z'
+	}
+	return r
+}

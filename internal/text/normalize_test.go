@@ -1,0 +1,126 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandAbbreviation(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"b", "be", true},
+		{"B", "be", true},
+		{"u", "you", true},
+		{"gr8", "great", true},
+		{"hotel", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, ok := ExpandAbbreviation(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ExpandAbbreviation(%q) = %q, %v; want %q, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestNormalizePaperTweet(t *testing.T) {
+	// The paper's running example: "obama should b told NO vote on tax deal
+	// unless omnibus is made public in advance !"
+	got := Normalize("obama should b told NO vote on tax deal unless omnibus is made public in advance !")
+	if !strings.Contains(got, "should be told") {
+		t.Errorf("abbreviation b not expanded: %q", got)
+	}
+	if strings.Contains(got, " b ") {
+		t.Errorf("raw shorthand survived: %q", got)
+	}
+}
+
+func TestNormalizeElongation(t *testing.T) {
+	got := Normalize("the room was sooooo nice!!!!")
+	if strings.Contains(got, "sooo") {
+		t.Errorf("elongation not collapsed: %q", got)
+	}
+	if strings.Contains(got, "!!") {
+		t.Errorf("punctuation run not collapsed: %q", got)
+	}
+}
+
+func TestNormalizeDropsURLs(t *testing.T) {
+	got := Normalize("book here https://example.com/deal gr8 price")
+	if strings.Contains(got, "http") {
+		t.Errorf("URL survived: %q", got)
+	}
+	if !strings.Contains(got, "great price") {
+		t.Errorf("gr8 not expanded: %q", got)
+	}
+}
+
+func TestCollapseElongation(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"loooove", "loove"},
+		{"good", "good"},
+		{"soo", "soo"},
+		{"sooo", "soo"},
+		{"a", "a"},
+		{"", ""},
+		{"aaabbbccc", "aabbcc"},
+	}
+	for _, c := range cases {
+		if got := CollapseElongation(c.in); got != c.want {
+			t.Errorf("CollapseElongation(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCollapseElongationIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := CollapseElongation(s)
+		return CollapseElongation(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsElongated(t *testing.T) {
+	if !IsElongated("sooooo") {
+		t.Error("sooooo not detected")
+	}
+	if IsElongated("good") {
+		t.Error("good misdetected")
+	}
+	if IsElongated("") {
+		t.Error("empty misdetected")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Mövenpick  Hotel!", "movenpick hotel"},
+		{"McCormick & Schmicks", "mccormick and schmicks"},
+		{"  Axel   Hotel ", "axel hotel"},
+		{"São-Paulo", "sao paulo"},
+		{"Kurfürstendamm", "kurfurstendamm"},
+		{"", ""},
+		{"!!!", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizeName(c.in); got != c.want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeNameIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := NormalizeName(s)
+		return NormalizeName(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

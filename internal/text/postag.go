@@ -1,0 +1,173 @@
+package text
+
+import "strings"
+
+// POSTag is a coarse part-of-speech class. The paper's RQ2a asks whether
+// NLP tools "perform as adequate as they should on informal text"; this
+// rule-based tagger is deliberately representative of the lexicon+suffix
+// heuristics such tools rely on, so the degradation on noisy text is
+// measurable (experiment E5).
+type POSTag int
+
+// Coarse tags.
+const (
+	TagUnknown POSTag = iota
+	TagNoun
+	TagProperNoun
+	TagVerb
+	TagAdjective
+	TagAdverb
+	TagPronoun
+	TagDeterminer
+	TagPreposition
+	TagConjunction
+	TagNumber
+	TagInterjection
+)
+
+// String implements fmt.Stringer.
+func (t POSTag) String() string {
+	switch t {
+	case TagNoun:
+		return "NOUN"
+	case TagProperNoun:
+		return "PROPN"
+	case TagVerb:
+		return "VERB"
+	case TagAdjective:
+		return "ADJ"
+	case TagAdverb:
+		return "ADV"
+	case TagPronoun:
+		return "PRON"
+	case TagDeterminer:
+		return "DET"
+	case TagPreposition:
+		return "ADP"
+	case TagConjunction:
+		return "CONJ"
+	case TagNumber:
+		return "NUM"
+	case TagInterjection:
+		return "INTJ"
+	default:
+		return "X"
+	}
+}
+
+var closedClass = map[string]POSTag{
+	// Pronouns.
+	"i": TagPronoun, "you": TagPronoun, "he": TagPronoun, "she": TagPronoun,
+	"it": TagPronoun, "we": TagPronoun, "they": TagPronoun, "me": TagPronoun,
+	"him": TagPronoun, "her": TagPronoun, "us": TagPronoun, "them": TagPronoun,
+	"my": TagPronoun, "your": TagPronoun, "his": TagPronoun, "its": TagPronoun,
+	"our": TagPronoun, "their": TagPronoun, "anyone": TagPronoun, "someone": TagPronoun,
+	// Determiners.
+	"the": TagDeterminer, "a": TagDeterminer, "an": TagDeterminer,
+	"this": TagDeterminer, "that": TagDeterminer, "these": TagDeterminer,
+	"those": TagDeterminer, "some": TagDeterminer, "any": TagDeterminer,
+	"no": TagDeterminer, "every": TagDeterminer, "each": TagDeterminer,
+	// Prepositions.
+	"in": TagPreposition, "on": TagPreposition, "at": TagPreposition,
+	"of": TagPreposition, "to": TagPreposition, "from": TagPreposition,
+	"by": TagPreposition, "with": TagPreposition, "near": TagPreposition,
+	"about": TagPreposition, "into": TagPreposition, "over": TagPreposition,
+	"under": TagPreposition, "between": TagPreposition, "around": TagPreposition,
+	"through": TagPreposition, "during": TagPreposition,
+	// Conjunctions.
+	"and": TagConjunction, "or": TagConjunction, "but": TagConjunction,
+	"because": TagConjunction, "unless": TagConjunction, "if": TagConjunction,
+	"while": TagConjunction, "though": TagConjunction,
+	// Common verbs (base + frequent inflections).
+	"is": TagVerb, "are": TagVerb, "was": TagVerb, "were": TagVerb,
+	"be": TagVerb, "been": TagVerb, "am": TagVerb, "have": TagVerb,
+	"has": TagVerb, "had": TagVerb, "do": TagVerb, "does": TagVerb,
+	"did": TagVerb, "will": TagVerb, "would": TagVerb, "can": TagVerb,
+	"could": TagVerb, "should": TagVerb, "may": TagVerb, "might": TagVerb,
+	"go": TagVerb, "went": TagVerb, "get": TagVerb, "got": TagVerb,
+	"recommend": TagVerb, "love": TagVerb, "loved": TagVerb, "hate": TagVerb,
+	"stay": TagVerb, "stayed": TagVerb, "visit": TagVerb, "told": TagVerb,
+	"made": TagVerb, "make": TagVerb, "send": TagVerb, "sent": TagVerb,
+	// Adverbs.
+	"very": TagAdverb, "really": TagAdverb, "just": TagAdverb,
+	"not": TagAdverb, "too": TagAdverb, "so": TagAdverb, "here": TagAdverb,
+	"there": TagAdverb, "now": TagAdverb, "never": TagAdverb, "always": TagAdverb,
+	"ridiculously": TagAdverb, "right": TagAdverb, "well": TagAdverb,
+	// Common adjectives seen in reviews.
+	"good": TagAdjective, "bad": TagAdjective, "nice": TagAdjective,
+	"great": TagAdjective, "cheap": TagAdjective, "expensive": TagAdjective,
+	"clean": TagAdjective, "dirty": TagAdjective, "friendly": TagAdjective,
+	"grim": TagAdjective, "sunny": TagAdjective, "new": TagAdjective,
+	"old": TagAdjective, "big": TagAdjective, "small": TagAdjective,
+	"impressed": TagAdjective, "enough": TagAdjective,
+	// Interjections.
+	"hi": TagInterjection, "hello": TagInterjection, "wow": TagInterjection,
+	"oh": TagInterjection, "yay": TagInterjection, "ugh": TagInterjection,
+	"lol": TagInterjection, "omg": TagInterjection,
+}
+
+// TagWord assigns a coarse POS tag to a single token given whether it
+// appeared sentence-initial (capitalisation at sentence start is not
+// evidence of a proper noun).
+func TagWord(tok Token, sentenceInitial bool) POSTag {
+	if tok.Kind == KindNumber {
+		return TagNumber
+	}
+	if tok.Kind == KindEmoticon || tok.Kind == KindMention || tok.Kind == KindURL {
+		return TagUnknown
+	}
+	w := tok.Lower
+	if tag, ok := closedClass[w]; ok {
+		return tag
+	}
+	// Capitalised mid-sentence word: the classic proper-noun cue. This is
+	// exactly the cue that informal lowercase text destroys ("obama …").
+	if !sentenceInitial && isCapitalized(tok.Text) {
+		return TagProperNoun
+	}
+	// Suffix heuristics.
+	switch {
+	case strings.HasSuffix(w, "ly"):
+		return TagAdverb
+	case strings.HasSuffix(w, "ing"), strings.HasSuffix(w, "ed"):
+		return TagVerb
+	case strings.HasSuffix(w, "ous"), strings.HasSuffix(w, "ful"),
+		strings.HasSuffix(w, "ive"), strings.HasSuffix(w, "able"),
+		strings.HasSuffix(w, "al"), strings.HasSuffix(w, "ish"):
+		return TagAdjective
+	case strings.HasSuffix(w, "tion"), strings.HasSuffix(w, "ness"),
+		strings.HasSuffix(w, "ment"), strings.HasSuffix(w, "ity"):
+		return TagNoun
+	}
+	if sentenceInitial && isCapitalized(tok.Text) {
+		// Ambiguous: could be a proper noun or just sentence case; call it
+		// noun and let downstream evidence decide.
+		return TagNoun
+	}
+	return TagNoun
+}
+
+// TagTokens tags a full token slice, tracking sentence boundaries.
+func TagTokens(tokens []Token) []POSTag {
+	tags := make([]POSTag, len(tokens))
+	sentenceInitial := true
+	for i, tok := range tokens {
+		if tok.Kind == KindPunct {
+			tags[i] = TagUnknown
+			if strings.ContainsAny(tok.Text, ".!?") {
+				sentenceInitial = true
+			}
+			continue
+		}
+		tags[i] = TagWord(tok, sentenceInitial)
+		sentenceInitial = false
+	}
+	return tags
+}
+
+func isCapitalized(s string) bool {
+	for _, r := range s {
+		return r >= 'A' && r <= 'Z'
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package text
+
+import "testing"
+
+func tagOf(t *testing.T, sentence, word string) POSTag {
+	t.Helper()
+	toks := Tokenize(sentence)
+	tags := TagTokens(toks)
+	for i, tok := range toks {
+		if tok.Text == word {
+			return tags[i]
+		}
+	}
+	t.Fatalf("word %q not found in %q", word, sentence)
+	return TagUnknown
+}
+
+func TestTagClosedClass(t *testing.T) {
+	cases := []struct {
+		sentence, word string
+		want           POSTag
+	}{
+		{"the hotel is nice", "the", TagDeterminer},
+		{"the hotel is nice", "is", TagVerb},
+		{"the hotel is nice", "nice", TagAdjective},
+		{"we stayed in Berlin", "in", TagPreposition},
+		{"we stayed in Berlin", "we", TagPronoun},
+		{"good and cheap", "and", TagConjunction},
+		{"really lovely view", "really", TagAdverb},
+	}
+	for _, c := range cases {
+		if got := tagOf(t, c.sentence, c.word); got != c.want {
+			t.Errorf("tag(%q in %q) = %v, want %v", c.word, c.sentence, got, c.want)
+		}
+	}
+}
+
+func TestTagProperNounMidSentence(t *testing.T) {
+	// Capitalised mid-sentence -> proper noun.
+	if got := tagOf(t, "we stayed in Berlin", "Berlin"); got != TagProperNoun {
+		t.Errorf("Berlin = %v, want PROPN", got)
+	}
+	// Sentence-initial capital is NOT proper-noun evidence.
+	if got := tagOf(t, "Hotels are nice", "Hotels"); got == TagProperNoun {
+		t.Error("sentence-initial capital misread as proper noun")
+	}
+}
+
+func TestTagLowercaseProperNounMissed(t *testing.T) {
+	// The paper's core observation: "obama" lowercase defeats the
+	// capitalisation cue. The tagger (correctly reproducing the failure
+	// mode) does NOT see a proper noun.
+	if got := tagOf(t, "i met obama today", "obama"); got == TagProperNoun {
+		t.Error("lowercase obama tagged PROPN; the traditional cue should fail here")
+	}
+}
+
+func TestTagSuffixHeuristics(t *testing.T) {
+	cases := []struct {
+		sentence, word string
+		want           POSTag
+	}{
+		{"walking around town", "walking", TagVerb},
+		{"we booked a room", "booked", TagVerb},
+		{"a wonderful celebration", "celebration", TagNoun},
+		{"incredibly spacious", "incredibly", TagAdverb},
+	}
+	for _, c := range cases {
+		if got := tagOf(t, c.sentence, c.word); got != c.want {
+			t.Errorf("tag(%q) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestTagNumbersAndNoise(t *testing.T) {
+	toks := Tokenize("rooms from $154 :) @guide http://x.io")
+	tags := TagTokens(toks)
+	for i, tok := range toks {
+		switch tok.Kind {
+		case KindNumber:
+			if tags[i] != TagNumber {
+				t.Errorf("number token %q tagged %v", tok.Text, tags[i])
+			}
+		case KindEmoticon, KindMention, KindURL:
+			if tags[i] != TagUnknown {
+				t.Errorf("noise token %q tagged %v", tok.Text, tags[i])
+			}
+		}
+	}
+}
+
+func TestSentenceBoundaryResets(t *testing.T) {
+	toks := Tokenize("great stay. Berlin was sunny")
+	tags := TagTokens(toks)
+	// "Berlin" follows the period, so it is sentence-initial; it must not be
+	// tagged PROPN on capitalisation alone.
+	for i, tok := range toks {
+		if tok.Text == "Berlin" && tags[i] == TagProperNoun {
+			t.Error("sentence-initial Berlin tagged PROPN from capitalisation")
+		}
+	}
+}
+
+func TestPOSTagString(t *testing.T) {
+	all := []POSTag{TagUnknown, TagNoun, TagProperNoun, TagVerb, TagAdjective,
+		TagAdverb, TagPronoun, TagDeterminer, TagPreposition, TagConjunction,
+		TagNumber, TagInterjection}
+	seen := map[string]bool{}
+	for _, tag := range all {
+		s := tag.String()
+		if s == "" {
+			t.Errorf("empty string for %d", tag)
+		}
+		if seen[s] {
+			t.Errorf("duplicate string %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,234 @@
+package text
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TimeRef is a resolved temporal expression: the "when" of the paper's W4
+// (who, where, when, what). Informal time references are vague ("this
+// morning", "an hour ago"), so a reference resolves to a window rather
+// than an instant, mirroring how spatial vagueness resolves to fuzzy
+// regions.
+type TimeRef struct {
+	// Start and End bound the window the expression refers to,
+	// Start <= End always.
+	Start, End time.Time
+	// Fuzzy marks hedged or inherently vague expressions.
+	Fuzzy bool
+	// Text is the surface form matched.
+	Text string
+}
+
+// Instant collapses the window to a single representative instant (its
+// midpoint), for callers that need one timestamp.
+func (r TimeRef) Instant() time.Time {
+	return r.Start.Add(r.End.Sub(r.Start) / 2)
+}
+
+// ParseTemporal finds the first temporal expression in an informal message
+// and resolves it against the reference time (normally the message's
+// receipt time). It recognises the patterns common in short reports:
+// "now", "today", "yesterday", "last night", "tonight", "this
+// morning/afternoon/evening", "N hours/minutes ago", "an hour ago",
+// "at 18:30", "at 6pm". Returns ok=false when the message carries no
+// recognisable time reference.
+func ParseTemporal(msg string, ref time.Time) (TimeRef, bool) {
+	tokens := Tokenize(msg)
+	for i := range tokens {
+		if r, ok := parseTemporalAt(tokens, i, ref); ok {
+			return r, true
+		}
+	}
+	return TimeRef{}, false
+}
+
+func parseTemporalAt(tokens []Token, i int, ref time.Time) (TimeRef, bool) {
+	low := tokens[i].Lower
+	day := func(t time.Time) time.Time {
+		return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, t.Location())
+	}
+	at := func(t time.Time, h, m int) time.Time {
+		return time.Date(t.Year(), t.Month(), t.Day(), h, m, 0, 0, t.Location())
+	}
+
+	switch low {
+	case "now", "atm":
+		return TimeRef{Start: ref, End: ref, Text: tokens[i].Text}, true
+	case "today":
+		return TimeRef{Start: day(ref), End: ref, Fuzzy: true, Text: tokens[i].Text}, true
+	case "yesterday":
+		y := day(ref).AddDate(0, 0, -1)
+		return TimeRef{Start: y, End: day(ref), Fuzzy: true, Text: tokens[i].Text}, true
+	case "tonight":
+		return TimeRef{Start: at(ref, 18, 0), End: at(ref, 23, 59), Fuzzy: true, Text: tokens[i].Text}, true
+	case "this":
+		if i+1 >= len(tokens) {
+			return TimeRef{}, false
+		}
+		switch tokens[i+1].Lower {
+		case "morning":
+			return TimeRef{Start: at(ref, 6, 0), End: at(ref, 12, 0), Fuzzy: true, Text: "this morning"}, true
+		case "afternoon":
+			return TimeRef{Start: at(ref, 12, 0), End: at(ref, 18, 0), Fuzzy: true, Text: "this afternoon"}, true
+		case "evening":
+			return TimeRef{Start: at(ref, 18, 0), End: at(ref, 22, 0), Fuzzy: true, Text: "this evening"}, true
+		}
+		return TimeRef{}, false
+	case "last":
+		if i+1 < len(tokens) && tokens[i+1].Lower == "night" {
+			prev := day(ref).AddDate(0, 0, -1)
+			return TimeRef{
+				Start: at(prev, 20, 0), End: day(ref),
+				Fuzzy: true, Text: "last night",
+			}, true
+		}
+		return TimeRef{}, false
+	case "an", "a":
+		// "an hour ago", "a minute ago".
+		if i+2 < len(tokens) && tokens[i+2].Lower == "ago" {
+			if d, ok := unitDuration(tokens[i+1].Lower); ok {
+				return agoRef(ref, d, tokens[i].Text+" "+tokens[i+1].Text+" ago"), true
+			}
+		}
+		return TimeRef{}, false
+	case "at":
+		if i+1 < len(tokens) {
+			if h, m, ok := clockTime(tokens[i+1].Lower); ok {
+				t := at(ref, h, m)
+				if t.After(ref) {
+					t = t.AddDate(0, 0, -1) // "at 18:30" received at 09:00 means yesterday evening
+				}
+				return TimeRef{Start: t, End: t, Text: "at " + tokens[i+1].Text}, true
+			}
+		}
+		return TimeRef{}, false
+	}
+
+	// "<N> hours ago", "<N> mins ago", possibly with the unit attached
+	// ("2h ago").
+	if tokens[i].Kind == KindNumber {
+		n, unit, ok := numberAndUnit(tokens, i)
+		if !ok {
+			return TimeRef{}, false
+		}
+		j := i + 1
+		if unitAttached(tokens[i].Lower) {
+			j = i + 1
+		} else {
+			j = i + 2
+		}
+		if j >= len(tokens) || tokens[j].Lower != "ago" {
+			return TimeRef{}, false
+		}
+		d, ok := unitDuration(unit)
+		if !ok {
+			return TimeRef{}, false
+		}
+		return agoRef(ref, time.Duration(n*float64(d)), "ago"), true
+	}
+	return TimeRef{}, false
+}
+
+// agoRef builds a fuzzy window around ref-d: informal "ago" statements are
+// round numbers, so the window spans ±10% of the stated distance (at least
+// a minute).
+func agoRef(ref time.Time, d time.Duration, txt string) TimeRef {
+	centre := ref.Add(-d)
+	slack := d / 10
+	if slack < time.Minute {
+		slack = time.Minute
+	}
+	end := centre.Add(slack)
+	if end.After(ref) {
+		end = ref
+	}
+	return TimeRef{Start: centre.Add(-slack), End: end, Fuzzy: true, Text: txt}
+}
+
+func unitDuration(unit string) (time.Duration, bool) {
+	switch strings.TrimSuffix(unit, "s") {
+	case "hour", "hr", "h":
+		return time.Hour, true
+	case "minute", "min", "m":
+		return time.Minute, true
+	case "day", "d":
+		return 24 * time.Hour, true
+	case "week", "wk", "w":
+		return 7 * 24 * time.Hour, true
+	default:
+		return 0, false
+	}
+}
+
+// clockTime parses "18:30", "6pm", "6.30pm", "06:05".
+func clockTime(s string) (h, m int, ok bool) {
+	pm := strings.HasSuffix(s, "pm")
+	am := strings.HasSuffix(s, "am")
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "pm"), "am")
+	s = strings.ReplaceAll(s, ".", ":")
+	hh, mm := s, "0"
+	if idx := strings.IndexByte(s, ':'); idx >= 0 {
+		hh, mm = s[:idx], s[idx+1:]
+	}
+	hv, err := strconv.Atoi(hh)
+	if err != nil {
+		return 0, 0, false
+	}
+	mv, err := strconv.Atoi(mm)
+	if err != nil || mv < 0 || mv > 59 {
+		return 0, 0, false
+	}
+	if pm && hv < 12 {
+		hv += 12
+	}
+	if am && hv == 12 {
+		hv = 0
+	}
+	if hv < 0 || hv > 23 {
+		return 0, 0, false
+	}
+	// A bare number without am/pm or minutes is too ambiguous to be a
+	// clock time ("at 5 km", "at 3 we left").
+	if !pm && !am && !strings.Contains(s, ":") {
+		return 0, 0, false
+	}
+	return hv, mv, true
+}
+
+// numberAndUnit extracts the quantity and unit from "<2> <hours>" or
+// "<2h>" token shapes.
+func numberAndUnit(tokens []Token, i int) (float64, string, bool) {
+	low := tokens[i].Lower
+	idx := len(low)
+	for k, r := range low {
+		if !(r >= '0' && r <= '9' || r == '.') {
+			idx = k
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(low[:idx], 64)
+	if err != nil {
+		return 0, "", false
+	}
+	if idx < len(low) {
+		return n, low[idx:], true // attached: "2h"
+	}
+	if i+1 < len(tokens) {
+		return n, tokens[i+1].Lower, true
+	}
+	return 0, "", false
+}
+
+func unitAttached(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			if r == '.' {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// ref is 2011-04-01 14:30 UTC — a fixed reception time for all cases.
+var tempRef = time.Date(2011, 4, 1, 14, 30, 0, 0, time.UTC)
+
+func TestParseTemporalTable(t *testing.T) {
+	cases := []struct {
+		msg        string
+		wantStart  time.Time
+		wantEnd    time.Time
+		wantFuzzy  bool
+		wantInside time.Time // instant that must fall in [Start, End]
+	}{
+		{
+			msg:       "road is flooded now near the bridge",
+			wantStart: tempRef, wantEnd: tempRef,
+		},
+		{
+			msg:       "accident on the highway this morning",
+			wantStart: time.Date(2011, 4, 1, 6, 0, 0, 0, time.UTC),
+			wantEnd:   time.Date(2011, 4, 1, 12, 0, 0, 0, time.UTC),
+			wantFuzzy: true,
+		},
+		{
+			msg:       "heavy rain last night damaged the crop",
+			wantStart: time.Date(2011, 3, 31, 20, 0, 0, 0, time.UTC),
+			wantEnd:   time.Date(2011, 4, 1, 0, 0, 0, 0, time.UTC),
+			wantFuzzy: true,
+		},
+		{
+			msg:       "market closed yesterday",
+			wantStart: time.Date(2011, 3, 31, 0, 0, 0, 0, time.UTC),
+			wantEnd:   time.Date(2011, 4, 1, 0, 0, 0, 0, time.UTC),
+			wantFuzzy: true,
+		},
+		{
+			msg:        "pothole reported 2 hours ago on main road",
+			wantFuzzy:  true,
+			wantInside: tempRef.Add(-2 * time.Hour),
+		},
+		{
+			msg:        "saw the locusts an hour ago",
+			wantFuzzy:  true,
+			wantInside: tempRef.Add(-time.Hour),
+		},
+		{
+			msg:       "train leaves at 6pm tonight",
+			wantStart: time.Date(2011, 3, 31, 18, 0, 0, 0, time.UTC), // 18:00 after 14:30 -> yesterday
+			wantEnd:   time.Date(2011, 3, 31, 18, 0, 0, 0, time.UTC),
+		},
+		{
+			msg:       "roadworks started at 08:15",
+			wantStart: time.Date(2011, 4, 1, 8, 15, 0, 0, time.UTC),
+			wantEnd:   time.Date(2011, 4, 1, 8, 15, 0, 0, time.UTC),
+		},
+	}
+	for _, c := range cases {
+		r, ok := ParseTemporal(c.msg, tempRef)
+		if !ok {
+			t.Errorf("%q: no temporal reference found", c.msg)
+			continue
+		}
+		if r.Fuzzy != c.wantFuzzy {
+			t.Errorf("%q: fuzzy = %t, want %t", c.msg, r.Fuzzy, c.wantFuzzy)
+		}
+		if !c.wantStart.IsZero() {
+			if !r.Start.Equal(c.wantStart) || !r.End.Equal(c.wantEnd) {
+				t.Errorf("%q: window [%v, %v], want [%v, %v]", c.msg, r.Start, r.End, c.wantStart, c.wantEnd)
+			}
+		}
+		if !c.wantInside.IsZero() {
+			if c.wantInside.Before(r.Start) || c.wantInside.After(r.End) {
+				t.Errorf("%q: %v outside window [%v, %v]", c.msg, c.wantInside, r.Start, r.End)
+			}
+		}
+	}
+}
+
+func TestParseTemporalNone(t *testing.T) {
+	for _, msg := range []string{
+		"great hotel in Berlin",          // no time reference
+		"the market is 5 km from town",   // distance, not time
+		"I paid $154 at the Essex House", // "at" + money
+		"bus at 3 was late",              // bare ambiguous number
+		"this hotel is lovely",           // "this" + non-period
+		"last room available",            // "last" + non-period
+		"",                               // empty
+		"an apple a day",                 // "a <word>" without ago
+	} {
+		if r, ok := ParseTemporal(msg, tempRef); ok {
+			t.Errorf("%q: unexpected temporal %+v", msg, r)
+		}
+	}
+}
+
+// TestTemporalWindowInvariants: for any parse, Start <= End, End <= ref
+// for past references, and Instant falls inside the window.
+func TestTemporalWindowInvariants(t *testing.T) {
+	msgs := []string{
+		"flooded now", "this morning", "this afternoon", "this evening",
+		"yesterday", "last night", "tonight", "today",
+		"3 hours ago", "45 mins ago", "2 days ago", "an hour ago",
+		"at 18:30", "at 7pm", "at 6.15am", "1 week ago",
+	}
+	for _, msg := range msgs {
+		r, ok := ParseTemporal(msg, tempRef)
+		if !ok {
+			t.Errorf("%q: no parse", msg)
+			continue
+		}
+		if r.Start.After(r.End) {
+			t.Errorf("%q: Start %v after End %v", msg, r.Start, r.End)
+		}
+		inst := r.Instant()
+		if inst.Before(r.Start) || inst.After(r.End) {
+			t.Errorf("%q: Instant %v outside [%v, %v]", msg, inst, r.Start, r.End)
+		}
+		// "tonight" and "this evening" legitimately refer forward when
+		// received in the afternoon.
+		if msg != "tonight" && msg != "this evening" && r.Start.After(tempRef) {
+			t.Errorf("%q: past reference starts in the future: %v", msg, r.Start)
+		}
+	}
+}
+
+// TestAgoWindowProperty: for arbitrary durations, the "ago" window always
+// contains the exact stated instant and never extends past the reference.
+func TestAgoWindowProperty(t *testing.T) {
+	f := func(mins uint16) bool {
+		d := time.Duration(mins%10000+1) * time.Minute
+		r := agoRef(tempRef, d, "x")
+		centre := tempRef.Add(-d)
+		return !r.Start.After(centre) && !r.End.Before(centre) &&
+			!r.End.After(tempRef) && !r.Start.After(r.End)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockTime(t *testing.T) {
+	cases := map[string][2]int{
+		"18:30":  {18, 30},
+		"08:15":  {8, 15},
+		"6pm":    {18, 0},
+		"6.30pm": {18, 30},
+		"12am":   {0, 0},
+		"12pm":   {12, 0},
+		"6am":    {6, 0},
+	}
+	for in, want := range cases {
+		h, m, ok := clockTime(in)
+		if !ok || h != want[0] || m != want[1] {
+			t.Errorf("clockTime(%q) = %d:%d ok=%t, want %d:%d", in, h, m, ok, want[0], want[1])
+		}
+	}
+	for _, bad := range []string{"3", "25:00", "9:75", "pm", "abc", "154"} {
+		if _, _, ok := clockTime(bad); ok {
+			t.Errorf("clockTime(%q) parsed, want reject", bad)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package text is the language substrate for informal short messages
+// (tweets, SMS). It provides a noise-tolerant tokeniser, a normaliser that
+// expands the "modern new abbreviations and expressions" the paper blames
+// for breaking classic NLP pipelines, string-similarity measures for
+// misspelling-tolerant matching, n-gram extraction, orthographic features,
+// and a light-weight rule-based part-of-speech tagger.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies a token's surface form.
+type TokenKind int
+
+// Token kinds.
+const (
+	KindWord TokenKind = iota
+	KindNumber
+	KindPunct
+	KindHashtag
+	KindMention
+	KindURL
+	KindEmoticon
+)
+
+// String implements fmt.Stringer.
+func (k TokenKind) String() string {
+	switch k {
+	case KindWord:
+		return "word"
+	case KindNumber:
+		return "number"
+	case KindPunct:
+		return "punct"
+	case KindHashtag:
+		return "hashtag"
+	case KindMention:
+		return "mention"
+	case KindURL:
+		return "url"
+	case KindEmoticon:
+		return "emoticon"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is a single lexical unit of an informal message.
+type Token struct {
+	Text  string    // surface form as written
+	Lower string    // lowercased surface form
+	Kind  TokenKind // lexical class
+	Start int       // byte offset of the token's first byte in the input
+	End   int       // byte offset one past the token's last byte
+}
+
+// emoticons recognised as single tokens; informal text is full of them and
+// they carry sentiment.
+var emoticons = map[string]bool{
+	":)": true, ":-)": true, ":(": true, ":-(": true, ":D": true, ":-D": true,
+	";)": true, ";-)": true, ":P": true, ":-P": true, ":/": true, ":-/": true,
+	"<3": true, ":'(": true, "xD": true, "XD": true, "=)": true, "=(": true,
+}
+
+// Tokenize splits an informal message into tokens, keeping hashtags,
+// mentions, URLs, emoticons, numbers with units or currency, and
+// apostrophised words intact. It never fails: any byte sequence yields a
+// (possibly empty) token list.
+func Tokenize(s string) []Token {
+	var out []Token
+	runes := []rune(s)
+	// byteAt[i] is the byte offset of runes[i]; byteAt[len] = len(s).
+	byteAt := make([]int, len(runes)+1)
+	{
+		off := 0
+		for i, r := range runes {
+			byteAt[i] = off
+			off += runeLen(r)
+		}
+		byteAt[len(runes)] = len(s)
+	}
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '#' && i+1 < len(runes) && isWordRune(runes[i+1]):
+			j := i + 1
+			for j < len(runes) && isWordRune(runes[j]) {
+				j++
+			}
+			out = append(out, makeToken(string(runes[i:j]), KindHashtag, byteAt[i], byteAt[j]))
+			i = j
+		case r == '@' && i+1 < len(runes) && isWordRune(runes[i+1]):
+			j := i + 1
+			for j < len(runes) && isWordRune(runes[j]) {
+				j++
+			}
+			out = append(out, makeToken(string(runes[i:j]), KindMention, byteAt[i], byteAt[j]))
+			i = j
+		case hasURLPrefix(runes[i:]):
+			j := i
+			for j < len(runes) && !unicode.IsSpace(runes[j]) {
+				j++
+			}
+			out = append(out, makeToken(string(runes[i:j]), KindURL, byteAt[i], byteAt[j]))
+			i = j
+		case matchEmoticon(runes[i:]) > 0:
+			n := matchEmoticon(runes[i:])
+			out = append(out, makeToken(string(runes[i:i+n]), KindEmoticon, byteAt[i], byteAt[i+n]))
+			i += n
+		case unicode.IsDigit(r) || (r == '$' || r == '€' || r == '£') && i+1 < len(runes) && unicode.IsDigit(runes[i+1]):
+			j := i
+			if !unicode.IsDigit(runes[j]) {
+				j++ // leading currency sign
+			}
+			for j < len(runes) && (unicode.IsDigit(runes[j]) || runes[j] == '.' || runes[j] == ',' || runes[j] == ':') {
+				// Keep separators only between digits ("154.50", "18:30").
+				if runes[j] != '.' && runes[j] != ',' && runes[j] != ':' {
+					j++
+					continue
+				}
+				if j+1 < len(runes) && unicode.IsDigit(runes[j+1]) {
+					j++
+					continue
+				}
+				break
+			}
+			// Attach trailing unit letters ("5km", "30min", "154USD").
+			for j < len(runes) && unicode.IsLetter(runes[j]) {
+				j++
+			}
+			out = append(out, makeToken(string(runes[i:j]), KindNumber, byteAt[i], byteAt[j]))
+			i = j
+		case unicode.IsLetter(r):
+			j := i
+			for j < len(runes) && (isWordRune(runes[j]) || isInnerApostrophe(runes, j) || isInnerAmpersand(runes, j)) {
+				j++
+			}
+			out = append(out, makeToken(string(runes[i:j]), KindWord, byteAt[i], byteAt[j]))
+			i = j
+		default:
+			// Group runs of the same punctuation ("!!!!" stays one token; it
+			// is an intensity signal for sentiment).
+			j := i + 1
+			for j < len(runes) && runes[j] == r {
+				j++
+			}
+			out = append(out, makeToken(string(runes[i:j]), KindPunct, byteAt[i], byteAt[j]))
+			i = j
+		}
+	}
+	return out
+}
+
+func makeToken(s string, kind TokenKind, start, end int) Token {
+	return Token{Text: s, Lower: strings.ToLower(s), Kind: kind, Start: start, End: end}
+}
+
+func runeLen(r rune) int {
+	switch {
+	case r < 0x80:
+		return 1
+	case r < 0x800:
+		return 2
+	case r < 0x10000:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// isInnerApostrophe allows "don't", "drivers'" to stay single tokens.
+func isInnerApostrophe(runes []rune, j int) bool {
+	if runes[j] != '\'' && runes[j] != '’' {
+		return false
+	}
+	return j > 0 && unicode.IsLetter(runes[j-1]) &&
+		(j+1 >= len(runes) || unicode.IsLetter(runes[j+1]) || unicode.IsSpace(runes[j+1]))
+}
+
+// isInnerAmpersand keeps business names like "McCormick & Schmicks"
+// separable but joins "M&S"-style abbreviations.
+func isInnerAmpersand(runes []rune, j int) bool {
+	return runes[j] == '&' && j > 0 && unicode.IsLetter(runes[j-1]) &&
+		j+1 < len(runes) && unicode.IsLetter(runes[j+1])
+}
+
+func hasURLPrefix(runes []rune) bool {
+	for _, p := range []string{"http://", "https://", "www."} {
+		if len(runes) >= len(p) && strings.EqualFold(string(runes[:len(p)]), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchEmoticon(runes []rune) int {
+	for n := 3; n >= 2; n-- {
+		if len(runes) >= n && emoticons[string(runes[:n])] {
+			// An emoticon must be followed by space or end of input so that
+			// ":Paris" is not cut into ":P" + "aris".
+			if len(runes) == n || unicode.IsSpace(runes[n]) || emoticonSafeFollower(runes[n]) {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+func emoticonSafeFollower(r rune) bool {
+	return r == '.' || r == ',' || r == '!' || r == '?'
+}
+
+// Words returns just the word-like token texts (words, hashtags without '#',
+// numbers), lowercased — the form most classifiers consume.
+func Words(tokens []Token) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		switch t.Kind {
+		case KindWord, KindNumber:
+			out = append(out, t.Lower)
+		case KindHashtag:
+			out = append(out, strings.TrimPrefix(t.Lower, "#"))
+		}
+	}
+	return out
+}
+
+// Sentences splits a message into rough sentence spans on ., !, ? runs.
+// Informal text rarely has clean sentence structure; this is a best-effort
+// segmentation used by the extraction rules.
+func Sentences(s string) []string {
+	var out []string
+	var cur strings.Builder
+	for _, r := range s {
+		cur.WriteRune(r)
+		if r == '.' || r == '!' || r == '?' {
+			if t := strings.TrimSpace(cur.String()); t != "" && hasLetter(t) {
+				out = append(out, t)
+			}
+			cur.Reset()
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" && hasLetter(t) {
+		out = append(out, t)
+	}
+	return out
+}
+
+func hasLetter(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,210 @@
+package text
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tokenTexts(ts []Token) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	ts := Tokenize("Good morning Berlin. The sun is out!!!!")
+	want := []string{"Good", "morning", "Berlin", ".", "The", "sun", "is", "out", "!!!!"}
+	if got := tokenTexts(ts); !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeHashtagMention(t *testing.T) {
+	ts := Tokenize("Very impressed by the customer service at #movenpick hotel @berlinguide")
+	var hashtags, mentions []string
+	for _, tok := range ts {
+		switch tok.Kind {
+		case KindHashtag:
+			hashtags = append(hashtags, tok.Text)
+		case KindMention:
+			mentions = append(mentions, tok.Text)
+		}
+	}
+	if !reflect.DeepEqual(hashtags, []string{"#movenpick"}) {
+		t.Errorf("hashtags = %v", hashtags)
+	}
+	if !reflect.DeepEqual(mentions, []string{"@berlinguide"}) {
+		t.Errorf("mentions = %v", mentions)
+	}
+}
+
+func TestTokenizeCurrencyAndUnits(t *testing.T) {
+	ts := Tokenize("Essex House Hotel and Suites from $154 USD, 5km from centre, open 18:30")
+	var numbers []string
+	for _, tok := range ts {
+		if tok.Kind == KindNumber {
+			numbers = append(numbers, tok.Text)
+		}
+	}
+	want := []string{"$154", "5km", "18:30"}
+	if !reflect.DeepEqual(numbers, want) {
+		t.Errorf("numbers = %v, want %v", numbers, want)
+	}
+}
+
+func TestTokenizeAmpersandName(t *testing.T) {
+	ts := Tokenize("McCormick & Schmicks is a few blocks west")
+	got := tokenTexts(ts)
+	if got[0] != "McCormick" {
+		t.Errorf("first token %q", got[0])
+	}
+	// "&" between spaced words stays separate punctuation.
+	found := false
+	for _, s := range got {
+		if s == "&" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("& not tokenised separately in %v", got)
+	}
+	// But tight M&S stays together.
+	ts2 := Tokenize("shopping at M&S today")
+	joined := false
+	for _, tok := range ts2 {
+		if tok.Text == "M&S" {
+			joined = true
+		}
+	}
+	if !joined {
+		t.Errorf("M&S split: %v", tokenTexts(ts2))
+	}
+}
+
+func TestTokenizeApostrophe(t *testing.T) {
+	ts := Tokenize("don't miss Schmick's rooftop")
+	got := tokenTexts(ts)
+	if got[0] != "don't" {
+		t.Errorf("got %q, want don't", got[0])
+	}
+	if got[2] != "Schmick's" {
+		t.Errorf("got %q, want Schmick's", got[2])
+	}
+}
+
+func TestTokenizeEmoticons(t *testing.T) {
+	ts := Tokenize("loved it :) but the weather :( was grim")
+	var emo []string
+	for _, tok := range ts {
+		if tok.Kind == KindEmoticon {
+			emo = append(emo, tok.Text)
+		}
+	}
+	if !reflect.DeepEqual(emo, []string{":)", ":("}) {
+		t.Errorf("emoticons = %v", emo)
+	}
+	// ":Paris" must not become ":P" + "aris".
+	ts2 := Tokenize("next stop :Paris")
+	for _, tok := range ts2 {
+		if tok.Kind == KindEmoticon {
+			t.Errorf("false emoticon %q in :Paris", tok.Text)
+		}
+	}
+}
+
+func TestTokenizeURL(t *testing.T) {
+	ts := Tokenize("see https://example.com/x?y=1 and www.maps.net now")
+	var urls []string
+	for _, tok := range ts {
+		if tok.Kind == KindURL {
+			urls = append(urls, tok.Text)
+		}
+	}
+	if len(urls) != 2 {
+		t.Fatalf("urls = %v", urls)
+	}
+	if urls[0] != "https://example.com/x?y=1" || urls[1] != "www.maps.net" {
+		t.Errorf("urls = %v", urls)
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	s := "café near Köln :) #fun"
+	for _, tok := range Tokenize(s) {
+		if tok.Start < 0 || tok.End > len(s) || tok.Start >= tok.End {
+			t.Fatalf("bad offsets %d..%d for %q", tok.Start, tok.End, tok.Text)
+		}
+		if s[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset slice %q != token %q", s[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeOffsetsProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		prevEnd := 0
+		for _, tok := range toks {
+			if tok.Start < prevEnd || tok.End > len(s) || tok.Start >= tok.End {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			prevEnd = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeEmptyAndSpace(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+	if got := Tokenize("   \t\n "); len(got) != 0 {
+		t.Errorf("whitespace input: %v", got)
+	}
+}
+
+func TestWords(t *testing.T) {
+	ts := Tokenize("Good hotels in #Berlin cost $154 :) http://x.io")
+	got := Words(ts)
+	want := []string{"good", "hotels", "in", "berlin", "cost", "$154"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestSentences(t *testing.T) {
+	got := Sentences("Good morning Berlin. The sun is out!!!! Very impressed.")
+	if len(got) != 3 {
+		t.Fatalf("Sentences = %v", got)
+	}
+	if !strings.HasPrefix(got[0], "Good morning") {
+		t.Errorf("first sentence %q", got[0])
+	}
+	// No trailing empty sentence from punctuation runs.
+	got2 := Sentences("hello!!! ")
+	if len(got2) != 1 {
+		t.Errorf("Sentences trailing = %v", got2)
+	}
+	if got3 := Sentences(""); len(got3) != 0 {
+		t.Errorf("empty = %v", got3)
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	kinds := []TokenKind{KindWord, KindNumber, KindPunct, KindHashtag, KindMention, KindURL, KindEmoticon, TokenKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty String for kind %d", k)
+		}
+	}
+}

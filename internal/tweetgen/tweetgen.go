@@ -1,0 +1,357 @@
+// Package tweetgen generates synthetic labelled tweet/SMS streams for the
+// three validation scenarios (tourism, traffic, farming). Each message
+// carries ground truth — type, domain, entities, attitude — so extraction
+// precision/recall is measurable (experiments E5-E7). A noise model
+// injects exactly the ill-behaved phenomena the paper enumerates: dropped
+// capitalisation, SMS abbreviations, misspellings, elongations, hashtags
+// and exclamation runs.
+package tweetgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/text"
+)
+
+// Domain selects a generation scenario.
+type Domain string
+
+// Domains.
+const (
+	DomainTourism Domain = "tourism"
+	DomainTraffic Domain = "traffic"
+	DomainFarming Domain = "farming"
+	DomainMixed   Domain = "mixed"
+)
+
+// TruthEntity is one gold entity mention.
+type TruthEntity struct {
+	Text string
+	Type string // "facility" or "location"
+}
+
+// Truth is the gold label of one generated message.
+type Truth struct {
+	Type     string // "informative" or "request"
+	Domain   Domain
+	Entities []TruthEntity
+	// Attitude is +1 positive, -1 negative, 0 neutral/none.
+	Attitude int
+	// City is the gold location name (its clean form).
+	City string
+	// Facility is the gold facility name, if any (clean form).
+	Facility string
+}
+
+// Message is a generated message with its gold labels.
+type Message struct {
+	Text   string
+	Source string
+	Truth  Truth
+}
+
+// Config parameterises generation.
+type Config struct {
+	Seed int64
+	// Noise in [0, 1]: probability that each noise transform applies.
+	Noise float64
+	// Domain to generate; DomainMixed rotates scenarios.
+	Domain Domain
+	// RequestRatio is the fraction of request messages (default 0.2).
+	RequestRatio float64
+}
+
+// Generator produces labelled messages.
+type Generator struct {
+	rng *rand.Rand
+	cfg Config
+}
+
+// New returns a generator. Noise and ratios are clamped to [0, 1].
+func New(cfg Config) (*Generator, error) {
+	if cfg.Noise < 0 || cfg.Noise > 1 {
+		return nil, fmt.Errorf("tweetgen: noise %v outside [0, 1]", cfg.Noise)
+	}
+	if cfg.RequestRatio == 0 {
+		cfg.RequestRatio = 0.2
+	}
+	if cfg.RequestRatio < 0 || cfg.RequestRatio > 1 {
+		return nil, fmt.Errorf("tweetgen: request ratio %v outside [0, 1]", cfg.RequestRatio)
+	}
+	switch cfg.Domain {
+	case DomainTourism, DomainTraffic, DomainFarming, DomainMixed, "":
+	default:
+		return nil, fmt.Errorf("tweetgen: unknown domain %q", cfg.Domain)
+	}
+	if cfg.Domain == "" {
+		cfg.Domain = DomainMixed
+	}
+	return &Generator{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}, nil
+}
+
+// Cities are the clean location names the generator draws from; they match
+// the synthetic gazetteer's anchor cities so extraction can resolve them.
+var Cities = []string{
+	"Berlin", "Paris", "Cairo", "London", "Amsterdam", "Madrid", "Rome",
+	"Nairobi", "Lagos", "Sydney", "Toronto", "Mumbai", "Manila",
+}
+
+// Generate returns n labelled messages.
+func (g *Generator) Generate(n int) []Message {
+	out := make([]Message, 0, n)
+	for i := 0; i < n; i++ {
+		domain := g.cfg.Domain
+		if domain == DomainMixed {
+			domain = []Domain{DomainTourism, DomainTraffic, DomainFarming}[i%3]
+		}
+		var m Message
+		isRequest := g.rng.Float64() < g.cfg.RequestRatio
+		switch domain {
+		case DomainTourism:
+			m = g.tourism(isRequest)
+		case DomainTraffic:
+			m = g.traffic(isRequest)
+		default:
+			m = g.farming(isRequest)
+		}
+		m.Source = fmt.Sprintf("user%02d", g.rng.Intn(40))
+		m.Text = g.applyNoise(m.Text)
+		out = append(out, m)
+	}
+	return out
+}
+
+func (g *Generator) pick(xs []string) string { return xs[g.rng.Intn(len(xs))] }
+
+func (g *Generator) city() string { return g.pick(Cities) }
+
+// hotelName builds a clean facility name ending in a cue word.
+func (g *Generator) hotelName() string {
+	adj := g.pick([]string{"Grand", "Royal", "Central", "Garden", "Harbour", "Golden", "Park", "Star", "Sunset", "River"})
+	noun := g.pick([]string{"Palace", "View", "Plaza", "Crown", "Lion", "Rose", "Gate", "Bridge"})
+	cue := g.pick([]string{"Hotel", "Inn", "Hostel", "Resort"})
+	return adj + " " + noun + " " + cue
+}
+
+func (g *Generator) tourism(isRequest bool) Message {
+	city := g.city()
+	if isRequest {
+		tmpl := g.pick([]string{
+			"can anyone recommend a good hotel in %s?",
+			"any cheap hotels near %s?",
+			"which hotel has the best breakfast in %s?",
+			"looking for a clean hostel in %s, tips?",
+		})
+		return Message{
+			Text: fmt.Sprintf(tmpl, city),
+			Truth: Truth{
+				Type: "request", Domain: DomainTourism, City: city,
+				Entities: []TruthEntity{{Text: city, Type: "location"}},
+			},
+		}
+	}
+	hotel := g.hotelName()
+	positive := g.rng.Float64() < 0.65
+	var tmpl string
+	att := 1
+	if positive {
+		tmpl = g.pick([]string{
+			"loved the %s in %s, great stay",
+			"very impressed by the service at %s in %s",
+			"%s in %s has lovely clean rooms, recommended",
+			"wonderful breakfast at the %s in %s",
+		})
+	} else {
+		att = -1
+		tmpl = g.pick([]string{
+			"terrible night at the %s in %s, dirty room",
+			"%s in %s was noisy and overpriced, avoid",
+			"rude staff at the %s in %s, disappointed",
+		})
+	}
+	return Message{
+		Text: fmt.Sprintf(tmpl, hotel, city),
+		Truth: Truth{
+			Type: "informative", Domain: DomainTourism,
+			City: city, Facility: hotel, Attitude: att,
+			Entities: []TruthEntity{
+				{Text: hotel, Type: "facility"},
+				{Text: city, Type: "location"},
+			},
+		},
+	}
+}
+
+func (g *Generator) traffic(isRequest bool) Message {
+	city := g.city()
+	if isRequest {
+		tmpl := g.pick([]string{
+			"any traffic in %s this morning?",
+			"is the road to %s open?",
+			"how bad is the jam near %s?",
+		})
+		return Message{
+			Text: fmt.Sprintf(tmpl, city),
+			Truth: Truth{
+				Type: "request", Domain: DomainTraffic, City: city,
+				Entities: []TruthEntity{{Text: city, Type: "location"}},
+			},
+		}
+	}
+	tmpl := g.pick([]string{
+		"huge traffic jam in %s after the accident",
+		"road near %s flooded, take the detour",
+		"traffic moving slowly past the checkpoint in %s",
+		"accident at the bridge in %s, road blocked",
+	})
+	return Message{
+		Text: fmt.Sprintf(tmpl, city),
+		Truth: Truth{
+			Type: "informative", Domain: DomainTraffic, City: city, Attitude: -1,
+			Entities: []TruthEntity{{Text: city, Type: "location"}},
+		},
+	}
+}
+
+func (g *Generator) farming(isRequest bool) Message {
+	city := g.city()
+	crop := g.pick([]string{"maize", "wheat", "cassava", "beans", "coffee", "sorghum"})
+	if isRequest {
+		tmpl := g.pick([]string{
+			"how are %s prices at the market in %s?",
+			"when should i sow %s near %s?",
+			"any locust sightings around %s?",
+		})
+		txt := fmt.Sprintf(tmpl, crop, city)
+		if strings.Count(tmpl, "%s") == 1 {
+			txt = fmt.Sprintf(tmpl, city)
+		}
+		return Message{
+			Text: txt,
+			Truth: Truth{
+				Type: "request", Domain: DomainFarming, City: city,
+				Entities: []TruthEntity{{Text: city, Type: "location"}},
+			},
+		}
+	}
+	tmpl := g.pick([]string{
+		"%s prices up at the market in %s today",
+		"blight spotted on %s fields near %s",
+		"good rains in %s, sowing %s tomorrow",
+		"locust swarm moving towards %s, protect your %s",
+	})
+	var txt string
+	if strings.Index(tmpl, "%s") < strings.LastIndex(tmpl, "%s") &&
+		(strings.HasPrefix(tmpl, "good rains") || strings.HasPrefix(tmpl, "locust")) {
+		txt = fmt.Sprintf(tmpl, city, crop)
+	} else {
+		txt = fmt.Sprintf(tmpl, crop, city)
+	}
+	return Message{
+		Text: txt,
+		Truth: Truth{
+			Type: "informative", Domain: DomainFarming, City: city,
+			Entities: []TruthEntity{{Text: city, Type: "location"}},
+		},
+	}
+}
+
+// sms abbreviation substitutions applied by the noise model (forward
+// direction of the normaliser's table).
+var smsSubs = [][2]string{
+	{"be", "b"}, {"you", "u"}, {"your", "ur"}, {"are", "r"},
+	{"great", "gr8"}, {"tonight", "2nite"}, {"today", "2day"},
+	{"please", "pls"}, {"good", "gd"}, {"very", "vry"}, {"love", "luv"},
+	{"near", "nr"}, {"tomorrow", "2moro"},
+}
+
+// applyNoise makes a clean message ill-behaved.
+func (g *Generator) applyNoise(s string) string {
+	noise := g.cfg.Noise
+	if noise == 0 {
+		return s
+	}
+	// Lowercase everything: the capitalisation-cue killer.
+	if g.rng.Float64() < noise {
+		s = strings.ToLower(s)
+	}
+	// SMS abbreviations.
+	if g.rng.Float64() < noise {
+		for _, sub := range smsSubs {
+			s = replaceWord(s, sub[0], sub[1])
+		}
+	}
+	// Misspell one mid-length word (adjacent transposition).
+	if g.rng.Float64() < noise {
+		s = g.transposeOneWord(s)
+	}
+	// Elongate a sentiment-ish word.
+	if g.rng.Float64() < noise {
+		for _, w := range []string{"love", "loved", "nice", "so", "great", "bad"} {
+			if containsWord(s, w) {
+				s = replaceWord(s, w, w+strings.Repeat(string(w[len(w)-1]), 3))
+				break
+			}
+		}
+	}
+	// Trailing exclamations or a hashtag.
+	if g.rng.Float64() < noise/2 {
+		s += " !!!"
+	}
+	if g.rng.Float64() < noise/2 {
+		s += " #" + strings.ToLower(strings.Fields(s)[0])
+	}
+	return s
+}
+
+// transposeOneWord swaps two adjacent letters inside one word of length
+// >= 5 that is not an entity-looking capitalised word.
+func (g *Generator) transposeOneWord(s string) string {
+	words := strings.Fields(s)
+	idxs := g.rng.Perm(len(words))
+	for _, i := range idxs {
+		w := words[i]
+		if len(w) < 5 || strings.ToLower(w) != w {
+			continue
+		}
+		if !text.IsStopword(w) && isAlpha(w) {
+			p := 1 + g.rng.Intn(len(w)-2)
+			b := []byte(w)
+			b[p], b[p+1] = b[p+1], b[p]
+			words[i] = string(b)
+			return strings.Join(words, " ")
+		}
+	}
+	return s
+}
+
+func isAlpha(s string) bool {
+	for _, r := range s {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+func containsWord(s, w string) bool {
+	for _, f := range strings.Fields(strings.ToLower(s)) {
+		if strings.Trim(f, ".,!?") == w {
+			return true
+		}
+	}
+	return false
+}
+
+func replaceWord(s, from, to string) string {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		trimmed := strings.Trim(f, ".,!?")
+		if strings.EqualFold(trimmed, from) {
+			fields[i] = strings.Replace(f, trimmed, to, 1)
+		}
+	}
+	return strings.Join(fields, " ")
+}

@@ -1,0 +1,205 @@
+package tweetgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gazetteer"
+	"repro/internal/ner"
+	"repro/internal/ontology"
+	"repro/internal/sentiment"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := New(Config{Seed: 5, Noise: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(Config{Seed: 5, Noise: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g1.Generate(50)
+	b := g2.Generate(50)
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Fatalf("message %d differs: %q vs %q", i, a[i].Text, b[i].Text)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := New(Config{Noise: -0.1}); err == nil {
+		t.Error("negative noise accepted")
+	}
+	if _, err := New(Config{Noise: 1.1}); err == nil {
+		t.Error("noise > 1 accepted")
+	}
+	if _, err := New(Config{Domain: "cooking"}); err == nil {
+		t.Error("unknown domain accepted")
+	}
+	if _, err := New(Config{RequestRatio: 2}); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+}
+
+func TestGeneratorLabels(t *testing.T) {
+	g, err := New(Config{Seed: 7, Domain: DomainMixed, RequestRatio: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := g.Generate(300)
+	if len(msgs) != 300 {
+		t.Fatalf("generated %d", len(msgs))
+	}
+	var requests, informatives int
+	domains := map[Domain]int{}
+	for _, m := range msgs {
+		switch m.Truth.Type {
+		case "request":
+			requests++
+		case "informative":
+			informatives++
+		default:
+			t.Fatalf("bad type %q", m.Truth.Type)
+		}
+		domains[m.Truth.Domain]++
+		if m.Text == "" || m.Source == "" {
+			t.Fatal("empty text or source")
+		}
+		if len(m.Truth.Entities) == 0 {
+			t.Fatalf("no gold entities for %q", m.Text)
+		}
+		if m.Truth.City == "" {
+			t.Fatalf("no gold city for %q", m.Text)
+		}
+	}
+	if requests < 50 || requests > 150 {
+		t.Errorf("requests = %d of 300 at ratio 0.3", requests)
+	}
+	for _, d := range []Domain{DomainTourism, DomainTraffic, DomainFarming} {
+		if domains[d] < 50 {
+			t.Errorf("domain %s underrepresented: %d", d, domains[d])
+		}
+	}
+}
+
+func TestNoiseZeroKeepsClean(t *testing.T) {
+	g, err := New(Config{Seed: 3, Noise: 0, Domain: DomainTourism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range g.Generate(50) {
+		if m.Truth.Facility != "" && !strings.Contains(m.Text, m.Truth.Facility) {
+			t.Errorf("clean message lost facility: %q vs %q", m.Text, m.Truth.Facility)
+		}
+		if strings.Contains(m.Text, "gr8") || strings.Contains(m.Text, "!!!") {
+			t.Errorf("noise in clean message: %q", m.Text)
+		}
+	}
+}
+
+func TestNoiseFullDisturbs(t *testing.T) {
+	g, err := New(Config{Seed: 3, Noise: 1, Domain: DomainTourism, RequestRatio: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := g.Generate(50)
+	lowercased := 0
+	for _, m := range msgs {
+		if strings.ToLower(m.Text) == m.Text {
+			lowercased++
+		}
+	}
+	// At noise 1 the lowercase transform always applies.
+	if lowercased != len(msgs) {
+		t.Errorf("only %d/%d messages lowercased at noise 1", lowercased, len(msgs))
+	}
+}
+
+func newEvalExtractor(t *testing.T) *ner.Extractor {
+	t.Helper()
+	gaz, err := gazetteer.Synthesize(gazetteer.Config{Names: 500, Seed: 2011})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ont := ontology.New()
+	ont.LoadContainment(gaz)
+	return ner.NewExtractor(gaz, ont)
+}
+
+func TestEvaluateNERInformalBeatsTraditionalOnNoise(t *testing.T) {
+	// The headline claim (E5): on noisy text, the informal recogniser
+	// retains recall while the traditional one collapses.
+	x := newEvalExtractor(t)
+	g, err := New(Config{Seed: 11, Noise: 1, Domain: DomainTourism, RequestRatio: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := g.Generate(150)
+	informal := EvaluateNER(msgs, x.ExtractInformal)
+	traditional := EvaluateNER(msgs, x.ExtractTraditional)
+	if informal.Recall <= traditional.Recall {
+		t.Errorf("informal recall %.3f <= traditional %.3f on noisy text",
+			informal.Recall, traditional.Recall)
+	}
+	if traditional.Recall > 0.2 {
+		t.Errorf("traditional recall %.3f on fully-noisy text; expected collapse", traditional.Recall)
+	}
+	if informal.Recall < 0.5 {
+		t.Errorf("informal recall %.3f too low on noisy text", informal.Recall)
+	}
+}
+
+func TestEvaluateNEROnCleanText(t *testing.T) {
+	x := newEvalExtractor(t)
+	g, err := New(Config{Seed: 11, Noise: 0, Domain: DomainTourism, RequestRatio: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := g.Generate(150)
+	traditional := EvaluateNER(msgs, x.ExtractTraditional)
+	if traditional.Recall < 0.6 {
+		t.Errorf("traditional recall %.3f on clean text; should be respectable", traditional.Recall)
+	}
+	informal := EvaluateNER(msgs, x.ExtractInformal)
+	if informal.F1() < 0.6 {
+		t.Errorf("informal F1 %.3f on clean text", informal.F1())
+	}
+}
+
+func TestEvaluateTypesAndAttitude(t *testing.T) {
+	g, err := New(Config{Seed: 13, Noise: 0.3, Domain: DomainTourism, RequestRatio: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := g.Generate(100)
+	// A trivial classifier keyed on the question mark scores well above
+	// chance, confirming labels are coherent.
+	acc := EvaluateTypes(msgs, func(s string) string {
+		if strings.Contains(s, "?") {
+			return "request"
+		}
+		return "informative"
+	})
+	if acc < 0.9 {
+		t.Errorf("question-mark classifier accuracy = %v", acc)
+	}
+	att := EvaluateAttitude(msgs, sentiment.Polarity)
+	if att < 0.8 {
+		t.Errorf("sentiment accuracy = %v on generated opinions", att)
+	}
+	if got := EvaluateTypes(nil, nil); got != 0 {
+		t.Errorf("empty corpus accuracy = %v", got)
+	}
+}
+
+func TestPRF1(t *testing.T) {
+	pr := PR{Precision: 0.5, Recall: 1}
+	if f := pr.F1(); f < 0.66 || f > 0.67 {
+		t.Errorf("F1 = %v", f)
+	}
+	if (PR{}).F1() != 0 {
+		t.Error("zero PR F1 != 0")
+	}
+}

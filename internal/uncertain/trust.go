@@ -1,0 +1,107 @@
+package uncertain
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TrustModel tracks per-source reliability — the paper's "uncertainty in
+// the source of information … the possibility that the data provided is
+// completely or partially incorrect", and "how trustful are the users who
+// sent those messages". Reliability starts at a configurable prior and is
+// updated by confirmation/contradiction feedback from the data-integration
+// service using a Beta-like running estimate.
+type TrustModel struct {
+	mu      sync.RWMutex
+	prior   float64
+	weight  float64 // pseudo-count weight of the prior
+	sources map[string]*sourceStats
+}
+
+type sourceStats struct {
+	confirmed    float64
+	contradicted float64
+}
+
+// NewTrustModel returns a model whose unseen sources have the given prior
+// reliability in (0, 1), backed by priorWeight pseudo-observations.
+func NewTrustModel(prior, priorWeight float64) (*TrustModel, error) {
+	if prior <= 0 || prior >= 1 {
+		return nil, fmt.Errorf("uncertain: trust prior %v outside (0, 1)", prior)
+	}
+	if priorWeight <= 0 {
+		return nil, fmt.Errorf("uncertain: trust prior weight %v must be positive", priorWeight)
+	}
+	return &TrustModel{
+		prior:   prior,
+		weight:  priorWeight,
+		sources: make(map[string]*sourceStats),
+	}, nil
+}
+
+// Reliability returns the current reliability estimate for a source in
+// (0, 1). Unknown sources return the prior.
+func (t *TrustModel) Reliability(source string) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s, ok := t.sources[source]
+	if !ok {
+		return t.prior
+	}
+	return (t.prior*t.weight + s.confirmed) / (t.weight + s.confirmed + s.contradicted)
+}
+
+// Confirm records that a source's contribution was corroborated.
+func (t *TrustModel) Confirm(source string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats(source).confirmed++
+}
+
+// Contradict records that a source's contribution conflicted with better
+// evidence.
+func (t *TrustModel) Contradict(source string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats(source).contradicted++
+}
+
+func (t *TrustModel) stats(source string) *sourceStats {
+	s, ok := t.sources[source]
+	if !ok {
+		s = &sourceStats{}
+		t.sources[source] = s
+	}
+	return s
+}
+
+// SourceReport is a snapshot of one source's track record.
+type SourceReport struct {
+	Source       string
+	Reliability  float64
+	Confirmed    float64
+	Contradicted float64
+}
+
+// Report returns all tracked sources sorted by decreasing reliability.
+func (t *TrustModel) Report() []SourceReport {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]SourceReport, 0, len(t.sources))
+	for name, s := range t.sources {
+		out = append(out, SourceReport{
+			Source:       name,
+			Reliability:  (t.prior*t.weight + s.confirmed) / (t.weight + s.confirmed + s.contradicted),
+			Confirmed:    s.confirmed,
+			Contradicted: s.contradicted,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Reliability != out[j].Reliability {
+			return out[i].Reliability > out[j].Reliability
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}

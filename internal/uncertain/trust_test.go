@@ -1,0 +1,106 @@
+package uncertain
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTrustModelPrior(t *testing.T) {
+	m, err := NewTrustModel(0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reliability("unknown"); got != 0.6 {
+		t.Errorf("unknown reliability = %v, want prior 0.6", got)
+	}
+}
+
+func TestTrustModelInvalid(t *testing.T) {
+	for _, c := range []struct{ p, w float64 }{{0, 1}, {1, 1}, {-0.1, 1}, {0.5, 0}, {0.5, -2}} {
+		if _, err := NewTrustModel(c.p, c.w); err == nil {
+			t.Errorf("NewTrustModel(%v, %v) accepted", c.p, c.w)
+		}
+	}
+}
+
+func TestTrustUpdates(t *testing.T) {
+	m, err := NewTrustModel(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Reliability("alice")
+	m.Confirm("alice")
+	up := m.Reliability("alice")
+	if up <= base {
+		t.Errorf("confirmation did not raise reliability: %v -> %v", base, up)
+	}
+	m.Contradict("bob")
+	down := m.Reliability("bob")
+	if down >= base {
+		t.Errorf("contradiction did not lower reliability: %v -> %v", base, down)
+	}
+	// Many confirmations approach but never reach 1.
+	for i := 0; i < 1000; i++ {
+		m.Confirm("alice")
+	}
+	r := m.Reliability("alice")
+	if r <= 0.9 || r >= 1 {
+		t.Errorf("heavily-confirmed reliability = %v, want in (0.9, 1)", r)
+	}
+	// Many contradictions approach but never reach 0.
+	for i := 0; i < 1000; i++ {
+		m.Contradict("bob")
+	}
+	r = m.Reliability("bob")
+	if r <= 0 || r >= 0.1 {
+		t.Errorf("heavily-contradicted reliability = %v, want in (0, 0.1)", r)
+	}
+}
+
+func TestTrustReport(t *testing.T) {
+	m, err := NewTrustModel(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Confirm("good")
+	m.Contradict("bad")
+	m.Confirm("good")
+	rep := m.Report()
+	if len(rep) != 2 {
+		t.Fatalf("report has %d entries", len(rep))
+	}
+	if rep[0].Source != "good" || rep[1].Source != "bad" {
+		t.Errorf("report order: %+v", rep)
+	}
+	if rep[0].Confirmed != 2 {
+		t.Errorf("confirmed count = %v", rep[0].Confirmed)
+	}
+}
+
+func TestTrustConcurrent(t *testing.T) {
+	m, err := NewTrustModel(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if j%2 == 0 {
+					m.Confirm("s")
+				} else {
+					m.Contradict("s")
+				}
+				_ = m.Reliability("s")
+			}
+		}(i)
+	}
+	wg.Wait()
+	r := m.Reliability("s")
+	// Equal confirmations and contradictions keep reliability near prior.
+	if r < 0.4 || r > 0.6 {
+		t.Errorf("balanced reliability = %v, want about 0.5", r)
+	}
+}

@@ -1,0 +1,253 @@
+// Package xmldb is the paper's Probabilistic Spatial XML Database: named
+// collections of probabilistic XML records, each carrying a certainty
+// factor assigned by the data-integration service and an optional indexed
+// geographic location. A small XQuery-like language (query.go) supports
+// the topk/score queries of the paper's QA scenario plus spatial
+// predicates backed by an R-tree.
+package xmldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/pxml"
+	"repro/internal/uncertain"
+)
+
+// Record is one stored probabilistic document.
+type Record struct {
+	ID int64
+	// Doc is the probabilistic XML tree; its root tag is the record type.
+	Doc *pxml.Node
+	// Certainty is the integration-assigned confidence in the record as a
+	// whole ("The information contained in this DB is assigned to some
+	// certainty factor", paper §Modules).
+	Certainty uncertain.CF
+	// Location is the record's resolved position, if any; indexed.
+	Location *geo.Point
+	// Updated is the last modification time.
+	Updated time.Time
+}
+
+// Collection is a named set of records with a spatial index.
+type Collection struct {
+	name    string
+	records map[int64]*Record
+	order   []int64 // insertion order for deterministic scans
+	spatial *geo.RTree[int64]
+}
+
+// DB is the database: a set of collections. All methods are safe for
+// concurrent use.
+type DB struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+	nextID      int64
+	clock       func() time.Time
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		collections: make(map[string]*Collection),
+		nextID:      1,
+		clock:       time.Now,
+	}
+}
+
+// SetClock overrides the timestamp source (tests).
+func (db *DB) SetClock(clock func() time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.clock = clock
+}
+
+func (db *DB) collection(name string) *Collection {
+	c, ok := db.collections[name]
+	if !ok {
+		c = &Collection{
+			name:    name,
+			records: make(map[int64]*Record),
+			spatial: geo.NewRTree[int64](),
+		}
+		db.collections[name] = c
+	}
+	return c
+}
+
+// Collections returns the collection names, sorted.
+func (db *DB) Collections() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.collections))
+	for name := range db.collections {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert stores a document in the named collection and returns its record.
+func (db *DB) Insert(collection string, doc *pxml.Node, certainty uncertain.CF, loc *geo.Point) (*Record, error) {
+	if collection == "" {
+		return nil, fmt.Errorf("xmldb: empty collection name")
+	}
+	if doc == nil {
+		return nil, fmt.Errorf("xmldb: nil document")
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, fmt.Errorf("xmldb: %w", err)
+	}
+	if err := certainty.Validate(); err != nil {
+		return nil, fmt.Errorf("xmldb: %w", err)
+	}
+	if loc != nil {
+		if err := loc.Validate(); err != nil {
+			return nil, fmt.Errorf("xmldb: %w", err)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c := db.collection(collection)
+	rec := &Record{
+		ID:        db.nextID,
+		Doc:       doc,
+		Certainty: certainty,
+		Updated:   db.clock(),
+	}
+	db.nextID++
+	if loc != nil {
+		p := *loc
+		rec.Location = &p
+		if err := c.spatial.Insert(geo.BBoxOf(p), rec.ID); err != nil {
+			return nil, fmt.Errorf("xmldb: spatial index: %w", err)
+		}
+	}
+	c.records[rec.ID] = rec
+	c.order = append(c.order, rec.ID)
+	return rec, nil
+}
+
+// Get returns the record with the given ID from a collection.
+func (db *DB) Get(collection string, id int64) (*Record, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.collections[collection]
+	if !ok {
+		return nil, false
+	}
+	r, ok := c.records[id]
+	return r, ok
+}
+
+// Update replaces a record's document and certainty (and location when
+// newLoc is non-nil). The record must exist.
+func (db *DB) Update(collection string, id int64, doc *pxml.Node, certainty uncertain.CF, newLoc *geo.Point) error {
+	if doc == nil {
+		return fmt.Errorf("xmldb: nil document")
+	}
+	if err := doc.Validate(); err != nil {
+		return fmt.Errorf("xmldb: %w", err)
+	}
+	if err := certainty.Validate(); err != nil {
+		return fmt.Errorf("xmldb: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.collections[collection]
+	if !ok {
+		return fmt.Errorf("xmldb: collection %q not found", collection)
+	}
+	rec, ok := c.records[id]
+	if !ok {
+		return fmt.Errorf("xmldb: record %d not found in %q", id, collection)
+	}
+	if newLoc != nil {
+		if err := newLoc.Validate(); err != nil {
+			return fmt.Errorf("xmldb: %w", err)
+		}
+		if rec.Location != nil {
+			c.spatial.Delete(geo.BBoxOf(*rec.Location), rec.ID)
+		}
+		p := *newLoc
+		rec.Location = &p
+		if err := c.spatial.Insert(geo.BBoxOf(p), rec.ID); err != nil {
+			return fmt.Errorf("xmldb: spatial index: %w", err)
+		}
+	}
+	rec.Doc = doc
+	rec.Certainty = certainty
+	rec.Updated = db.clock()
+	return nil
+}
+
+// Delete removes a record.
+func (db *DB) Delete(collection string, id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.collections[collection]
+	if !ok {
+		return fmt.Errorf("xmldb: collection %q not found", collection)
+	}
+	rec, ok := c.records[id]
+	if !ok {
+		return fmt.Errorf("xmldb: record %d not found in %q", id, collection)
+	}
+	if rec.Location != nil {
+		c.spatial.Delete(geo.BBoxOf(*rec.Location), rec.ID)
+	}
+	delete(c.records, id)
+	for i, oid := range c.order {
+		if oid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Len returns the number of records in a collection.
+func (db *DB) Len(collection string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.collections[collection]
+	if !ok {
+		return 0
+	}
+	return len(c.records)
+}
+
+// Each visits a collection's records in insertion order until fn returns
+// false. The callback must not mutate the database.
+func (db *DB) Each(collection string, fn func(*Record) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.collections[collection]
+	if !ok {
+		return
+	}
+	for _, id := range c.order {
+		if !fn(c.records[id]) {
+			return
+		}
+	}
+}
+
+// Near returns the IDs of records within radiusMeters of p, nearest first.
+func (db *DB) Near(collection string, p geo.Point, radiusMeters float64) []int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.collections[collection]
+	if !ok {
+		return nil
+	}
+	ns := c.spatial.Within(p, radiusMeters)
+	out := make([]int64, len(ns))
+	for i, n := range ns {
+		out[i] = n.Value
+	}
+	return out
+}

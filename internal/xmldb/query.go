@@ -1,0 +1,437 @@
+package xmldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The query language reproduces the paper's QA example:
+//
+//	topk(3, for $x in //Hotels
+//	  where $x/City == "Berlin" and $x/User_Attitude == "Positive"
+//	  orderby score($x)
+//	  return $x)
+//
+// Grammar (case-insensitive keywords):
+//
+//	query     := [ "topk(" INT "," ] flwor [ ")" ]
+//	flwor     := "for" VAR "in" "//" IDENT [ "where" expr ]
+//	             [ "orderby" "score(" VAR ")" ] "return" VAR
+//	expr      := orExpr
+//	orExpr    := andExpr { "or" andExpr }
+//	andExpr   := unary { "and" unary }
+//	unary     := [ "not" ] primary
+//	primary   := "(" expr ")" | cmp | near
+//	cmp       := VAR "/" path OP literal
+//	near      := "near(" VAR "/" path? "," NUM "," NUM "," NUM ")"
+//	OP        := "==" | "!=" | "<" | "<=" | ">" | ">="
+//	literal   := STRING | NUM
+//
+// near($x, lat, lon, radiusMeters) matches records whose indexed location
+// lies within radiusMeters of (lat, lon) — the spatial extension the paper
+// asks of the probabilistic XML database.
+
+// Query is a parsed query.
+type Query struct {
+	TopK         int // 0 means all results
+	Var          string
+	Collection   string
+	Where        Expr // nil means match everything
+	OrderByScore bool
+}
+
+// Expr is a boolean/probabilistic condition tree.
+type Expr interface{ exprNode() }
+
+// Cmp compares a field path against a literal.
+type Cmp struct {
+	Path  string // relative to the record root, e.g. "City"
+	Op    string // == != < <= > >=
+	Str   string // literal as written
+	Num   float64
+	IsNum bool
+}
+
+// And is conjunction, Or disjunction, Not negation.
+type And struct{ L, R Expr }
+
+// Or is disjunction.
+type Or struct{ L, R Expr }
+
+// Not is negation.
+type Not struct{ E Expr }
+
+// Near is the spatial predicate near($x, lat, lon, radius).
+type Near struct {
+	Lat, Lon     float64
+	RadiusMeters float64
+}
+
+func (Cmp) exprNode()  {}
+func (And) exprNode()  {}
+func (Or) exprNode()   {}
+func (Not) exprNode()  {}
+func (Near) exprNode() {}
+
+type parser struct {
+	toks []qtok
+	pos  int
+}
+
+type qtok struct {
+	kind string // ident, var, str, num, punct
+	text string
+}
+
+// Parse parses a query string.
+func Parse(q string) (*Query, error) {
+	toks, err := lex(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	query, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("xmldb: trailing input at %q", p.peek().text)
+	}
+	return query, nil
+}
+
+func lex(s string) ([]qtok, error) {
+	var out []qtok
+	i := 0
+	runes := []rune(s)
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '$':
+			j := i + 1
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_') {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("xmldb: bare $ at offset %d", i)
+			}
+			out = append(out, qtok{"var", string(runes[i:j])})
+			i = j
+		case r == '"' || r == '\'' || r == '“' || r == '”':
+			quote := r
+			closer := quote
+			if quote == '“' {
+				closer = '”'
+			}
+			j := i + 1
+			for j < len(runes) && runes[j] != closer && !(closer == '”' && runes[j] == '"') && !(quote == '"' && runes[j] == '”') {
+				j++
+			}
+			if j >= len(runes) {
+				return nil, fmt.Errorf("xmldb: unterminated string at offset %d", i)
+			}
+			out = append(out, qtok{"str", string(runes[i+1 : j])})
+			i = j + 1
+		case unicode.IsDigit(r) || (r == '-' && i+1 < len(runes) && unicode.IsDigit(runes[i+1])):
+			j := i + 1
+			for j < len(runes) && (unicode.IsDigit(runes[j]) || runes[j] == '.') {
+				j++
+			}
+			out = append(out, qtok{"num", string(runes[i:j])})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_') {
+				j++
+			}
+			out = append(out, qtok{"ident", string(runes[i:j])})
+			i = j
+		case strings.ContainsRune("(),/", r):
+			out = append(out, qtok{"punct", string(r)})
+			i++
+		case r == '=' || r == '!' || r == '<' || r == '>':
+			j := i + 1
+			if j < len(runes) && runes[j] == '=' {
+				j++
+			}
+			out = append(out, qtok{"punct", string(runes[i:j])})
+			i = j
+		default:
+			return nil, fmt.Errorf("xmldb: unexpected character %q at offset %d", r, i)
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) peek() qtok {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return qtok{}
+}
+
+func (p *parser) next() qtok {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) acceptIdent(word string) bool {
+	t := p.peek()
+	if t.kind == "ident" && strings.EqualFold(t.text, word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent(word string) error {
+	if !p.acceptIdent(word) {
+		return fmt.Errorf("xmldb: expected %q, got %q", word, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.kind == "punct" && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("xmldb: expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if p.acceptIdent("topk") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != "num" {
+			return nil, fmt.Errorf("xmldb: topk expects a count, got %q", t.text)
+		}
+		k, err := strconv.Atoi(t.text)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("xmldb: invalid topk count %q", t.text)
+		}
+		q.TopK = k
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if err := p.parseFLWOR(q); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	if err := p.parseFLWOR(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseFLWOR(q *Query) error {
+	if err := p.expectIdent("for"); err != nil {
+		return err
+	}
+	v := p.next()
+	if v.kind != "var" {
+		return fmt.Errorf("xmldb: expected variable, got %q", v.text)
+	}
+	q.Var = v.text
+	if err := p.expectIdent("in"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("/"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("/"); err != nil {
+		return err
+	}
+	coll := p.next()
+	if coll.kind != "ident" {
+		return fmt.Errorf("xmldb: expected collection name, got %q", coll.text)
+	}
+	q.Collection = coll.text
+	if p.acceptIdent("where") {
+		e, err := p.parseOr(q.Var)
+		if err != nil {
+			return err
+		}
+		q.Where = e
+	}
+	if p.acceptIdent("orderby") {
+		if err := p.expectIdent("score"); err != nil {
+			return err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		sv := p.next()
+		if sv.kind != "var" || sv.text != q.Var {
+			return fmt.Errorf("xmldb: score() expects %s, got %q", q.Var, sv.text)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		q.OrderByScore = true
+	}
+	if err := p.expectIdent("return"); err != nil {
+		return err
+	}
+	rv := p.next()
+	if rv.kind != "var" || rv.text != q.Var {
+		return fmt.Errorf("xmldb: return expects %s, got %q", q.Var, rv.text)
+	}
+	return nil
+}
+
+func (p *parser) parseOr(v string) (Expr, error) {
+	l, err := p.parseAnd(v)
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptIdent("or") {
+		r, err := p.parseAnd(v)
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd(v string) (Expr, error) {
+	l, err := p.parseUnary(v)
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptIdent("and") {
+		r, err := p.parseUnary(v)
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary(v string) (Expr, error) {
+	if p.acceptIdent("not") {
+		e, err := p.parsePrimary(v)
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.parsePrimary(v)
+}
+
+func (p *parser) parsePrimary(v string) (Expr, error) {
+	if p.acceptPunct("(") {
+		e, err := p.parseOr(v)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if p.acceptIdent("near") {
+		return p.parseNear(v)
+	}
+	// Comparison: $x/Path op literal.
+	t := p.next()
+	if t.kind != "var" || t.text != v {
+		return nil, fmt.Errorf("xmldb: expected %s, got %q", v, t.text)
+	}
+	if err := p.expectPunct("/"); err != nil {
+		return nil, err
+	}
+	var segs []string
+	for {
+		seg := p.next()
+		if seg.kind != "ident" {
+			return nil, fmt.Errorf("xmldb: expected path segment, got %q", seg.text)
+		}
+		segs = append(segs, seg.text)
+		if !p.acceptPunct("/") {
+			break
+		}
+	}
+	op := p.next()
+	switch op.text {
+	case "==", "!=", "<", "<=", ">", ">=":
+	case "=":
+		op.text = "=="
+	default:
+		return nil, fmt.Errorf("xmldb: expected comparison operator, got %q", op.text)
+	}
+	lit := p.next()
+	cmp := Cmp{Path: strings.Join(segs, "/"), Op: op.text}
+	switch lit.kind {
+	case "str":
+		cmp.Str = lit.text
+	case "num":
+		n, err := strconv.ParseFloat(lit.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("xmldb: bad number %q", lit.text)
+		}
+		cmp.Num = n
+		cmp.IsNum = true
+		cmp.Str = lit.text
+	default:
+		return nil, fmt.Errorf("xmldb: expected literal, got %q", lit.text)
+	}
+	if !cmp.IsNum && cmp.Op != "==" && cmp.Op != "!=" {
+		return nil, fmt.Errorf("xmldb: operator %q needs a numeric literal, got %q", cmp.Op, cmp.Str)
+	}
+	return cmp, nil
+}
+
+func (p *parser) parseNear(v string) (Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != "var" || t.text != v {
+		return nil, fmt.Errorf("xmldb: near() expects %s, got %q", v, t.text)
+	}
+	var vals [3]float64
+	for i := 0; i < 3; i++ {
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		n := p.next()
+		if n.kind != "num" {
+			return nil, fmt.Errorf("xmldb: near() expects a number, got %q", n.text)
+		}
+		f, err := strconv.ParseFloat(n.text, 64)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = f
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if vals[2] < 0 {
+		return nil, fmt.Errorf("xmldb: negative radius %v", vals[2])
+	}
+	return Near{Lat: vals[0], Lon: vals[1], RadiusMeters: vals[2]}, nil
+}

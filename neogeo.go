@@ -1,0 +1,37 @@
+// Package neogeo is the public API of the neogeography system: a pipeline
+// that channels large, ill-behaved user-generated text streams (tweets,
+// SMS) into a probabilistic spatial XML database and answers natural-
+// language questions over the accumulated collective knowledge.
+//
+// It reproduces the system proposed in Habib & van Keulen, "Neogeography:
+// The Challenge of Channelling Large and Ill-Behaved Data Streams"
+// (ICDE 2011 PhD workshop / Univ. of Twente TR). See README.md for the
+// architecture and EXPERIMENTS.md for the reproduced results.
+//
+// Quickstart:
+//
+//	sys, err := neogeo.New(neogeo.Config{})
+//	if err != nil { ... }
+//	defer sys.Close()
+//	sys.Ingest("loved the Axel Hotel in Berlin, great stay", "alice")
+//	answer, _ := sys.Ask("can anyone recommend a good hotel in Berlin?", "bob")
+package neogeo
+
+import (
+	"repro/internal/core"
+)
+
+// Config parameterises system construction. The zero value is a working
+// laptop-scale system with a calibrated synthetic gazetteer.
+type Config = core.Config
+
+// System is the assembled neogeography pipeline.
+type System = core.System
+
+// Stats is a snapshot of the system's stores.
+type Stats = core.Stats
+
+// New builds a System from a Config.
+func New(cfg Config) (*System, error) {
+	return core.New(cfg)
+}

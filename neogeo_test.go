@@ -1,0 +1,58 @@
+package neogeo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the README quickstart path through the
+// root facade: build, ingest the paper's scenario, ask the paper's request.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sys.Close()
+
+	for i, m := range paperScenarioMessages {
+		out, err := sys.Ingest(m, "user")
+		if err != nil {
+			t.Fatalf("Ingest #%d: %v", i+1, err)
+		}
+		if out == nil {
+			t.Fatalf("Ingest #%d: nil outcome", i+1)
+		}
+	}
+
+	answer, err := sys.Ask(paperScenarioRequest, "asker")
+	if err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	lower := strings.ToLower(answer)
+	if !strings.Contains(lower, "axel hotel") {
+		t.Errorf("answer %q does not recommend Axel Hotel", answer)
+	}
+	if !strings.Contains(lower, "berlin") {
+		t.Errorf("answer %q does not mention Berlin", answer)
+	}
+
+	stats := sys.Stats()
+	if stats.Collections["Hotels"] == 0 {
+		t.Errorf("Stats.Collections[Hotels] = 0 after three ingests")
+	}
+}
+
+// TestPublicAPIRejectsEmpty guards the facade's input validation.
+func TestPublicAPIRejectsEmpty(t *testing.T) {
+	sys, err := New(Config{GazetteerNames: 200})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sys.Close()
+	if _, err := sys.Ingest("", "user"); err == nil {
+		t.Error("Ingest(\"\") succeeded, want error")
+	}
+	if _, err := sys.Ask("", "user"); err == nil {
+		t.Error("Ask(\"\") succeeded, want error")
+	}
+}

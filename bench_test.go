@@ -11,12 +11,15 @@
 package neogeo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/coordinator"
 	"repro/internal/core"
 	"repro/internal/disambig"
 	"repro/internal/extract"
@@ -421,6 +424,73 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 		if _, err := sys.Ingest(m.Text, m.Source); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E9b — concurrent drain: the coordinator's worker-pool + batching
+// pipeline versus the sequential drain, on a WAL-backed queue (the
+// durable production configuration whose per-ack fsync the batching stage
+// group-commits). The msgs/sec metric is the throughput headline; on a
+// single-core machine the speedup comes from batching and I/O overlap,
+// on multi-core additionally from parallel extraction.
+
+func BenchmarkDrainParallel(b *testing.B) {
+	g, _ := benchFixtures(b)
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 99, Noise: 0.4, Domain: tweetgen.DomainMixed, RequestRatio: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := gen.Generate(256)
+	const perIter = 64
+
+	configs := []struct {
+		name       string
+		workers    int
+		concurrent bool
+	}{
+		{"sequential", 1, false},
+		{"workers=1", 1, true},
+		{"workers=4", 4, true},
+		{"workers=8", 8, true},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			processed := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys, err := core.New(core.Config{
+					Gazetteer: g,
+					Workers:   cfg.workers,
+					QueueWAL:  filepath.Join(b.TempDir(), "queue.wal"),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < perIter; j++ {
+					m := msgs[(i*perIter+j)%len(msgs)]
+					if _, err := sys.Submit(m.Text, m.Source); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				var outs []*coordinator.Outcome
+				var errs []error
+				if cfg.concurrent {
+					outs, errs = sys.ProcessConcurrent(context.Background(), 0)
+				} else {
+					outs, errs = sys.MC.Drain(0)
+				}
+				b.StopTimer()
+				if len(errs) != 0 {
+					b.Fatalf("drain errors: %v", errs[0])
+				}
+				processed += len(outs)
+				sys.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "msgs/sec")
+		})
 	}
 }
 

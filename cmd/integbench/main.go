@@ -1,6 +1,8 @@
-// Command integbench runs experiment E7: uncertainty-aware probabilistic
-// integration versus naive last-write-wins, measured as fact accuracy over
-// stream length on a contradiction-laden report stream.
+// Command integbench runs two integration benchmarks.
+//
+// The default mode (-mode=e7) is experiment E7: uncertainty-aware
+// probabilistic integration versus naive last-write-wins, measured as fact
+// accuracy over stream length on a contradiction-laden report stream.
 //
 // The workload models the paper's core integration challenge ("the
 // contradictions between the extracted information and the information
@@ -13,6 +15,14 @@
 //
 // Output is a TSV series: stream position, probabilistic accuracy, naive
 // accuracy — EXPERIMENTS.md §E7 records a reference run.
+//
+// -mode=parallel measures end-to-end pipeline throughput instead: a
+// synthetic tweet stream is queued and drained once sequentially and once
+// per requested worker count through the coordinator's concurrent batched
+// pipeline, reporting msgs/sec and the speedup over the sequential drain.
+// With -wal (default true) the queue is backed by a write-ahead log, the
+// production configuration whose per-message fsync the batching stage
+// amortizes via group-committed acknowledgements.
 package main
 
 import (
@@ -20,25 +30,48 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
+	"context"
+
+	"repro/internal/coordinator"
+	"repro/internal/core"
 	"repro/internal/extract"
+	"repro/internal/gazetteer"
 	"repro/internal/integrate"
 	"repro/internal/kb"
 	"repro/internal/pxml"
+	"repro/internal/tweetgen"
 	"repro/internal/uncertain"
 	"repro/internal/xmldb"
 )
 
 func main() {
 	var (
-		hotels   = flag.Int("hotels", 40, "distinct entities with a ground-truth attitude")
+		mode     = flag.String("mode", "e7", "benchmark: e7 (accuracy) or parallel (throughput)")
+		hotels   = flag.Int("hotels", 40, "distinct entities with a ground-truth attitude (e7)")
 		msgs     = flag.Int("n", 1200, "total reports in the stream")
-		step     = flag.Int("step", 100, "measurement interval")
-		liarRate = flag.Float64("liars", 0.3, "fraction of reports from unreliable sources")
+		step     = flag.Int("step", 100, "measurement interval (e7)")
+		liarRate = flag.Float64("liars", 0.3, "fraction of reports from unreliable sources (e7)")
 		seed     = flag.Int64("seed", 2011, "stream seed")
+		workers  = flag.String("workers", "0,1,4,8", "comma-separated worker counts; 0 = sequential drain (parallel)")
+		noise    = flag.Float64("noise", 0.4, "tweet-stream noise level (parallel)")
+		reqRatio = flag.Float64("requests", 0.2, "fraction of request messages (parallel)")
+		gazNames = flag.Int("gaznames", 2000, "synthetic gazetteer size (parallel)")
+		useWAL   = flag.Bool("wal", true, "back the queue with a write-ahead log (parallel)")
 	)
 	flag.Parse()
+
+	if *mode == "parallel" {
+		if err := runParallel(*msgs, *seed, *noise, *reqRatio, *gazNames, *useWAL, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	names := hotelNames(*hotels)
 	truth := make([]string, *hotels)
@@ -142,6 +175,91 @@ func hotelNames(n int) []string {
 		names = append(names, first[i%len(first)]+" "+second[(i/len(first)+i)%len(second)])
 	}
 	return names
+}
+
+// runParallel replays one synthetic tweet stream through the full
+// MQ -> MC -> IE -> DI pipeline once per drain configuration and reports
+// throughput. Each configuration gets a fresh system (same gazetteer, same
+// stream) so the runs are comparable; submission is not timed — the
+// measurement is the drain, which is where acknowledgement durability and
+// integration batching live.
+func runParallel(n int, seed int64, noise, reqRatio float64, gazNames int, useWAL bool, workerList string) error {
+	gaz, err := gazetteer.Synthesize(gazetteer.Config{Names: gazNames, Seed: 2011})
+	if err != nil {
+		return fmt.Errorf("synthesising gazetteer: %w", err)
+	}
+	gen, err := tweetgen.New(tweetgen.Config{
+		Seed: seed, Noise: noise, Domain: tweetgen.DomainMixed, RequestRatio: reqRatio,
+	})
+	if err != nil {
+		return fmt.Errorf("tweet stream: %w", err)
+	}
+	stream := gen.Generate(n)
+
+	var counts []int
+	for _, f := range strings.Split(workerList, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 0 {
+			return fmt.Errorf("bad -workers entry %q", f)
+		}
+		counts = append(counts, w)
+	}
+
+	tmp, err := os.MkdirTemp("", "integbench-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	fmt.Printf("# parallel drain: %d msgs, noise=%.1f, requests=%.1f, wal=%v\n", n, noise, reqRatio, useWAL)
+	fmt.Println("config\tmsgs\tseconds\tmsgs_per_sec\tspeedup")
+	var baseline float64
+	for i, w := range counts {
+		cfg := core.Config{Gazetteer: gaz, Workers: w, IntegrateBatch: 16}
+		if w == 0 {
+			cfg.Workers = 1 // sequential drain below; width is unused
+		}
+		if useWAL {
+			cfg.QueueWAL = filepath.Join(tmp, fmt.Sprintf("queue-%d.wal", i))
+		}
+		sys, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		for _, m := range stream {
+			if _, err := sys.Submit(m.Text, m.Source); err != nil {
+				sys.Close()
+				return err
+			}
+		}
+		start := time.Now()
+		var outs []*coordinator.Outcome
+		var errs []error
+		label := "sequential"
+		if w == 0 {
+			outs, errs = sys.MC.Drain(0)
+		} else {
+			label = fmt.Sprintf("workers=%d", w)
+			outs, errs = sys.ProcessConcurrent(context.Background(), 0)
+		}
+		elapsed := time.Since(start).Seconds()
+		sys.Close()
+		if len(errs) > 0 {
+			return fmt.Errorf("%s: %d drain errors (first: %v)", label, len(errs), errs[0])
+		}
+		if len(outs) != n {
+			return fmt.Errorf("%s: drained %d of %d messages", label, len(outs), n)
+		}
+		rate := float64(n) / elapsed
+		// Speedup is relative to the first configuration in the list
+		// (conventionally 0 = sequential, but any list works).
+		if i == 0 {
+			baseline = rate
+		}
+		speedup := rate / baseline
+		fmt.Printf("%s\t%d\t%.3f\t%.0f\t%.2fx\n", label, n, elapsed, rate, speedup)
+	}
+	return nil
 }
 
 func storedTop(db *xmldb.DB, hotel string) string {

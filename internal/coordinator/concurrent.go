@@ -1,0 +1,214 @@
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/extract"
+	"repro/internal/mq"
+)
+
+// DrainConcurrent processes queued messages through a three-stage
+// concurrent pipeline until the queue is empty, limit messages have been
+// dispatched (limit <= 0 means no limit), or ctx is cancelled:
+//
+//	dispatcher -> worker pool -> batching integrator
+//
+// A single dispatcher leases messages from the queue; the worker pool
+// (SetWorkers, default GOMAXPROCS) runs classification, extraction and
+// question answering in parallel; and a single integrator goroutine folds
+// the workers' templates into amortized database batches (SetBatchSize),
+// acknowledging each batch with one group-committed queue operation. The
+// batching stage keeps all database writes on one goroutine, so the
+// probabilistic integration path needs no cross-worker coordination, and
+// overlaps WAL fsyncs with extraction work even on a single CPU.
+//
+// Semantics match Drain — failed messages are negatively acknowledged for
+// redelivery and reported in errs, exhausted messages dead-letter — except
+// that outcomes complete in whatever order the pipeline finishes them.
+func (c *Coordinator) DrainConcurrent(ctx context.Context, limit int) (outs []*Outcome, errs []error) {
+	st := &drainState{}
+	jobs := make(chan mq.Message)
+	// The integration stage's buffer must fit a full batch on top of one
+	// in-flight job per worker, or the group commit could never amortize
+	// past the worker count.
+	integ := make(chan integrationJob, c.workers+c.batchSize)
+	// poke wakes the dispatcher after any ack/nack so it can re-check the
+	// queue; capacity 1 makes the send non-blocking while never losing the
+	// "state changed" edge.
+	poke := make(chan struct{}, 1)
+	notify := func() {
+		select {
+		case poke <- struct{}{}:
+		default:
+		}
+	}
+
+	var workersWG sync.WaitGroup
+	for i := 0; i < c.workers; i++ {
+		workersWG.Add(1)
+		go func() {
+			defer workersWG.Done()
+			for m := range jobs {
+				c.workOne(m, st, integ, notify)
+			}
+		}()
+	}
+
+	var integWG sync.WaitGroup
+	integWG.Add(1)
+	go func() {
+		defer integWG.Done()
+		c.runIntegrator(integ, st, notify)
+	}()
+
+	dispatched := 0
+	for (limit <= 0 || dispatched < limit) && ctx.Err() == nil {
+		m, ok := c.queue.Dequeue()
+		if !ok {
+			// Empty queue: done only once nothing is in flight — a leased
+			// message may still be nacked back for redelivery.
+			if c.queue.InFlight() > 0 {
+				select {
+				case <-poke:
+				case <-ctx.Done():
+				}
+				continue
+			}
+			// A nack can land between the empty Dequeue and the InFlight
+			// check, moving a message back to pending; with nothing leased
+			// any such message is visible to one more Dequeue, so only an
+			// empty retry proves the drain is complete.
+			m, ok = c.queue.Dequeue()
+			if !ok {
+				break
+			}
+		}
+		c.signal(Signal{MessageID: m.ID, From: "MC", To: "IE", Step: StepClassify})
+		dispatched++
+		select {
+		case jobs <- m:
+		case <-ctx.Done():
+			_ = c.queue.Nack(m.ID)
+		}
+	}
+	close(jobs)
+	workersWG.Wait()
+	close(integ)
+	integWG.Wait()
+	return st.outs, st.errs
+}
+
+// drainState accumulates a drain's results across pipeline goroutines.
+type drainState struct {
+	mu   sync.Mutex
+	outs []*Outcome
+	errs []error
+}
+
+func (st *drainState) addOut(out *Outcome) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.outs = append(st.outs, out)
+}
+
+func (st *drainState) addErr(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.errs = append(st.errs, err)
+}
+
+// integrationJob is one message handed from a worker to the batching
+// stage: its lease, its partially filled outcome, and any templates still
+// to integrate (empty for request messages, whose acknowledgement simply
+// joins the batch's group commit).
+type integrationJob struct {
+	msg  mq.Message
+	out  *Outcome
+	tpls []extract.Template
+}
+
+// workOne runs the parallel front half of one message's workflow, then
+// hands the message to the batching stage, which owns integration and
+// acknowledgement — every successful message is acked by group commit.
+func (c *Coordinator) workOne(m mq.Message, st *drainState, integ chan<- integrationJob, notify func()) {
+	out, tpls, err := c.prepare(m)
+	if err != nil {
+		_ = c.queue.Nack(m.ID)
+		st.addErr(fmt.Errorf("coordinator: message %d: %w", m.ID, err))
+		notify()
+		return
+	}
+	integ <- integrationJob{msg: m, out: out, tpls: tpls}
+}
+
+// runIntegrator is the single-goroutine batching stage: it greedily
+// collects pending jobs up to the batch cap, integrates each batch under
+// one database lock acquisition, and acknowledges the batch's messages
+// with one group-committed ack.
+func (c *Coordinator) runIntegrator(integ <-chan integrationJob, st *drainState, notify func()) {
+	for {
+		job, ok := <-integ
+		if !ok {
+			return
+		}
+		batch := []integrationJob{job}
+	collect:
+		for len(batch) < c.batchSize {
+			select {
+			case next, ok := <-integ:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, next)
+			default:
+				break collect
+			}
+		}
+		c.flushBatch(batch, st)
+		notify()
+	}
+}
+
+func (c *Coordinator) flushBatch(batch []integrationJob, st *drainState) {
+	groups := make([][]extract.Template, len(batch))
+	for i, job := range batch {
+		groups[i] = job.tpls
+	}
+	results := c.di.IntegrateGroups(groups)
+
+	ackIDs := make([]int64, 0, len(batch))
+	completed := make([]*Outcome, 0, len(batch))
+	for i, job := range batch {
+		if err := foldGroup(job.out, results[i]); err != nil {
+			_ = c.queue.Nack(job.msg.ID)
+			st.addErr(fmt.Errorf("coordinator: message %d: %w", job.msg.ID, err))
+			continue
+		}
+		ackIDs = append(ackIDs, job.msg.ID)
+		completed = append(completed, job.out)
+	}
+	if len(ackIDs) > 0 {
+		acked, err := c.queue.AckBatch(ackIDs)
+		if err != nil {
+			st.addErr(err)
+		}
+		// Record outcomes only for messages the group commit really
+		// acknowledged; the rest go back for redelivery (a WAL failure
+		// acks nothing) or expired mid-flight and will be redelivered
+		// anyway — nacking the leftovers instead of stranding their
+		// leases keeps the dispatcher from waiting forever.
+		ackedSet := make(map[int64]bool, len(acked))
+		for _, id := range acked {
+			ackedSet[id] = true
+		}
+		for i, id := range ackIDs {
+			if ackedSet[id] {
+				st.addOut(completed[i])
+			} else {
+				_ = c.queue.Nack(id)
+			}
+		}
+	}
+}

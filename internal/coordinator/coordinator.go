@@ -11,6 +11,7 @@ package coordinator
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -29,6 +30,10 @@ const (
 	StepExtract   Step = "extract"
 	StepIntegrate Step = "integrate"
 	StepAnswer    Step = "answer"
+	// StepTagError records a failed attempt to tag a message on the MQ
+	// with its classified type; tagging is advisory, so the workflow
+	// continues, but the failure is kept in the signal log.
+	StepTagError Step = "tag-error"
 )
 
 // Rules maps a message type to its step sequence — the paper's Work Flow
@@ -50,6 +55,8 @@ type Signal struct {
 	From, To  string
 	Step      Step
 	At        time.Time
+	// Note carries diagnostic detail for error signals (StepTagError).
+	Note string
 }
 
 // Outcome summarises the processing of one message.
@@ -79,6 +86,12 @@ type Coordinator struct {
 	signals []Signal
 	// maxSignals bounds the in-memory signal log.
 	maxSignals int
+
+	// workers is the concurrency of DrainConcurrent (default GOMAXPROCS).
+	workers int
+	// batchSize caps how many integration jobs the batching stage folds
+	// into one amortized database batch (default 16).
+	batchSize int
 }
 
 // New wires a coordinator. A nil rules uses DefaultRules.
@@ -97,11 +110,31 @@ func New(queue *mq.Queue, ie *extract.Service, di *integrate.Service, ans *qa.Se
 		rules:      rules,
 		clock:      time.Now,
 		maxSignals: 10000,
+		workers:    runtime.GOMAXPROCS(0),
+		batchSize:  16,
 	}, nil
 }
 
 // SetClock overrides the time source (tests).
 func (c *Coordinator) SetClock(clock func() time.Time) { c.clock = clock }
+
+// SetWorkers sets the DrainConcurrent worker-pool size; n <= 0 restores
+// the default (GOMAXPROCS). Not safe to call while a drain is running.
+func (c *Coordinator) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c.workers = n
+}
+
+// SetBatchSize caps the integration batching stage; n <= 0 restores the
+// default (16). Not safe to call while a drain is running.
+func (c *Coordinator) SetBatchSize(n int) {
+	if n <= 0 {
+		n = 16
+	}
+	c.batchSize = n
+}
 
 // Submit enqueues a user message and returns its queue ID ("Once a
 // message is received, it is placed in the MQ").
@@ -136,14 +169,36 @@ func (c *Coordinator) ProcessOne() (*Outcome, bool, error) {
 }
 
 func (c *Coordinator) process(m mq.Message) (*Outcome, error) {
-	now := c.clock()
-	ex, err := c.ie.Extract(m.Body, m.Source, now)
+	out, tpls, err := c.prepare(m)
 	if err != nil {
 		return nil, err
 	}
+	if len(tpls) > 0 {
+		if err := c.integrateInto(out, tpls); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// prepare runs the extraction/classification stages of a message's
+// workflow and returns its outcome plus any templates still awaiting
+// integration — the parallelizable front half of the pipeline. Request
+// messages are answered here (read-only); informative messages hand their
+// templates to the caller's integration stage.
+func (c *Coordinator) prepare(m mq.Message) (*Outcome, []extract.Template, error) {
+	now := c.clock()
+	ex, err := c.ie.Extract(m.Body, m.Source, now)
+	if err != nil {
+		return nil, nil, err
+	}
 	// "A tag is then attached to the message on the MQ indicating its
-	// type."
-	_ = c.queue.Tag(m.ID, string(ex.Type))
+	// type." Tagging is advisory: a failure (the message vanished from the
+	// queue, e.g. after lease expiry and redelivery) is recorded in the
+	// signal log rather than aborting the workflow.
+	if err := c.queue.Tag(m.ID, string(ex.Type)); err != nil {
+		c.signal(Signal{MessageID: m.ID, From: "MQ", To: "MC", Step: StepTagError, Note: err.Error()})
+	}
 
 	out := &Outcome{
 		MessageID: m.ID,
@@ -153,8 +208,9 @@ func (c *Coordinator) process(m mq.Message) (*Outcome, error) {
 	}
 	steps, ok := c.rules[ex.Type]
 	if !ok {
-		return nil, fmt.Errorf("no workflow rule for message type %q", ex.Type)
+		return nil, nil, fmt.Errorf("no workflow rule for message type %q", ex.Type)
 	}
+	var pending []extract.Template
 	for _, step := range steps {
 		switch step {
 		case StepClassify, StepExtract:
@@ -163,31 +219,45 @@ func (c *Coordinator) process(m mq.Message) (*Outcome, error) {
 			c.signal(Signal{MessageID: m.ID, From: "IE", To: "MC", Step: step})
 		case StepIntegrate:
 			c.signal(Signal{MessageID: m.ID, From: "MC", To: "DI", Step: step})
-			for _, tpl := range ex.Templates {
-				res, err := c.di.Integrate(tpl)
-				if err != nil {
-					return nil, err
-				}
-				switch res.Action {
-				case integrate.ActionInserted:
-					out.Inserted++
-				case integrate.ActionMerged:
-					out.Merged++
-				}
-			}
+			pending = append(pending, ex.Templates...)
 		case StepAnswer:
 			c.signal(Signal{MessageID: m.ID, From: "MC", To: "QA", Step: step})
 			ans, err := c.qa.Answer(ex)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			out.Answer = ans.Text
 			out.Query = ans.Query
 		default:
-			return nil, fmt.Errorf("unknown workflow step %q", step)
+			return nil, nil, fmt.Errorf("unknown workflow step %q", step)
 		}
 	}
-	return out, nil
+	return out, pending, nil
+}
+
+// integrateInto applies a message's templates in order as one amortized
+// database batch, stopping at the first integration error (templates
+// after a failure are not applied), and folds the actions into its
+// outcome.
+func (c *Coordinator) integrateInto(out *Outcome, tpls []extract.Template) error {
+	return foldGroup(out, c.di.IntegrateGroups([][]extract.Template{tpls})[0])
+}
+
+// foldGroup counts one message's integration actions into its outcome,
+// returning the group's error if it stopped early.
+func foldGroup(out *Outcome, results []integrate.BatchResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+		switch r.Result.Action {
+		case integrate.ActionInserted:
+			out.Inserted++
+		case integrate.ActionMerged:
+			out.Merged++
+		}
+	}
+	return nil
 }
 
 // Drain processes queued messages until the queue is empty or limit

@@ -18,6 +18,20 @@ import (
 
 func newCoordinator(t *testing.T) (*Coordinator, *xmldb.DB) {
 	t.Helper()
+	c, db := newCoordinatorServices(t, mq.New())
+	return c, db
+}
+
+// newCoordinatorWithQueue wires the standard test services around a
+// caller-supplied queue (e.g. WAL-backed).
+func newCoordinatorWithQueue(t *testing.T, q *mq.Queue) *Coordinator {
+	t.Helper()
+	c, _ := newCoordinatorServices(t, q)
+	return c
+}
+
+func newCoordinatorServices(t *testing.T, q *mq.Queue) (*Coordinator, *xmldb.DB) {
+	t.Helper()
 	g := gazetteer.New()
 	add := func(name string, lat, lon float64, country string, pop int64) {
 		t.Helper()
@@ -46,7 +60,7 @@ func newCoordinator(t *testing.T) (*Coordinator, *xmldb.DB) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(mq.New(), ie, di, ans, nil)
+	c, err := New(q, ie, di, ans, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -35,6 +36,15 @@ type Config struct {
 	GazetteerSeed int64
 	// QueueWAL, when non-empty, persists the message queue to this file.
 	QueueWAL string
+	// Workers sets the concurrency of the coordinator's stream-processing
+	// pipeline: Process and ProcessConcurrent run classification and
+	// extraction on this many goroutines while a batching stage serializes
+	// database integration. 0 defaults to GOMAXPROCS; 1 keeps the
+	// pipeline but with a single extraction worker.
+	Workers int
+	// IntegrateBatch caps how many messages the pipeline's integration
+	// stage folds into one amortized database batch (default 16).
+	IntegrateBatch int
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
 }
@@ -51,6 +61,8 @@ type System struct {
 	QA    *qa.Service
 	MC    *coordinator.Coordinator
 	clock func() time.Time
+	// workers is the configured pipeline width (0 = GOMAXPROCS).
+	workers int
 }
 
 // New builds a system.
@@ -102,6 +114,9 @@ func New(cfg Config) (*System, error) {
 	if s.MC, err = coordinator.New(s.Queue, s.IE, s.DI, s.QA, nil); err != nil {
 		return nil, err
 	}
+	s.MC.SetWorkers(cfg.Workers)
+	s.MC.SetBatchSize(cfg.IntegrateBatch)
+	s.workers = cfg.Workers
 	if cfg.Clock != nil {
 		s.MC.SetClock(cfg.Clock)
 	}
@@ -119,9 +134,23 @@ func (s *System) Submit(body, source string) (int64, error) {
 }
 
 // Process drains the queue (up to limit messages; 0 = all) and returns the
-// outcomes.
+// outcomes. When Workers was explicitly configured above 1 it runs the
+// concurrent pipeline (outcomes in completion order); otherwise it keeps
+// the deterministic sequential drain in queue order, so existing callers'
+// ordering does not silently become machine-dependent. Use
+// ProcessConcurrent to opt in regardless of configuration.
 func (s *System) Process(limit int) ([]*coordinator.Outcome, []error) {
+	if s.workers > 1 {
+		return s.MC.DrainConcurrent(context.Background(), limit)
+	}
 	return s.MC.Drain(limit)
+}
+
+// ProcessConcurrent drains the queue through the coordinator's concurrent
+// worker-pool pipeline (width Workers, default GOMAXPROCS), stopping
+// early when ctx is cancelled. Outcomes arrive in completion order.
+func (s *System) ProcessConcurrent(ctx context.Context, limit int) ([]*coordinator.Outcome, []error) {
+	return s.MC.DrainConcurrent(ctx, limit)
 }
 
 // Ingest submits and fully processes one informative message, returning

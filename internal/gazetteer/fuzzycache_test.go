@@ -1,0 +1,57 @@
+package gazetteer
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// The fuzzy-lookup memo must be invisible to callers: repeated queries
+// return equal results, and adding a closer name invalidates the memo.
+func TestFuzzyCacheInvalidatedByAdd(t *testing.T) {
+	g := New()
+	if _, err := g.Add(Entry{Name: "Berlin", Location: geo.Point{Lat: 52.5, Lon: 13.4}, Feature: FeatureCity}); err != nil {
+		t.Fatal(err)
+	}
+	first := g.LookupFuzzy("berlim", 1)
+	if len(first) != 1 || first[0].Name != "berlin" {
+		t.Fatalf("LookupFuzzy = %+v, want berlin", first)
+	}
+	again := g.LookupFuzzy("berlim", 1)
+	if len(again) != 1 || again[0].Name != first[0].Name {
+		t.Fatalf("memoized LookupFuzzy diverged: %+v", again)
+	}
+
+	// An exact "berlim" entry must appear in fresh results.
+	if _, err := g.Add(Entry{Name: "Berlim", Location: geo.Point{Lat: 10, Lon: 10}, Feature: FeatureCity}); err != nil {
+		t.Fatal(err)
+	}
+	after := g.LookupFuzzy("berlim", 1)
+	if len(after) != 2 {
+		t.Fatalf("post-Add LookupFuzzy = %+v, want 2 matches", after)
+	}
+	if after[0].Name != "berlim" || after[0].Distance != 0 {
+		t.Fatalf("exact match not first after invalidation: %+v", after)
+	}
+}
+
+// Concurrent fuzzy lookups sharing the memo are race-free. Run with -race.
+func TestFuzzyCacheConcurrent(t *testing.T) {
+	g, err := Synthesize(Config{Names: 500, Seed: 2011})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"sprngfield", "oakdale", "rivertonn", "lakevew", "hilcrest"}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = g.LookupFuzzy(queries[(i+w)%len(queries)], 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

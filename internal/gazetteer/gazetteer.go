@@ -58,12 +58,27 @@ type Gazetteer struct {
 	lenBuckets map[bucketKey][]string
 	spatial    *geo.RTree[int64]
 	nextID     int64
+
+	// fuzzyMu guards fuzzyCache, the memo of LookupFuzzy results. Noisy
+	// streams repeat the same misspellings constantly, and the
+	// edit-distance scan dominates the extraction hot path, so memoizing
+	// it is the single largest throughput lever. Invalidated by Add.
+	fuzzyMu    sync.Mutex
+	fuzzyCache map[string][]FuzzyMatch
+	// fuzzyGen is bumped by Add so a lookup computed against the old
+	// index cannot be memoized after the invalidation (lost-update race).
+	fuzzyGen uint64
 }
 
 type bucketKey struct {
 	first  byte
 	length int
 }
+
+// maxFuzzyCache bounds the fuzzy-lookup memo; past it the memo resets
+// wholesale (streams revisit the same misspellings, so the working set is
+// small and a full reset is cheaper than eviction bookkeeping).
+const maxFuzzyCache = 8192
 
 // New returns an empty gazetteer.
 func New() *Gazetteer {
@@ -104,6 +119,12 @@ func (g *Gazetteer) Add(e Entry) (*Entry, error) {
 	if err := g.spatial.Insert(geo.BBoxOf(stored.Location), stored.ID); err != nil {
 		return nil, fmt.Errorf("gazetteer: spatial index: %w", err)
 	}
+	// New names can change fuzzy results; drop the memo and bump the
+	// generation so in-flight lookups don't re-cache stale results.
+	g.fuzzyMu.Lock()
+	g.fuzzyCache = nil
+	g.fuzzyGen++
+	g.fuzzyMu.Unlock()
 	return &stored, nil
 }
 
@@ -175,6 +196,9 @@ type FuzzyMatch struct {
 // ordered by increasing distance then name. Exact matches are included at
 // distance 0. Length bucketing keeps the scan to names that could possibly
 // match.
+//
+// The returned slice may be shared with other callers (results are
+// memoized): treat it, and the entries it points to, as read-only.
 func (g *Gazetteer) LookupFuzzy(name string, maxDist int) []FuzzyMatch {
 	norm := text.NormalizeName(name)
 	if norm == "" {
@@ -183,6 +207,30 @@ func (g *Gazetteer) LookupFuzzy(name string, maxDist int) []FuzzyMatch {
 	if maxDist < 0 {
 		maxDist = 0
 	}
+	key := fmt.Sprintf("%d\x00%s", maxDist, norm)
+	g.fuzzyMu.Lock()
+	cached, hit := g.fuzzyCache[key]
+	gen := g.fuzzyGen
+	g.fuzzyMu.Unlock()
+	if hit {
+		// The memoized slice is shared: callers must treat matches (and
+		// the entries they point to) as read-only, which all of ner does.
+		return cached
+	}
+	out := g.lookupFuzzySlow(norm, maxDist)
+	g.fuzzyMu.Lock()
+	// Only memoize if no Add invalidated the index while we computed.
+	if g.fuzzyGen == gen {
+		if g.fuzzyCache == nil || len(g.fuzzyCache) >= maxFuzzyCache {
+			g.fuzzyCache = make(map[string][]FuzzyMatch)
+		}
+		g.fuzzyCache[key] = out
+	}
+	g.fuzzyMu.Unlock()
+	return out
+}
+
+func (g *Gazetteer) lookupFuzzySlow(norm string, maxDist int) []FuzzyMatch {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	qLen := runeCount(norm)

@@ -28,7 +28,9 @@ import (
 	"repro/internal/xmldb"
 )
 
-// Service is the DI module.
+// Service is the DI module. Integrate, IntegrateNaive, IntegrateBatch and
+// Decay are safe for concurrent use: each runs as one atomic database
+// batch, so find-duplicate-then-update sequences cannot interleave.
 type Service struct {
 	kb *kb.KB
 	db *xmldb.DB
@@ -38,6 +40,18 @@ type Service struct {
 	// BlockRadiusMeters restricts duplicate candidates to this distance
 	// when both sides have locations (default 50 km).
 	BlockRadiusMeters float64
+}
+
+// store is the slice of the database API integration needs; both *xmldb.DB
+// and the batched *xmldb.Tx satisfy it, so the same merge logic runs
+// per-call or amortized under one lock acquisition.
+type store interface {
+	Insert(collection string, doc *pxml.Node, certainty uncertain.CF, loc *geo.Point) (*xmldb.Record, error)
+	Update(collection string, id int64, doc *pxml.Node, certainty uncertain.CF, newLoc *geo.Point) error
+	Get(collection string, id int64) (*xmldb.Record, bool)
+	Each(collection string, fn func(*xmldb.Record) bool)
+	Near(collection string, p geo.Point, radiusMeters float64) []int64
+	Delete(collection string, id int64) error
 }
 
 // NewService wires the DI service.
@@ -79,6 +93,64 @@ type Result struct {
 
 // Integrate merges one extracted template into the database.
 func (s *Service) Integrate(tpl extract.Template) (*Result, error) {
+	var res *Result
+	err := s.db.Batch(func(tx *xmldb.Tx) error {
+		var err error
+		res, err = s.integrateIn(tx, tpl)
+		return err
+	})
+	return res, err
+}
+
+// BatchResult pairs one template's integration outcome with its error.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// IntegrateBatch merges a run of independent templates under a single
+// database lock acquisition. Each template integrates independently; one
+// failing template does not stop the rest. (The coordinator's pipeline
+// uses IntegrateGroups instead, which preserves per-message ordering.)
+func (s *Service) IntegrateBatch(tpls []extract.Template) []BatchResult {
+	groups := make([][]extract.Template, len(tpls))
+	for i, tpl := range tpls {
+		groups[i] = []extract.Template{tpl}
+	}
+	out := make([]BatchResult, len(tpls))
+	for i, group := range s.IntegrateGroups(groups) {
+		out[i] = group[0]
+	}
+	return out
+}
+
+// IntegrateGroups merges several independent template groups (one group
+// per source message) under a single database lock acquisition. Within a
+// group templates integrate in order and the group stops at its first
+// error — the same partial-application semantics as integrating a
+// message's templates one call at a time — while a failing group never
+// stops the others. Results are positionally parallel to groups, short
+// where a group stopped early.
+func (s *Service) IntegrateGroups(groups [][]extract.Template) [][]BatchResult {
+	out := make([][]BatchResult, len(groups))
+	_ = s.db.Batch(func(tx *xmldb.Tx) error {
+		for gi, group := range groups {
+			results := make([]BatchResult, 0, len(group))
+			for _, tpl := range group {
+				res, err := s.integrateIn(tx, tpl)
+				results = append(results, BatchResult{Result: res, Err: err})
+				if err != nil {
+					break
+				}
+			}
+			out[gi] = results
+		}
+		return nil
+	})
+	return out
+}
+
+func (s *Service) integrateIn(st store, tpl extract.Template) (*Result, error) {
 	domain, ok := s.kb.Domain(tpl.Domain)
 	if !ok {
 		return nil, fmt.Errorf("integrate: unknown domain %q", tpl.Domain)
@@ -87,36 +159,44 @@ func (s *Service) Integrate(tpl extract.Template) (*Result, error) {
 	if !ok || key.Text == "" {
 		return nil, fmt.Errorf("integrate: template missing key field %s", domain.KeyField)
 	}
-	existing := s.findDuplicate(domain, tpl)
+	existing := s.findDuplicate(st, domain, tpl)
 	if existing == nil {
-		return s.insert(domain, tpl)
+		return s.insert(st, domain, tpl)
 	}
-	return s.merge(domain, existing, tpl)
+	return s.merge(st, domain, existing, tpl)
 }
 
 // IntegrateNaive is the last-write-wins baseline for experiment E7: no
 // duplicate merging beyond key equality, no distribution pooling, no
 // trust — the incoming template simply replaces the stored record.
 func (s *Service) IntegrateNaive(tpl extract.Template) (*Result, error) {
+	var res *Result
+	err := s.db.Batch(func(tx *xmldb.Tx) error {
+		var err error
+		res, err = s.integrateNaiveIn(tx, tpl)
+		return err
+	})
+	return res, err
+}
+
+func (s *Service) integrateNaiveIn(st store, tpl extract.Template) (*Result, error) {
 	domain, ok := s.kb.Domain(tpl.Domain)
 	if !ok {
 		return nil, fmt.Errorf("integrate: unknown domain %q", tpl.Domain)
 	}
-	key := tpl.Fields[domain.KeyField]
-	existing := s.findDuplicate(domain, tpl)
+	existing := s.findDuplicate(st, domain, tpl)
 	doc, err := tpl.ToDoc()
 	if err != nil {
 		return nil, err
 	}
-	_ = key
 	if existing == nil {
-		rec, err := s.db.Insert(domain.Collection, doc, tpl.Certainty, tpl.Location)
+		rec, err := st.Insert(domain.Collection, doc, tpl.Certainty, tpl.Location)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Action: ActionInserted, RecordID: rec.ID}, nil
 	}
-	if err := s.db.Update(domain.Collection, existing.ID, doc, tpl.Certainty, tpl.Location); err != nil {
+	if err := st.Update(domain.Collection, existing.ID, doc, tpl.Certainty, tpl.Location); err != nil {
 		return nil, err
 	}
 	return &Result{Action: ActionMerged, RecordID: existing.ID}, nil
@@ -124,7 +204,7 @@ func (s *Service) IntegrateNaive(tpl extract.Template) (*Result, error) {
 
 // findDuplicate scans the domain collection for a record whose key field
 // names the same entity, using location blocking when available.
-func (s *Service) findDuplicate(domain kb.Domain, tpl extract.Template) *xmldb.Record {
+func (s *Service) findDuplicate(st store, domain kb.Domain, tpl extract.Template) *xmldb.Record {
 	keyText := text.NormalizeName(tpl.Fields[domain.KeyField].Text)
 	var best *xmldb.Record
 	bestSim := s.MatchThreshold
@@ -144,13 +224,13 @@ func (s *Service) findDuplicate(domain kb.Domain, tpl extract.Template) *xmldb.R
 		}
 	}
 	if tpl.Location != nil {
-		for _, id := range s.db.Near(domain.Collection, *tpl.Location, s.BlockRadiusMeters) {
-			if rec, ok := s.db.Get(domain.Collection, id); ok {
+		for _, id := range st.Near(domain.Collection, *tpl.Location, s.BlockRadiusMeters) {
+			if rec, ok := st.Get(domain.Collection, id); ok {
 				consider(rec)
 			}
 		}
 		// Also consider location-less records by name.
-		s.db.Each(domain.Collection, func(rec *xmldb.Record) bool {
+		st.Each(domain.Collection, func(rec *xmldb.Record) bool {
 			if rec.Location == nil {
 				consider(rec)
 			}
@@ -158,7 +238,7 @@ func (s *Service) findDuplicate(domain kb.Domain, tpl extract.Template) *xmldb.R
 		})
 		return best
 	}
-	s.db.Each(domain.Collection, func(rec *xmldb.Record) bool {
+	st.Each(domain.Collection, func(rec *xmldb.Record) bool {
 		consider(rec)
 		return true
 	})
@@ -187,14 +267,14 @@ func recordKey(rec *xmldb.Record, field string) (string, bool) {
 	return text.NormalizeName(v), true
 }
 
-func (s *Service) insert(domain kb.Domain, tpl extract.Template) (*Result, error) {
+func (s *Service) insert(st store, domain kb.Domain, tpl extract.Template) (*Result, error) {
 	doc, err := tpl.ToDoc()
 	if err != nil {
 		return nil, err
 	}
 	setObservedAt(doc, tpl.Extracted)
 	cf := uncertain.Attenuate(tpl.Certainty, s.kb.Trust().Reliability(tpl.Source))
-	rec, err := s.db.Insert(domain.Collection, doc, cf, tpl.Location)
+	rec, err := st.Insert(domain.Collection, doc, cf, tpl.Location)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +282,7 @@ func (s *Service) insert(domain kb.Domain, tpl extract.Template) (*Result, error
 }
 
 // merge folds the template into an existing record field by field.
-func (s *Service) merge(domain kb.Domain, rec *xmldb.Record, tpl extract.Template) (*Result, error) {
+func (s *Service) merge(st store, domain kb.Domain, rec *xmldb.Record, tpl extract.Template) (*Result, error) {
 	res := &Result{Action: ActionMerged, RecordID: rec.ID}
 	trust := s.kb.Trust().Reliability(tpl.Source)
 	doc := rec.Doc.Clone()
@@ -345,7 +425,7 @@ func (s *Service) merge(domain kb.Domain, rec *xmldb.Record, tpl extract.Templat
 	}
 
 	// A nil location leaves the stored one untouched (xmldb semantics).
-	if err := s.db.Update(domain.Collection, rec.ID, doc, newCF, tpl.Location); err != nil {
+	if err := st.Update(domain.Collection, rec.ID, doc, newCF, tpl.Location); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -377,34 +457,37 @@ func (s *Service) Decay(collection string, now time.Time, floor uncertain.CF) (i
 	}
 	var changes []change
 	rate := s.kb.DecayPerDay()
-	s.db.Each(collection, func(rec *xmldb.Record) bool {
-		days := now.Sub(rec.Updated).Hours() / 24
-		if days <= 0 {
-			return true
-		}
-		factor := math.Pow(rate, days)
-		cf := uncertain.Attenuate(rec.Certainty, factor)
-		changes = append(changes, change{
-			id: rec.ID, doc: rec.Doc, cf: cf, loc: rec.Location,
-			del: float64(cf) < float64(floor),
-		})
-		return true
-	})
 	decayed, deleted := 0, 0
-	for _, c := range changes {
-		if c.del {
-			if err := s.db.Delete(collection, c.id); err != nil {
-				return decayed, deleted, err
+	err := s.db.Batch(func(tx *xmldb.Tx) error {
+		tx.Each(collection, func(rec *xmldb.Record) bool {
+			days := now.Sub(rec.Updated).Hours() / 24
+			if days <= 0 {
+				return true
 			}
-			deleted++
-			continue
+			factor := math.Pow(rate, days)
+			cf := uncertain.Attenuate(rec.Certainty, factor)
+			changes = append(changes, change{
+				id: rec.ID, doc: rec.Doc, cf: cf, loc: rec.Location,
+				del: float64(cf) < float64(floor),
+			})
+			return true
+		})
+		for _, c := range changes {
+			if c.del {
+				if err := tx.Delete(collection, c.id); err != nil {
+					return err
+				}
+				deleted++
+				continue
+			}
+			if err := tx.Update(collection, c.id, c.doc, c.cf, c.loc); err != nil {
+				return err
+			}
+			decayed++
 		}
-		if err := s.db.Update(collection, c.id, c.doc, c.cf, c.loc); err != nil {
-			return decayed, deleted, err
-		}
-		decayed++
-	}
-	return decayed, deleted, nil
+		return nil
+	})
+	return decayed, deleted, err
 }
 
 // observedAtField is the document element carrying the record's

@@ -203,6 +203,45 @@ func (q *Queue) Ack(id int64) error {
 	return nil
 }
 
+// AckBatch acknowledges a run of leased messages under one lock
+// acquisition and one WAL group commit, returning the IDs it actually
+// acknowledged. Every listed message that is in flight is acknowledged;
+// IDs that are not in flight are reported in the returned error without
+// blocking the rest of the batch. If the WAL write fails no message is
+// acknowledged and acked is empty — callers can tell a total failure
+// (acked empty) from a partial one (acked non-empty plus an error for
+// the missing IDs).
+func (q *Queue) AckBatch(ids []int64) (acked []int64, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var missing []int64
+	valid := make([]int64, 0, len(ids))
+	for _, id := range ids {
+		if _, ok := q.inflight[id]; ok {
+			valid = append(valid, id)
+		} else {
+			missing = append(missing, id)
+		}
+	}
+	if q.wal != nil && len(valid) > 0 {
+		entries := make([]walEntry, len(valid))
+		for i, id := range valid {
+			entries[i] = walEntry{Op: opAck, ID: id}
+		}
+		if err := q.wal.appendAll(entries); err != nil {
+			return nil, fmt.Errorf("mq: wal: %w", err)
+		}
+	}
+	for _, id := range valid {
+		delete(q.inflight, id)
+		delete(q.messages, id)
+	}
+	if len(missing) > 0 {
+		return valid, fmt.Errorf("mq: %d message(s) not in flight (first: %d)", len(missing), missing[0])
+	}
+	return valid, nil
+}
+
 // Nack returns a leased message to the front of the queue for immediate
 // redelivery.
 func (q *Queue) Nack(id int64) error {

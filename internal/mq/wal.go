@@ -63,12 +63,26 @@ func openWAL(path string) (*wal, []walEntry, error) {
 }
 
 func (w *wal) append(e walEntry) error {
-	b, err := json.Marshal(e)
-	if err != nil {
-		return err
+	return w.appendAll([]walEntry{e})
+}
+
+// appendAll writes a run of entries as one buffer and one fsync — the
+// group commit that lets batched acknowledgements amortize durability
+// cost across a whole batch instead of paying a sync per message.
+func (w *wal) appendAll(entries []walEntry) error {
+	var buf []byte
+	for _, e := range entries {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
 	}
-	b = append(b, '\n')
-	if _, err := w.f.Write(b); err != nil {
+	if len(buf) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(buf); err != nil {
 		return err
 	}
 	return w.f.Sync()

@@ -1,0 +1,117 @@
+package xmldb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/pxml"
+)
+
+func batchDoc(name string) *pxml.Node {
+	return pxml.Elem("Hotel", pxml.ElemText("Hotel_Name", name))
+}
+
+func TestBatchAtomicInsertUpdate(t *testing.T) {
+	db := New()
+	var id int64
+	err := db.Batch(func(tx *Tx) error {
+		rec, err := tx.Insert("Hotels", batchDoc("Axel"), 0.5, nil)
+		if err != nil {
+			return err
+		}
+		id = rec.ID
+		if got := tx.Len("Hotels"); got != 1 {
+			return fmt.Errorf("Len inside batch = %d, want 1", got)
+		}
+		return tx.Update("Hotels", id, batchDoc("Axel Hotel"), 0.7, nil)
+	})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	rec, ok := db.Get("Hotels", id)
+	if !ok {
+		t.Fatalf("record %d missing after batch", id)
+	}
+	if got, _ := rec.Doc.FirstChild("Hotel_Name"); got.TextContent() != "Axel Hotel" {
+		t.Fatalf("Hotel_Name = %q, want %q", got.TextContent(), "Axel Hotel")
+	}
+	if float64(rec.Certainty) != 0.7 {
+		t.Fatalf("Certainty = %v, want 0.7", rec.Certainty)
+	}
+}
+
+func TestBatchErrorPropagates(t *testing.T) {
+	db := New()
+	wantErr := fmt.Errorf("boom")
+	if err := db.Batch(func(tx *Tx) error { return wantErr }); err != wantErr {
+		t.Fatalf("Batch error = %v, want %v", err, wantErr)
+	}
+}
+
+// Update must replace the stored record, not mutate it, so a record
+// pointer read before the update remains a stable snapshot — this is what
+// makes concurrent readers safe while the integration batcher writes.
+func TestUpdateIsCopyOnWrite(t *testing.T) {
+	db := New()
+	rec, err := db.Insert("Hotels", batchDoc("Axel"), 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := db.Get("Hotels", rec.ID)
+	if err := db.Update("Hotels", rec.ID, batchDoc("Movenpick"), 0.9, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := before.Doc.FirstChild("Hotel_Name"); got.TextContent() != "Axel" {
+		t.Fatalf("old snapshot mutated: Hotel_Name = %q", got.TextContent())
+	}
+	if float64(before.Certainty) != 0.5 {
+		t.Fatalf("old snapshot mutated: Certainty = %v", before.Certainty)
+	}
+	after, _ := db.Get("Hotels", rec.ID)
+	if got, _ := after.Doc.FirstChild("Hotel_Name"); got.TextContent() != "Movenpick" {
+		t.Fatalf("update lost: Hotel_Name = %q", got.TextContent())
+	}
+}
+
+// Readers holding record snapshots race-free against concurrent updates:
+// run with -race.
+func TestConcurrentReadersDuringUpdates(t *testing.T) {
+	db := New()
+	rec, err := db.Insert("Hotels", batchDoc("Axel"), 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r, ok := db.Get("Hotels", rec.ID)
+				if !ok {
+					t.Error("record vanished")
+					return
+				}
+				if n, _ := r.Doc.FirstChild("Hotel_Name"); n.TextContent() == "" {
+					t.Error("empty name")
+					return
+				}
+				db.Each("Hotels", func(r *Record) bool { _ = r.Certainty; return true })
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if err := db.Update("Hotels", rec.ID, batchDoc(fmt.Sprintf("Hotel %d", i)), 0.6, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

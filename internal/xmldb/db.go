@@ -8,7 +8,6 @@ package xmldb
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -18,6 +17,12 @@ import (
 )
 
 // Record is one stored probabilistic document.
+//
+// Records handed out by Get/Each/Batch are immutable snapshots: Update
+// replaces the stored *Record rather than mutating it, so a pointer
+// obtained under the lock stays safe to read after the lock is released.
+// Callers must not mutate a returned record or its document; to change a
+// record, Clone its Doc and call Update.
 type Record struct {
 	ID int64
 	// Doc is the probabilistic XML tree; its root tag is the record type.
@@ -82,16 +87,43 @@ func (db *DB) collection(name string) *Collection {
 func (db *DB) Collections() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.collections))
-	for name := range db.collections {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
+	return db.collectionNamesLocked()
+}
+
+// Tx is a view of the database inside a Batch call: the database lock is
+// held once for the whole batch, so a run of reads and writes executes
+// atomically and amortizes lock acquisition across the batch. A Tx must
+// not escape its Batch function, and Batch must not be nested or call the
+// locking DB methods (the lock is not reentrant).
+type Tx struct {
+	db *DB
+}
+
+// Batch runs fn with the database exclusively locked, giving it an
+// atomic, amortized view for multi-record work — the data-integration
+// service's find-duplicate-then-update sequences and bulk insert paths.
+// The error from fn is returned verbatim; there is no rollback, so fn is
+// responsible for leaving the database consistent on error (matching the
+// per-call semantics of the unbatched methods).
+func (db *DB) Batch(fn func(*Tx) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return fn(&Tx{db: db})
 }
 
 // Insert stores a document in the named collection and returns its record.
 func (db *DB) Insert(collection string, doc *pxml.Node, certainty uncertain.CF, loc *geo.Point) (*Record, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insertLocked(collection, doc, certainty, loc)
+}
+
+// Insert is Tx's form of DB.Insert.
+func (tx *Tx) Insert(collection string, doc *pxml.Node, certainty uncertain.CF, loc *geo.Point) (*Record, error) {
+	return tx.db.insertLocked(collection, doc, certainty, loc)
+}
+
+func (db *DB) insertLocked(collection string, doc *pxml.Node, certainty uncertain.CF, loc *geo.Point) (*Record, error) {
 	if collection == "" {
 		return nil, fmt.Errorf("xmldb: empty collection name")
 	}
@@ -109,8 +141,6 @@ func (db *DB) Insert(collection string, doc *pxml.Node, certainty uncertain.CF, 
 			return nil, fmt.Errorf("xmldb: %w", err)
 		}
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	c := db.collection(collection)
 	rec := &Record{
 		ID:        db.nextID,
@@ -135,6 +165,15 @@ func (db *DB) Insert(collection string, doc *pxml.Node, certainty uncertain.CF, 
 func (db *DB) Get(collection string, id int64) (*Record, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.getLocked(collection, id)
+}
+
+// Get is Tx's form of DB.Get.
+func (tx *Tx) Get(collection string, id int64) (*Record, bool) {
+	return tx.db.getLocked(collection, id)
+}
+
+func (db *DB) getLocked(collection string, id int64) (*Record, bool) {
 	c, ok := db.collections[collection]
 	if !ok {
 		return nil, false
@@ -144,8 +183,21 @@ func (db *DB) Get(collection string, id int64) (*Record, bool) {
 }
 
 // Update replaces a record's document and certainty (and location when
-// newLoc is non-nil). The record must exist.
+// newLoc is non-nil). The record must exist. The stored record is
+// replaced, not mutated, so previously returned records remain valid
+// read-only snapshots.
 func (db *DB) Update(collection string, id int64, doc *pxml.Node, certainty uncertain.CF, newLoc *geo.Point) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.updateLocked(collection, id, doc, certainty, newLoc)
+}
+
+// Update is Tx's form of DB.Update.
+func (tx *Tx) Update(collection string, id int64, doc *pxml.Node, certainty uncertain.CF, newLoc *geo.Point) error {
+	return tx.db.updateLocked(collection, id, doc, certainty, newLoc)
+}
+
+func (db *DB) updateLocked(collection string, id int64, doc *pxml.Node, certainty uncertain.CF, newLoc *geo.Point) error {
 	if doc == nil {
 		return fmt.Errorf("xmldb: nil document")
 	}
@@ -155,8 +207,6 @@ func (db *DB) Update(collection string, id int64, doc *pxml.Node, certainty unce
 	if err := certainty.Validate(); err != nil {
 		return fmt.Errorf("xmldb: %w", err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	c, ok := db.collections[collection]
 	if !ok {
 		return fmt.Errorf("xmldb: collection %q not found", collection)
@@ -164,6 +214,13 @@ func (db *DB) Update(collection string, id int64, doc *pxml.Node, certainty unce
 	rec, ok := c.records[id]
 	if !ok {
 		return fmt.Errorf("xmldb: record %d not found in %q", id, collection)
+	}
+	next := &Record{
+		ID:        id,
+		Doc:       doc,
+		Certainty: certainty,
+		Location:  rec.Location,
+		Updated:   db.clock(),
 	}
 	if newLoc != nil {
 		if err := newLoc.Validate(); err != nil {
@@ -173,14 +230,12 @@ func (db *DB) Update(collection string, id int64, doc *pxml.Node, certainty unce
 			c.spatial.Delete(geo.BBoxOf(*rec.Location), rec.ID)
 		}
 		p := *newLoc
-		rec.Location = &p
+		next.Location = &p
 		if err := c.spatial.Insert(geo.BBoxOf(p), rec.ID); err != nil {
 			return fmt.Errorf("xmldb: spatial index: %w", err)
 		}
 	}
-	rec.Doc = doc
-	rec.Certainty = certainty
-	rec.Updated = db.clock()
+	c.records[id] = next
 	return nil
 }
 
@@ -188,6 +243,15 @@ func (db *DB) Update(collection string, id int64, doc *pxml.Node, certainty unce
 func (db *DB) Delete(collection string, id int64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.deleteLocked(collection, id)
+}
+
+// Delete is Tx's form of DB.Delete.
+func (tx *Tx) Delete(collection string, id int64) error {
+	return tx.db.deleteLocked(collection, id)
+}
+
+func (db *DB) deleteLocked(collection string, id int64) error {
 	c, ok := db.collections[collection]
 	if !ok {
 		return fmt.Errorf("xmldb: collection %q not found", collection)
@@ -213,6 +277,15 @@ func (db *DB) Delete(collection string, id int64) error {
 func (db *DB) Len(collection string) int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.lenLocked(collection)
+}
+
+// Len is Tx's form of DB.Len.
+func (tx *Tx) Len(collection string) int {
+	return tx.db.lenLocked(collection)
+}
+
+func (db *DB) lenLocked(collection string) int {
 	c, ok := db.collections[collection]
 	if !ok {
 		return 0
@@ -225,6 +298,17 @@ func (db *DB) Len(collection string) int {
 func (db *DB) Each(collection string, fn func(*Record) bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	db.eachLocked(collection, fn)
+}
+
+// Each is Tx's form of DB.Each. Unlike DB.Each, the callback runs under
+// the batch's write lock and may stage IDs for later Tx writes, but must
+// not call Tx write methods while iterating.
+func (tx *Tx) Each(collection string, fn func(*Record) bool) {
+	tx.db.eachLocked(collection, fn)
+}
+
+func (db *DB) eachLocked(collection string, fn func(*Record) bool) {
 	c, ok := db.collections[collection]
 	if !ok {
 		return
@@ -240,6 +324,15 @@ func (db *DB) Each(collection string, fn func(*Record) bool) {
 func (db *DB) Near(collection string, p geo.Point, radiusMeters float64) []int64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.nearLocked(collection, p, radiusMeters)
+}
+
+// Near is Tx's form of DB.Near.
+func (tx *Tx) Near(collection string, p geo.Point, radiusMeters float64) []int64 {
+	return tx.db.nearLocked(collection, p, radiusMeters)
+}
+
+func (db *DB) nearLocked(collection string, p geo.Point, radiusMeters float64) []int64 {
 	c, ok := db.collections[collection]
 	if !ok {
 		return nil

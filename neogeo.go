@@ -15,6 +15,16 @@
 //	defer sys.Close()
 //	sys.Ingest("loved the Axel Hotel in Berlin, great stay", "alice")
 //	answer, _ := sys.Ask("can anyone recommend a good hotel in Berlin?", "bob")
+//
+// For heavy streams, enqueue with Submit and drain through the concurrent
+// pipeline — a worker pool (Config.Workers, default GOMAXPROCS) runs
+// extraction in parallel while a batching stage amortizes database
+// integration and queue acknowledgement:
+//
+//	for _, m := range stream {
+//		sys.Submit(m.Text, m.Source)
+//	}
+//	outs, errs := sys.ProcessConcurrent(ctx, 0)
 package neogeo
 
 import (

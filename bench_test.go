@@ -30,6 +30,7 @@ import (
 	"repro/internal/ner"
 	"repro/internal/ontology"
 	"repro/internal/pxml"
+	"repro/internal/shard"
 	"repro/internal/tweetgen"
 	"repro/internal/uncertain"
 	"repro/internal/xmldb"
@@ -572,5 +573,163 @@ func BenchmarkUncertainCombineBayes(b *testing.B) {
 			odds *= p / (1 - p)
 		}
 		_ = odds / (1 + odds)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E11 — sharded store: per-shard integration lanes versus the single
+// batching integrator. The workload is the integration stage in
+// isolation (pre-extracted templates, location-less so duplicate
+// detection must scan its shard's collection): sharding divides every
+// scan by the shard count — a single-core win — and on multi-core
+// hardware the lanes additionally commit in parallel. See EXPERIMENTS.md
+// §E11 for reference runs and cmd/integbench -mode=parallel -shards for
+// the end-to-end pipeline numbers.
+
+// shardBenchGroups builds per-message template groups over `entities`
+// distinct location-less hotels, pre-partitioned by the integrator's
+// routing (one slice of batches per lane, batch size 16 as in the
+// pipeline).
+func shardBenchGroups(in *shard.Integrator, n, entities int) [][][][]extract.Template {
+	d := uncertain.NewDist()
+	_ = d.Add("Positive", 0.9)
+	_ = d.Add("Negative", 0.1)
+	now := time.Unix(1_300_000_000, 0)
+	names := hotelBenchNames(entities)
+	perLane := make([][][]extract.Template, in.Lanes())
+	for i := 0; i < n; i++ {
+		tpl := extract.Template{
+			Domain:    "tourism",
+			RecordTag: "Hotel",
+			Fields: map[string]extract.FieldValue{
+				"Hotel_Name":    {Kind: kb.FieldText, Text: names[i%entities], CF: 0.9},
+				"User_Attitude": {Kind: kb.FieldAttitude, Dist: d.Clone(), CF: 0.8},
+			},
+			Certainty: 0.5,
+			Source:    fmt.Sprintf("citizen%d", i%11),
+			Extracted: now.Add(time.Duration(i) * time.Second),
+		}
+		group := []extract.Template{tpl}
+		perLane[in.Route(group)] = append(perLane[in.Route(group)], group)
+	}
+	const batch = 16
+	out := make([][][][]extract.Template, in.Lanes())
+	for lane, groups := range perLane {
+		for len(groups) > 0 {
+			k := batch
+			if k > len(groups) {
+				k = len(groups)
+			}
+			out[lane] = append(out[lane], groups[:k])
+			groups = groups[k:]
+		}
+	}
+	return out
+}
+
+// hotelBenchNames builds mutually dissimilar entity names (see
+// cmd/integbench) so the benchmark measures scan cost, not accidental
+// merging.
+func hotelBenchNames(n int) []string {
+	first := []string{"Azure", "Bravado", "Crimson", "Dunmore", "Elysian", "Falcon",
+		"Gilded", "Harbour", "Ivory", "Juniper", "Kestrel", "Lakeside",
+		"Meridian", "Northgate", "Opal", "Paragon"}
+	second := []string{"Palace", "Lodge", "Retreat", "Towers", "Courtyard", "Manor",
+		"Pavilion", "Terrace", "Springs", "Villa", "Quarters", "Haven"}
+	names := make([]string, 0, n)
+	for i := 0; len(names) < n; i++ {
+		names = append(names, fmt.Sprintf("%s %s %d",
+			first[i%len(first)], second[(i/len(first)+i)%len(second)], i))
+	}
+	return names
+}
+
+func BenchmarkShardIntegrateLanes(b *testing.B) {
+	const msgs, entities = 1024, 768
+	for _, nShards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
+			processed := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st, err := shard.New(nShards, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				in, err := shard.NewIntegrator(kb.New(), st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				laneBatches := shardBenchGroups(in, msgs, entities)
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for lane := 0; lane < in.Lanes(); lane++ {
+					wg.Add(1)
+					go func(lane int) {
+						defer wg.Done()
+						for _, batch := range laneBatches[lane] {
+							for _, group := range in.IntegrateGroups(lane, batch) {
+								for _, r := range group {
+									if r.Err != nil {
+										b.Error(r.Err)
+									}
+								}
+							}
+						}
+					}(lane)
+				}
+				wg.Wait()
+				processed += msgs
+			}
+			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "msgs/sec")
+		})
+	}
+}
+
+// BenchmarkDrainSharded is the end-to-end variant: the full concurrent
+// pipeline (workers=4) over a WAL-backed queue, with the store and the
+// integration tail partitioned per configuration. On a single core the
+// pipeline is extraction-bound and the lanes only shrink dedup scans; on
+// multi-core hardware the lanes also integrate in parallel.
+func BenchmarkDrainSharded(b *testing.B) {
+	g, _ := benchFixtures(b)
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 99, Noise: 0.4, Domain: tweetgen.DomainMixed, RequestRatio: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := gen.Generate(256)
+	const perIter = 64
+
+	for _, nShards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
+			processed := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys, err := core.New(core.Config{
+					Gazetteer: g,
+					Workers:   4,
+					Shards:    nShards,
+					QueueWAL:  filepath.Join(b.TempDir(), "queue.wal"),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < perIter; j++ {
+					m := msgs[(i*perIter+j)%len(msgs)]
+					if _, err := sys.Submit(m.Text, m.Source); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				outs, errs := sys.ProcessConcurrent(context.Background(), 0)
+				b.StopTimer()
+				if len(errs) != 0 {
+					b.Fatalf("drain errors: %v", errs[0])
+				}
+				processed += len(outs)
+				sys.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "msgs/sec")
+		})
 	}
 }

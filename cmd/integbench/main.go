@@ -16,13 +16,18 @@
 // Output is a TSV series: stream position, probabilistic accuracy, naive
 // accuracy — EXPERIMENTS.md §E7 records a reference run.
 //
-// -mode=parallel measures end-to-end pipeline throughput instead: a
-// synthetic tweet stream is queued and drained once sequentially and once
-// per requested worker count through the coordinator's concurrent batched
-// pipeline, reporting msgs/sec and the speedup over the sequential drain.
-// With -wal (default true) the queue is backed by a write-ahead log, the
-// production configuration whose per-message fsync the batching stage
-// amortizes via group-committed acknowledgements.
+// -mode=parallel measures end-to-end pipeline throughput instead: one
+// synthetic tweet stream — generated once from -seed, so every
+// configuration drains the identical message sequence — is queued and
+// drained once per (worker count × shard count) configuration through
+// the coordinator's pipeline, reporting msgs/sec, the speedup over the
+// first configuration, per-shard record balance and queue health
+// (acked/dead-lettered). -shards partitions the probabilistic store with
+// one integration lane per shard (sequential mode routes to shards too,
+// without lane parallelism). With -wal (default true) the queue is
+// backed by a write-ahead log, the production configuration whose
+// per-message fsync the integration lanes amortize via group-committed
+// acknowledgements.
 package main
 
 import (
@@ -57,8 +62,9 @@ func main() {
 		msgs     = flag.Int("n", 1200, "total reports in the stream")
 		step     = flag.Int("step", 100, "measurement interval (e7)")
 		liarRate = flag.Float64("liars", 0.3, "fraction of reports from unreliable sources (e7)")
-		seed     = flag.Int64("seed", 2011, "stream seed")
+		seed     = flag.Int64("seed", 2011, "deterministic stream seed: every mode and configuration replays the identical stream for this value")
 		workers  = flag.String("workers", "0,1,4,8", "comma-separated worker counts; 0 = sequential drain (parallel)")
+		shards   = flag.String("shards", "1", "comma-separated shard counts for the probabilistic store (parallel)")
 		noise    = flag.Float64("noise", 0.4, "tweet-stream noise level (parallel)")
 		reqRatio = flag.Float64("requests", 0.2, "fraction of request messages (parallel)")
 		gazNames = flag.Int("gaznames", 2000, "synthetic gazetteer size (parallel)")
@@ -67,7 +73,7 @@ func main() {
 	flag.Parse()
 
 	if *mode == "parallel" {
-		if err := runParallel(*msgs, *seed, *noise, *reqRatio, *gazNames, *useWAL, *workers); err != nil {
+		if err := runParallel(*msgs, *seed, *noise, *reqRatio, *gazNames, *useWAL, *workers, *shards); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -179,11 +185,13 @@ func hotelNames(n int) []string {
 
 // runParallel replays one synthetic tweet stream through the full
 // MQ -> MC -> IE -> DI pipeline once per drain configuration and reports
-// throughput. Each configuration gets a fresh system (same gazetteer, same
-// stream) so the runs are comparable; submission is not timed — the
-// measurement is the drain, which is where acknowledgement durability and
-// integration batching live.
-func runParallel(n int, seed int64, noise, reqRatio float64, gazNames int, useWAL bool, workerList string) error {
+// throughput. The stream is generated exactly once from -seed and every
+// (workers × shards) configuration gets a fresh system fed that same
+// slice (same gazetteer too), so sequential, concurrent and sharded runs
+// compare identical inputs; submission is not timed — the measurement is
+// the drain, which is where acknowledgement durability, integration
+// batching and shard-lane parallelism live.
+func runParallel(n int, seed int64, noise, reqRatio float64, gazNames int, useWAL bool, workerList, shardList string) error {
 	gaz, err := gazetteer.Synthesize(gazetteer.Config{Names: gazNames, Seed: 2011})
 	if err != nil {
 		return fmt.Errorf("synthesising gazetteer: %w", err)
@@ -196,13 +204,24 @@ func runParallel(n int, seed int64, noise, reqRatio float64, gazNames int, useWA
 	}
 	stream := gen.Generate(n)
 
-	var counts []int
-	for _, f := range strings.Split(workerList, ",") {
-		w, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || w < 0 {
-			return fmt.Errorf("bad -workers entry %q", f)
+	parseCounts := func(list, flagName string, min int) ([]int, error) {
+		var out []int
+		for _, f := range strings.Split(list, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < min {
+				return nil, fmt.Errorf("bad %s entry %q", flagName, f)
+			}
+			out = append(out, v)
 		}
-		counts = append(counts, w)
+		return out, nil
+	}
+	workerCounts, err := parseCounts(workerList, "-workers", 0)
+	if err != nil {
+		return err
+	}
+	shardCounts, err := parseCounts(shardList, "-shards", 1)
+	if err != nil {
+		return err
 	}
 
 	tmp, err := os.MkdirTemp("", "integbench-wal-*")
@@ -211,55 +230,85 @@ func runParallel(n int, seed int64, noise, reqRatio float64, gazNames int, useWA
 	}
 	defer os.RemoveAll(tmp)
 
-	fmt.Printf("# parallel drain: %d msgs, noise=%.1f, requests=%.1f, wal=%v\n", n, noise, reqRatio, useWAL)
-	fmt.Println("config\tmsgs\tseconds\tmsgs_per_sec\tspeedup")
+	fmt.Printf("# parallel drain: %d msgs, seed=%d, noise=%.1f, requests=%.1f, wal=%v\n",
+		n, seed, noise, reqRatio, useWAL)
+	fmt.Println("config\tmsgs\tseconds\tmsgs_per_sec\tspeedup\tshard_balance")
 	var baseline float64
-	for i, w := range counts {
-		cfg := core.Config{Gazetteer: gaz, Workers: w, IntegrateBatch: 16}
-		if w == 0 {
-			cfg.Workers = 1 // sequential drain below; width is unused
-		}
-		if useWAL {
-			cfg.QueueWAL = filepath.Join(tmp, fmt.Sprintf("queue-%d.wal", i))
-		}
-		sys, err := core.New(cfg)
-		if err != nil {
-			return err
-		}
-		for _, m := range stream {
-			if _, err := sys.Submit(m.Text, m.Source); err != nil {
-				sys.Close()
+	run := 0
+	for _, w := range workerCounts {
+		for _, nshards := range shardCounts {
+			cfg := core.Config{Gazetteer: gaz, Workers: w, Shards: nshards, IntegrateBatch: 16}
+			if w == 0 {
+				cfg.Workers = 1 // sequential drain below; width is unused
+			}
+			if useWAL {
+				cfg.QueueWAL = filepath.Join(tmp, fmt.Sprintf("queue-%d.wal", run))
+			}
+			sys, err := core.New(cfg)
+			if err != nil {
 				return err
 			}
+			for _, m := range stream {
+				if _, err := sys.Submit(m.Text, m.Source); err != nil {
+					sys.Close()
+					return err
+				}
+			}
+			label := "sequential"
+			if w != 0 {
+				label = fmt.Sprintf("workers=%d", w)
+			}
+			if nshards > 1 {
+				label += fmt.Sprintf("/shards=%d", nshards)
+			}
+			start := time.Now()
+			var outs []*coordinator.Outcome
+			var errs []error
+			if w == 0 {
+				outs, errs = sys.MC.Drain(0)
+			} else {
+				outs, errs = sys.ProcessConcurrent(context.Background(), 0)
+			}
+			elapsed := time.Since(start).Seconds()
+			balance := sys.Store.Balance()
+			qstats := sys.Queue.Stats()
+			sys.Close()
+			if len(errs) > 0 {
+				return fmt.Errorf("%s: %d drain errors (first: %v)", label, len(errs), errs[0])
+			}
+			if len(outs) != n {
+				return fmt.Errorf("%s: drained %d of %d messages", label, len(outs), n)
+			}
+			if qstats.Acked != n || qstats.DeadLettered != 0 {
+				return fmt.Errorf("%s: queue health acked=%d dead=%d, want %d acked",
+					label, qstats.Acked, qstats.DeadLettered, n)
+			}
+			rate := float64(n) / elapsed
+			// Speedup is relative to the first configuration in the list
+			// (conventionally 0 = sequential, but any list works).
+			if run == 0 {
+				baseline = rate
+			}
+			run++
+			speedup := rate / baseline
+			fmt.Printf("%s\t%d\t%.3f\t%.0f\t%.2fx\t%s\n",
+				label, n, elapsed, rate, speedup, balanceString(balance))
 		}
-		start := time.Now()
-		var outs []*coordinator.Outcome
-		var errs []error
-		label := "sequential"
-		if w == 0 {
-			outs, errs = sys.MC.Drain(0)
-		} else {
-			label = fmt.Sprintf("workers=%d", w)
-			outs, errs = sys.ProcessConcurrent(context.Background(), 0)
-		}
-		elapsed := time.Since(start).Seconds()
-		sys.Close()
-		if len(errs) > 0 {
-			return fmt.Errorf("%s: %d drain errors (first: %v)", label, len(errs), errs[0])
-		}
-		if len(outs) != n {
-			return fmt.Errorf("%s: drained %d of %d messages", label, len(outs), n)
-		}
-		rate := float64(n) / elapsed
-		// Speedup is relative to the first configuration in the list
-		// (conventionally 0 = sequential, but any list works).
-		if i == 0 {
-			baseline = rate
-		}
-		speedup := rate / baseline
-		fmt.Printf("%s\t%d\t%.3f\t%.0f\t%.2fx\n", label, n, elapsed, rate, speedup)
 	}
 	return nil
+}
+
+// balanceString renders per-shard record counts compactly: "512" for a
+// single store, "[130 128 125 131]" for a sharded one.
+func balanceString(balance []int) string {
+	if len(balance) == 1 {
+		return strconv.Itoa(balance[0])
+	}
+	parts := make([]string, len(balance))
+	for i, n := range balance {
+		parts[i] = strconv.Itoa(n)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 func storedTop(db *xmldb.DB, hotel string) string {

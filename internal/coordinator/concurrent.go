@@ -13,16 +13,21 @@ import (
 // concurrent pipeline until the queue is empty, limit messages have been
 // dispatched (limit <= 0 means no limit), or ctx is cancelled:
 //
-//	dispatcher -> worker pool -> batching integrator
+//	dispatcher -> worker pool -> integration lanes
 //
 // A single dispatcher leases messages from the queue; the worker pool
 // (SetWorkers, default GOMAXPROCS) runs classification, extraction and
-// question answering in parallel; and a single integrator goroutine folds
-// the workers' templates into amortized database batches (SetBatchSize),
-// acknowledging each batch with one group-committed queue operation. The
-// batching stage keeps all database writes on one goroutine, so the
-// probabilistic integration path needs no cross-worker coordination, and
-// overlaps WAL fsyncs with extraction work even on a single CPU.
+// question answering in parallel; and one integration-lane goroutine per
+// Integrator lane folds the workers' templates into amortized database
+// batches (SetBatchSize), acknowledging each batch with one
+// group-committed queue operation. Workers route each message's template
+// group to its lane (Integrator.Route), so every store still sees all
+// its writes from a single goroutine — the probabilistic integration
+// path needs no cross-worker coordination — while lanes for different
+// shards commit batches and group-ack in parallel. With a one-lane
+// Integrator (SingleLane) this is exactly the single batching-integrator
+// pipeline; with shard.Integrator the pipeline's tail scales out with
+// the store.
 //
 // Semantics match Drain — failed messages are negatively acknowledged for
 // redelivery and reported in errs, exhausted messages dead-letter — except
@@ -30,10 +35,13 @@ import (
 func (c *Coordinator) DrainConcurrent(ctx context.Context, limit int) (outs []*Outcome, errs []error) {
 	st := &drainState{}
 	jobs := make(chan mq.Message)
-	// The integration stage's buffer must fit a full batch on top of one
-	// in-flight job per worker, or the group commit could never amortize
-	// past the worker count.
-	integ := make(chan integrationJob, c.workers+c.batchSize)
+	// Each lane's buffer must fit a full batch on top of one in-flight
+	// job per worker, or the group commit could never amortize past the
+	// worker count.
+	lanes := make([]chan integrationJob, c.di.Lanes())
+	for i := range lanes {
+		lanes[i] = make(chan integrationJob, c.workers+c.batchSize)
+	}
 	// poke wakes the dispatcher after any ack/nack so it can re-check the
 	// queue; capacity 1 makes the send non-blocking while never losing the
 	// "state changed" edge.
@@ -51,17 +59,19 @@ func (c *Coordinator) DrainConcurrent(ctx context.Context, limit int) (outs []*O
 		go func() {
 			defer workersWG.Done()
 			for m := range jobs {
-				c.workOne(m, st, integ, notify)
+				c.workOne(m, st, lanes, notify)
 			}
 		}()
 	}
 
-	var integWG sync.WaitGroup
-	integWG.Add(1)
-	go func() {
-		defer integWG.Done()
-		c.runIntegrator(integ, st, notify)
-	}()
+	var lanesWG sync.WaitGroup
+	for i := range lanes {
+		lanesWG.Add(1)
+		go func(lane int, integ <-chan integrationJob) {
+			defer lanesWG.Done()
+			c.runIntegrator(lane, integ, st, notify)
+		}(i, lanes[i])
+	}
 
 	dispatched := 0
 	for (limit <= 0 || dispatched < limit) && ctx.Err() == nil {
@@ -95,8 +105,10 @@ func (c *Coordinator) DrainConcurrent(ctx context.Context, limit int) (outs []*O
 	}
 	close(jobs)
 	workersWG.Wait()
-	close(integ)
-	integWG.Wait()
+	for _, integ := range lanes {
+		close(integ)
+	}
+	lanesWG.Wait()
 	return st.outs, st.errs
 }
 
@@ -119,10 +131,10 @@ func (st *drainState) addErr(err error) {
 	st.errs = append(st.errs, err)
 }
 
-// integrationJob is one message handed from a worker to the batching
-// stage: its lease, its partially filled outcome, and any templates still
+// integrationJob is one message handed from a worker to an integration
+// lane: its lease, its partially filled outcome, and any templates still
 // to integrate (empty for request messages, whose acknowledgement simply
-// joins the batch's group commit).
+// joins the lane's group commit).
 type integrationJob struct {
 	msg  mq.Message
 	out  *Outcome
@@ -130,9 +142,12 @@ type integrationJob struct {
 }
 
 // workOne runs the parallel front half of one message's workflow, then
-// hands the message to the batching stage, which owns integration and
+// routes the message to its integration lane, which owns integration and
 // acknowledgement — every successful message is acked by group commit.
-func (c *Coordinator) workOne(m mq.Message, st *drainState, integ chan<- integrationJob, notify func()) {
+// Messages with no templates (requests) only need an acknowledgement;
+// they spread across lanes by message ID so no single lane becomes the
+// ack bottleneck.
+func (c *Coordinator) workOne(m mq.Message, st *drainState, lanes []chan integrationJob, notify func()) {
 	out, tpls, err := c.prepare(m)
 	if err != nil {
 		_ = c.queue.Nack(m.ID)
@@ -140,14 +155,20 @@ func (c *Coordinator) workOne(m mq.Message, st *drainState, integ chan<- integra
 		notify()
 		return
 	}
-	integ <- integrationJob{msg: m, out: out, tpls: tpls}
+	lane := 0
+	if len(tpls) > 0 {
+		lane = c.di.Route(tpls)
+	} else if len(lanes) > 1 && m.ID > 0 {
+		lane = int(m.ID % int64(len(lanes)))
+	}
+	lanes[lane] <- integrationJob{msg: m, out: out, tpls: tpls}
 }
 
-// runIntegrator is the single-goroutine batching stage: it greedily
-// collects pending jobs up to the batch cap, integrates each batch under
-// one database lock acquisition, and acknowledges the batch's messages
-// with one group-committed ack.
-func (c *Coordinator) runIntegrator(integ <-chan integrationJob, st *drainState, notify func()) {
+// runIntegrator is one lane's single-goroutine batching stage: it
+// greedily collects the lane's pending jobs up to the batch cap,
+// integrates each batch under one acquisition of the lane's store lock,
+// and acknowledges the batch's messages with one group-committed ack.
+func (c *Coordinator) runIntegrator(lane int, integ <-chan integrationJob, st *drainState, notify func()) {
 	for {
 		job, ok := <-integ
 		if !ok {
@@ -166,17 +187,17 @@ func (c *Coordinator) runIntegrator(integ <-chan integrationJob, st *drainState,
 				break collect
 			}
 		}
-		c.flushBatch(batch, st)
+		c.flushBatch(lane, batch, st)
 		notify()
 	}
 }
 
-func (c *Coordinator) flushBatch(batch []integrationJob, st *drainState) {
+func (c *Coordinator) flushBatch(lane int, batch []integrationJob, st *drainState) {
 	groups := make([][]extract.Template, len(batch))
 	for i, job := range batch {
 		groups[i] = job.tpls
 	}
-	results := c.di.IntegrateGroups(groups)
+	results := c.di.IntegrateGroups(lane, groups)
 
 	ackIDs := make([]int64, 0, len(batch))
 	completed := make([]*Outcome, 0, len(batch))

@@ -73,11 +73,46 @@ type Outcome struct {
 	Query string
 }
 
+// Integrator is the integration sink of the coordinator: a set of
+// independent lanes, each owning one store. The single-store system has
+// one lane (SingleLane); a sharded system has one lane per shard
+// (shard.Integrator). The coordinator serialises IntegrateGroups calls
+// per lane — in the concurrent pipeline by running exactly one goroutine
+// per lane — so implementations never see concurrent writes to the same
+// lane, preserving the single-writer probabilistic merge path while
+// distinct lanes commit in parallel.
+type Integrator interface {
+	// Lanes is the number of independent integration lanes.
+	Lanes() int
+	// Route assigns one message's template group to a lane in
+	// [0, Lanes()). It must be deterministic so repeated reports about
+	// one entity always integrate in the same lane.
+	Route(tpls []extract.Template) int
+	// IntegrateGroups merges several messages' template groups (one group
+	// per message, order preserved within a group) as one amortized batch
+	// on the given lane.
+	IntegrateGroups(lane int, groups [][]extract.Template) [][]integrate.BatchResult
+}
+
+// singleLane adapts the unsharded integration service to the Integrator
+// interface: one lane, everything routed to it.
+type singleLane struct{ di *integrate.Service }
+
+// SingleLane wraps a single-store integration service as a one-lane
+// Integrator — the unsharded configuration.
+func SingleLane(di *integrate.Service) Integrator { return singleLane{di: di} }
+
+func (s singleLane) Lanes() int                   { return 1 }
+func (s singleLane) Route([]extract.Template) int { return 0 }
+func (s singleLane) IntegrateGroups(_ int, groups [][]extract.Template) [][]integrate.BatchResult {
+	return s.di.IntegrateGroups(groups)
+}
+
 // Coordinator wires the queue to the services.
 type Coordinator struct {
 	queue *mq.Queue
 	ie    *extract.Service
-	di    *integrate.Service
+	di    Integrator
 	qa    *qa.Service
 	rules Rules
 	clock func() time.Time
@@ -94,10 +129,15 @@ type Coordinator struct {
 	batchSize int
 }
 
-// New wires a coordinator. A nil rules uses DefaultRules.
-func New(queue *mq.Queue, ie *extract.Service, di *integrate.Service, ans *qa.Service, rules Rules) (*Coordinator, error) {
+// New wires a coordinator around an Integrator — SingleLane for the
+// single-store system, shard.NewIntegrator for a sharded one. A nil
+// rules uses DefaultRules.
+func New(queue *mq.Queue, ie *extract.Service, di Integrator, ans *qa.Service, rules Rules) (*Coordinator, error) {
 	if queue == nil || ie == nil || di == nil || ans == nil {
 		return nil, fmt.Errorf("coordinator: nil dependency")
+	}
+	if di.Lanes() < 1 {
+		return nil, fmt.Errorf("coordinator: integrator has %d lanes", di.Lanes())
 	}
 	if rules == nil {
 		rules = DefaultRules()
@@ -236,11 +276,12 @@ func (c *Coordinator) prepare(m mq.Message) (*Outcome, []extract.Template, error
 }
 
 // integrateInto applies a message's templates in order as one amortized
-// database batch, stopping at the first integration error (templates
-// after a failure are not applied), and folds the actions into its
-// outcome.
+// database batch on their routed lane, stopping at the first integration
+// error (templates after a failure are not applied), and folds the
+// actions into its outcome.
 func (c *Coordinator) integrateInto(out *Outcome, tpls []extract.Template) error {
-	return foldGroup(out, c.di.IntegrateGroups([][]extract.Template{tpls})[0])
+	lane := c.di.Route(tpls)
+	return foldGroup(out, c.di.IntegrateGroups(lane, [][]extract.Template{tpls})[0])
 }
 
 // foldGroup counts one message's integration actions into its outcome,

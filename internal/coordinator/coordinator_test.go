@@ -60,7 +60,7 @@ func newCoordinatorServices(t *testing.T, q *mq.Queue) (*Coordinator, *xmldb.DB)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(q, ie, di, ans, nil)
+	c, err := New(q, ie, SingleLane(di), ans, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,8 @@
 // Figure 3: message queue, modules coordinator with workflow rules,
 // information-extraction, data-integration and question-answering
 // services, knowledge base, geo-ontology (Open Linked Data stand-in),
-// gazetteer and the probabilistic spatial XML database.
+// gazetteer and the probabilistic spatial XML database — optionally
+// partitioned into spatially routed shards.
 package core
 
 import (
@@ -19,9 +20,13 @@ import (
 	"repro/internal/mq"
 	"repro/internal/ontology"
 	"repro/internal/qa"
+	"repro/internal/shard"
 	"repro/internal/uncertain"
 	"repro/internal/xmldb"
 )
+
+// The sharded integrator is the pipeline's multi-lane integration sink.
+var _ coordinator.Integrator = (*shard.Integrator)(nil)
 
 // Config parameterises system construction.
 type Config struct {
@@ -38,12 +43,21 @@ type Config struct {
 	QueueWAL string
 	// Workers sets the concurrency of the coordinator's stream-processing
 	// pipeline: Process and ProcessConcurrent run classification and
-	// extraction on this many goroutines while a batching stage serializes
-	// database integration. 0 defaults to GOMAXPROCS; 1 keeps the
-	// pipeline but with a single extraction worker.
+	// extraction on this many goroutines while per-shard integration
+	// lanes serialize database writes. 0 defaults to GOMAXPROCS; 1 keeps
+	// the pipeline but with a single extraction worker.
 	Workers int
-	// IntegrateBatch caps how many messages the pipeline's integration
-	// stage folds into one amortized database batch (default 16).
+	// Shards partitions the probabilistic spatial XML database into this
+	// many independently locked shards, routed spatially (gazetteer-grid
+	// cells of the record's resolved location, with an entity-key hash
+	// fallback), with one pipeline integration lane per shard. 0 or 1
+	// keeps today's single-store behavior.
+	Shards int
+	// ShardRouter overrides record placement (default: shard.NewGridRouter
+	// over Shards shards). Ignored when Shards <= 1.
+	ShardRouter shard.Router
+	// IntegrateBatch caps how many messages a pipeline integration lane
+	// folds into one amortized database batch (default 16).
 	IntegrateBatch int
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
@@ -51,16 +65,29 @@ type Config struct {
 
 // System is the assembled pipeline.
 type System struct {
-	Gaz   *gazetteer.Gazetteer
-	Ont   *ontology.Ontology
-	KB    *kb.KB
+	Gaz *gazetteer.Gazetteer
+	Ont *ontology.Ontology
+	KB  *kb.KB
+	// Store is the (possibly sharded) probabilistic spatial XML store;
+	// with Shards <= 1 it wraps the single database. All reads that must
+	// see the whole system go through it.
+	Store *shard.Store
+	// DB is the single database in the unsharded configuration, nil when
+	// Shards > 1 (use Store, or Store.Shard(i) for one partition).
 	DB    *xmldb.DB
 	Queue *mq.Queue
 	IE    *extract.Service
-	DI    *integrate.Service
-	QA    *qa.Service
-	MC    *coordinator.Coordinator
-	clock func() time.Time
+	// DI is the integration service of shard 0 — the whole store's
+	// service in the unsharded configuration. DIs holds one service per
+	// shard.
+	DI  *integrate.Service
+	DIs []*integrate.Service
+	QA  *qa.Service
+	MC  *coordinator.Coordinator
+	// Integrator is the coordinator's integration sink (one lane per
+	// shard).
+	Integrator *shard.Integrator
+	clock      func() time.Time
 	// workers is the configured pipeline width (0 = GOMAXPROCS).
 	workers int
 }
@@ -90,10 +117,26 @@ func New(cfg Config) (*System, error) {
 	s.Ont = ontology.New()
 	s.Ont.LoadContainment(s.Gaz)
 	s.KB = kb.New()
-	s.DB = xmldb.New()
-	if cfg.Clock != nil {
-		s.DB.SetClock(cfg.Clock)
+
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
 	}
+	router := cfg.ShardRouter
+	if shards <= 1 {
+		router = nil
+	}
+	s.Store, err = shard.New(shards, router)
+	if err != nil {
+		return nil, fmt.Errorf("core: building sharded store: %w", err)
+	}
+	if s.Store.NumShards() == 1 {
+		s.DB = s.Store.Shard(0)
+	}
+	if cfg.Clock != nil {
+		s.Store.SetClock(cfg.Clock)
+	}
+
 	if cfg.QueueWAL != "" {
 		s.Queue, err = mq.Open(cfg.QueueWAL, mq.WithClock(s.clock))
 		if err != nil {
@@ -105,13 +148,15 @@ func New(cfg Config) (*System, error) {
 	if s.IE, err = extract.NewService(s.KB, s.Gaz, s.Ont); err != nil {
 		return nil, err
 	}
-	if s.DI, err = integrate.NewService(s.KB, s.DB); err != nil {
+	if s.Integrator, err = shard.NewIntegrator(s.KB, s.Store); err != nil {
 		return nil, err
 	}
-	if s.QA, err = qa.NewService(s.DB, s.KB, s.Gaz, s.Ont); err != nil {
+	s.DIs = s.Integrator.Services()
+	s.DI = s.DIs[0]
+	if s.QA, err = qa.NewService(s.Store, s.KB, s.Gaz, s.Ont); err != nil {
 		return nil, err
 	}
-	if s.MC, err = coordinator.New(s.Queue, s.IE, s.DI, s.QA, nil); err != nil {
+	if s.MC, err = coordinator.New(s.Queue, s.IE, s.Integrator, s.QA, nil); err != nil {
 		return nil, err
 	}
 	s.MC.SetWorkers(cfg.Workers)
@@ -147,8 +192,9 @@ func (s *System) Process(limit int) ([]*coordinator.Outcome, []error) {
 }
 
 // ProcessConcurrent drains the queue through the coordinator's concurrent
-// worker-pool pipeline (width Workers, default GOMAXPROCS), stopping
-// early when ctx is cancelled. Outcomes arrive in completion order.
+// worker-pool pipeline (width Workers, default GOMAXPROCS) into one
+// integration lane per shard, stopping early when ctx is cancelled.
+// Outcomes arrive in completion order.
 func (s *System) ProcessConcurrent(ctx context.Context, limit int) ([]*coordinator.Outcome, []error) {
 	return s.MC.DrainConcurrent(ctx, limit)
 }
@@ -181,16 +227,18 @@ func (s *System) Ask(question, source string) (string, error) {
 	return out.Answer, nil
 }
 
-// DecayAll applies temporal certainty decay to every collection, dropping
-// records below floor.
+// DecayAll applies temporal certainty decay to every collection on every
+// shard, dropping records below floor.
 func (s *System) DecayAll(now time.Time, floor uncertain.CF) (decayed, deleted int, err error) {
-	for _, coll := range s.DB.Collections() {
-		d, x, err := s.DI.Decay(coll, now, floor)
-		if err != nil {
-			return decayed, deleted, err
+	for i, di := range s.DIs {
+		for _, coll := range s.Store.Shard(i).Collections() {
+			d, x, err := di.Decay(coll, now, floor)
+			if err != nil {
+				return decayed, deleted, err
+			}
+			decayed += d
+			deleted += x
 		}
-		decayed += d
-		deleted += x
 	}
 	return decayed, deleted, nil
 }
@@ -201,7 +249,12 @@ type Stats struct {
 	GazetteerNames   int
 	QueuePending     int
 	QueueInFlight    int
-	Collections      map[string]int
+	// Collections counts records per collection across all shards.
+	Collections map[string]int
+	// Shards is the store's partition count; ShardRecords the total
+	// record count per shard (the balance benchmarks report).
+	Shards       int
+	ShardRecords []int
 }
 
 // Stats returns a snapshot of the system's stores.
@@ -212,9 +265,11 @@ func (s *System) Stats() Stats {
 		QueuePending:     s.Queue.Len(),
 		QueueInFlight:    s.Queue.InFlight(),
 		Collections:      make(map[string]int),
+		Shards:           s.Store.NumShards(),
+		ShardRecords:     s.Store.Balance(),
 	}
-	for _, c := range s.DB.Collections() {
-		st.Collections[c] = s.DB.Len(c)
+	for _, c := range s.Store.Collections() {
+		st.Collections[c] = s.Store.Len(c)
 	}
 	return st
 }
@@ -223,12 +278,20 @@ func (s *System) Stats() Stats {
 // database to w; Restore replaces the database contents from a snapshot.
 // Together with the message queue's WAL this covers the system's durable
 // state — the gazetteer, ontology and KB are rebuilt from configuration.
+// Snapshotting a sharded store is not yet supported (each shard is its
+// own database; see ROADMAP).
 func (s *System) Snapshot(w io.Writer) error {
+	if s.DB == nil {
+		return fmt.Errorf("core: snapshot of a sharded store (%d shards) is not supported", s.Store.NumShards())
+	}
 	return s.DB.Snapshot(w)
 }
 
 // Restore replaces the database contents with a snapshot produced by
 // Snapshot. On error the database is unchanged.
 func (s *System) Restore(r io.Reader) error {
+	if s.DB == nil {
+		return fmt.Errorf("core: restore into a sharded store (%d shards) is not supported", s.Store.NumShards())
+	}
 	return s.DB.Restore(r)
 }

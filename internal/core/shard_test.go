@@ -1,0 +1,203 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardScenarioStream is a tourism stream over distinct hotels with
+// different report counts, so every record ends at a distinct certainty
+// and answer ranking has no score ties to hide behind.
+func shardScenarioStream() []string {
+	hotels := []struct {
+		name, city string
+		reports    int
+	}{
+		{"Axel Hotel", "Berlin", 4},
+		{"Movenpick Hotel", "Berlin", 3},
+		{"Royal Gate Hotel", "Paris", 2},
+		{"Essex House Hotel", "Paris", 5},
+		{"Harbour Lodge Hotel", "Nairobi", 1},
+		{"Kestrel Springs Hotel", "Nairobi", 6},
+		{"Opal Terrace Hotel", "Tokyo", 2},
+		{"Paragon Villa Hotel", "Tokyo", 3},
+	}
+	var stream []string
+	for _, h := range hotels {
+		for r := 0; r < h.reports; r++ {
+			stream = append(stream, fmt.Sprintf(
+				"wonderful stay at the %s in %s, lovely place", h.name, h.city))
+		}
+	}
+	return stream
+}
+
+var shardScenarioQuestions = []string{
+	"can anyone recommend a good hotel in Berlin?",
+	"can anyone recommend a good hotel in Paris?",
+	"can anyone recommend a good hotel in Nairobi?",
+	"any good hotel in Tokyo?",
+}
+
+// TestShardedAskMatchesSingleStore is the differential acceptance test:
+// the same tourism stream channelled into a 1-shard and a 4-shard
+// system, drained deterministically, must produce byte-identical QA
+// answers — sharding is a throughput decision, never a semantics one.
+func TestShardedAskMatchesSingleStore(t *testing.T) {
+	newSys := func(shards int) *System {
+		s, err := New(Config{
+			GazetteerNames: 300,
+			GazetteerSeed:  2011,
+			Shards:         shards,
+			Clock:          func() time.Time { return t0 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		return s
+	}
+	single, sharded := newSys(1), newSys(4)
+	if sharded.Store.NumShards() != 4 {
+		t.Fatalf("sharded store has %d shards", sharded.Store.NumShards())
+	}
+
+	for i, m := range shardScenarioStream() {
+		src := fmt.Sprintf("user%d", i%7)
+		if _, err := single.Submit(m, src); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.Submit(m, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, errs := single.Process(0); len(errs) != 0 {
+		t.Fatalf("single drain errors: %v", errs)
+	}
+	if _, errs := sharded.Process(0); len(errs) != 0 {
+		t.Fatalf("sharded drain errors: %v", errs)
+	}
+
+	if got, want := sharded.Store.Len("Hotels"), single.Store.Len("Hotels"); got != want {
+		t.Fatalf("Hotels: sharded=%d single=%d", got, want)
+	}
+	balance := sharded.Store.Balance()
+	spread := 0
+	for _, n := range balance {
+		if n > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("degenerate placement, balance = %v", balance)
+	}
+
+	for _, q := range shardScenarioQuestions {
+		wantAns, err := single.Ask(q, "asker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAns, err := sharded.Ask(q, "asker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotAns != wantAns {
+			t.Errorf("answers diverge for %q:\n single: %s\nsharded: %s", q, wantAns, gotAns)
+		}
+		if !strings.Contains(gotAns, "Hotel") {
+			t.Errorf("uninformative answer for %q: %s", q, gotAns)
+		}
+	}
+}
+
+// TestShardedConcurrentDrain runs the full concurrent pipeline with
+// per-shard integration lanes (run with -race): same stored state as the
+// single-store drain, queue fully drained, every lane's shard reachable
+// through the fan-out reads.
+func TestShardedConcurrentDrain(t *testing.T) {
+	stream := shardScenarioStream()
+	for i := 0; i < 10; i++ {
+		stream = append(stream, "can anyone recommend a good hotel?")
+	}
+
+	single, err := New(Config{GazetteerNames: 300, Workers: 1, Clock: func() time.Time { return t0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	sharded, err := New(Config{
+		GazetteerNames: 300,
+		Workers:        4,
+		Shards:         4,
+		IntegrateBatch: 8,
+		Clock:          func() time.Time { return t0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	for i, m := range stream {
+		src := fmt.Sprintf("user%d", i%5)
+		if _, err := single.Submit(m, src); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.Submit(m, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantOuts, errs := single.Process(0)
+	if len(errs) != 0 {
+		t.Fatalf("single drain errors: %v", errs)
+	}
+	gotOuts, errs := sharded.ProcessConcurrent(context.Background(), 0)
+	if len(errs) != 0 {
+		t.Fatalf("sharded drain errors: %v", errs)
+	}
+	if len(gotOuts) != len(wantOuts) {
+		t.Fatalf("outcomes: sharded=%d single=%d", len(gotOuts), len(wantOuts))
+	}
+	if got, want := sharded.Store.Len("Hotels"), single.Store.Len("Hotels"); got != want {
+		t.Fatalf("Hotels: sharded=%d single=%d", got, want)
+	}
+	if sharded.Queue.Len() != 0 || sharded.Queue.InFlight() != 0 {
+		t.Fatalf("queue not drained: len=%d inflight=%d", sharded.Queue.Len(), sharded.Queue.InFlight())
+	}
+	qs := sharded.Queue.Stats()
+	if qs.Acked != len(stream) || qs.DeadLettered != 0 {
+		t.Fatalf("queue stats = %+v, want %d acked", qs, len(stream))
+	}
+
+	st := sharded.Stats()
+	if st.Shards != 4 || len(st.ShardRecords) != 4 {
+		t.Fatalf("stats shards = %d (%v)", st.Shards, st.ShardRecords)
+	}
+	total := 0
+	for _, n := range st.ShardRecords {
+		total += n
+	}
+	if total != sharded.Store.Len("Hotels") {
+		t.Fatalf("shard records %v sum to %d, store has %d", st.ShardRecords, total, sharded.Store.Len("Hotels"))
+	}
+}
+
+// TestShardedSnapshotUnsupported pins the documented limitation.
+func TestShardedSnapshotUnsupported(t *testing.T) {
+	s, err := New(Config{GazetteerNames: 300, Shards: 2, Clock: func() time.Time { return t0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.DB != nil {
+		t.Error("System.DB should be nil in a sharded configuration")
+	}
+	if err := s.Snapshot(&strings.Builder{}); err == nil {
+		t.Error("sharded snapshot accepted")
+	}
+	if err := s.Restore(strings.NewReader("")); err == nil {
+		t.Error("sharded restore accepted")
+	}
+}

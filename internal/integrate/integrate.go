@@ -42,10 +42,11 @@ type Service struct {
 	BlockRadiusMeters float64
 }
 
-// store is the slice of the database API integration needs; both *xmldb.DB
-// and the batched *xmldb.Tx satisfy it, so the same merge logic runs
-// per-call or amortized under one lock acquisition.
-type store interface {
+// Store is the slice of the database API integration needs; *xmldb.DB,
+// the batched *xmldb.Tx and the sharded shard.Store all satisfy it, so
+// the same merge logic runs per-call, amortized under one lock
+// acquisition, or routed across partitions.
+type Store interface {
 	Insert(collection string, doc *pxml.Node, certainty uncertain.CF, loc *geo.Point) (*xmldb.Record, error)
 	Update(collection string, id int64, doc *pxml.Node, certainty uncertain.CF, newLoc *geo.Point) error
 	Get(collection string, id int64) (*xmldb.Record, bool)
@@ -150,7 +151,7 @@ func (s *Service) IntegrateGroups(groups [][]extract.Template) [][]BatchResult {
 	return out
 }
 
-func (s *Service) integrateIn(st store, tpl extract.Template) (*Result, error) {
+func (s *Service) integrateIn(st Store, tpl extract.Template) (*Result, error) {
 	domain, ok := s.kb.Domain(tpl.Domain)
 	if !ok {
 		return nil, fmt.Errorf("integrate: unknown domain %q", tpl.Domain)
@@ -179,7 +180,7 @@ func (s *Service) IntegrateNaive(tpl extract.Template) (*Result, error) {
 	return res, err
 }
 
-func (s *Service) integrateNaiveIn(st store, tpl extract.Template) (*Result, error) {
+func (s *Service) integrateNaiveIn(st Store, tpl extract.Template) (*Result, error) {
 	domain, ok := s.kb.Domain(tpl.Domain)
 	if !ok {
 		return nil, fmt.Errorf("integrate: unknown domain %q", tpl.Domain)
@@ -204,7 +205,7 @@ func (s *Service) integrateNaiveIn(st store, tpl extract.Template) (*Result, err
 
 // findDuplicate scans the domain collection for a record whose key field
 // names the same entity, using location blocking when available.
-func (s *Service) findDuplicate(st store, domain kb.Domain, tpl extract.Template) *xmldb.Record {
+func (s *Service) findDuplicate(st Store, domain kb.Domain, tpl extract.Template) *xmldb.Record {
 	keyText := text.NormalizeName(tpl.Fields[domain.KeyField].Text)
 	var best *xmldb.Record
 	bestSim := s.MatchThreshold
@@ -267,7 +268,7 @@ func recordKey(rec *xmldb.Record, field string) (string, bool) {
 	return text.NormalizeName(v), true
 }
 
-func (s *Service) insert(st store, domain kb.Domain, tpl extract.Template) (*Result, error) {
+func (s *Service) insert(st Store, domain kb.Domain, tpl extract.Template) (*Result, error) {
 	doc, err := tpl.ToDoc()
 	if err != nil {
 		return nil, err
@@ -282,7 +283,7 @@ func (s *Service) insert(st store, domain kb.Domain, tpl extract.Template) (*Res
 }
 
 // merge folds the template into an existing record field by field.
-func (s *Service) merge(st store, domain kb.Domain, rec *xmldb.Record, tpl extract.Template) (*Result, error) {
+func (s *Service) merge(st Store, domain kb.Domain, rec *xmldb.Record, tpl extract.Template) (*Result, error) {
 	res := &Result{Action: ActionMerged, RecordID: rec.ID}
 	trust := s.kb.Trust().Reliability(tpl.Source)
 	doc := rec.Doc.Clone()

@@ -41,6 +41,9 @@ type Queue struct {
 	wal        *wal
 	maxAttempt int
 	dead       []*Message // messages that exhausted their attempts
+	// acked counts successfully acknowledged messages over the queue's
+	// lifetime (Stats).
+	acked int
 }
 
 // Option configures a queue.
@@ -105,6 +108,10 @@ func Open(path string, opts ...Option) (*Queue, error) {
 			delete(q.messages, id)
 		}
 	}
+	// Replayed acknowledgements carry over into the lifetime counter
+	// (dead-lettered messages are logged as acks too, so after a restart
+	// they count as acknowledged — the WAL does not distinguish them).
+	q.acked = len(acked)
 	// Rebuild pending order by ID (receive order).
 	for id := int64(1); id < q.nextID; id++ {
 		if _, ok := q.messages[id]; ok {
@@ -200,6 +207,7 @@ func (q *Queue) Ack(id int64) error {
 			return fmt.Errorf("mq: wal: %w", err)
 		}
 	}
+	q.acked++
 	return nil
 }
 
@@ -236,6 +244,7 @@ func (q *Queue) AckBatch(ids []int64) (acked []int64, err error) {
 		delete(q.inflight, id)
 		delete(q.messages, id)
 	}
+	q.acked += len(valid)
 	if len(missing) > 0 {
 		return valid, fmt.Errorf("mq: %d message(s) not in flight (first: %d)", len(missing), missing[0])
 	}
@@ -286,6 +295,42 @@ func (q *Queue) InFlight() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.inflight)
+}
+
+// Stats is a point-in-time queue-health snapshot.
+type Stats struct {
+	// Pending is the number of undelivered messages.
+	Pending int
+	// InFlight is the number of leased, unacknowledged messages.
+	InFlight int
+	// Acked counts messages successfully acknowledged over the queue's
+	// lifetime (group commits included).
+	Acked int
+	// DeadLettered counts messages that exhausted their delivery
+	// attempts.
+	DeadLettered int
+}
+
+// Stats returns a consistent queue-health snapshot under one lock
+// acquisition — what drains and benchmarks report. Expired leases are
+// reclaimed first, so Pending/InFlight reflect the queue as a consumer
+// would next see it.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimExpired(q.clock())
+	pending := 0
+	for _, id := range q.pending {
+		if _, ok := q.messages[id]; ok {
+			pending++
+		}
+	}
+	return Stats{
+		Pending:      pending,
+		InFlight:     len(q.inflight),
+		Acked:        q.acked,
+		DeadLettered: len(q.dead),
+	}
 }
 
 // DeadLetters returns messages that exhausted their delivery attempts.

@@ -281,3 +281,76 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 		t.Errorf("consumed %d of %d", len(seen), producers*perProducer)
 	}
 }
+
+func TestStatsSnapshot(t *testing.T) {
+	q := New(WithMaxAttempts(1))
+	for i := 0; i < 4; i++ {
+		if _, err := q.Enqueue(fmt.Sprintf("msg-%d", i), "alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.Stats(); got != (Stats{Pending: 4}) {
+		t.Fatalf("after enqueue: %+v", got)
+	}
+
+	// Lease two: one acked singly, one left in flight.
+	m1, _ := q.Dequeue()
+	m2, _ := q.Dequeue()
+	if err := q.Ack(m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Stats(); got != (Stats{Pending: 2, InFlight: 1, Acked: 1}) {
+		t.Fatalf("after single ack: %+v", got)
+	}
+
+	// Group-commit the in-flight one plus a freshly leased one.
+	m3, _ := q.Dequeue()
+	if _, err := q.AckBatch([]int64{m2.ID, m3.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Stats(); got != (Stats{Pending: 1, Acked: 3}) {
+		t.Fatalf("after batch ack: %+v", got)
+	}
+
+	// Exhaust the last message's single delivery attempt: nack it back,
+	// and the redelivery attempt dead-letters it.
+	m4, _ := q.Dequeue()
+	if err := q.Nack(m4.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("message should have dead-lettered on redelivery")
+	}
+	if got := q.Stats(); got != (Stats{Acked: 3, DeadLettered: 1}) {
+		t.Fatalf("after dead-letter: %+v", got)
+	}
+}
+
+func TestStatsSurvivesWALReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.wal")
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := q.Enqueue(fmt.Sprintf("msg-%d", i), "alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, _ := q.Dequeue()
+	if err := q.Ack(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if got := q2.Stats(); got != (Stats{Pending: 2, Acked: 1}) {
+		t.Fatalf("after replay: %+v", got)
+	}
+}

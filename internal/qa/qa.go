@@ -18,9 +18,16 @@ import (
 	"repro/internal/xmldb"
 )
 
+// Store is the query surface QA needs from the database. Both the
+// single *xmldb.DB and the sharded *shard.Store satisfy it, so answers
+// transparently fan out across shards in a partitioned deployment.
+type Store interface {
+	Run(query string) ([]xmldb.Result, error)
+}
+
 // Service is the QA module.
 type Service struct {
-	db  *xmldb.DB
+	db  Store
 	kb  *kb.KB
 	gaz *gazetteer.Gazetteer
 	ont *ontology.Ontology
@@ -32,8 +39,9 @@ type Service struct {
 	MinCondP float64
 }
 
-// NewService wires the QA service.
-func NewService(db *xmldb.DB, k *kb.KB, g *gazetteer.Gazetteer, o *ontology.Ontology) (*Service, error) {
+// NewService wires the QA service around a query store (a single
+// database or a sharded one).
+func NewService(db Store, k *kb.KB, g *gazetteer.Gazetteer, o *ontology.Ontology) (*Service, error) {
 	if db == nil || k == nil || g == nil || o == nil {
 		return nil, fmt.Errorf("qa: nil dependency")
 	}

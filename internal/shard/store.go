@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/integrate"
+	"repro/internal/pxml"
+	"repro/internal/uncertain"
+	"repro/internal/xmldb"
+)
+
+// Store partitions records across N independent xmldb databases. Writes
+// route to one shard (spatially via the Router for located records, by
+// entity-key hash otherwise; updates and deletes by the shard encoded in
+// the record ID); reads scatter across all shards in parallel and merge.
+//
+// Record IDs are globally unique: shard i issues IDs i+1, i+1+N,
+// i+1+2N, …, so a record's home shard is recoverable from its ID alone
+// and point reads never fan out. A record never migrates — placement is
+// decided at insert, and a later location update leaves it on its home
+// shard (the router cell and the 50 km duplicate-blocking radius are
+// coarse enough that this does not split entities in practice).
+//
+// Store satisfies the integrate.Store interface, so the unsharded
+// integration logic runs against it unchanged; per-shard integration
+// (one integrate.Service per shard, see Integrator) is the faster path
+// the concurrent pipeline uses.
+type Store struct {
+	router Router
+	dbs    []*xmldb.DB
+}
+
+var _ integrate.Store = (*Store)(nil)
+
+// New returns a store of n empty shards (n >= 1). A nil router installs
+// the default spatial GridRouter over n shards; a non-nil router must
+// report Shards() == n.
+func New(n int, r Router) (*Store, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	if r == nil {
+		r = NewGridRouter(n)
+	}
+	if r.Shards() != n {
+		return nil, fmt.Errorf("shard: router spans %d shards, store has %d", r.Shards(), n)
+	}
+	s := &Store{router: r, dbs: make([]*xmldb.DB, n)}
+	for i := range s.dbs {
+		db := xmldb.New()
+		if err := db.SetIDSequence(int64(i+1), int64(n)); err != nil {
+			return nil, err
+		}
+		s.dbs[i] = db
+	}
+	return s, nil
+}
+
+// NumShards returns the partition count.
+func (s *Store) NumShards() int { return len(s.dbs) }
+
+// Shard exposes one partition's database (read-mostly: for per-shard
+// integration services, benchmarks and tests).
+func (s *Store) Shard(i int) *xmldb.DB { return s.dbs[i] }
+
+// Router returns the placement router.
+func (s *Store) Router() Router { return s.router }
+
+// SetClock overrides every shard's timestamp source (tests).
+func (s *Store) SetClock(clock func() time.Time) {
+	for _, db := range s.dbs {
+		db.SetClock(clock)
+	}
+}
+
+// ShardFor returns the home shard index encoded in a record ID.
+func (s *Store) ShardFor(id int64) int {
+	n := int64(len(s.dbs))
+	if n == 1 || id < 1 {
+		return 0
+	}
+	return int((id - 1) % n)
+}
+
+// fanOut runs fn once per shard, in parallel when there is more than one.
+func (s *Store) fanOut(fn func(i int, db *xmldb.DB)) {
+	if len(s.dbs) == 1 {
+		fn(0, s.dbs[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i, db := range s.dbs {
+		wg.Add(1)
+		go func(i int, db *xmldb.DB) {
+			defer wg.Done()
+			fn(i, db)
+		}(i, db)
+	}
+	wg.Wait()
+}
+
+// docKey derives the routing key of a bare document: the text of its
+// first child element that has any — the domain key field for every
+// built-in domain, since templates emit the key field first (see
+// extract.Template.fieldOrder). It must return the bare field text,
+// exactly what Integrator.Route feeds the router, so direct Store
+// writes and routed integration lanes agree on placement.
+func docKey(doc *pxml.Node) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.Children {
+		if c.Tag == "" {
+			continue
+		}
+		if t := c.TextContent(); t != "" {
+			return t
+		}
+	}
+	return doc.Tag
+}
+
+// Insert stores a document on the shard the router assigns it.
+func (s *Store) Insert(collection string, doc *pxml.Node, certainty uncertain.CF, loc *geo.Point) (*xmldb.Record, error) {
+	return s.dbs[s.router.Route(loc, docKey(doc))].Insert(collection, doc, certainty, loc)
+}
+
+// Update replaces a record on its home shard (derived from the ID).
+func (s *Store) Update(collection string, id int64, doc *pxml.Node, certainty uncertain.CF, newLoc *geo.Point) error {
+	return s.dbs[s.ShardFor(id)].Update(collection, id, doc, certainty, newLoc)
+}
+
+// Get is a point read against the record's home shard.
+func (s *Store) Get(collection string, id int64) (*xmldb.Record, bool) {
+	return s.dbs[s.ShardFor(id)].Get(collection, id)
+}
+
+// Delete removes a record from its home shard.
+func (s *Store) Delete(collection string, id int64) error {
+	return s.dbs[s.ShardFor(id)].Delete(collection, id)
+}
+
+// Len returns the number of records in a collection across all shards.
+func (s *Store) Len(collection string) int {
+	counts := make([]int, len(s.dbs))
+	s.fanOut(func(i int, db *xmldb.DB) { counts[i] = db.Len(collection) })
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// Each visits a collection's records shard by shard (shard 0 first, each
+// in its own insertion order) until fn returns false. Unlike the
+// unsharded database, global insertion order across shards is not
+// preserved.
+func (s *Store) Each(collection string, fn func(*xmldb.Record) bool) {
+	for _, db := range s.dbs {
+		stopped := false
+		db.Each(collection, func(rec *xmldb.Record) bool {
+			if !fn(rec) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Near scatters the radius query across every shard's spatial index in
+// parallel and merges to one nearest-first ID list — a radius that
+// straddles shard grid-cell boundaries sees exactly the records a
+// single-store query would, because membership is re-checked per shard
+// and the merge re-sorts by true distance.
+func (s *Store) Near(collection string, p geo.Point, radiusMeters float64) []int64 {
+	type hit struct {
+		id int64
+		d  float64
+	}
+	parts := make([][]hit, len(s.dbs))
+	s.fanOut(func(i int, db *xmldb.DB) {
+		ids := db.Near(collection, p, radiusMeters)
+		hits := make([]hit, 0, len(ids))
+		for _, id := range ids {
+			rec, ok := db.Get(collection, id)
+			if !ok || rec.Location == nil {
+				continue
+			}
+			hits = append(hits, hit{id: id, d: rec.Location.DistanceMeters(p)})
+		}
+		parts[i] = hits
+	})
+	var merged []hit
+	for _, part := range parts {
+		merged = append(merged, part...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].d != merged[j].d {
+			return merged[i].d < merged[j].d
+		}
+		return merged[i].id < merged[j].id
+	})
+	out := make([]int64, len(merged))
+	for i, h := range merged {
+		out[i] = h.id
+	}
+	return out
+}
+
+// Query parses and executes a query string, scattering execution across
+// all shards in parallel and merging the results.
+func (s *Store) Query(query string) ([]xmldb.Result, error) {
+	q, err := xmldb.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(q)
+}
+
+// Run is Query under the name *xmldb.DB uses, so the Store is a drop-in
+// read replacement wherever a Run-shaped store is expected (the QA
+// service).
+func (s *Store) Run(query string) ([]xmldb.Result, error) { return s.Query(query) }
+
+// Execute scatters a parsed query across every shard in parallel and
+// merges. With orderby score($x) each shard pre-truncates to its local
+// top-k and the merge re-ranks by (score desc, record ID asc) before the
+// final top-k cut — the global top-k is always contained in the union of
+// per-shard top-ks. Without orderby, results keep shard-major order.
+func (s *Store) Execute(q *xmldb.Query) ([]xmldb.Result, error) {
+	if q == nil {
+		return nil, fmt.Errorf("shard: nil query")
+	}
+	parts := make([][]xmldb.Result, len(s.dbs))
+	errs := make([]error, len(s.dbs))
+	s.fanOut(func(i int, db *xmldb.DB) {
+		parts[i], errs[i] = db.Execute(q)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var merged []xmldb.Result
+	for _, part := range parts {
+		merged = append(merged, part...)
+	}
+	if q.OrderByScore {
+		sort.SliceStable(merged, func(i, j int) bool {
+			if merged[i].Score != merged[j].Score {
+				return merged[i].Score > merged[j].Score
+			}
+			return merged[i].Record.ID < merged[j].Record.ID
+		})
+	}
+	if q.TopK > 0 && len(merged) > q.TopK {
+		merged = merged[:q.TopK]
+	}
+	return merged, nil
+}
+
+// Collections returns the union of all shards' collection names, sorted.
+func (s *Store) Collections() []string {
+	seen := make(map[string]bool)
+	for _, db := range s.dbs {
+		for _, name := range db.Collections() {
+			seen[name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Balance reports the total record count per shard (all collections) —
+// the skew metric benchmarks report.
+func (s *Store) Balance() []int {
+	out := make([]int, len(s.dbs))
+	for i, db := range s.dbs {
+		for _, name := range db.Collections() {
+			out[i] += db.Len(name)
+		}
+	}
+	return out
+}

@@ -51,7 +51,12 @@ type DB struct {
 	mu          sync.RWMutex
 	collections map[string]*Collection
 	nextID      int64
-	clock       func() time.Time
+	// idStride is the increment between assigned record IDs (default 1).
+	// A sharded deployment gives each shard a distinct residue class
+	// (SetIDSequence), so IDs stay globally unique across shards and a
+	// record's shard is recoverable from its ID alone.
+	idStride int64
+	clock    func() time.Time
 }
 
 // New returns an empty database.
@@ -59,8 +64,30 @@ func New() *DB {
 	return &DB{
 		collections: make(map[string]*Collection),
 		nextID:      1,
+		idStride:    1,
 		clock:       time.Now,
 	}
+}
+
+// SetIDSequence makes the database assign record IDs start, start+stride,
+// start+2*stride, … instead of the default 1, 2, 3, …. It must be called
+// before any record exists: re-seeding a live sequence could re-issue an
+// ID. Shard i of an n-shard store uses SetIDSequence(i+1, n), giving every
+// shard a disjoint residue class modulo n.
+func (db *DB) SetIDSequence(start, stride int64) error {
+	if start < 1 || stride < 1 {
+		return fmt.Errorf("xmldb: invalid ID sequence (start %d, stride %d)", start, stride)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for name, c := range db.collections {
+		if len(c.records) > 0 {
+			return fmt.Errorf("xmldb: cannot re-seed ID sequence: collection %q is not empty", name)
+		}
+	}
+	db.nextID = start
+	db.idStride = stride
+	return nil
 }
 
 // SetClock overrides the timestamp source (tests).
@@ -148,7 +175,7 @@ func (db *DB) insertLocked(collection string, doc *pxml.Node, certainty uncertai
 		Certainty: certainty,
 		Updated:   db.clock(),
 	}
-	db.nextID++
+	db.nextID += db.idStride
 	if loc != nil {
 		p := *loc
 		rec.Location = &p

@@ -351,3 +351,33 @@ func TestScoreUsesCertainty(t *testing.T) {
 		t.Error("certainty did not order results")
 	}
 }
+
+func TestSetIDSequence(t *testing.T) {
+	db := New()
+	if err := db.SetIDSequence(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		rec, err := db.Insert("Hotels", pxml.Elem("Hotel", pxml.ElemText("Hotel_Name", "X")), 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec.ID)
+	}
+	for i, want := range []int64{2, 6, 10} {
+		if ids[i] != want {
+			t.Fatalf("ids = %v, want stride-4 sequence from 2", ids)
+		}
+	}
+	// Re-seeding a non-empty database must be refused.
+	if err := db.SetIDSequence(1, 1); err == nil {
+		t.Fatal("re-seed of non-empty database accepted")
+	}
+	if err := New().SetIDSequence(0, 1); err == nil {
+		t.Fatal("start 0 accepted")
+	}
+	if err := New().SetIDSequence(1, 0); err == nil {
+		t.Fatal("stride 0 accepted")
+	}
+}

@@ -18,8 +18,13 @@
 //
 // For heavy streams, enqueue with Submit and drain through the concurrent
 // pipeline — a worker pool (Config.Workers, default GOMAXPROCS) runs
-// extraction in parallel while a batching stage amortizes database
-// integration and queue acknowledgement:
+// extraction in parallel while per-shard integration lanes amortize
+// database integration and queue acknowledgement. Config.Shards
+// partitions the probabilistic store spatially (0/1 keeps a single
+// store). For streams whose reports resolve locations consistently —
+// the validation scenarios — answers are identical either way and
+// sharding is purely a throughput lever; see shard.GridRouter for the
+// placement caveats on mixed located/location-less streams:
 //
 //	for _, m := range stream {
 //		sys.Submit(m.Text, m.Source)

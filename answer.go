@@ -1,0 +1,173 @@
+package neogeo
+
+import (
+	"repro/internal/coordinator"
+	"repro/internal/extract"
+	"repro/internal/pxml"
+	"repro/internal/qa"
+	"repro/internal/xmldb"
+)
+
+// MessageType is the classifier's first decision per message.
+type MessageType string
+
+// Message types.
+const (
+	// TypeInformative marks a contribution: the message carries facts to
+	// integrate into the collective knowledge.
+	TypeInformative MessageType = "informative"
+	// TypeRequest marks a question to answer over that knowledge.
+	TypeRequest MessageType = "request"
+)
+
+// Outcome summarises the processing of one message.
+type Outcome struct {
+	// MessageID is the queue ID the message was processed under.
+	MessageID int64
+	// Type is the classified message type.
+	Type MessageType
+	// Probability is the classifier's confidence in Type.
+	Probability float64
+	// Domain is the recognised subject domain ("tourism", "traffic",
+	// "farming"), empty when none matched.
+	Domain string
+	// Inserted and Merged count integration actions for informative
+	// messages: new records created versus duplicates folded into
+	// existing ones.
+	Inserted, Merged int
+	// Answer is the structured reply for request messages, nil for
+	// informative ones.
+	Answer *Answer
+}
+
+// Answer is a question's structured reply: the generated text plus the
+// formulated query and the ranked records it was generated from.
+type Answer struct {
+	// Text is the generated natural-language reply.
+	Text string
+	// Query is the formulated database query, for transparency — the
+	// paper shows it explicitly in the worked scenario.
+	Query string
+	// Results are the ranked records behind the reply, best first.
+	Results []Result
+}
+
+// Result is one ranked record in an answer.
+type Result struct {
+	// ID is the record's database ID.
+	ID int64
+	// Certainty is the record's overall rank score — the probability the
+	// query condition holds, weighted by the integration-assigned record
+	// certainty (the paper's score($x)).
+	Certainty float64
+	// CondP is the probability that the query's where-clause holds for
+	// this record under possible-world semantics (1 with no condition).
+	CondP float64
+	// Location is the record's resolved position, nil when none was
+	// resolved.
+	Location *Location
+	// Fields maps the record's top-level fields to their most likely
+	// value: for probabilistic fields the highest-probability
+	// alternative, for plain fields the stored text.
+	Fields map[string]string
+	// XML is the stored probabilistic XML document, for display and
+	// debugging.
+	XML string
+}
+
+// Location is a resolved geographic position.
+type Location struct {
+	Lat float64 // latitude, degrees north
+	Lon float64 // longitude, degrees east
+}
+
+// Stats is a snapshot of the system's stores and queue health.
+type Stats struct {
+	// GazetteerEntries and GazetteerNames size the toponym database:
+	// total references and distinct names.
+	GazetteerEntries int
+	GazetteerNames   int
+	// Queue is the message queue's health.
+	Queue QueueStats
+	// Collections counts stored records per collection across all shards.
+	Collections map[string]int
+	// Shards is the store's partition count; ShardRecords the total
+	// record count per shard.
+	Shards       int
+	ShardRecords []int
+}
+
+// QueueStats is the message queue's health snapshot.
+type QueueStats struct {
+	// Pending is the number of undelivered messages.
+	Pending int
+	// InFlight is the number of leased, unacknowledged messages.
+	InFlight int
+	// Acked counts messages successfully acknowledged over the queue's
+	// lifetime.
+	Acked int
+	// DeadLettered counts messages that exhausted their delivery
+	// attempts.
+	DeadLettered int
+}
+
+// publicOutcome projects an internal outcome onto the facade's type.
+func publicOutcome(out *coordinator.Outcome) *Outcome {
+	if out == nil {
+		return nil
+	}
+	pub := &Outcome{
+		MessageID:   out.MessageID,
+		Type:        MessageType(out.Type),
+		Probability: out.TypeP,
+		Domain:      out.Domain,
+		Inserted:    out.Inserted,
+		Merged:      out.Merged,
+	}
+	if out.Response != nil {
+		pub.Answer = publicAnswer(out.Response)
+	}
+	return pub
+}
+
+// publicAnswer projects the QA service's answer onto the facade's type.
+func publicAnswer(ans *qa.Answer) *Answer {
+	pub := &Answer{Text: ans.Text, Query: ans.Query}
+	for _, r := range ans.Results {
+		pub.Results = append(pub.Results, publicResult(r))
+	}
+	return pub
+}
+
+// publicResult flattens one ranked record: rank scores, resolved
+// location, the most likely value per field, and the probabilistic
+// document itself.
+func publicResult(r xmldb.Result) Result {
+	res := Result{
+		ID:        r.Record.ID,
+		Certainty: r.Score,
+		CondP:     r.CondP,
+		Fields:    make(map[string]string),
+	}
+	if r.Record.Location != nil {
+		res.Location = &Location{Lat: r.Record.Location.Lat, Lon: r.Record.Location.Lon}
+	}
+	for _, c := range r.Record.Doc.Children {
+		if c.Tag == "" {
+			continue
+		}
+		v := c.TextContent()
+		if top, ok := extract.MuxToDist(c).Top(); ok {
+			v = top.Name
+		}
+		// Structural container fields (Geo) have no text of their own;
+		// an empty value says nothing, so it stays out of the map.
+		if v != "" {
+			res.Fields[c.Tag] = v
+		}
+	}
+	if s, err := pxml.Marshal(r.Record.Doc); err == nil {
+		res.XML = s
+	}
+	return res
+}

@@ -1,0 +1,57 @@
+package neogeo
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPublicSurfaceImports walks the import graph of every program under
+// cmd/ and examples/ and fails if any imports the internal pipeline
+// packages the facade now covers. This pins the API redesign's core
+// guarantee: the facade's own types suffice for every in-tree caller, so
+// future pipeline refactors land behind a stable surface.
+func TestPublicSurfaceImports(t *testing.T) {
+	banned := map[string]string{
+		"repro/internal/coordinator": "use neogeo.Outcome / neogeo.Drain",
+		"repro/internal/extract":     "use neogeo.MessageType / neogeo.Answer",
+		"repro/internal/core":        "use neogeo.New with options",
+	}
+	fset := token.NewFileSet()
+	checked := 0
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			checked++
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if hint, bad := banned[p]; bad {
+					t.Errorf("%s imports %s — %s", path, p, hint)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", root, err)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no files checked — wrong working directory?")
+	}
+}

@@ -134,7 +134,7 @@ func BenchmarkScenarioPipeline(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if answer == "" {
+		if answer.Text == "" {
 			b.Fatal("empty answer")
 		}
 		b.StopTimer()

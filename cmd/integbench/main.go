@@ -1,18 +1,10 @@
-// Command integbench runs two integration benchmarks.
+// Command integbench runs two integration benchmarks (the workloads live
+// in internal/benchkit, below the public facade, because they measure
+// internal services the stable API does not expose).
 //
 // The default mode (-mode=e7) is experiment E7: uncertainty-aware
 // probabilistic integration versus naive last-write-wins, measured as fact
 // accuracy over stream length on a contradiction-laden report stream.
-//
-// The workload models the paper's core integration challenge ("the
-// contradictions between the extracted information and the information
-// previously extracted and stored in the probabilistic database"): a fixed
-// population of hotels each has a ground-truth user attitude; reliable
-// sources report the truth, while a minority of systematically unreliable
-// sources report its opposite. The probabilistic DI service pools attitude
-// distributions weighted by learned source trust; the naive service simply
-// overwrites with each arriving report.
-//
 // Output is a TSV series: stream position, probabilistic accuracy, naive
 // accuracy — EXPERIMENTS.md §E7 records a reference run.
 //
@@ -22,37 +14,15 @@
 // drained once per (worker count × shard count) configuration through
 // the coordinator's pipeline, reporting msgs/sec, the speedup over the
 // first configuration, per-shard record balance and queue health
-// (acked/dead-lettered). -shards partitions the probabilistic store with
-// one integration lane per shard (sequential mode routes to shards too,
-// without lane parallelism). With -wal (default true) the queue is
-// backed by a write-ahead log, the production configuration whose
-// per-message fsync the integration lanes amortize via group-committed
-// acknowledgements.
+// (acked/dead-lettered).
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
-	"math/rand"
 	"os"
-	"path/filepath"
-	"strconv"
-	"strings"
-	"time"
 
-	"context"
-
-	"repro/internal/coordinator"
-	"repro/internal/core"
-	"repro/internal/extract"
-	"repro/internal/gazetteer"
-	"repro/internal/integrate"
-	"repro/internal/kb"
-	"repro/internal/pxml"
-	"repro/internal/tweetgen"
-	"repro/internal/uncertain"
-	"repro/internal/xmldb"
+	"repro/internal/benchkit"
 )
 
 func main() {
@@ -72,260 +42,33 @@ func main() {
 	)
 	flag.Parse()
 
-	if *mode == "parallel" {
-		if err := runParallel(*msgs, *seed, *noise, *reqRatio, *gazNames, *useWAL, *workers, *shards); err != nil {
+	switch *mode {
+	case "parallel":
+		err := benchkit.Parallel(benchkit.ParallelConfig{
+			Messages:       *msgs,
+			Seed:           *seed,
+			Noise:          *noise,
+			RequestRatio:   *reqRatio,
+			GazetteerNames: *gazNames,
+			UseWAL:         *useWAL,
+			Workers:        *workers,
+			Shards:         *shards,
+		}, os.Stdout)
+		if err != nil {
 			log.Fatal(err)
 		}
-		return
-	}
-
-	names := hotelNames(*hotels)
-	truth := make([]string, *hotels)
-	for i := range truth {
-		if i%2 == 0 {
-			truth[i] = "Positive"
-		} else {
-			truth[i] = "Negative"
+	case "e7":
+		err := benchkit.E7(benchkit.E7Config{
+			Hotels:   *hotels,
+			Messages: *msgs,
+			Step:     *step,
+			LiarRate: *liarRate,
+			Seed:     *seed,
+		}, os.Stdout)
+		if err != nil {
+			log.Fatal(err)
 		}
+	default:
+		log.Fatalf("unknown -mode %q (want e7 or parallel)", *mode)
 	}
-
-	probDB, naiveDB := xmldb.New(), xmldb.New()
-	prob, err := integrate.NewService(kb.New(), probDB)
-	if err != nil {
-		log.Fatalf("probabilistic DI: %v", err)
-	}
-	naive, err := integrate.NewService(kb.New(), naiveDB)
-	if err != nil {
-		log.Fatalf("naive DI: %v", err)
-	}
-
-	rng := rand.New(rand.NewSource(*seed))
-	now := time.Unix(1_300_000_000, 0)
-
-	fmt.Println("stream_len\tprobabilistic_acc\tnaive_acc")
-	for sent := 1; sent <= *msgs; sent++ {
-		h := rng.Intn(*hotels)
-		liar := rng.Float64() < *liarRate
-		reported := truth[h]
-		source := fmt.Sprintf("citizen%d", rng.Intn(12))
-		if liar {
-			reported = opposite(truth[h])
-			source = fmt.Sprintf("troll%d", rng.Intn(3))
-		}
-		tpl := reportTemplate(names[h], reported, source, now.Add(time.Duration(sent)*time.Minute))
-		if _, err := prob.Integrate(tpl); err != nil {
-			log.Fatalf("integrate: %v", err)
-		}
-		if _, err := naive.IntegrateNaive(tpl); err != nil {
-			log.Fatalf("integrate naive: %v", err)
-		}
-		if sent%*step == 0 {
-			fmt.Printf("%d\t%.3f\t%.3f\n",
-				sent, accuracy(probDB, names, truth), accuracy(naiveDB, names, truth))
-		}
-	}
-}
-
-func opposite(att string) string {
-	if att == "Positive" {
-		return "Negative"
-	}
-	return "Positive"
-}
-
-// reportTemplate builds the extraction template one report would produce:
-// the reported attitude carried as a distribution leaning 0.9/0.1 toward
-// the reported value, as the sentiment scorer does for a clear opinion.
-func reportTemplate(hotel, attitude, source string, at time.Time) extract.Template {
-	d := uncertain.NewDist()
-	_ = d.Add(attitude, 0.9)
-	_ = d.Add(opposite(attitude), 0.1)
-	return extract.Template{
-		Domain:    "tourism",
-		RecordTag: "Hotel",
-		Fields: map[string]extract.FieldValue{
-			"Hotel_Name":    {Kind: kb.FieldText, Text: hotel, CF: 0.9},
-			"City":          {Kind: kb.FieldText, Text: "Berlin", CF: 0.8},
-			"User_Attitude": {Kind: kb.FieldAttitude, Dist: d, CF: 0.8},
-		},
-		Certainty: 0.5,
-		Source:    source,
-		Extracted: at,
-	}
-}
-
-// accuracy is the fraction of ground-truth entities whose stored attitude
-// distribution ranks the true value first. Entities not yet reported count
-// as wrong, so early accuracy climbs as coverage grows.
-func accuracy(db *xmldb.DB, names, truth []string) float64 {
-	correct := 0
-	for i, want := range truth {
-		if storedTop(db, names[i]) == want {
-			correct++
-		}
-	}
-	return float64(correct) / float64(len(truth))
-}
-
-// hotelNames builds n mutually dissimilar entity names, so duplicate
-// detection (name similarity >= 0.75) keeps them apart — the experiment
-// measures conflict resolution, not entity resolution.
-func hotelNames(n int) []string {
-	first := []string{"Azure", "Bravado", "Crimson", "Dunmore", "Elysian", "Falcon",
-		"Gilded", "Harbour", "Ivory", "Juniper", "Kestrel", "Lakeside",
-		"Meridian", "Northgate", "Opal", "Paragon"}
-	second := []string{"Palace", "Lodge", "Retreat", "Towers", "Courtyard", "Manor",
-		"Pavilion", "Terrace", "Springs", "Villa", "Quarters", "Haven"}
-	names := make([]string, 0, n)
-	for i := 0; len(names) < n; i++ {
-		names = append(names, first[i%len(first)]+" "+second[(i/len(first)+i)%len(second)])
-	}
-	return names
-}
-
-// runParallel replays one synthetic tweet stream through the full
-// MQ -> MC -> IE -> DI pipeline once per drain configuration and reports
-// throughput. The stream is generated exactly once from -seed and every
-// (workers × shards) configuration gets a fresh system fed that same
-// slice (same gazetteer too), so sequential, concurrent and sharded runs
-// compare identical inputs; submission is not timed — the measurement is
-// the drain, which is where acknowledgement durability, integration
-// batching and shard-lane parallelism live.
-func runParallel(n int, seed int64, noise, reqRatio float64, gazNames int, useWAL bool, workerList, shardList string) error {
-	gaz, err := gazetteer.Synthesize(gazetteer.Config{Names: gazNames, Seed: 2011})
-	if err != nil {
-		return fmt.Errorf("synthesising gazetteer: %w", err)
-	}
-	gen, err := tweetgen.New(tweetgen.Config{
-		Seed: seed, Noise: noise, Domain: tweetgen.DomainMixed, RequestRatio: reqRatio,
-	})
-	if err != nil {
-		return fmt.Errorf("tweet stream: %w", err)
-	}
-	stream := gen.Generate(n)
-
-	parseCounts := func(list, flagName string, min int) ([]int, error) {
-		var out []int
-		for _, f := range strings.Split(list, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || v < min {
-				return nil, fmt.Errorf("bad %s entry %q", flagName, f)
-			}
-			out = append(out, v)
-		}
-		return out, nil
-	}
-	workerCounts, err := parseCounts(workerList, "-workers", 0)
-	if err != nil {
-		return err
-	}
-	shardCounts, err := parseCounts(shardList, "-shards", 1)
-	if err != nil {
-		return err
-	}
-
-	tmp, err := os.MkdirTemp("", "integbench-wal-*")
-	if err != nil {
-		return err
-	}
-	defer os.RemoveAll(tmp)
-
-	fmt.Printf("# parallel drain: %d msgs, seed=%d, noise=%.1f, requests=%.1f, wal=%v\n",
-		n, seed, noise, reqRatio, useWAL)
-	fmt.Println("config\tmsgs\tseconds\tmsgs_per_sec\tspeedup\tshard_balance")
-	var baseline float64
-	run := 0
-	for _, w := range workerCounts {
-		for _, nshards := range shardCounts {
-			cfg := core.Config{Gazetteer: gaz, Workers: w, Shards: nshards, IntegrateBatch: 16}
-			if w == 0 {
-				cfg.Workers = 1 // sequential drain below; width is unused
-			}
-			if useWAL {
-				cfg.QueueWAL = filepath.Join(tmp, fmt.Sprintf("queue-%d.wal", run))
-			}
-			sys, err := core.New(cfg)
-			if err != nil {
-				return err
-			}
-			for _, m := range stream {
-				if _, err := sys.Submit(m.Text, m.Source); err != nil {
-					sys.Close()
-					return err
-				}
-			}
-			label := "sequential"
-			if w != 0 {
-				label = fmt.Sprintf("workers=%d", w)
-			}
-			if nshards > 1 {
-				label += fmt.Sprintf("/shards=%d", nshards)
-			}
-			start := time.Now()
-			var outs []*coordinator.Outcome
-			var errs []error
-			if w == 0 {
-				outs, errs = sys.MC.Drain(0)
-			} else {
-				outs, errs = sys.ProcessConcurrent(context.Background(), 0)
-			}
-			elapsed := time.Since(start).Seconds()
-			balance := sys.Store.Balance()
-			qstats := sys.Queue.Stats()
-			sys.Close()
-			if len(errs) > 0 {
-				return fmt.Errorf("%s: %d drain errors (first: %v)", label, len(errs), errs[0])
-			}
-			if len(outs) != n {
-				return fmt.Errorf("%s: drained %d of %d messages", label, len(outs), n)
-			}
-			if qstats.Acked != n || qstats.DeadLettered != 0 {
-				return fmt.Errorf("%s: queue health acked=%d dead=%d, want %d acked",
-					label, qstats.Acked, qstats.DeadLettered, n)
-			}
-			rate := float64(n) / elapsed
-			// Speedup is relative to the first configuration in the list
-			// (conventionally 0 = sequential, but any list works).
-			if run == 0 {
-				baseline = rate
-			}
-			run++
-			speedup := rate / baseline
-			fmt.Printf("%s\t%d\t%.3f\t%.0f\t%.2fx\t%s\n",
-				label, n, elapsed, rate, speedup, balanceString(balance))
-		}
-	}
-	return nil
-}
-
-// balanceString renders per-shard record counts compactly: "512" for a
-// single store, "[130 128 125 131]" for a sharded one.
-func balanceString(balance []int) string {
-	if len(balance) == 1 {
-		return strconv.Itoa(balance[0])
-	}
-	parts := make([]string, len(balance))
-	for i, n := range balance {
-		parts[i] = strconv.Itoa(n)
-	}
-	return "[" + strings.Join(parts, " ") + "]"
-}
-
-func storedTop(db *xmldb.DB, hotel string) string {
-	var top string
-	db.Each("Hotels", func(r *xmldb.Record) bool {
-		for _, m := range pxml.FindAll(r.Doc, "/Hotel/Hotel_Name") {
-			if m.Node.TextContent() != hotel {
-				continue
-			}
-			for _, f := range pxml.FindAll(r.Doc, "/Hotel/User_Attitude") {
-				if alt, ok := extract.MuxToDist(f.Node).Top(); ok {
-					top = alt.Name
-				}
-			}
-			return false
-		}
-		return true
-	})
-	return top
 }

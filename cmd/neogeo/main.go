@@ -2,7 +2,8 @@
 // from stdin (one per line, "source: message" or bare message), routes
 // each through the Modules Coordinator, and prints classification,
 // integration actions and answers — a terminal stand-in for the SMS
-// gateway of the paper's deployment story.
+// gateway of the paper's deployment story. For the network-facing
+// deployment, see cmd/neogeod.
 //
 //	echo "loved the Axel Hotel in Berlin" | neogeo
 //	neogeo -wal /tmp/neogeo.wal < messages.txt
@@ -10,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,7 +19,6 @@ import (
 	"strings"
 
 	neogeo "repro"
-	"repro/internal/extract"
 )
 
 func main() {
@@ -29,16 +30,17 @@ func main() {
 	)
 	flag.Parse()
 
-	sys, err := neogeo.New(neogeo.Config{
-		GazetteerNames: *names,
-		GazetteerSeed:  *seed,
-		QueueWAL:       *walPath,
-	})
+	sys, err := neogeo.New(
+		neogeo.WithGazetteerNames(*names),
+		neogeo.WithGazetteerSeed(*seed),
+		neogeo.WithQueueWAL(*walPath),
+	)
 	if err != nil {
 		log.Fatalf("building system: %v", err)
 	}
 	defer sys.Close()
 
+	ctx := context.Background()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
@@ -53,17 +55,17 @@ func main() {
 		if i := strings.Index(line, ": "); i > 0 && !strings.Contains(line[:i], " ") {
 			source, body = line[:i], line[i+2:]
 		}
-		out, err := sys.Ingest(body, source)
+		out, err := sys.Ingest(ctx, body, source)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			continue
 		}
 		switch out.Type {
-		case extract.TypeRequest:
-			fmt.Printf("[%s request p=%.2f] %s\n", source, out.TypeP, out.Answer)
+		case neogeo.TypeRequest:
+			fmt.Printf("[%s request p=%.2f] %s\n", source, out.Probability, out.Answer.Text)
 		default:
 			fmt.Printf("[%s %s/%s p=%.2f] inserted=%d merged=%d\n",
-				source, out.Type, orDash(out.Domain), out.TypeP, out.Inserted, out.Merged)
+				source, out.Type, orDash(out.Domain), out.Probability, out.Inserted, out.Merged)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,76 @@
+// Command neogeod serves the neogeography system over HTTP — the
+// deployment shape of the paper's vision, where contributions and
+// questions arrive as network traffic from many users instead of a
+// terminal stream. Contributions POSTed to /v1/messages are enqueued and
+// integrated by a background drain loop running the concurrent pipeline;
+// questions POSTed to /v1/ask are answered synchronously from the
+// accumulated knowledge. See docs/API.md for the endpoint contract.
+//
+//	neogeod -addr :8080 -shards 4 -workers 8 -wal /var/lib/neogeo/queue.wal
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	neogeo "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		walPath  = flag.String("wal", "", "message-queue write-ahead log path (empty: in-memory)")
+		names    = flag.Int("names", 2000, "synthetic gazetteer size")
+		seed     = flag.Int64("seed", 2011, "gazetteer seed")
+		shards   = flag.Int("shards", 1, "probabilistic store shard count")
+		workers  = flag.Int("workers", 0, "pipeline worker-pool width (0 = GOMAXPROCS)")
+		interval = flag.Duration("drain-interval", 250*time.Millisecond, "background drain period")
+	)
+	flag.Parse()
+
+	sys, err := neogeo.New(
+		neogeo.WithGazetteerNames(*names),
+		neogeo.WithGazetteerSeed(*seed),
+		neogeo.WithQueueWAL(*walPath),
+		neogeo.WithShards(*shards),
+		neogeo.WithWorkers(*workers),
+	)
+	if err != nil {
+		log.Fatalf("building system: %v", err)
+	}
+	defer sys.Close()
+
+	srv := server.New(sys, server.WithDrainInterval(*interval))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		srv.Run(ctx)
+	}()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("neogeod listening on %s (shards=%d, drain every %s)", *addr, *shards, *interval)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serving: %v", err)
+	}
+	// Let the drain loop finish its pass so accepted messages are not
+	// stranded in flight before the WAL-backed queue closes.
+	<-drainDone
+}

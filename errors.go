@@ -1,0 +1,48 @@
+package neogeo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coordinator"
+)
+
+// Sentinel errors callers (and the HTTP serving layer) branch on with
+// errors.Is instead of matching error strings.
+var (
+	// ErrNotAQuestion reports that a message handed to Ask was classified
+	// informative, not as a request. The concrete error is a
+	// *NotAQuestionError carrying the classification.
+	ErrNotAQuestion = errors.New("neogeo: message is not a question")
+
+	// ErrQueueClosed reports a Submit or Ingest after Close.
+	ErrQueueClosed = errors.New("neogeo: queue closed")
+)
+
+// NotAQuestionError is the concrete error behind ErrNotAQuestion: what
+// the classifier decided about the message and with what confidence, so
+// a caller can inspect what the classifier saw — and, say, offer to
+// submit the message as a report instead.
+type NotAQuestionError struct {
+	// Type is the classified message type (TypeInformative).
+	Type MessageType
+	// Probability is the classifier's confidence in that type.
+	Probability float64
+}
+
+func (e *NotAQuestionError) Error() string {
+	return fmt.Sprintf("neogeo: message classified %s (p=%.2f), not a question", e.Type, e.Probability)
+}
+
+// Unwrap makes errors.Is(err, ErrNotAQuestion) hold.
+func (e *NotAQuestionError) Unwrap() error { return ErrNotAQuestion }
+
+// mapAskErr rewrites the coordinator's typed classification error onto
+// the facade's, so callers branch without importing internal packages.
+func mapAskErr(err error) error {
+	var naq *coordinator.NotAQuestionError
+	if errors.As(err, &naq) {
+		return &NotAQuestionError{Type: MessageType(naq.Type), Probability: naq.TypeP}
+	}
+	return err
+}

@@ -5,24 +5,39 @@
 // temporal expressions that date the observation rather than the arrival,
 // a stale report arriving late does not clobber fresher state, and the
 // accumulated knowledge survives a process restart via a database
-// snapshot.
+// snapshot — here across a sharded store, whose snapshot stream carries
+// one section per shard.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	neogeo "repro"
 )
 
 func main() {
-	sys, err := core.New(core.Config{GazetteerNames: 2000})
-	if err != nil {
-		log.Fatal(err)
+	build := func() *neogeo.System {
+		// The same gazetteer options on both sides of the restart:
+		// synthesis is seeded, so the restarted process reconstructs the
+		// identical toponym database the snapshot's records were resolved
+		// against.
+		sys, err := neogeo.New(
+			neogeo.WithGazetteerNames(2000),
+			neogeo.WithGazetteerSeed(2011),
+			neogeo.WithShards(2),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sys
 	}
+	sys := build()
 	defer sys.Close()
 
+	ctx := context.Background()
 	// A flood develops. Note the interleaved timing: the "flooded this
 	// morning" report arrives AFTER the road has been reported clear —
 	// a delayed SMS, exactly the ill-behaved arrival order the paper
@@ -34,7 +49,7 @@ func main() {
 		{"road near Nairobi flooded 4 hours ago", "driver-4 (delayed SMS)"},
 	}
 	for _, r := range reports {
-		out, err := sys.Ingest(r.msg, r.from)
+		out, err := sys.Ingest(ctx, r.msg, r.from)
 		if err != nil {
 			log.Fatalf("ingest %q: %v", r.msg, err)
 		}
@@ -42,30 +57,27 @@ func main() {
 			r.from, out.Type, out.Domain, out.Inserted, out.Merged)
 	}
 
-	answer, err := sys.Ask("is the road to Nairobi open?", "dispatcher")
+	answer, err := sys.Ask(ctx, "is the road to Nairobi open?", "dispatcher")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ndispatcher asks: is the road to Nairobi open?\n%s\n", answer)
+	fmt.Printf("\ndispatcher asks: is the road to Nairobi open?\n%s\n", answer.Text)
 
 	// Snapshot the knowledge, simulate a restart, restore, ask again.
 	var img bytes.Buffer
 	if err := sys.Snapshot(&img); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nsnapshot: %d bytes\n", img.Len())
+	fmt.Printf("\nsnapshot: %d bytes across %d shards\n", img.Len(), sys.Stats().Shards)
 
-	restarted, err := core.New(core.Config{Gazetteer: sys.Gaz})
-	if err != nil {
-		log.Fatal(err)
-	}
+	restarted := build()
 	defer restarted.Close()
 	if err := restarted.Restore(&img); err != nil {
 		log.Fatal(err)
 	}
-	answer2, err := restarted.Ask("is the road to Nairobi open?", "dispatcher")
+	answer2, err := restarted.Ask(ctx, "is the road to Nairobi open?", "dispatcher")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after restart, same question:\n%s\n", answer2)
+	fmt.Printf("after restart, same question:\n%s\n", answer2.Text)
 }

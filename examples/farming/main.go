@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,12 +13,16 @@ import (
 )
 
 func main() {
-	sys, err := neogeo.New(neogeo.Config{GazetteerNames: 2000, GazetteerSeed: 2011})
+	sys, err := neogeo.New(
+		neogeo.WithGazetteerNames(2000),
+		neogeo.WithGazetteerSeed(2011),
+	)
 	if err != nil {
 		log.Fatalf("building system: %v", err)
 	}
 	defer sys.Close()
 
+	ctx := context.Background()
 	reports := []struct{ body, source string }{
 		{"locust swarm moving towards Nairobi, protect your maize", "farmer01"},
 		{"maize prices up at the market in Nairobi today", "farmer02"},
@@ -26,7 +31,7 @@ func main() {
 		{"coffee harvest sold at the market in Nairobi for a fair price", "farmer05"},
 	}
 	for _, r := range reports {
-		out, err := sys.Ingest(r.body, r.source)
+		out, err := sys.Ingest(ctx, r.body, r.source)
 		if err != nil {
 			log.Fatalf("ingest %q: %v", r.body, err)
 		}
@@ -38,12 +43,12 @@ func main() {
 		"any locust sightings around Nairobi?",
 		"how are maize prices at the market in Nairobi?",
 	} {
-		answer, err := sys.Ask(q, "farmer99")
+		answer, err := sys.Ask(ctx, q, "farmer99")
 		if err != nil {
 			log.Fatalf("ask: %v", err)
 		}
 		fmt.Println("\nQ:", q)
-		fmt.Println("A:", answer)
+		fmt.Println("A:", answer.Text)
 	}
 
 	st := sys.Stats()

@@ -1,9 +1,10 @@
 // Command quickstart is the smallest useful program against the public
 // API: build a system, ingest a handful of informal messages, ask a
-// question, and print the generated answer and system statistics.
+// question, and print the structured answer and system statistics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,12 +12,16 @@ import (
 )
 
 func main() {
-	sys, err := neogeo.New(neogeo.Config{GazetteerNames: 2000, GazetteerSeed: 2011})
+	sys, err := neogeo.New(
+		neogeo.WithGazetteerNames(2000),
+		neogeo.WithGazetteerSeed(2011),
+	)
 	if err != nil {
 		log.Fatalf("building system: %v", err)
 	}
 	defer sys.Close()
 
+	ctx := context.Background()
 	messages := []struct{ body, source string }{
 		{"loved the Axel Hotel in Berlin, great stay and friendly staff", "maria"},
 		{"very impressed by the service at #movenpick hotel in berlin", "ahmed"},
@@ -24,7 +29,7 @@ func main() {
 		{"gr8 breakfast at the axel hotel in berlin, pls visit", "tomas"},
 	}
 	for _, m := range messages {
-		out, err := sys.Ingest(m.body, m.source)
+		out, err := sys.Ingest(ctx, m.body, m.source)
 		if err != nil {
 			log.Fatalf("ingest: %v", err)
 		}
@@ -32,13 +37,16 @@ func main() {
 			m.source, out.Type, out.Domain, out.Inserted, out.Merged)
 	}
 
-	answer, err := sys.Ask("can anyone recommend a good hotel in Berlin?", "guest")
+	answer, err := sys.Ask(ctx, "can anyone recommend a good hotel in Berlin?", "guest")
 	if err != nil {
 		log.Fatalf("ask: %v", err)
 	}
 	fmt.Println()
 	fmt.Println("Q: can anyone recommend a good hotel in Berlin?")
-	fmt.Println("A:", answer)
+	fmt.Println("A:", answer.Text)
+	for _, r := range answer.Results {
+		fmt.Printf("   %-24s certainty=%.2f\n", r.Fields["Hotel_Name"], r.Certainty)
+	}
 
 	st := sys.Stats()
 	fmt.Println()

@@ -1,56 +1,41 @@
 // Command tourism replays the paper's worked scenario (§"Example of a
-// possible scenario") verbatim: the three Berlin tweets flow through the
-// Modules Coordinator into extraction templates and the probabilistic
-// database; the user's request is answered with the paper's expected
-// sentence. The extraction templates are printed in the paper's table
-// layout so the run can be compared against the publication directly.
+// possible scenario") through the public facade: the three Berlin tweets
+// flow through the Modules Coordinator into extraction templates and the
+// probabilistic database; the user's request is answered with the paper's
+// expected sentence. The structured Answer exposes what the paper's
+// figures show — the formulated topk query, the ranked records with their
+// certainties and conditional probabilities, and the stored probabilistic
+// XML itself.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
 	neogeo "repro"
-	"repro/internal/extract"
-	"repro/internal/pxml"
-	"repro/internal/xmldb"
 )
 
 func main() {
-	sys, err := neogeo.New(neogeo.Config{GazetteerNames: 2000, GazetteerSeed: 2011})
+	sys, err := neogeo.New(
+		neogeo.WithGazetteerNames(2000),
+		neogeo.WithGazetteerSeed(2011),
+	)
 	if err != nil {
 		log.Fatalf("building system: %v", err)
 	}
 	defer sys.Close()
 
+	ctx := context.Background()
 	messages := []string{
 		"berlin has some nice hotels i just loved the hetero friendly love that word Axel Hotel in Berlin.",
 		"Good morning Berlin. The sun is out!!!! Very impressed by the customer service at #movenpick hotel in berlin. Well done guys!",
 		"In Berlin hotel room, nice enough, weather grim however",
 	}
 
-	// Show the raw extraction templates first (the paper's Template 1-3
-	// table), then push everything through the pipeline.
-	fmt.Println("=== Extraction templates (paper page 17) ===")
-	now := time.Now()
+	fmt.Println("=== Pipeline run ===")
 	for i, m := range messages {
-		ex, err := sys.IE.Extract(m, fmt.Sprintf("user%d", i+1), now)
-		if err != nil {
-			log.Fatalf("extract: %v", err)
-		}
-		for _, tpl := range ex.Templates {
-			fmt.Printf("\nTemplate %d\n", i+1)
-			printField(tpl, "Hotel_Name")
-			printField(tpl, "Location")
-			printDist(tpl, "Country")
-			printDist(tpl, "User_Attitude")
-		}
-	}
-
-	fmt.Println("\n=== Pipeline run ===")
-	for i, m := range messages {
-		out, err := sys.Ingest(m, fmt.Sprintf("user%d", i+1))
+		out, err := sys.Ingest(ctx, m, fmt.Sprintf("user%d", i+1))
 		if err != nil {
 			log.Fatalf("ingest: %v", err)
 		}
@@ -58,48 +43,29 @@ func main() {
 	}
 
 	question := "Can anyone recommend a good, but not ridiculously expensive hotel right in the middle of Berlin?"
-	out, err := sys.Ingest(question, "asker")
+	ans, err := sys.Ask(ctx, question, "asker")
 	if err != nil {
 		log.Fatalf("ask: %v", err)
 	}
 	fmt.Println("\n=== Question answering ===")
 	fmt.Println("Q:", question)
-	fmt.Println("formulated query:", out.Query)
-	fmt.Println("A:", out.Answer)
+	fmt.Println("formulated query:", ans.Query)
+	fmt.Println("A:", ans.Text)
+
+	// The ranked records behind the sentence — certainty is the paper's
+	// score($x), CondP the probability the where-clause holds.
+	fmt.Println("\n=== Ranked results ===")
+	for i, r := range ans.Results {
+		fmt.Printf("%d. %-16s score=%.2f condP=%.2f", i+1, r.Fields["Hotel_Name"], r.Certainty, r.CondP)
+		if r.Location != nil {
+			fmt.Printf(" at (%.2f, %.2f)", r.Location.Lat, r.Location.Lon)
+		}
+		fmt.Println()
+	}
 
 	// Dump one stored probabilistic record to show the XML representation.
-	fmt.Println("\n=== A stored probabilistic record ===")
-	printFirstRecord(sys)
-}
-
-func printField(tpl extract.Template, name string) {
-	if fv, ok := tpl.Fields[name]; ok {
-		fmt.Printf("  %-14s %s\n", name, fv.Text)
+	if len(ans.Results) > 0 {
+		fmt.Println("\n=== A stored probabilistic record ===")
+		fmt.Println(ans.Results[0].XML)
 	}
-}
-
-func printDist(tpl extract.Template, name string) {
-	fv, ok := tpl.Fields[name]
-	if !ok || fv.Dist == nil {
-		return
-	}
-	fmt.Printf("  %-14s", name)
-	for i, alt := range fv.Dist.Normalized() {
-		if i > 0 {
-			fmt.Print(" >")
-		}
-		fmt.Printf(" P(%s)=%.2f", alt.Name, alt.P)
-	}
-	fmt.Println()
-}
-
-func printFirstRecord(sys *neogeo.System) {
-	sys.DB.Each("Hotels", func(rec *xmldb.Record) bool {
-		s, err := pxml.Marshal(rec.Doc)
-		if err != nil {
-			return false
-		}
-		fmt.Printf("certainty=%.2f\n%s\n", float64(rec.Certainty), s)
-		return false // first record only
-	})
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,12 +17,16 @@ import (
 
 func main() {
 	now := time.Now()
-	sys, err := neogeo.New(neogeo.Config{GazetteerNames: 2000, GazetteerSeed: 2011})
+	sys, err := neogeo.New(
+		neogeo.WithGazetteerNames(2000),
+		neogeo.WithGazetteerSeed(2011),
+	)
 	if err != nil {
 		log.Fatalf("building system: %v", err)
 	}
 	defer sys.Close()
 
+	ctx := context.Background()
 	reports := []struct{ body, source string }{
 		{"huge traffic jam in Nairobi after the accident, road blocked", "driver01"},
 		{"still stuck in the jam in Nairobi, avoid the ring road", "driver02"},
@@ -30,7 +35,7 @@ func main() {
 		{"accident cleared in Cairo, road open again", "driver05"},
 	}
 	for _, r := range reports {
-		out, err := sys.Ingest(r.body, r.source)
+		out, err := sys.Ingest(ctx, r.body, r.source)
 		if err != nil {
 			log.Fatalf("ingest %q: %v", r.body, err)
 		}
@@ -42,17 +47,17 @@ func main() {
 		"any traffic in Nairobi this morning?",
 		"is the road near Lagos open?",
 	} {
-		answer, err := sys.Ask(q, "driver99")
+		answer, err := sys.Ask(ctx, q, "driver99")
 		if err != nil {
 			log.Fatalf("ask: %v", err)
 		}
 		fmt.Println("\nQ:", q)
-		fmt.Println("A:", answer)
+		fmt.Println("A:", answer.Text)
 	}
 
 	// A week later, unconfirmed reports have decayed.
 	later := now.Add(7 * 24 * time.Hour)
-	decayed, deleted, err := sys.DecayAll(later, 0.05)
+	decayed, deleted, err := sys.Decay(later, 0.05)
 	if err != nil {
 		log.Fatalf("decay: %v", err)
 	}

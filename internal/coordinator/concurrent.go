@@ -9,9 +9,9 @@ import (
 	"repro/internal/mq"
 )
 
-// DrainConcurrent processes queued messages through a three-stage
-// concurrent pipeline until the queue is empty, limit messages have been
-// dispatched (limit <= 0 means no limit), or ctx is cancelled:
+// DrainEach processes queued messages through a three-stage concurrent
+// pipeline until the queue is empty, limit messages have been dispatched
+// (limit <= 0 means no limit), or ctx is cancelled:
 //
 //	dispatcher -> worker pool -> integration lanes
 //
@@ -29,11 +29,15 @@ import (
 // pipeline; with shard.Integrator the pipeline's tail scales out with
 // the store.
 //
-// Semantics match Drain — failed messages are negatively acknowledged for
-// redelivery and reported in errs, exhausted messages dead-letter — except
-// that outcomes complete in whatever order the pipeline finishes them.
-func (c *Coordinator) DrainConcurrent(ctx context.Context, limit int) (outs []*Outcome, errs []error) {
-	st := &drainState{}
+// Results stream: emit is called once per finished message — (outcome,
+// nil) on success, (nil, err) on failure — as the pipeline completes it,
+// so a million-message drain never buffers every outcome in memory.
+// Calls to emit are serialised (never concurrent) but arrive in
+// completion order, not queue order. Failed messages are negatively
+// acknowledged for redelivery; after redelivery exhaustion they
+// dead-letter, matching Drain's semantics.
+func (c *Coordinator) DrainEach(ctx context.Context, limit int, emit func(*Outcome, error)) {
+	sink := &drainSink{emit: emit}
 	jobs := make(chan mq.Message)
 	// Each lane's buffer must fit a full batch on top of one in-flight
 	// job per worker, or the group commit could never amortize past the
@@ -59,7 +63,7 @@ func (c *Coordinator) DrainConcurrent(ctx context.Context, limit int) (outs []*O
 		go func() {
 			defer workersWG.Done()
 			for m := range jobs {
-				c.workOne(m, st, lanes, notify)
+				c.workOne(m, sink, lanes, notify)
 			}
 		}()
 	}
@@ -69,7 +73,7 @@ func (c *Coordinator) DrainConcurrent(ctx context.Context, limit int) (outs []*O
 		lanesWG.Add(1)
 		go func(lane int, integ <-chan integrationJob) {
 			defer lanesWG.Done()
-			c.runIntegrator(lane, integ, st, notify)
+			c.runIntegrator(lane, integ, sink, notify)
 		}(i, lanes[i])
 	}
 
@@ -109,26 +113,37 @@ func (c *Coordinator) DrainConcurrent(ctx context.Context, limit int) (outs []*O
 		close(integ)
 	}
 	lanesWG.Wait()
-	return st.outs, st.errs
 }
 
-// drainState accumulates a drain's results across pipeline goroutines.
-type drainState struct {
+// DrainConcurrent is DrainEach collecting the stream into slices —
+// outcomes in completion order — for callers whose drains fit in memory.
+func (c *Coordinator) DrainConcurrent(ctx context.Context, limit int) (outs []*Outcome, errs []error) {
+	c.DrainEach(ctx, limit, func(out *Outcome, err error) {
+		if err != nil {
+			errs = append(errs, err)
+			return
+		}
+		outs = append(outs, out)
+	})
+	return outs, errs
+}
+
+// drainSink serialises a drain's result stream across pipeline goroutines.
+type drainSink struct {
 	mu   sync.Mutex
-	outs []*Outcome
-	errs []error
+	emit func(*Outcome, error)
 }
 
-func (st *drainState) addOut(out *Outcome) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.outs = append(st.outs, out)
+func (s *drainSink) addOut(out *Outcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit(out, nil)
 }
 
-func (st *drainState) addErr(err error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.errs = append(st.errs, err)
+func (s *drainSink) addErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit(nil, err)
 }
 
 // integrationJob is one message handed from a worker to an integration
@@ -147,11 +162,11 @@ type integrationJob struct {
 // Messages with no templates (requests) only need an acknowledgement;
 // they spread across lanes by message ID so no single lane becomes the
 // ack bottleneck.
-func (c *Coordinator) workOne(m mq.Message, st *drainState, lanes []chan integrationJob, notify func()) {
+func (c *Coordinator) workOne(m mq.Message, sink *drainSink, lanes []chan integrationJob, notify func()) {
 	out, tpls, err := c.prepare(m)
 	if err != nil {
 		_ = c.queue.Nack(m.ID)
-		st.addErr(fmt.Errorf("coordinator: message %d: %w", m.ID, err))
+		sink.addErr(fmt.Errorf("coordinator: message %d: %w", m.ID, err))
 		notify()
 		return
 	}
@@ -168,7 +183,7 @@ func (c *Coordinator) workOne(m mq.Message, st *drainState, lanes []chan integra
 // greedily collects the lane's pending jobs up to the batch cap,
 // integrates each batch under one acquisition of the lane's store lock,
 // and acknowledges the batch's messages with one group-committed ack.
-func (c *Coordinator) runIntegrator(lane int, integ <-chan integrationJob, st *drainState, notify func()) {
+func (c *Coordinator) runIntegrator(lane int, integ <-chan integrationJob, sink *drainSink, notify func()) {
 	for {
 		job, ok := <-integ
 		if !ok {
@@ -187,12 +202,12 @@ func (c *Coordinator) runIntegrator(lane int, integ <-chan integrationJob, st *d
 				break collect
 			}
 		}
-		c.flushBatch(lane, batch, st)
+		c.flushBatch(lane, batch, sink)
 		notify()
 	}
 }
 
-func (c *Coordinator) flushBatch(lane int, batch []integrationJob, st *drainState) {
+func (c *Coordinator) flushBatch(lane int, batch []integrationJob, sink *drainSink) {
 	groups := make([][]extract.Template, len(batch))
 	for i, job := range batch {
 		groups[i] = job.tpls
@@ -204,7 +219,7 @@ func (c *Coordinator) flushBatch(lane int, batch []integrationJob, st *drainStat
 	for i, job := range batch {
 		if err := foldGroup(job.out, results[i]); err != nil {
 			_ = c.queue.Nack(job.msg.ID)
-			st.addErr(fmt.Errorf("coordinator: message %d: %w", job.msg.ID, err))
+			sink.addErr(fmt.Errorf("coordinator: message %d: %w", job.msg.ID, err))
 			continue
 		}
 		ackIDs = append(ackIDs, job.msg.ID)
@@ -213,7 +228,7 @@ func (c *Coordinator) flushBatch(lane int, batch []integrationJob, st *drainStat
 	if len(ackIDs) > 0 {
 		acked, err := c.queue.AckBatch(ackIDs)
 		if err != nil {
-			st.addErr(err)
+			sink.addErr(err)
 		}
 		// Record outcomes only for messages the group commit really
 		// acknowledged; the rest go back for redelivery (a WAL failure
@@ -226,7 +241,7 @@ func (c *Coordinator) flushBatch(lane int, batch []integrationJob, st *drainStat
 		}
 		for i, id := range ackIDs {
 			if ackedSet[id] {
-				st.addOut(completed[i])
+				sink.addOut(completed[i])
 			} else {
 				_ = c.queue.Nack(id)
 			}

@@ -71,6 +71,26 @@ type Outcome struct {
 	Answer string
 	// Query is the formulated DB query for request messages.
 	Query string
+	// Response is the QA service's full structured answer for request
+	// messages — generated text, formulated query and the ranked results
+	// with their certainties — of which Answer/Query are the flattened
+	// legacy projection. Nil for informative messages.
+	Response *qa.Answer
+}
+
+// NotAQuestionError reports that a message handed to the synchronous ask
+// path was classified informative rather than as a request, carrying what
+// the classifier saw so callers can branch (and surface the probability)
+// without parsing error strings.
+type NotAQuestionError struct {
+	// Type is the classified message type (extract.TypeInformative).
+	Type extract.MessageType
+	// TypeP is the classifier's confidence in that type.
+	TypeP float64
+}
+
+func (e *NotAQuestionError) Error() string {
+	return fmt.Sprintf("coordinator: message classified %s (p=%.2f), not a question", e.Type, e.TypeP)
 }
 
 // Integrator is the integration sink of the coordinator: a set of
@@ -208,6 +228,30 @@ func (c *Coordinator) ProcessOne() (*Outcome, bool, error) {
 	return out, true, nil
 }
 
+// AskDirect answers a question synchronously through the read-only QA
+// path, without touching the queue: classification and extraction run
+// inline and the request goes straight to the QA service. Because nothing
+// is enqueued, AskDirect never races with a concurrent drain over which
+// message ProcessOne picks up next — the serving layer's ask endpoint and
+// the background drain loop can run side by side. A message classified
+// informative returns a *NotAQuestionError carrying the classification.
+func (c *Coordinator) AskDirect(body, source string) (*qa.Answer, error) {
+	ex, err := c.ie.Extract(body, source, c.clock())
+	if err != nil {
+		return nil, err
+	}
+	c.signal(Signal{From: "user", To: "IE", Step: StepClassify})
+	if ex.Type != extract.TypeRequest {
+		return nil, &NotAQuestionError{Type: ex.Type, TypeP: ex.TypeP}
+	}
+	c.signal(Signal{From: "MC", To: "QA", Step: StepAnswer})
+	ans, err := c.qa.Answer(ex)
+	if err != nil {
+		return nil, err
+	}
+	return &ans, nil
+}
+
 func (c *Coordinator) process(m mq.Message) (*Outcome, error) {
 	out, tpls, err := c.prepare(m)
 	if err != nil {
@@ -268,6 +312,7 @@ func (c *Coordinator) prepare(m mq.Message) (*Outcome, []extract.Template, error
 			}
 			out.Answer = ans.Text
 			out.Query = ans.Query
+			out.Response = &ans
 		default:
 			return nil, nil, fmt.Errorf("unknown workflow step %q", step)
 		}

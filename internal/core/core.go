@@ -199,8 +199,19 @@ func (s *System) ProcessConcurrent(ctx context.Context, limit int) ([]*coordinat
 	return s.MC.DrainConcurrent(ctx, limit)
 }
 
+// ProcessEach drains the queue through the concurrent pipeline, streaming
+// each outcome or error to emit as it completes instead of buffering the
+// whole drain — the facade's iterator and the serving layer's drain loop
+// sit on this. Calls to emit are serialised.
+func (s *System) ProcessEach(ctx context.Context, limit int, emit func(*coordinator.Outcome, error)) {
+	s.MC.DrainEach(ctx, limit, emit)
+}
+
 // Ingest submits and fully processes one informative message, returning
-// its outcome.
+// its outcome. It processes the queue's next message — its own
+// submission only while no concurrent drain is leasing messages; serving
+// deployments use Submit + a drain for contributions and Ask for
+// questions.
 func (s *System) Ingest(body, source string) (*coordinator.Outcome, error) {
 	if _, err := s.Submit(body, source); err != nil {
 		return nil, err
@@ -215,16 +226,17 @@ func (s *System) Ingest(body, source string) (*coordinator.Outcome, error) {
 	return out, nil
 }
 
-// Ask submits a question, processes it, and returns the generated answer.
-func (s *System) Ask(question, source string) (string, error) {
-	out, err := s.Ingest(question, source)
-	if err != nil {
-		return "", err
-	}
-	if out.Type != extract.TypeRequest {
-		return "", fmt.Errorf("core: %q was understood as an informative message, not a question", question)
-	}
-	return out.Answer, nil
+// Ask answers a question synchronously through the coordinator's
+// read-only QA path — classification, extraction and query execution run
+// inline, nothing is enqueued — and returns the QA service's structured
+// answer. A message classified informative returns a
+// *coordinator.NotAQuestionError carrying what the classifier saw (type,
+// probability), so callers can branch on the condition and report the
+// classification instead of parsing an error string. Because the queue is
+// untouched, Ask is safe to call while a concurrent drain integrates
+// pending informative messages.
+func (s *System) Ask(question, source string) (*qa.Answer, error) {
+	return s.MC.AskDirect(question, source)
 }
 
 // DecayAll applies temporal certainty decay to every collection on every
@@ -274,24 +286,23 @@ func (s *System) Stats() Stats {
 	return st
 }
 
-// Snapshot writes a consistent image of the probabilistic spatial XML
-// database to w; Restore replaces the database contents from a snapshot.
-// Together with the message queue's WAL this covers the system's durable
-// state — the gazetteer, ontology and KB are rebuilt from configuration.
-// Snapshotting a sharded store is not yet supported (each shard is its
-// own database; see ROADMAP).
+// Snapshot writes an image of the (possibly sharded) probabilistic
+// spatial XML database to w; Restore replaces the database contents from
+// a snapshot. Together with the message queue's WAL this covers the
+// system's durable state — the gazetteer, ontology and KB are rebuilt
+// from configuration. The stream holds one length-prefixed section per
+// shard, each internally consistent; writes racing a multi-shard
+// snapshot can land in a later section only, so quiesce the drain first
+// for a point-in-time image of the whole store. Restore validates that
+// the snapshot's shard count matches this system's before touching any
+// shard (a single-store system also accepts the previous release's bare
+// snapshot format).
 func (s *System) Snapshot(w io.Writer) error {
-	if s.DB == nil {
-		return fmt.Errorf("core: snapshot of a sharded store (%d shards) is not supported", s.Store.NumShards())
-	}
-	return s.DB.Snapshot(w)
+	return s.Store.Snapshot(w)
 }
 
 // Restore replaces the database contents with a snapshot produced by
 // Snapshot. On error the database is unchanged.
 func (s *System) Restore(r io.Reader) error {
-	if s.DB == nil {
-		return fmt.Errorf("core: restore into a sharded store (%d shards) is not supported", s.Store.NumShards())
-	}
-	return s.DB.Restore(r)
+	return s.Store.Restore(r)
 }

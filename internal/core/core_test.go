@@ -2,14 +2,17 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"path/filepath"
-	"sync"
-
-	"repro/internal/xmldb"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/coordinator"
+	"repro/internal/extract"
+	"repro/internal/xmldb"
 )
 
 var t0 = time.Date(2011, 4, 1, 9, 0, 0, 0, time.UTC)
@@ -58,21 +61,39 @@ func TestPaperScenarioEndToEnd(t *testing.T) {
 	}
 	// The paper's expected answer: "Some good hotels in Berlin are Axel
 	// Hotel, movenpick hotel, Berlin hotel."
-	low := strings.ToLower(answer)
+	low := strings.ToLower(answer.Text)
 	for _, h := range []string{"axel hotel", "movenpick hotel", "berlin hotel"} {
 		if !strings.Contains(low, h) {
-			t.Errorf("answer missing %q: %s", h, answer)
+			t.Errorf("answer missing %q: %s", h, answer.Text)
 		}
 	}
-	if !strings.HasPrefix(answer, "Some good ") {
-		t.Errorf("answer phrasing: %s", answer)
+	if !strings.HasPrefix(answer.Text, "Some good ") {
+		t.Errorf("answer phrasing: %s", answer.Text)
+	}
+	if answer.Query == "" || len(answer.Results) == 0 {
+		t.Errorf("structured answer incomplete: query=%q results=%d", answer.Query, len(answer.Results))
 	}
 }
 
 func TestAskOnInformative(t *testing.T) {
 	s := newSystem(t)
-	if _, err := s.Ask("loved the Axel Hotel in Berlin", "x"); err == nil {
-		t.Error("informative message accepted as question")
+	_, err := s.Ask("loved the Axel Hotel in Berlin", "x")
+	if err == nil {
+		t.Fatal("informative message accepted as question")
+	}
+	var naq *coordinator.NotAQuestionError
+	if !errors.As(err, &naq) {
+		t.Fatalf("error is %T, want *coordinator.NotAQuestionError", err)
+	}
+	if naq.Type != extract.TypeInformative {
+		t.Errorf("classified type = %s", naq.Type)
+	}
+	if naq.TypeP <= 0 || naq.TypeP > 1 {
+		t.Errorf("classification probability = %v", naq.TypeP)
+	}
+	// The ask path is read-only: nothing may have been enqueued or stored.
+	if s.Queue.Len() != 0 || s.Queue.InFlight() != 0 {
+		t.Errorf("ask touched the queue: len=%d inflight=%d", s.Queue.Len(), s.Queue.InFlight())
 	}
 }
 
@@ -175,8 +196,8 @@ func TestTrafficAndFarmingFlows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(strings.ToLower(ans), "nairobi") {
-		t.Errorf("traffic answer = %q", ans)
+	if !strings.Contains(strings.ToLower(ans.Text), "nairobi") {
+		t.Errorf("traffic answer = %q", ans.Text)
 	}
 }
 
@@ -218,9 +239,9 @@ func TestSystemSnapshotRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	low := strings.ToLower(answer)
+	low := strings.ToLower(answer.Text)
 	if !strings.Contains(low, "axel hotel") || !strings.Contains(low, "movenpick") {
-		t.Errorf("restored system answer = %q", answer)
+		t.Errorf("restored system answer = %q", answer.Text)
 	}
 }
 

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/xmldb"
 )
 
 // shardScenarioStream is a tourism stream over distinct hotels with
@@ -104,11 +107,11 @@ func TestShardedAskMatchesSingleStore(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if gotAns != wantAns {
-			t.Errorf("answers diverge for %q:\n single: %s\nsharded: %s", q, wantAns, gotAns)
+		if gotAns.Text != wantAns.Text {
+			t.Errorf("answers diverge for %q:\n single: %s\nsharded: %s", q, wantAns.Text, gotAns.Text)
 		}
-		if !strings.Contains(gotAns, "Hotel") {
-			t.Errorf("uninformative answer for %q: %s", q, gotAns)
+		if !strings.Contains(gotAns.Text, "Hotel") {
+			t.Errorf("uninformative answer for %q: %s", q, gotAns.Text)
 		}
 	}
 }
@@ -184,20 +187,78 @@ func TestShardedConcurrentDrain(t *testing.T) {
 	}
 }
 
-// TestShardedSnapshotUnsupported pins the documented limitation.
-func TestShardedSnapshotUnsupported(t *testing.T) {
-	s, err := New(Config{GazetteerNames: 300, Shards: 2, Clock: func() time.Time { return t0 }})
-	if err != nil {
-		t.Fatal(err)
+// TestShardedSnapshotRoundTrip: a 4-shard tourism store survives
+// Snapshot/Restore into a fresh 4-shard system with byte-identical Ask
+// answers, a matching per-shard balance, and working post-restore
+// inserts (the ID sequences stay strided). Restoring into a mismatched
+// shard count is refused before any shard is touched.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	newSys := func(shards int) *System {
+		s, err := New(Config{GazetteerNames: 300, Shards: shards, Clock: func() time.Time { return t0 }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		return s
 	}
-	defer s.Close()
-	if s.DB != nil {
-		t.Error("System.DB should be nil in a sharded configuration")
+	sys := newSys(4)
+	for i, m := range shardScenarioStream() {
+		if _, err := sys.Ingest(m, fmt.Sprintf("user%d", i%7)); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if err := s.Snapshot(&strings.Builder{}); err == nil {
-		t.Error("sharded snapshot accepted")
+
+	var img bytes.Buffer
+	if err := sys.Snapshot(&img); err != nil {
+		t.Fatalf("snapshot: %v", err)
 	}
-	if err := s.Restore(strings.NewReader("")); err == nil {
-		t.Error("sharded restore accepted")
+
+	fresh := newSys(4)
+	if err := fresh.Restore(bytes.NewReader(img.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got, want := fmt.Sprint(fresh.Store.Balance()), fmt.Sprint(sys.Store.Balance()); got != want {
+		t.Fatalf("restored balance %s, want %s", got, want)
+	}
+	for _, q := range shardScenarioQuestions {
+		want, err := sys.Ask(q, "asker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fresh.Ask(q, "asker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Text != want.Text || got.Query != want.Query {
+			t.Errorf("restored answer diverges for %q:\n original: %s\n restored: %s", q, want.Text, got.Text)
+		}
+	}
+
+	// Post-restore inserts must keep strided, globally unique IDs.
+	if _, err := fresh.Ingest("wonderful stay at the Gilded Manor Hotel in Berlin, lovely place", "late"); err != nil {
+		t.Fatalf("post-restore ingest: %v", err)
+	}
+	seen := make(map[int64]bool)
+	for i := 0; i < fresh.Store.NumShards(); i++ {
+		db := fresh.Store.Shard(i)
+		for _, coll := range db.Collections() {
+			db.Each(coll, func(rec *xmldb.Record) bool {
+				if seen[rec.ID] {
+					t.Errorf("duplicate record ID %d after restore", rec.ID)
+				}
+				seen[rec.ID] = true
+				if fresh.Store.ShardFor(rec.ID) != i {
+					t.Errorf("record %d stored on shard %d, home shard %d", rec.ID, i, fresh.Store.ShardFor(rec.ID))
+				}
+				return true
+			})
+		}
+	}
+
+	mismatched := newSys(2)
+	if err := mismatched.Restore(bytes.NewReader(img.Bytes())); err == nil {
+		t.Error("restore into a 2-shard store accepted a 4-shard snapshot")
+	} else if !strings.Contains(err.Error(), "4 shard") {
+		t.Errorf("mismatch error does not name the counts: %v", err)
 	}
 }

@@ -7,10 +7,16 @@
 package mq
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
+
+// ErrClosed is returned by Enqueue after Close: the queue no longer
+// accepts new messages (its WAL handle is gone), so callers can branch on
+// the condition instead of matching error strings.
+var ErrClosed = errors.New("mq: queue closed")
 
 // Message is one user contribution or request.
 type Message struct {
@@ -40,6 +46,7 @@ type Queue struct {
 	clock      func() time.Time
 	wal        *wal
 	maxAttempt int
+	closed     bool
 	dead       []*Message // messages that exhausted their attempts
 	// acked counts successfully acknowledged messages over the queue's
 	// lifetime (Stats).
@@ -121,23 +128,32 @@ func Open(path string, opts ...Option) (*Queue, error) {
 	return q, nil
 }
 
-// Close releases the WAL file handle, if any.
+// Close stops the queue accepting new messages and releases the WAL file
+// handle, if any. Closing twice is a no-op.
 func (q *Queue) Close() error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
 	if q.wal != nil {
 		return q.wal.close()
 	}
 	return nil
 }
 
-// Enqueue adds a message and returns its ID.
+// Enqueue adds a message and returns its ID. After Close it returns
+// ErrClosed.
 func (q *Queue) Enqueue(body, source string) (int64, error) {
 	if body == "" {
 		return 0, fmt.Errorf("mq: empty message body")
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
 	m := &Message{
 		ID:       q.nextID,
 		Body:     body,

@@ -1,0 +1,316 @@
+// Package server exposes the neogeo facade as a JSON HTTP API — the
+// network surface of the paper's deployment story, where user
+// contributions and requests arrive as web traffic instead of a terminal
+// stream. It is a serving layer over the public facade only: handlers
+// speak neogeo.System, neogeo.Answer and the facade's sentinel errors,
+// never the internal pipeline, so everything the HTTP surface can do is
+// by construction available to library callers too.
+//
+// Endpoints (see docs/API.md for the full contract):
+//
+//	POST /v1/messages  submit a contribution for asynchronous integration
+//	POST /v1/ask       answer a question synchronously
+//	GET  /v1/stats     store, shard and queue statistics
+//	GET  /healthz      liveness + queue health
+//
+// Submitted messages are integrated by a background drain loop (Run)
+// that periodically drains the queue through the concurrent pipeline via
+// the facade's streaming iterator.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	neogeo "repro"
+)
+
+// Server serves a neogeo System over HTTP.
+type Server struct {
+	sys           *neogeo.System
+	drainInterval time.Duration
+	drainBatch    int
+	logf          func(format string, args ...any)
+	// routes is the path -> method -> handler table, built once in New;
+	// everything off it is a JSON 404/405.
+	routes map[string]map[string]http.HandlerFunc
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithDrainInterval sets how often the background drain loop empties the
+// queue (default 250ms).
+func WithDrainInterval(d time.Duration) Option {
+	return func(s *Server) { s.drainInterval = d }
+}
+
+// WithDrainBatch caps how many messages one drain pass dispatches
+// (default 0: drain until empty).
+func WithDrainBatch(n int) Option {
+	return func(s *Server) { s.drainBatch = n }
+}
+
+// WithLogger routes the server's diagnostics (drain errors) to logf
+// (default log.Printf).
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
+// New wires a server around a built system.
+func New(sys *neogeo.System, opts ...Option) *Server {
+	s := &Server{
+		sys:           sys,
+		drainInterval: 250 * time.Millisecond,
+		logf:          log.Printf,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.routes = map[string]map[string]http.HandlerFunc{
+		"/v1/messages": {http.MethodPost: s.handleSubmit},
+		"/v1/ask":      {http.MethodPost: s.handleAsk},
+		"/v1/stats":    {http.MethodGet: s.handleStats},
+		"/healthz":     {http.MethodGet: s.handleHealthz},
+	}
+	return s
+}
+
+// Run drains the queue through the concurrent pipeline every drain
+// interval until ctx is cancelled — the background half of the serving
+// layer, integrating what POST /v1/messages enqueued. It returns when
+// ctx is done and the in-flight drain pass has wound down.
+func (s *Server) Run(ctx context.Context) {
+	ticker := time.NewTicker(s.drainInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			for _, err := range s.sys.Drain(ctx, s.drainBatch) {
+				if err != nil {
+					s.logf("server: drain: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// ServeHTTP routes requests with uniform JSON error mapping: unknown
+// paths are 404 not_found, known paths with the wrong method are 405
+// method_not_allowed (with an Allow header), malformed bodies are 400
+// bad_request, and semantically rejected inputs are 422.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	byMethod, ok := s.routes[r.URL.Path]
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint: %s", r.URL.Path), nil)
+		return
+	}
+	h, ok := byMethod[r.Method]
+	if !ok {
+		allowed := make([]string, 0, len(byMethod))
+		for m := range byMethod {
+			allowed = append(allowed, m)
+		}
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s does not accept %s", r.URL.Path, r.Method), nil)
+		return
+	}
+	h(w, r)
+}
+
+// submitRequest is the POST /v1/messages body.
+type submitRequest struct {
+	Text   string `json:"text"`
+	Source string `json:"source"`
+}
+
+// submitResponse acknowledges an enqueued message.
+type submitResponse struct {
+	ID     int64  `json:"id"`
+	Status string `json:"status"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		writeError(w, http.StatusUnprocessableEntity, "empty_message", "text must not be empty", nil)
+		return
+	}
+	id, err := s.sys.Submit(r.Context(), req.Text, req.Source)
+	if err != nil {
+		if errors.Is(err, neogeo.ErrQueueClosed) {
+			writeError(w, http.StatusServiceUnavailable, "queue_closed", "the system is shutting down", nil)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Status: "queued"})
+}
+
+// askRequest is the POST /v1/ask body.
+type askRequest struct {
+	Question string `json:"question"`
+	Source   string `json:"source"`
+}
+
+// askResponse wraps the structured answer.
+type askResponse struct {
+	Answer answerJSON `json:"answer"`
+}
+
+// answerJSON mirrors neogeo.Answer on the wire.
+type answerJSON struct {
+	Text    string       `json:"text"`
+	Query   string       `json:"query"`
+	Results []resultJSON `json:"results"`
+}
+
+type resultJSON struct {
+	ID        int64             `json:"id"`
+	Certainty float64           `json:"certainty"`
+	CondP     float64           `json:"cond_p"`
+	Location  *locationJSON     `json:"location,omitempty"`
+	Fields    map[string]string `json:"fields"`
+}
+
+type locationJSON struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req askRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		writeError(w, http.StatusUnprocessableEntity, "empty_question", "question must not be empty", nil)
+		return
+	}
+	ans, err := s.sys.Ask(r.Context(), req.Question, req.Source)
+	if err != nil {
+		var naq *neogeo.NotAQuestionError
+		if errors.As(err, &naq) {
+			writeError(w, http.StatusUnprocessableEntity, "not_a_question",
+				"the message was classified as a contribution, not a question; submit it to /v1/messages instead",
+				map[string]any{
+					"type":        string(naq.Type),
+					"probability": naq.Probability,
+				})
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+		return
+	}
+	resp := askResponse{Answer: answerJSON{Text: ans.Text, Query: ans.Query, Results: []resultJSON{}}}
+	for _, res := range ans.Results {
+		rj := resultJSON{ID: res.ID, Certainty: res.Certainty, CondP: res.CondP, Fields: res.Fields}
+		if res.Location != nil {
+			rj.Location = &locationJSON{Lat: res.Location.Lat, Lon: res.Location.Lon}
+		}
+		resp.Answer.Results = append(resp.Answer.Results, rj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the GET /v1/stats body.
+type statsResponse struct {
+	Gazetteer   gazetteerJSON  `json:"gazetteer"`
+	Queue       queueJSON      `json:"queue"`
+	Collections map[string]int `json:"collections"`
+	Shards      shardsJSON     `json:"shards"`
+}
+
+type gazetteerJSON struct {
+	Entries int `json:"entries"`
+	Names   int `json:"names"`
+}
+
+type queueJSON struct {
+	Pending      int `json:"pending"`
+	InFlight     int `json:"in_flight"`
+	Acked        int `json:"acked"`
+	DeadLettered int `json:"dead_lettered"`
+}
+
+type shardsJSON struct {
+	Count   int   `json:"count"`
+	Records []int `json:"records"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.sys.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Gazetteer:   gazetteerJSON{Entries: st.GazetteerEntries, Names: st.GazetteerNames},
+		Queue:       queueJSON{Pending: st.Queue.Pending, InFlight: st.Queue.InFlight, Acked: st.Queue.Acked, DeadLettered: st.Queue.DeadLettered},
+		Collections: st.Collections,
+		Shards:      shardsJSON{Count: st.Shards, Records: st.ShardRecords},
+	})
+}
+
+// healthResponse is the GET /healthz body: liveness plus the two signals
+// an operator watches — queue health and shard balance.
+type healthResponse struct {
+	Status string    `json:"status"`
+	Queue  queueJSON `json:"queue"`
+	Shards []int     `json:"shards"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.sys.Stats()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status: "ok",
+		Queue:  queueJSON{Pending: st.Queue.Pending, InFlight: st.Queue.InFlight, Acked: st.Queue.Acked, DeadLettered: st.Queue.DeadLettered},
+		Shards: st.ShardRecords,
+	})
+}
+
+// errorResponse is the uniform error envelope.
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Detail carries condition-specific fields (the classification for
+	// not_a_question).
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string, detail map[string]any) {
+	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: message, Detail: detail}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// decodeJSON reads a JSON body strictly (unknown fields rejected, at most
+// 1 MiB), writing a 400 and returning false on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("malformed JSON body: %v", err), nil)
+		return false
+	}
+	return true
+}

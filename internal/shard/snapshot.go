@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/xmldb"
+)
+
+// snapshotMagic heads a sharded snapshot stream; the shard count follows
+// on the same line so Restore can refuse a mismatched layout before
+// reading a single record.
+const snapshotMagic = "neogeo-shard-snapshot v1"
+
+// Snapshot writes an image of every shard to w as one stream: a header
+// line naming the format and the shard count, then one length-prefixed
+// (big-endian uint64) xmldb snapshot section per shard, in shard order.
+// Each shard is read-locked only while its own section is produced, so
+// the image is consistent per shard but not across shards: a write
+// landing between two sections appears in the later shard's section
+// only. Quiesce writers (finish the drain) before snapshotting when a
+// point-in-time image of the whole store is required.
+func (s *Store) Snapshot(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s %d\n", snapshotMagic, len(s.dbs)); err != nil {
+		return fmt.Errorf("shard: snapshot header: %w", err)
+	}
+	var buf bytes.Buffer
+	for i, db := range s.dbs {
+		buf.Reset()
+		if err := db.Snapshot(&buf); err != nil {
+			return fmt.Errorf("shard: snapshot shard %d: %w", i, err)
+		}
+		if err := binary.Write(w, binary.BigEndian, uint64(buf.Len())); err != nil {
+			return fmt.Errorf("shard: snapshot shard %d: %w", i, err)
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("shard: snapshot shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Restore replaces every shard's contents with the sections of a
+// snapshot produced by Snapshot. The snapshot's shard count must match
+// this store's — sections are placed by position, and record IDs encode
+// their home shard, so restoring into a different layout would scatter
+// records off their routes. All sections are read and validated against
+// scratch databases before any live shard is touched, so a malformed
+// snapshot leaves the store unchanged; afterwards each shard's ID
+// sequence is re-aligned onto its residue class so new inserts keep
+// strided, globally unique IDs.
+//
+// A single-shard store also accepts a bare xmldb snapshot (the format
+// the unsharded system wrote before sections existed), so snapshots
+// taken by earlier releases stay restorable.
+func (s *Store) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("shard: restore: reading header: %w", err)
+	}
+	var count int
+	if _, err := fmt.Sscanf(header, snapshotMagic+" %d\n", &count); err != nil {
+		if len(s.dbs) == 1 {
+			// Not a sectioned stream: hand the whole thing — consumed
+			// header line included — to the single shard as a legacy
+			// bare snapshot.
+			return s.dbs[0].Restore(io.MultiReader(strings.NewReader(header), br))
+		}
+		return fmt.Errorf("shard: restore: not a sharded snapshot (header %q)", header)
+	}
+	if count != len(s.dbs) {
+		return fmt.Errorf("shard: restore: snapshot has %d shard(s), store has %d", count, len(s.dbs))
+	}
+
+	sections := make([][]byte, count)
+	for i := range sections {
+		var n uint64
+		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
+			return fmt.Errorf("shard: restore: shard %d length: %w", i, err)
+		}
+		sections[i] = make([]byte, n)
+		if _, err := io.ReadFull(br, sections[i]); err != nil {
+			return fmt.Errorf("shard: restore: shard %d section: %w", i, err)
+		}
+		// Full validation pass against a scratch database: the section
+		// must restore cleanly before any live shard is replaced.
+		if err := xmldb.New().Restore(bytes.NewReader(sections[i])); err != nil {
+			return fmt.Errorf("shard: restore: shard %d: %w", i, err)
+		}
+	}
+
+	n := int64(len(s.dbs))
+	for i, db := range s.dbs {
+		if err := db.Restore(bytes.NewReader(sections[i])); err != nil {
+			return fmt.Errorf("shard: restore: shard %d: %w", i, err)
+		}
+		if err := db.AlignIDSequence(int64(i)+1, n); err != nil {
+			return fmt.Errorf("shard: restore: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

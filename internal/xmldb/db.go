@@ -90,6 +90,29 @@ func (db *DB) SetIDSequence(start, stride int64) error {
 	return nil
 }
 
+// AlignIDSequence moves the ID sequence forward onto the residue class
+// start mod stride — the smallest value >= the current next ID that the
+// sequence start, start+stride, start+2*stride, … contains. Unlike
+// SetIDSequence it is valid on a populated database, because it only ever
+// skips IDs, never re-issues one; the restore path uses it to re-align a
+// shard's sequence after Restore has set the next ID past the restored
+// records.
+func (db *DB) AlignIDSequence(start, stride int64) error {
+	if start < 1 || stride < 1 {
+		return fmt.Errorf("xmldb: invalid ID sequence (start %d, stride %d)", start, stride)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	next := start
+	if db.nextID > start {
+		steps := (db.nextID - start + stride - 1) / stride
+		next = start + steps*stride
+	}
+	db.nextID = next
+	db.idStride = stride
+	return nil
+}
+
 // SetClock overrides the timestamp source (tests).
 func (db *DB) SetClock(clock func() time.Time) {
 	db.mu.Lock()

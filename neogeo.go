@@ -6,47 +6,182 @@
 // It reproduces the system proposed in Habib & van Keulen, "Neogeography:
 // The Challenge of Channelling Large and Ill-Behaved Data Streams"
 // (ICDE 2011 PhD workshop / Univ. of Twente TR). See README.md for the
-// architecture and EXPERIMENTS.md for the reproduced results.
+// architecture, docs/API.md for the HTTP surface served by cmd/neogeod,
+// and EXPERIMENTS.md for the reproduced results.
+//
+// The facade is a stable surface over the internal pipeline: systems are
+// built with functional options, every entry point threads a
+// context.Context, answers are structured (generated text plus the ranked
+// results and their certainties), and failure conditions callers branch
+// on are typed sentinel errors (ErrNotAQuestion, ErrQueueClosed).
 //
 // Quickstart:
 //
-//	sys, err := neogeo.New(neogeo.Config{})
+//	sys, err := neogeo.New()
 //	if err != nil { ... }
 //	defer sys.Close()
-//	sys.Ingest("loved the Axel Hotel in Berlin, great stay", "alice")
-//	answer, _ := sys.Ask("can anyone recommend a good hotel in Berlin?", "bob")
+//	ctx := context.Background()
+//	sys.Ingest(ctx, "loved the Axel Hotel in Berlin, great stay", "alice")
+//	ans, _ := sys.Ask(ctx, "can anyone recommend a good hotel in Berlin?", "bob")
+//	fmt.Println(ans.Text)           // the generated reply
+//	fmt.Println(ans.Query)          // the formulated database query
+//	for _, r := range ans.Results { // the ranked records behind it
+//		fmt.Println(r.Fields["Hotel_Name"], r.Certainty)
+//	}
 //
 // For heavy streams, enqueue with Submit and drain through the concurrent
-// pipeline — a worker pool (Config.Workers, default GOMAXPROCS) runs
+// pipeline — a worker pool (WithWorkers, default GOMAXPROCS) runs
 // extraction in parallel while per-shard integration lanes amortize
-// database integration and queue acknowledgement. Config.Shards
-// partitions the probabilistic store spatially (0/1 keeps a single
-// store). For streams whose reports resolve locations consistently —
-// the validation scenarios — answers are identical either way and
-// sharding is purely a throughput lever; see shard.GridRouter for the
-// placement caveats on mixed located/location-less streams:
+// database integration and queue acknowledgement. WithShards partitions
+// the probabilistic store spatially (0/1 keeps a single store). Drain
+// streams outcomes as they complete, so a million-message drain never
+// buffers every outcome in memory:
 //
+//	sys, _ := neogeo.New(neogeo.WithShards(4), neogeo.WithWorkers(8))
 //	for _, m := range stream {
-//		sys.Submit(m.Text, m.Source)
+//		sys.Submit(ctx, m.Text, m.Source)
 //	}
-//	outs, errs := sys.ProcessConcurrent(ctx, 0)
+//	for out, err := range sys.Drain(ctx, 0) {
+//		...
+//	}
+//
+// To serve the system over HTTP, see internal/server and the cmd/neogeod
+// daemon.
 package neogeo
 
 import (
+	"context"
+	"errors"
+	"io"
+	"time"
+
 	"repro/internal/core"
+	"repro/internal/mq"
+	"repro/internal/uncertain"
 )
 
-// Config parameterises system construction. The zero value is a working
-// laptop-scale system with a calibrated synthetic gazetteer.
-type Config = core.Config
+// System is the assembled neogeography pipeline behind the facade. All
+// methods are safe for concurrent use.
+type System struct {
+	sys *core.System
+}
 
-// System is the assembled neogeography pipeline.
-type System = core.System
+// New builds a System. The zero-option value is a working laptop-scale
+// system with a calibrated synthetic gazetteer; options scale it out
+// (WithShards, WithWorkers) or make it durable (WithQueueWAL).
+func New(opts ...Option) (*System, error) {
+	var s settings
+	for _, opt := range opts {
+		opt(&s)
+	}
+	sys, err := core.New(s.core)
+	if err != nil {
+		return nil, err
+	}
+	return &System{sys: sys}, nil
+}
 
-// Stats is a snapshot of the system's stores.
-type Stats = core.Stats
+// Close releases the system's resources (the message-queue WAL). After
+// Close, Submit and Ingest return ErrQueueClosed.
+func (s *System) Close() error {
+	return s.sys.Close()
+}
 
-// New builds a System from a Config.
-func New(cfg Config) (*System, error) {
-	return core.New(cfg)
+// Submit enqueues a raw user message for asynchronous processing by a
+// later Drain and returns its queue ID.
+func (s *System) Submit(ctx context.Context, body, source string) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	id, err := s.sys.Submit(body, source)
+	if err != nil {
+		return 0, mapQueueErr(err)
+	}
+	return id, nil
+}
+
+// Ingest submits and fully processes one message synchronously, returning
+// its outcome — classification, integration actions, and for requests the
+// structured answer. Processing is synchronous CPU work; ctx is checked
+// on entry.
+//
+// Ingest is meant for interactive, single-writer flows: it processes the
+// queue's next message, which is its own submission only while no Drain
+// runs concurrently. A serving deployment uses Submit + Drain for
+// contributions and Ask (which never touches the queue) for questions.
+func (s *System) Ingest(ctx context.Context, body, source string) (*Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out, err := s.sys.Ingest(body, source)
+	if err != nil {
+		return nil, mapQueueErr(err)
+	}
+	return publicOutcome(out), nil
+}
+
+// Ask answers a question synchronously through the read-only QA path —
+// nothing is enqueued, so Ask never races with a concurrent Drain over
+// pending messages. A message classified informative rather than as a
+// question fails with a *NotAQuestionError matching ErrNotAQuestion,
+// carrying the classification (type, probability) the classifier saw.
+func (s *System) Ask(ctx context.Context, question, source string) (*Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ans, err := s.sys.Ask(question, source)
+	if err != nil {
+		return nil, mapAskErr(err)
+	}
+	return publicAnswer(ans), nil
+}
+
+// Stats returns a snapshot of the system's stores and queue health.
+func (s *System) Stats() Stats {
+	st := s.sys.Stats()
+	q := s.sys.Queue.Stats()
+	return Stats{
+		GazetteerEntries: st.GazetteerEntries,
+		GazetteerNames:   st.GazetteerNames,
+		Queue: QueueStats{
+			Pending:      q.Pending,
+			InFlight:     q.InFlight,
+			Acked:        q.Acked,
+			DeadLettered: q.DeadLettered,
+		},
+		Collections:  st.Collections,
+		Shards:       st.Shards,
+		ShardRecords: st.ShardRecords,
+	}
+}
+
+// Snapshot writes a consistent image of the (possibly sharded)
+// probabilistic spatial XML database to w. Together with the queue WAL
+// this covers the system's durable state; the gazetteer, ontology and
+// knowledge base are rebuilt from configuration.
+func (s *System) Snapshot(w io.Writer) error {
+	return s.sys.Snapshot(w)
+}
+
+// Restore replaces the database contents with a snapshot produced by
+// Snapshot on a system with the same shard count. On error the database
+// is unchanged.
+func (s *System) Restore(r io.Reader) error {
+	return s.sys.Restore(r)
+}
+
+// Decay applies temporal certainty decay to every stored record as of
+// now, deleting records whose certainty falls below floor — geographic
+// information is dynamic, and unconfirmed reports fade.
+func (s *System) Decay(now time.Time, floor float64) (decayed, deleted int, err error) {
+	return s.sys.DecayAll(now, uncertain.CF(floor))
+}
+
+// mapQueueErr rewrites the internal queue-closed condition onto the
+// facade's sentinel so callers never import internal packages to branch.
+func mapQueueErr(err error) error {
+	if errors.Is(err, mq.ErrClosed) {
+		return ErrQueueClosed
+	}
+	return err
 }

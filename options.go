@@ -1,0 +1,105 @@
+package neogeo
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// settings is the accumulated construction state; options mutate it.
+type settings struct {
+	core core.Config
+}
+
+// Option configures a System under construction. The zero-option system
+// is a working laptop-scale deployment; options layer on scale (shards,
+// workers), durability (queue WAL) and determinism (gazetteer seed,
+// clock).
+type Option func(*settings)
+
+// WithGazetteerNames sets the synthetic gazetteer's size in distinct
+// toponyms (default 2000; the experiment harness uses 20000).
+func WithGazetteerNames(n int) Option {
+	return func(s *settings) { s.core.GazetteerNames = n }
+}
+
+// WithGazetteerSeed seeds gazetteer synthesis (default 2011), making the
+// toponym database — and therefore answers — reproducible across systems.
+func WithGazetteerSeed(seed int64) Option {
+	return func(s *settings) { s.core.GazetteerSeed = seed }
+}
+
+// WithQueueWAL persists the message queue to a write-ahead log at path,
+// so unacknowledged user contributions survive restarts.
+func WithQueueWAL(path string) Option {
+	return func(s *settings) { s.core.QueueWAL = path }
+}
+
+// WithWorkers sets the concurrency of the stream-processing pipeline:
+// Drain runs classification and extraction on this many goroutines while
+// per-shard integration lanes serialize database writes. 0 (the default)
+// uses GOMAXPROCS; 1 keeps the pipeline single-threaded and its outcome
+// order deterministic.
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.core.Workers = n }
+}
+
+// WithShards partitions the probabilistic spatial XML database into n
+// independently locked shards, routed spatially, with one pipeline
+// integration lane per shard. 0 or 1 keeps a single store.
+func WithShards(n int) Option {
+	return func(s *settings) { s.core.Shards = n }
+}
+
+// WithIntegrateBatch caps how many messages a pipeline integration lane
+// folds into one amortized database batch (default 16).
+func WithIntegrateBatch(n int) Option {
+	return func(s *settings) { s.core.IntegrateBatch = n }
+}
+
+// WithClock overrides the system's time source (tests).
+func WithClock(clock func() time.Time) Option {
+	return func(s *settings) { s.core.Clock = clock }
+}
+
+// Config is the construction struct of the facade's alias era, kept so
+// existing callers migrate mechanically.
+//
+// Deprecated: build systems with New and functional options
+// (WithShards, WithWorkers, WithQueueWAL, …) instead; new construction
+// knobs appear only as options.
+type Config struct {
+	// GazetteerNames is the synthetic gazetteer size (default 2000).
+	GazetteerNames int
+	// GazetteerSeed seeds gazetteer synthesis (default 2011).
+	GazetteerSeed int64
+	// QueueWAL, when non-empty, persists the message queue to this file.
+	QueueWAL string
+	// Workers sets the pipeline's worker-pool width (0 = GOMAXPROCS).
+	Workers int
+	// Shards partitions the probabilistic store (0/1 = single store).
+	Shards int
+	// IntegrateBatch caps the integration lanes' batch size (default 16).
+	IntegrateBatch int
+}
+
+// WithConfig applies every field of a legacy Config as one option.
+//
+// Deprecated: pass the individual options instead.
+func WithConfig(cfg Config) Option {
+	return func(s *settings) {
+		s.core.GazetteerNames = cfg.GazetteerNames
+		s.core.GazetteerSeed = cfg.GazetteerSeed
+		s.core.QueueWAL = cfg.QueueWAL
+		s.core.Workers = cfg.Workers
+		s.core.Shards = cfg.Shards
+		s.core.IntegrateBatch = cfg.IntegrateBatch
+	}
+}
+
+// NewFromConfig builds a System from a legacy Config.
+//
+// Deprecated: use New with functional options.
+func NewFromConfig(cfg Config) (*System, error) {
+	return New(WithConfig(cfg))
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# End-to-end HTTP smoke test: build neogeod, start it, submit one report
+# and one question over the API, and assert the answer names the hotel
+# the report was about. Exercises the full submit -> background drain ->
+# ask -> stats path a deployment depends on.
+set -eu
+
+ADDR="127.0.0.1:${SMOKE_PORT:-8765}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/neogeod"
+WAL="$(mktemp -d)/queue.wal"
+
+go build -o "$BIN" ./cmd/neogeod
+
+"$BIN" -addr "$ADDR" -wal "$WAL" -shards 2 -drain-interval 50ms &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the daemon to come up.
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || { echo "neogeod never became healthy" >&2; exit 1; }
+  sleep 0.1
+done
+
+echo "== submit one report"
+SUBMIT=$(curl -fsS -X POST "$BASE/v1/messages" \
+  -H 'Content-Type: application/json' \
+  -d '{"text":"loved the Axel Hotel in Berlin, great stay","source":"alice"}')
+echo "$SUBMIT"
+echo "$SUBMIT" | grep -q '"status": "queued"' || { echo "submit not acknowledged" >&2; exit 1; }
+
+echo "== wait for the drain loop to integrate it"
+i=0
+until curl -fsS "$BASE/v1/stats" | grep -q '"Hotels": 1'; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || { echo "report never integrated:" >&2; curl -fsS "$BASE/v1/stats" >&2; exit 1; }
+  sleep 0.1
+done
+curl -fsS "$BASE/v1/stats"
+
+echo "== ask the question"
+ANSWER=$(curl -fsS -X POST "$BASE/v1/ask" \
+  -H 'Content-Type: application/json' \
+  -d '{"question":"can anyone recommend a good hotel in Berlin?","source":"bob"}')
+echo "$ANSWER"
+echo "$ANSWER" | grep -qi "axel hotel" || { echo "answer does not name the reported hotel" >&2; exit 1; }
+
+echo "== smoke OK"

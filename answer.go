@@ -1,6 +1,8 @@
 package neogeo
 
 import (
+	"time"
+
 	"repro/internal/coordinator"
 	"repro/internal/extract"
 	"repro/internal/pxml"
@@ -95,6 +97,23 @@ type Stats struct {
 	// record count per shard.
 	Shards       int
 	ShardRecords []int
+	// Checkpoint is the durability subsystem's state.
+	Checkpoint CheckpointStats
+}
+
+// CheckpointStats is the durability subsystem's health snapshot: is
+// checkpointing configured, how many images this process has written,
+// and how stale the newest one is.
+type CheckpointStats struct {
+	// Enabled says whether a data directory is configured (WithDataDir).
+	Enabled bool
+	// Count is the number of checkpoints written since construction.
+	Count int
+	// LastSeq, LastBytes and LastAge describe the newest valid
+	// checkpoint, written or recovered; zero values when none exists.
+	LastSeq   uint64
+	LastBytes int64
+	LastAge   time.Duration
 }
 
 // QueueStats is the message queue's health snapshot.
@@ -109,6 +128,10 @@ type QueueStats struct {
 	// DeadLettered counts messages that exhausted their delivery
 	// attempts.
 	DeadLettered int
+	// WALAppendErrors counts queue-WAL appends that failed on the
+	// dead-letter path; non-zero means the log and the in-memory
+	// dead-letter list have diverged.
+	WALAppendErrors int
 }
 
 // publicOutcome projects an internal outcome onto the facade's type.

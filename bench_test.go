@@ -496,6 +496,110 @@ func BenchmarkDrainParallel(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// E12 — durability cost: what checkpointing charges the pipeline. One
+// benchmark prices a single checkpoint as the store grows; the other
+// compares batch-drain throughput with a checkpoint after every batch
+// (the worst-case cadence) against no checkpointing at all.
+
+func BenchmarkCheckpoint(b *testing.B) {
+	g, _ := benchFixtures(b)
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 99, Noise: 0.4, Domain: tweetgen.DomainMixed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			sys, err := core.New(core.Config{
+				Gazetteer: g,
+				Workers:   4,
+				DataDir:   b.TempDir(),
+				// Retention keeps the directory bounded however many
+				// iterations the harness runs.
+				CheckpointRetain: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			for _, m := range gen.Generate(n) {
+				if _, err := sys.Submit(m.Text, m.Source); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, errs := sys.ProcessConcurrent(context.Background(), 0); len(errs) != 0 {
+				b.Fatalf("drain errors: %v", errs[0])
+			}
+			var bytes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				info, err := sys.Checkpoint(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = info.Size
+			}
+			b.ReportMetric(float64(bytes), "ckpt-bytes")
+		})
+	}
+}
+
+func BenchmarkDrainWithCheckpointing(b *testing.B) {
+	g, _ := benchFixtures(b)
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 99, Noise: 0.4, Domain: tweetgen.DomainMixed, RequestRatio: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := gen.Generate(256)
+	const perIter = 64
+	for _, checkpointing := range []bool{false, true} {
+		name := "off"
+		if checkpointing {
+			name = "per-batch"
+		}
+		b.Run(name, func(b *testing.B) {
+			processed := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := core.Config{
+					Gazetteer: g,
+					Workers:   4,
+					QueueWAL:  filepath.Join(b.TempDir(), "queue.wal"),
+				}
+				if checkpointing {
+					cfg.DataDir = filepath.Join(b.TempDir(), "data")
+					cfg.CheckpointRetain = 2
+				}
+				sys, err := core.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < perIter; j++ {
+					m := msgs[(i*perIter+j)%len(msgs)]
+					if _, err := sys.Submit(m.Text, m.Source); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				outs, errs := sys.ProcessConcurrent(context.Background(), 0)
+				if checkpointing {
+					if _, err := sys.Checkpoint(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if len(errs) != 0 {
+					b.Fatalf("drain errors: %v", errs[0])
+				}
+				processed += len(outs)
+				sys.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "msgs/sec")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // E10 — probabilistic XML query cost: marginal-probability evaluation vs
 // explicit possible-world enumeration, as the number of distribution nodes
 // (and thus worlds) grows.

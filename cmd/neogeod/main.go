@@ -6,7 +6,15 @@
 // questions POSTed to /v1/ask are answered synchronously from the
 // accumulated knowledge. See docs/API.md for the endpoint contract.
 //
-//	neogeod -addr :8080 -shards 4 -workers 8 -wal /var/lib/neogeo/queue.wal
+// With -wal and -data-dir the daemon is crash-safe: the queue WAL makes
+// every accepted contribution durable, periodic checkpoints persist the
+// integrated store, and a restart restores the newest valid checkpoint
+// before replaying whatever the image does not cover. A graceful stop
+// writes one final checkpoint before the WAL closes; after a SIGKILL the
+// next boot re-integrates from the log instead.
+//
+//	neogeod -addr :8080 -shards 4 -workers 8 \
+//	    -wal /var/lib/neogeo/queue.wal -data-dir /var/lib/neogeo/data
 package main
 
 import (
@@ -26,20 +34,33 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		walPath  = flag.String("wal", "", "message-queue write-ahead log path (empty: in-memory)")
-		names    = flag.Int("names", 2000, "synthetic gazetteer size")
-		seed     = flag.Int64("seed", 2011, "gazetteer seed")
-		shards   = flag.Int("shards", 1, "probabilistic store shard count")
-		workers  = flag.Int("workers", 0, "pipeline worker-pool width (0 = GOMAXPROCS)")
-		interval = flag.Duration("drain-interval", 250*time.Millisecond, "background drain period")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		walPath    = flag.String("wal", "", "message-queue write-ahead log path (empty: in-memory)")
+		dataDir    = flag.String("data-dir", "", "checkpoint directory for the integrated store (empty: store is not durable)")
+		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period (requires -data-dir; 0 disables the loop)")
+		ckptRetain = flag.Int("checkpoint-retain", 3, "checkpoint files kept after each write")
+		names      = flag.Int("names", 2000, "synthetic gazetteer size")
+		seed       = flag.Int64("seed", 2011, "gazetteer seed")
+		shards     = flag.Int("shards", 1, "probabilistic store shard count")
+		workers    = flag.Int("workers", 0, "pipeline worker-pool width (0 = GOMAXPROCS)")
+		interval   = flag.Duration("drain-interval", 250*time.Millisecond, "background drain period")
+		decayEvery = flag.Duration("decay-interval", 0, "certainty-decay period (0: decay off)")
+		decayFloor = flag.Float64("decay-floor", 0.05, "certainty below which a decayed record is deleted")
 	)
 	flag.Parse()
+	if *dataDir == "" {
+		// No data directory means nowhere to checkpoint: keep the
+		// serving layer's loop off instead of failing every interval.
+		*ckptEvery = 0
+	}
 
 	sys, err := neogeo.New(
 		neogeo.WithGazetteerNames(*names),
 		neogeo.WithGazetteerSeed(*seed),
 		neogeo.WithQueueWAL(*walPath),
+		neogeo.WithDataDir(*dataDir),
+		neogeo.WithCheckpointInterval(*ckptEvery),
+		neogeo.WithCheckpointRetain(*ckptRetain),
 		neogeo.WithShards(*shards),
 		neogeo.WithWorkers(*workers),
 	)
@@ -48,7 +69,11 @@ func main() {
 	}
 	defer sys.Close()
 
-	srv := server.New(sys, server.WithDrainInterval(*interval))
+	srv := server.New(sys,
+		server.WithDrainInterval(*interval),
+		server.WithDecayInterval(*decayEvery),
+		server.WithDecayFloor(*decayFloor),
+	)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -66,11 +91,29 @@ func main() {
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("neogeod listening on %s (shards=%d, drain every %s)", *addr, *shards, *interval)
+	log.Printf("neogeod listening on %s (shards=%d, drain every %s, data-dir=%q)", *addr, *shards, *interval, *dataDir)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serving: %v", err)
 	}
 	// Let the drain loop finish its pass so accepted messages are not
 	// stranded in flight before the WAL-backed queue closes.
 	<-drainDone
+	// The loop can exit with messages still pending (accepted between
+	// its last tick and the signal); one final pass integrates them so
+	// the shutdown checkpoint covers everything that was accepted.
+	for _, err := range sys.Drain(context.Background(), 0) {
+		if err != nil {
+			log.Printf("final drain: %v", err)
+		}
+	}
+	// Final checkpoint, ordered after the drain wound down (the image
+	// covers everything integrated) and before Close releases the WAL:
+	// a graceful restart then recovers from the checkpoint alone.
+	if *dataDir != "" {
+		if info, err := sys.Checkpoint(context.Background()); err != nil {
+			log.Printf("final checkpoint failed (the queue WAL still covers the gap): %v", err)
+		} else {
+			log.Printf("final checkpoint %d written (%d bytes)", info.Seq, info.Bytes)
+		}
+	}
 }

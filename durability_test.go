@@ -1,0 +1,280 @@
+package neogeo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The crash-recovery differential tests pin the durability subsystem's
+// contract: a process killed without warning (no Close, no final
+// checkpoint — the SIGKILL equivalent) restarts into a system that
+// answers identically to one that never crashed. Recovery restores the
+// newest valid checkpoint, then the queue WAL replays every message
+// acknowledged after that image for idempotent re-integration.
+
+// crashMessages report distinct hotels so the runs are deterministic
+// end to end: every integration is an insert, so no trust feedback or
+// certainty reinforcement can diverge between a control run and a
+// recovered one.
+var crashMessages = []string{
+	"wonderful stay at the Hotel Aurora Prime in Berlin, lovely place",
+	"loved the Hotel Borealis Grand in Berlin, great stay",
+	"very impressed by the Hotel Cascade Royal in Berlin, well done",
+	"the Hotel Dorint Vista in Berlin was a delight",
+	"great night at the Hotel Elysium Park in Berlin",
+	"the Hotel Fontana Plaza in Berlin exceeded expectations",
+}
+
+const crashQuestion = "can anyone recommend a good hotel in Berlin?"
+
+// buildDurable builds the deterministic system-under-test: fixed
+// gazetteer, one worker (queue-order processing, stable record IDs),
+// fixed clock, two shards, durable queue + store.
+func buildDurable(t *testing.T, dataDir, wal string) *System {
+	t.Helper()
+	opts := []Option{
+		WithGazetteerNames(500),
+		WithGazetteerSeed(2011),
+		WithWorkers(1),
+		WithShards(2),
+		WithClock(func() time.Time { return time.Date(2011, 4, 1, 9, 0, 0, 0, time.UTC) }),
+	}
+	if dataDir != "" {
+		opts = append(opts, WithDataDir(dataDir))
+	}
+	if wal != "" {
+		opts = append(opts, WithQueueWAL(wal))
+	}
+	sys, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// submitAndDrain pushes messages through the pipeline to acknowledgement.
+func submitAndDrain(t *testing.T, sys *System, messages []string) {
+	t.Helper()
+	ctx := context.Background()
+	for i, m := range messages {
+		if _, err := sys.Submit(ctx, m, fmt.Sprintf("user%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, err := range sys.Drain(ctx, 0) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// askEqual asserts two systems answer the question identically: the
+// generated text and formulated query byte for byte, and the ranked
+// results record by record — same IDs, same order, same fields and
+// locations, certainties equal to within one part in 10⁹. (Exact float
+// equality is unattainable even between two uninterrupted runs: summing
+// candidate weights in map order perturbs the last ulp.)
+func askEqual(t *testing.T, want, got *System) {
+	t.Helper()
+	ctx := context.Background()
+	wa, err := want.Ask(ctx, crashQuestion, "asker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := got.Ask(ctx, crashQuestion, "asker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(wa.Text), "hotel") {
+		t.Fatalf("control answer is empty of hotels: %q", wa.Text)
+	}
+	if ga.Text != wa.Text || ga.Query != wa.Query {
+		t.Errorf("recovered answer diverges:\n control:   %s\n recovered: %s", wa.Text, ga.Text)
+	}
+	if len(ga.Results) != len(wa.Results) {
+		t.Fatalf("recovered ranks %d results, control %d", len(ga.Results), len(wa.Results))
+	}
+	const tol = 1e-9
+	for i := range wa.Results {
+		w, g := wa.Results[i], ga.Results[i]
+		if g.ID != w.ID {
+			t.Errorf("result #%d: record %d, control ranks %d", i, g.ID, w.ID)
+			continue
+		}
+		if math.Abs(g.Certainty-w.Certainty) > tol || math.Abs(g.CondP-w.CondP) > tol {
+			t.Errorf("result #%d (record %d): scores %v/%v, control %v/%v",
+				i, g.ID, g.Certainty, g.CondP, w.Certainty, w.CondP)
+		}
+		if !reflect.DeepEqual(g.Fields, w.Fields) {
+			t.Errorf("result #%d (record %d): fields %v, control %v", i, g.ID, g.Fields, w.Fields)
+		}
+		if (g.Location == nil) != (w.Location == nil) ||
+			(g.Location != nil && *g.Location != *w.Location) {
+			t.Errorf("result #%d (record %d): location %v, control %v", i, g.ID, g.Location, w.Location)
+		}
+	}
+}
+
+// TestCrashRecoveryEquivalence is the tentpole differential: checkpoint
+// mid-stream, keep draining (acks land after the checkpoint LSN), kill
+// the process without a final checkpoint, recover — the checkpointed
+// half restores from the image, the post-checkpoint half replays from
+// the queue WAL, and the result answers identically to a run that never
+// crashed.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	control := buildDurable(t, "", "")
+	defer control.Close()
+	submitAndDrain(t, control, crashMessages)
+
+	dir := t.TempDir()
+	dataDir, wal := filepath.Join(dir, "data"), filepath.Join(dir, "queue.wal")
+	crashed := buildDurable(t, dataDir, wal)
+	submitAndDrain(t, crashed, crashMessages[:3])
+	if _, err := crashed.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	submitAndDrain(t, crashed, crashMessages[3:])
+	// SIGKILL: no Close, no final checkpoint — the process just stops.
+
+	recovered := buildDurable(t, dataDir, wal)
+	defer recovered.Close()
+	// The three messages acknowledged after the checkpoint are pending
+	// again; the first three are inside the restored image and are not.
+	if st := recovered.Stats(); st.Queue.Pending != 3 {
+		t.Fatalf("pending after recovery = %d, want 3 (stats %+v)", st.Queue.Pending, st.Queue)
+	}
+	submitAndDrain(t, recovered, nil) // drain the replayed messages
+	if st := recovered.Stats(); st.Collections["Hotels"] != len(crashMessages) {
+		t.Fatalf("Hotels = %d after recovery, want %d", st.Collections["Hotels"], len(crashMessages))
+	}
+	askEqual(t, control, recovered)
+}
+
+// TestCrashRecoveryWithoutCheckpoint: a crash before any checkpoint was
+// written must lose nothing either — the entire store rebuilds from the
+// queue WAL's acknowledged messages.
+func TestCrashRecoveryWithoutCheckpoint(t *testing.T) {
+	control := buildDurable(t, "", "")
+	defer control.Close()
+	submitAndDrain(t, control, crashMessages)
+
+	dir := t.TempDir()
+	dataDir, wal := filepath.Join(dir, "data"), filepath.Join(dir, "queue.wal")
+	crashed := buildDurable(t, dataDir, wal)
+	submitAndDrain(t, crashed, crashMessages)
+	// SIGKILL before the first checkpoint ever ran.
+
+	recovered := buildDurable(t, dataDir, wal)
+	defer recovered.Close()
+	if st := recovered.Stats(); st.Queue.Pending != len(crashMessages) {
+		t.Fatalf("pending after recovery = %d, want all %d replayed", st.Queue.Pending, len(crashMessages))
+	}
+	submitAndDrain(t, recovered, nil)
+	askEqual(t, control, recovered)
+}
+
+// TestCrashRecoveryMergesReplayedDuplicate: a message integrated into
+// the checkpoint image whose duplicate arrives after it replays as a
+// merge into the restored record, not as a second record — the
+// idempotence the recovery path rests on.
+func TestCrashRecoveryMergesReplayedDuplicate(t *testing.T) {
+	report := crashMessages[0]
+	control := buildDurable(t, "", "")
+	defer control.Close()
+	submitAndDrain(t, control, []string{report, report})
+
+	dir := t.TempDir()
+	dataDir, wal := filepath.Join(dir, "data"), filepath.Join(dir, "queue.wal")
+	crashed := buildDurable(t, dataDir, wal)
+	submitAndDrain(t, crashed, []string{report})
+	if _, err := crashed.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	submitAndDrain(t, crashed, []string{report})
+	// SIGKILL.
+
+	recovered := buildDurable(t, dataDir, wal)
+	defer recovered.Close()
+	submitAndDrain(t, recovered, nil)
+	if st := recovered.Stats(); st.Collections["Hotels"] != 1 {
+		t.Fatalf("Hotels = %d after duplicate replay, want 1 merged record", st.Collections["Hotels"])
+	}
+	askEqual(t, control, recovered)
+}
+
+// TestGracefulShutdownRecovery: checkpoint-then-Close (the daemon's
+// ordered shutdown) restarts into a system with nothing left to replay.
+func TestGracefulShutdownRecovery(t *testing.T) {
+	dir := t.TempDir()
+	dataDir, wal := filepath.Join(dir, "data"), filepath.Join(dir, "queue.wal")
+	sys := buildDurable(t, dataDir, wal)
+	submitAndDrain(t, sys, crashMessages)
+	if _, err := sys.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted := buildDurable(t, dataDir, wal)
+	defer restarted.Close()
+	st := restarted.Stats()
+	if st.Queue.Pending != 0 {
+		t.Fatalf("pending after graceful restart = %d, want 0", st.Queue.Pending)
+	}
+	if st.Collections["Hotels"] != len(crashMessages) {
+		t.Fatalf("Hotels = %d, want %d from the checkpoint alone", st.Collections["Hotels"], len(crashMessages))
+	}
+	if !st.Checkpoint.Enabled || st.Checkpoint.LastSeq == 0 {
+		t.Fatalf("checkpoint stats after recovery = %+v", st.Checkpoint)
+	}
+	ans, err := restarted.Ask(context.Background(), crashQuestion, "asker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(ans.Text), "hotel") {
+		t.Errorf("restarted system answers %q", ans.Text)
+	}
+}
+
+// TestCheckpointRequiresDataDir: the facade's sentinel for a checkpoint
+// with nowhere to go.
+func TestCheckpointRequiresDataDir(t *testing.T) {
+	sys := buildDurable(t, "", "")
+	defer sys.Close()
+	if _, err := sys.Checkpoint(context.Background()); !errors.Is(err, ErrNoDataDir) {
+		t.Fatalf("Checkpoint without data dir = %v, want ErrNoDataDir", err)
+	}
+	st := sys.Stats()
+	if st.Checkpoint.Enabled {
+		t.Fatalf("checkpoint stats claim enabled: %+v", st.Checkpoint)
+	}
+}
+
+// TestCheckpointStatsAdvance: each checkpoint bumps the count and
+// sequence surfaced through Stats.
+func TestCheckpointStatsAdvance(t *testing.T) {
+	sys := buildDurable(t, t.TempDir(), "")
+	defer sys.Close()
+	submitAndDrain(t, sys, crashMessages[:1])
+	for i := 1; i <= 2; i++ {
+		info, err := sys.Checkpoint(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Seq != uint64(i) || info.Bytes == 0 {
+			t.Fatalf("checkpoint #%d info = %+v", i, info)
+		}
+	}
+	st := sys.Stats().Checkpoint
+	if !st.Enabled || st.Count != 2 || st.LastSeq != 2 || st.LastBytes == 0 {
+		t.Fatalf("checkpoint stats = %+v", st)
+	}
+}

@@ -17,6 +17,10 @@ var (
 
 	// ErrQueueClosed reports a Submit or Ingest after Close.
 	ErrQueueClosed = errors.New("neogeo: queue closed")
+
+	// ErrNoDataDir reports a Checkpoint on a system built without
+	// WithDataDir: there is nowhere durable to write the image.
+	ErrNoDataDir = errors.New("neogeo: no data directory configured")
 )
 
 // NotAQuestionError is the concrete error behind ErrNotAQuestion: what

@@ -8,6 +8,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -19,11 +20,16 @@ import (
 	"repro/internal/kb"
 	"repro/internal/mq"
 	"repro/internal/ontology"
+	"repro/internal/persist"
 	"repro/internal/qa"
 	"repro/internal/shard"
 	"repro/internal/uncertain"
 	"repro/internal/xmldb"
 )
+
+// ErrNoDataDir reports a Checkpoint on a system built without a data
+// directory — there is nowhere durable to write the image.
+var ErrNoDataDir = errors.New("core: no data directory configured")
 
 // The sharded integrator is the pipeline's multi-lane integration sink.
 var _ coordinator.Integrator = (*shard.Integrator)(nil)
@@ -41,6 +47,19 @@ type Config struct {
 	GazetteerSeed int64
 	// QueueWAL, when non-empty, persists the message queue to this file.
 	QueueWAL string
+	// DataDir, when non-empty, makes the store durable: checkpoints of
+	// the (possibly sharded) database land here as an atomic, rotated
+	// file set, and construction restores the newest valid one before
+	// the queue WAL replays — messages acknowledged after that image
+	// come back as pending and re-integrate idempotently.
+	DataDir string
+	// CheckpointInterval is the cadence the serving layer's background
+	// loop checkpoints at (0: no periodic checkpoints; explicit
+	// Checkpoint calls still work). The system itself runs no loop.
+	CheckpointInterval time.Duration
+	// CheckpointRetain keeps this many checkpoint files after each
+	// write (default 3).
+	CheckpointRetain int
 	// Workers sets the concurrency of the coordinator's stream-processing
 	// pipeline: Process and ProcessConcurrent run classification and
 	// extraction on this many goroutines while per-shard integration
@@ -87,9 +106,15 @@ type System struct {
 	// Integrator is the coordinator's integration sink (one lane per
 	// shard).
 	Integrator *shard.Integrator
-	clock      func() time.Time
+	// Persist is the durability subsystem's checkpoint manager, nil
+	// without a data directory.
+	Persist *persist.Manager
+	clock   func() time.Time
 	// workers is the configured pipeline width (0 = GOMAXPROCS).
 	workers int
+	// ckptInterval is the configured checkpoint cadence the serving
+	// layer reads.
+	ckptInterval time.Duration
 }
 
 // New builds a system.
@@ -137,8 +162,36 @@ func New(cfg Config) (*System, error) {
 		s.Store.SetClock(cfg.Clock)
 	}
 
+	// Durability: restore the newest valid checkpoint into the store
+	// BEFORE the queue WAL replays, so messages acknowledged after the
+	// image (its recorded LSN) re-enter the queue and re-integrate into
+	// the restored state instead of an empty one.
+	var recoveredLSN int64
+	if cfg.DataDir != "" {
+		popts := []persist.Option{persist.WithClock(s.clock)}
+		if cfg.CheckpointRetain > 0 {
+			popts = append(popts, persist.WithRetain(cfg.CheckpointRetain))
+		}
+		s.Persist, err = persist.NewManager(cfg.DataDir, popts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: opening data directory: %w", err)
+		}
+		info, err := s.Persist.Recover(s.Store)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovering checkpoint: %w", err)
+		}
+		if info != nil {
+			recoveredLSN = info.LSN
+		}
+	}
+	s.ckptInterval = cfg.CheckpointInterval
+
 	if cfg.QueueWAL != "" {
-		s.Queue, err = mq.Open(cfg.QueueWAL, mq.WithClock(s.clock))
+		qopts := []mq.Option{mq.WithClock(s.clock)}
+		if s.Persist != nil {
+			qopts = append(qopts, mq.WithReplayAckedAfter(recoveredLSN))
+		}
+		s.Queue, err = mq.Open(cfg.QueueWAL, qopts...)
 		if err != nil {
 			return nil, fmt.Errorf("core: opening queue: %w", err)
 		}
@@ -284,6 +337,58 @@ func (s *System) Stats() Stats {
 		st.Collections[c] = s.Store.Len(c)
 	}
 	return st
+}
+
+// Checkpoint writes one durable checkpoint of the store to the data
+// directory and returns its Info. The queue's WAL sequence number is
+// captured before the snapshot, so every message acknowledged up to
+// that point is covered by the image and every later one will be
+// re-integrated at recovery — a message integrated while the snapshot
+// runs may land in both, which the integrator's find-dup+merge absorbs.
+// Without a data directory it fails with ErrNoDataDir.
+func (s *System) Checkpoint(ctx context.Context) (persist.Info, error) {
+	if s.Persist == nil {
+		return persist.Info{}, ErrNoDataDir
+	}
+	if err := ctx.Err(); err != nil {
+		return persist.Info{}, err
+	}
+	return s.Persist.Checkpoint(s.Store, s.Queue.LSN())
+}
+
+// CheckpointInterval returns the configured periodic-checkpoint cadence
+// (0: none) — what the serving layer's background loop runs at.
+func (s *System) CheckpointInterval() time.Duration {
+	return s.ckptInterval
+}
+
+// CheckpointStats is the durability subsystem's health snapshot.
+type CheckpointStats struct {
+	// Enabled says whether a data directory is configured.
+	Enabled bool
+	// Count is the number of checkpoints written since construction.
+	Count int
+	// LastSeq, LastBytes and LastAge describe the newest valid
+	// checkpoint (written or recovered); zero values when none exists.
+	LastSeq   uint64
+	LastBytes int64
+	LastAge   time.Duration
+}
+
+// CheckpointStats reports the durability subsystem's state, measuring
+// the newest checkpoint's age against the system clock.
+func (s *System) CheckpointStats() CheckpointStats {
+	if s.Persist == nil {
+		return CheckpointStats{}
+	}
+	st := s.Persist.Stats()
+	out := CheckpointStats{Enabled: true, Count: st.Count}
+	if st.Last != nil {
+		out.LastSeq = st.Last.Seq
+		out.LastBytes = st.Last.Size
+		out.LastAge = s.clock().Sub(st.Last.Created)
+	}
+	return out
 }
 
 // Snapshot writes an image of the (possibly sharded) probabilistic

@@ -51,6 +51,20 @@ type Queue struct {
 	// acked counts successfully acknowledged messages over the queue's
 	// lifetime (Stats).
 	acked int
+	// lsn counts WAL entries durably appended or replayed — the log
+	// sequence number the durability subsystem's checkpoints record, so
+	// recovery knows which acknowledgements postdate the last image. 0
+	// without a WAL.
+	lsn int64
+	// replayAcked re-enqueues, at Open, messages whose ack landed after
+	// ackedAfter — set when a checkpoint-recovered store needs the
+	// messages integrated since the image replayed into it.
+	replayAcked bool
+	ackedAfter  int64
+	// walErrs counts WAL appends that failed on a path that cannot
+	// propagate them (the dead-letter move in Dequeue); surfaced in
+	// Stats so operators see the log diverging instead of silence.
+	walErrs int
 }
 
 // Option configures a queue.
@@ -72,6 +86,24 @@ func WithMaxAttempts(n int) Option {
 	return func(q *Queue) { q.maxAttempt = n }
 }
 
+// WithReplayAckedAfter makes Open re-enqueue messages whose
+// acknowledgement was logged after WAL entry lsn. The durability
+// subsystem passes the LSN recorded in the checkpoint it restored (0
+// when it found none): messages acknowledged since that image were
+// integrated into state the crash discarded, and re-integrating them is
+// safe — integration folds a replayed message into its existing record.
+// Dead-lettered messages (opDead entries) are never replayed; a log
+// written before dead letters had their own op recorded them as plain
+// acks, and those replay like any other post-cutoff ack — the one-time
+// migration cost of pointing a durable boot at an old-format WAL.
+// Without this option Open keeps acknowledged messages acknowledged.
+func WithReplayAckedAfter(lsn int64) Option {
+	return func(q *Queue) {
+		q.replayAcked = true
+		q.ackedAfter = lsn
+	}
+}
+
 // New returns an in-memory queue.
 func New(opts ...Option) *Queue {
 	q := &Queue{
@@ -89,7 +121,10 @@ func New(opts ...Option) *Queue {
 }
 
 // Open returns a queue backed by a write-ahead log at path, replaying any
-// existing log so unacknowledged messages survive restarts.
+// existing log so unacknowledged messages survive restarts — and, under
+// WithReplayAckedAfter, so do messages acknowledged after the last
+// checkpoint, re-enqueued for idempotent re-integration. Dead-lettered
+// messages replay into the dead-letter list, never back into pending.
 func Open(path string, opts ...Option) (*Queue, error) {
 	q := New(opts...)
 	w, entries, err := openWAL(path)
@@ -97,8 +132,13 @@ func Open(path string, opts ...Option) (*Queue, error) {
 		return nil, err
 	}
 	q.wal = w
-	acked := make(map[int64]bool)
-	for _, e := range entries {
+	q.lsn = int64(len(entries))
+	// ackLSN records where each acknowledgement sits in the log, so the
+	// checkpoint cutoff can separate acks the image already covers from
+	// acks whose effects the crash discarded.
+	ackLSN := make(map[int64]int64)
+	var deadIDs []int64
+	for i, e := range entries {
 		switch e.Op {
 		case opEnqueue:
 			m := e.Msg
@@ -107,18 +147,30 @@ func Open(path string, opts ...Option) (*Queue, error) {
 				q.nextID = m.ID + 1
 			}
 		case opAck:
-			acked[e.ID] = true
+			ackLSN[e.ID] = int64(i + 1)
+		case opDead:
+			deadIDs = append(deadIDs, e.ID)
 		}
 	}
-	for id := range q.messages {
-		if acked[id] {
-			delete(q.messages, id)
+	for _, id := range deadIDs {
+		m, ok := q.messages[id]
+		if !ok {
+			continue
 		}
+		q.dead = append(q.dead, m)
+		delete(q.messages, id)
+		delete(ackLSN, id)
 	}
-	// Replayed acknowledgements carry over into the lifetime counter
-	// (dead-lettered messages are logged as acks too, so after a restart
-	// they count as acknowledged — the WAL does not distinguish them).
-	q.acked = len(acked)
+	for id, at := range ackLSN {
+		if q.replayAcked && at > q.ackedAfter {
+			// Acknowledged after the checkpoint image: stays enqueued for
+			// re-integration. Its re-acknowledgement will land at a fresh
+			// LSN past the next checkpoint's cutoff.
+			continue
+		}
+		delete(q.messages, id)
+		q.acked++
+	}
 	// Rebuild pending order by ID (receive order).
 	for id := int64(1); id < q.nextID; id++ {
 		if _, ok := q.messages[id]; ok {
@@ -162,7 +214,7 @@ func (q *Queue) Enqueue(body, source string) (int64, error) {
 	}
 	q.nextID++
 	if q.wal != nil {
-		if err := q.wal.append(walEntry{Op: opEnqueue, Msg: *m}); err != nil {
+		if err := q.walAppend(walEntry{Op: opEnqueue, Msg: *m}); err != nil {
 			return 0, fmt.Errorf("mq: wal: %w", err)
 		}
 	}
@@ -190,7 +242,13 @@ func (q *Queue) Dequeue() (Message, bool) {
 			q.dead = append(q.dead, m)
 			delete(q.messages, id)
 			if q.wal != nil {
-				_ = q.wal.append(walEntry{Op: opAck, ID: id})
+				// The move itself cannot fail back to the caller, so a
+				// failed append is recorded rather than swallowed: the
+				// message is dead-lettered in memory but the log no
+				// longer agrees, and Stats surfaces that divergence.
+				if err := q.walAppend(walEntry{Op: opDead, ID: id}); err != nil {
+					q.walErrs++
+				}
 			}
 			continue
 		}
@@ -219,7 +277,7 @@ func (q *Queue) Ack(id int64) error {
 	delete(q.inflight, id)
 	delete(q.messages, id)
 	if q.wal != nil {
-		if err := q.wal.append(walEntry{Op: opAck, ID: id}); err != nil {
+		if err := q.walAppend(walEntry{Op: opAck, ID: id}); err != nil {
 			return fmt.Errorf("mq: wal: %w", err)
 		}
 	}
@@ -252,7 +310,7 @@ func (q *Queue) AckBatch(ids []int64) (acked []int64, err error) {
 		for i, id := range valid {
 			entries[i] = walEntry{Op: opAck, ID: id}
 		}
-		if err := q.wal.appendAll(entries); err != nil {
+		if err := q.walAppend(entries...); err != nil {
 			return nil, fmt.Errorf("mq: wal: %w", err)
 		}
 	}
@@ -265,6 +323,28 @@ func (q *Queue) AckBatch(ids []int64) (acked []int64, err error) {
 		return valid, fmt.Errorf("mq: %d message(s) not in flight (first: %d)", len(missing), missing[0])
 	}
 	return valid, nil
+}
+
+// walAppend appends entries as one group commit and advances the log
+// sequence number by however many entries became durable. Callers hold
+// q.mu.
+func (q *Queue) walAppend(entries ...walEntry) error {
+	if err := q.wal.appendAll(entries); err != nil {
+		return err
+	}
+	q.lsn += int64(len(entries))
+	return nil
+}
+
+// LSN returns the WAL's current log sequence number: the count of
+// entries durably appended or replayed, 0 for an in-memory queue. The
+// durability subsystem captures it immediately before snapshotting the
+// store, so a later recovery replays exactly the acknowledgements the
+// image does not cover.
+func (q *Queue) LSN() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.lsn
 }
 
 // Nack returns a leased message to the front of the queue for immediate
@@ -325,6 +405,10 @@ type Stats struct {
 	// DeadLettered counts messages that exhausted their delivery
 	// attempts.
 	DeadLettered int
+	// WALAppendErrors counts write-ahead-log appends that failed on the
+	// dead-letter path, where no caller can receive the error: non-zero
+	// means the in-memory dead-letter list and the log have diverged.
+	WALAppendErrors int
 }
 
 // Stats returns a consistent queue-health snapshot under one lock
@@ -342,10 +426,11 @@ func (q *Queue) Stats() Stats {
 		}
 	}
 	return Stats{
-		Pending:      pending,
-		InFlight:     len(q.inflight),
-		Acked:        q.acked,
-		DeadLettered: len(q.dead),
+		Pending:         pending,
+		InFlight:        len(q.inflight),
+		Acked:           q.acked,
+		DeadLettered:    len(q.dead),
+		WALAppendErrors: q.walErrs,
 	}
 }
 

@@ -7,15 +7,30 @@ import (
 	"os"
 )
 
-// The write-ahead log is a newline-delimited JSON file of enqueue and ack
-// entries. Replay reconstructs the set of unacknowledged messages. Dead-
-// lettered messages are logged as acks (they will not be redelivered).
+// The write-ahead log is a newline-delimited JSON file of enqueue, ack
+// and dead-letter entries. Replay reconstructs the set of
+// unacknowledged messages plus the dead-letter list. Each entry has an
+// implicit log sequence number (1-based position in the file); the
+// durability subsystem's checkpoints record the LSN current when their
+// snapshot was taken, so recovery can re-integrate exactly the
+// messages acknowledged after the image.
+//
+// Logs written before dead letters had their own op record them as
+// acks; replaying such a log loses the dead-letter list, and under
+// WithReplayAckedAfter those entries replay like any other ack (the
+// poison message gets a fresh attempt cycle) — the compatibility cost
+// of pointing a durable boot at the old format.
 
 type walOp string
 
 const (
 	opEnqueue walOp = "enq"
 	opAck     walOp = "ack"
+	// opDead marks a message that exhausted its delivery attempts: like
+	// an ack it is never redelivered, but replay rebuilds it into the
+	// dead-letter list instead of dropping it, so Stats().DeadLettered
+	// and DeadLetters() survive a restart.
+	opDead walOp = "dead"
 )
 
 type walEntry struct {
@@ -29,18 +44,37 @@ type wal struct {
 }
 
 // openWAL opens (creating if needed) the log and returns its replayed
-// entries. A trailing partial line (torn write) is tolerated and ignored.
+// entries. A trailing partial line (torn write) is truncated away, not
+// just skipped: appending after a tolerated partial line would fuse the
+// next entry into it, and the fused unparseable line would end replay
+// early on the following boot, silently dropping everything after it.
+// An entry whose group commit never completed also never reported
+// success to its producer, so cutting it loses nothing acknowledged.
 func openWAL(path string) (*wal, []walEntry, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mq: open wal: %w", err)
 	}
+	fail := func(op string, err error) (*wal, []walEntry, error) {
+		f.Close()
+		return nil, nil, fmt.Errorf("mq: %s wal: %w", op, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fail("stat", err)
+	}
+	size := fi.Size()
 	var entries []walEntry
+	// validEnd is the byte offset just past the last complete,
+	// parseable, newline-terminated entry — where appends resume.
+	var validEnd int64
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for sc.Scan() {
 		line := sc.Bytes()
+		lineLen := int64(len(line)) + 1
 		if len(line) == 0 {
+			validEnd += lineLen
 			continue
 		}
 		var e walEntry
@@ -48,16 +82,28 @@ func openWAL(path string) (*wal, []walEntry, error) {
 			// Torn final write after a crash: stop replaying here.
 			break
 		}
+		if validEnd+lineLen > size {
+			// Parseable but missing its newline: the write was cut
+			// between the payload and the terminator — still torn.
+			break
+		}
 		entries = append(entries, e)
+		validEnd += lineLen
 	}
 	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("mq: read wal: %w", err)
+		return fail("read", err)
 	}
-	// Position at end for appends.
-	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("mq: seek wal: %w", err)
+	if validEnd < size {
+		if err := f.Truncate(validEnd); err != nil {
+			return fail("truncate", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fail("sync", err)
+		}
+	}
+	// Position at the end of the valid prefix for appends.
+	if _, err := f.Seek(validEnd, 0); err != nil {
+		return fail("seek", err)
 	}
 	return &wal{f: f}, entries, nil
 }

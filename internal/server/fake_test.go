@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"iter"
+	"sync"
+	"time"
+
+	neogeo "repro"
+)
+
+// fakeSystem scripts the System surface so handler tests can pin
+// operational states the real pipeline reaches only under failure —
+// dead-lettered messages, wedged queues, checkpoint errors — and record
+// what the background loops invoked.
+type fakeSystem struct {
+	mu         sync.Mutex
+	stats      neogeo.Stats
+	submitErr  error
+	askErr     error
+	ckptErr    error
+	ckptSeq    uint64
+	ckptCalls  int
+	decayCalls int
+	drainCalls int
+}
+
+func (f *fakeSystem) Submit(ctx context.Context, body, source string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.submitErr != nil {
+		return 0, f.submitErr
+	}
+	return 1, nil
+}
+
+func (f *fakeSystem) Ask(ctx context.Context, question, source string) (*neogeo.Answer, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.askErr != nil {
+		return nil, f.askErr
+	}
+	return &neogeo.Answer{Text: "ok"}, nil
+}
+
+func (f *fakeSystem) Stats() neogeo.Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+func (f *fakeSystem) Drain(ctx context.Context, limit int) iter.Seq2[*neogeo.Outcome, error] {
+	f.mu.Lock()
+	f.drainCalls++
+	f.mu.Unlock()
+	return func(yield func(*neogeo.Outcome, error) bool) {}
+}
+
+func (f *fakeSystem) Checkpoint(ctx context.Context) (neogeo.CheckpointInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ckptErr != nil {
+		return neogeo.CheckpointInfo{}, f.ckptErr
+	}
+	f.ckptCalls++
+	f.ckptSeq++
+	return neogeo.CheckpointInfo{Seq: f.ckptSeq, Bytes: 128}, nil
+}
+
+func (f *fakeSystem) CheckpointInterval() time.Duration { return 0 }
+
+func (f *fakeSystem) Decay(now time.Time, floor float64) (int, int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.decayCalls++
+	return 1, 0, nil
+}
+
+func (f *fakeSystem) counts() (ckpt, decay, drain int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ckptCalls, f.decayCalls, f.drainCalls
+}

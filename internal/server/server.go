@@ -8,14 +8,18 @@
 //
 // Endpoints (see docs/API.md for the full contract):
 //
-//	POST /v1/messages  submit a contribution for asynchronous integration
-//	POST /v1/ask       answer a question synchronously
-//	GET  /v1/stats     store, shard and queue statistics
-//	GET  /healthz      liveness + queue health
+//	POST /v1/messages    submit a contribution for asynchronous integration
+//	POST /v1/ask         answer a question synchronously
+//	POST /v1/checkpoint  write one durable checkpoint now (admin)
+//	GET  /v1/stats       store, shard, queue and durability statistics
+//	GET  /healthz        liveness + queue/durability health
 //
 // Submitted messages are integrated by a background drain loop (Run)
 // that periodically drains the queue through the concurrent pipeline via
-// the facade's streaming iterator.
+// the facade's streaming iterator. Run also hosts the durability loop —
+// periodic checkpoints of the integrated store when the system was built
+// with a data directory — and an optional certainty-decay loop ageing
+// stored records.
 package server
 
 import (
@@ -23,23 +27,56 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"iter"
 	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	neogeo "repro"
 )
 
+// System is the slice of the neogeo facade the server drives;
+// *neogeo.System implements it. It is an interface so handler tests can
+// pin rare operational states — dead-lettered messages, stalled queues,
+// checkpoint failures — without forcing the real pipeline into them.
+type System interface {
+	Submit(ctx context.Context, body, source string) (int64, error)
+	Ask(ctx context.Context, question, source string) (*neogeo.Answer, error)
+	Stats() neogeo.Stats
+	Drain(ctx context.Context, limit int) iter.Seq2[*neogeo.Outcome, error]
+	Checkpoint(ctx context.Context) (neogeo.CheckpointInfo, error)
+	CheckpointInterval() time.Duration
+	Decay(now time.Time, floor float64) (decayed, deleted int, err error)
+}
+
 // Server serves a neogeo System over HTTP.
 type Server struct {
-	sys           *neogeo.System
+	sys           System
 	drainInterval time.Duration
 	drainBatch    int
-	logf          func(format string, args ...any)
+	// ckptInterval is the periodic-checkpoint cadence (0: none). It
+	// defaults to what the system was built with (WithCheckpointInterval
+	// on the facade) and can be overridden per server.
+	ckptInterval time.Duration
+	// decayInterval/decayFloor run the certainty-ageing loop (0: off).
+	decayInterval time.Duration
+	decayFloor    float64
+	// stallAfter is how long the queue may hold pending messages without
+	// any acknowledgement progress before /healthz degrades.
+	stallAfter time.Duration
+	logf       func(format string, args ...any)
 	// routes is the path -> method -> handler table, built once in New;
 	// everything off it is a JSON 404/405.
 	routes map[string]map[string]http.HandlerFunc
+
+	// progressMu guards the drain-progress watermark behind the
+	// stalled-queue health signal.
+	progressMu     sync.Mutex
+	progressSeen   bool
+	progressCount  int
+	progressMarkAt time.Time
 }
 
 // Option configures a Server.
@@ -57,47 +94,110 @@ func WithDrainBatch(n int) Option {
 	return func(s *Server) { s.drainBatch = n }
 }
 
-// WithLogger routes the server's diagnostics (drain errors) to logf
-// (default log.Printf).
+// WithCheckpointInterval overrides the periodic-checkpoint cadence Run
+// uses (default: the system's own CheckpointInterval; 0 disables the
+// loop, leaving only POST /v1/checkpoint and shutdown checkpoints).
+func WithCheckpointInterval(d time.Duration) Option {
+	return func(s *Server) { s.ckptInterval = d }
+}
+
+// WithDecayInterval makes Run age stored certainties every d
+// (default 0: no decay loop).
+func WithDecayInterval(d time.Duration) Option {
+	return func(s *Server) { s.decayInterval = d }
+}
+
+// WithDecayFloor sets the certainty below which a decayed record is
+// deleted (default 0.05).
+func WithDecayFloor(f float64) Option {
+	return func(s *Server) { s.decayFloor = f }
+}
+
+// WithStallAfter sets how long pending messages may sit without any
+// acknowledgement progress before /healthz reports the queue stalled
+// (default 5s, floored at 10 drain intervals).
+func WithStallAfter(d time.Duration) Option {
+	return func(s *Server) { s.stallAfter = d }
+}
+
+// WithLogger routes the server's diagnostics (drain/checkpoint/decay
+// errors, masked 500 causes) to logf (default log.Printf).
 func WithLogger(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
 
 // New wires a server around a built system.
-func New(sys *neogeo.System, opts ...Option) *Server {
+func New(sys System, opts ...Option) *Server {
 	s := &Server{
 		sys:           sys,
 		drainInterval: 250 * time.Millisecond,
+		ckptInterval:  sys.CheckpointInterval(),
+		decayFloor:    0.05,
+		stallAfter:    5 * time.Second,
 		logf:          log.Printf,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if min := 10 * s.drainInterval; s.stallAfter < min {
+		s.stallAfter = min
+	}
 	s.routes = map[string]map[string]http.HandlerFunc{
-		"/v1/messages": {http.MethodPost: s.handleSubmit},
-		"/v1/ask":      {http.MethodPost: s.handleAsk},
-		"/v1/stats":    {http.MethodGet: s.handleStats},
-		"/healthz":     {http.MethodGet: s.handleHealthz},
+		"/v1/messages":   {http.MethodPost: s.handleSubmit},
+		"/v1/ask":        {http.MethodPost: s.handleAsk},
+		"/v1/checkpoint": {http.MethodPost: s.handleCheckpoint},
+		"/v1/stats":      {http.MethodGet: s.handleStats},
+		"/healthz":       {http.MethodGet: s.handleHealthz},
 	}
 	return s
 }
 
-// Run drains the queue through the concurrent pipeline every drain
-// interval until ctx is cancelled — the background half of the serving
-// layer, integrating what POST /v1/messages enqueued. It returns when
-// ctx is done and the in-flight drain pass has wound down.
+// Run is the serving layer's background half: it drains the queue
+// through the concurrent pipeline every drain interval (integrating
+// what POST /v1/messages enqueued), checkpoints the store every
+// checkpoint interval when durability is configured, and ages record
+// certainties every decay interval when enabled. It returns when ctx is
+// done and the in-flight pass has wound down; the final shutdown
+// checkpoint is the daemon's, ordered after Run returns and before the
+// queue WAL closes.
 func (s *Server) Run(ctx context.Context) {
-	ticker := time.NewTicker(s.drainInterval)
-	defer ticker.Stop()
+	drain := time.NewTicker(s.drainInterval)
+	defer drain.Stop()
+	var ckptC, decayC <-chan time.Time
+	if s.ckptInterval > 0 {
+		t := time.NewTicker(s.ckptInterval)
+		defer t.Stop()
+		ckptC = t.C
+	}
+	if s.decayInterval > 0 {
+		t := time.NewTicker(s.decayInterval)
+		defer t.Stop()
+		decayC = t.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-drain.C:
 			for _, err := range s.sys.Drain(ctx, s.drainBatch) {
 				if err != nil {
 					s.logf("server: drain: %v", err)
 				}
+			}
+		case <-ckptC:
+			if info, err := s.sys.Checkpoint(ctx); err != nil {
+				if ctx.Err() == nil {
+					s.logf("server: checkpoint: %v", err)
+				}
+			} else {
+				s.logf("server: checkpoint %d written (%d bytes)", info.Seq, info.Bytes)
+			}
+		case <-decayC:
+			decayed, deleted, err := s.sys.Decay(time.Now(), s.decayFloor)
+			if err != nil {
+				s.logf("server: decay: %v", err)
+			} else if decayed+deleted > 0 {
+				s.logf("server: decay: %d records aged, %d dropped below %.2f", decayed, deleted, s.decayFloor)
 			}
 		}
 	}
@@ -110,7 +210,7 @@ func (s *Server) Run(ctx context.Context) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	byMethod, ok := s.routes[r.URL.Path]
 	if !ok {
-		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint: %s", r.URL.Path), nil)
+		s.writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint: %s", r.URL.Path), nil)
 		return
 	}
 	h, ok := byMethod[r.Method]
@@ -120,7 +220,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			allowed = append(allowed, m)
 		}
 		w.Header().Set("Allow", strings.Join(allowed, ", "))
-		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
 			fmt.Sprintf("%s does not accept %s", r.URL.Path, r.Method), nil)
 		return
 	}
@@ -141,23 +241,23 @@ type submitResponse struct {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Text) == "" {
-		writeError(w, http.StatusUnprocessableEntity, "empty_message", "text must not be empty", nil)
+		s.writeError(w, http.StatusUnprocessableEntity, "empty_message", "text must not be empty", nil)
 		return
 	}
 	id, err := s.sys.Submit(r.Context(), req.Text, req.Source)
 	if err != nil {
 		if errors.Is(err, neogeo.ErrQueueClosed) {
-			writeError(w, http.StatusServiceUnavailable, "queue_closed", "the system is shutting down", nil)
+			s.writeError(w, http.StatusServiceUnavailable, "queue_closed", "the system is shutting down", nil)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+		s.internalError(w, "submit", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Status: "queued"})
+	s.writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Status: "queued"})
 }
 
 // askRequest is the POST /v1/ask body.
@@ -193,18 +293,18 @@ type locationJSON struct {
 
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var req askRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Question) == "" {
-		writeError(w, http.StatusUnprocessableEntity, "empty_question", "question must not be empty", nil)
+		s.writeError(w, http.StatusUnprocessableEntity, "empty_question", "question must not be empty", nil)
 		return
 	}
 	ans, err := s.sys.Ask(r.Context(), req.Question, req.Source)
 	if err != nil {
 		var naq *neogeo.NotAQuestionError
 		if errors.As(err, &naq) {
-			writeError(w, http.StatusUnprocessableEntity, "not_a_question",
+			s.writeError(w, http.StatusUnprocessableEntity, "not_a_question",
 				"the message was classified as a contribution, not a question; submit it to /v1/messages instead",
 				map[string]any{
 					"type":        string(naq.Type),
@@ -212,7 +312,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 				})
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+		s.internalError(w, "ask", err)
 		return
 	}
 	resp := askResponse{Answer: answerJSON{Text: ans.Text, Query: ans.Query, Results: []resultJSON{}}}
@@ -223,7 +323,28 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Answer.Results = append(resp.Answer.Results, rj)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// checkpointResponse acknowledges an admin-triggered checkpoint.
+type checkpointResponse struct {
+	Seq    uint64 `json:"seq"`
+	Bytes  int64  `json:"bytes"`
+	Status string `json:"status"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	info, err := s.sys.Checkpoint(r.Context())
+	if err != nil {
+		if errors.Is(err, neogeo.ErrNoDataDir) {
+			s.writeError(w, http.StatusUnprocessableEntity, "checkpoint_unconfigured",
+				"the system has no data directory; start it with -data-dir to enable checkpoints", nil)
+			return
+		}
+		s.internalError(w, "checkpoint", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, checkpointResponse{Seq: info.Seq, Bytes: info.Bytes, Status: "written"})
 }
 
 // statsResponse is the GET /v1/stats body.
@@ -232,6 +353,7 @@ type statsResponse struct {
 	Queue       queueJSON      `json:"queue"`
 	Collections map[string]int `json:"collections"`
 	Shards      shardsJSON     `json:"shards"`
+	Checkpoint  checkpointJSON `json:"checkpoint"`
 }
 
 type gazetteerJSON struct {
@@ -240,10 +362,11 @@ type gazetteerJSON struct {
 }
 
 type queueJSON struct {
-	Pending      int `json:"pending"`
-	InFlight     int `json:"in_flight"`
-	Acked        int `json:"acked"`
-	DeadLettered int `json:"dead_lettered"`
+	Pending         int `json:"pending"`
+	InFlight        int `json:"in_flight"`
+	Acked           int `json:"acked"`
+	DeadLettered    int `json:"dead_lettered"`
+	WALAppendErrors int `json:"wal_append_errors"`
 }
 
 type shardsJSON struct {
@@ -251,30 +374,109 @@ type shardsJSON struct {
 	Records []int `json:"records"`
 }
 
+// checkpointJSON is the durability snapshot: whether checkpointing is
+// configured, how many images this process wrote, and the newest
+// image's identity and age (null until one exists).
+type checkpointJSON struct {
+	Enabled        bool     `json:"enabled"`
+	Count          int      `json:"count"`
+	LastSeq        uint64   `json:"last_seq"`
+	LastBytes      int64    `json:"last_bytes"`
+	LastAgeSeconds *float64 `json:"last_age_seconds"`
+}
+
+func checkpointBody(st neogeo.CheckpointStats) checkpointJSON {
+	out := checkpointJSON{
+		Enabled:   st.Enabled,
+		Count:     st.Count,
+		LastSeq:   st.LastSeq,
+		LastBytes: st.LastBytes,
+	}
+	if st.LastSeq > 0 {
+		age := st.LastAge.Seconds()
+		out.LastAgeSeconds = &age
+	}
+	return out
+}
+
+func queueBody(st neogeo.QueueStats) queueJSON {
+	return queueJSON{
+		Pending:         st.Pending,
+		InFlight:        st.InFlight,
+		Acked:           st.Acked,
+		DeadLettered:    st.DeadLettered,
+		WALAppendErrors: st.WALAppendErrors,
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	s.writeJSON(w, http.StatusOK, statsResponse{
 		Gazetteer:   gazetteerJSON{Entries: st.GazetteerEntries, Names: st.GazetteerNames},
-		Queue:       queueJSON{Pending: st.Queue.Pending, InFlight: st.Queue.InFlight, Acked: st.Queue.Acked, DeadLettered: st.Queue.DeadLettered},
+		Queue:       queueBody(st.Queue),
 		Collections: st.Collections,
 		Shards:      shardsJSON{Count: st.Shards, Records: st.ShardRecords},
+		Checkpoint:  checkpointBody(st.Checkpoint),
 	})
 }
 
-// healthResponse is the GET /healthz body: liveness plus the two signals
-// an operator watches — queue health and shard balance.
+// healthResponse is the GET /healthz body: liveness plus the signals an
+// orchestrator acts on — queue health, shard balance, durability state,
+// and the reasons behind a degraded status.
 type healthResponse struct {
-	Status string    `json:"status"`
-	Queue  queueJSON `json:"queue"`
-	Shards []int     `json:"shards"`
+	Status     string         `json:"status"`
+	Reasons    []string       `json:"reasons,omitempty"`
+	Queue      queueJSON      `json:"queue"`
+	Shards     []int          `json:"shards"`
+	Checkpoint checkpointJSON `json:"checkpoint"`
+}
+
+// health decides the service's status from a stats snapshot: degraded
+// when messages have dead-lettered (contributions were dropped), when
+// the queue-WAL diverged on the dead-letter path, or when pending
+// messages have sat without any acknowledgement progress for longer
+// than the stall window (the drain loop is wedged or not running).
+func (s *Server) health(st neogeo.Stats, now time.Time) (status string, reasons []string) {
+	s.progressMu.Lock()
+	progress := st.Queue.Acked + st.Queue.DeadLettered
+	if !s.progressSeen || progress != s.progressCount || st.Queue.Pending == 0 {
+		s.progressSeen = true
+		s.progressCount = progress
+		s.progressMarkAt = now
+	}
+	stalled := st.Queue.Pending > 0 && now.Sub(s.progressMarkAt) >= s.stallAfter
+	s.progressMu.Unlock()
+
+	if st.Queue.DeadLettered > 0 {
+		reasons = append(reasons, "dead_letters")
+	}
+	if st.Queue.WALAppendErrors > 0 {
+		reasons = append(reasons, "wal_append_errors")
+	}
+	if stalled {
+		reasons = append(reasons, "queue_stalled")
+	}
+	if len(reasons) > 0 {
+		return "degraded", reasons
+	}
+	return "ok", nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Stats()
-	writeJSON(w, http.StatusOK, healthResponse{
-		Status: "ok",
-		Queue:  queueJSON{Pending: st.Queue.Pending, InFlight: st.Queue.InFlight, Acked: st.Queue.Acked, DeadLettered: st.Queue.DeadLettered},
-		Shards: st.ShardRecords,
+	status, reasons := s.health(st, time.Now())
+	code := http.StatusOK
+	if status != "ok" {
+		// 503 so orchestrators keying on the status code act without
+		// parsing the body.
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, healthResponse{
+		Status:     status,
+		Reasons:    reasons,
+		Queue:      queueBody(st.Queue),
+		Shards:     st.ShardRecords,
+		Checkpoint: checkpointBody(st.Checkpoint),
 	})
 }
 
@@ -291,25 +493,37 @@ type errorBody struct {
 	Detail map[string]any `json:"detail,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, status int, code, message string, detail map[string]any) {
-	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: message, Detail: detail}})
+// internalError logs the real failure and serves a generic envelope:
+// internal error strings name pipeline paths and shard layouts, which
+// belong in the operator's log, not on the wire.
+func (s *Server) internalError(w http.ResponseWriter, op string, err error) {
+	s.logf("server: %s: %v", op, err)
+	s.writeError(w, http.StatusInternalServerError, "internal", "internal error", nil)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeError(w http.ResponseWriter, status int, code, message string, detail map[string]any) {
+	s.writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: message, Detail: detail}})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is gone; all that's left is to record why the
+		// body broke off (usually the client hanging up mid-response).
+		s.logf("server: writing response: %v", err)
+	}
 }
 
 // decodeJSON reads a JSON body strictly (unknown fields rejected, at most
 // 1 MiB), writing a 400 and returning false on failure.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("malformed JSON body: %v", err), nil)
+		s.writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("malformed JSON body: %v", err), nil)
 		return false
 	}
 	return true

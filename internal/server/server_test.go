@@ -159,6 +159,8 @@ func TestErrorMapping(t *testing.T) {
 		{"ask with GET", http.MethodGet, "/v1/ask", "", http.StatusMethodNotAllowed, "method_not_allowed"},
 		{"messages with DELETE", http.MethodDelete, "/v1/messages", "", http.StatusMethodNotAllowed, "method_not_allowed"},
 		{"stats with POST", http.MethodPost, "/v1/stats", "{}", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"checkpoint with GET", http.MethodGet, "/v1/checkpoint", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"checkpoint without data dir", http.MethodPost, "/v1/checkpoint", "", http.StatusUnprocessableEntity, "checkpoint_unconfigured"},
 		{"malformed submit body", http.MethodPost, "/v1/messages", "{not json", http.StatusBadRequest, "bad_request"},
 		{"unknown submit field", http.MethodPost, "/v1/messages", `{"txt":"hi"}`, http.StatusBadRequest, "bad_request"},
 		{"empty submit text", http.MethodPost, "/v1/messages", `{"text":"  ","source":"a"}`, http.StatusUnprocessableEntity, "empty_message"},

@@ -60,6 +60,15 @@ import (
 	"repro/internal/uncertain"
 )
 
+// CheckpointInfo describes one written checkpoint.
+type CheckpointInfo struct {
+	// Seq is the checkpoint's monotonic sequence number within the data
+	// directory.
+	Seq uint64
+	// Bytes is the checkpoint file's size.
+	Bytes int64
+}
+
 // System is the assembled neogeography pipeline behind the facade. All
 // methods are safe for concurrent use.
 type System struct {
@@ -136,23 +145,58 @@ func (s *System) Ask(ctx context.Context, question, source string) (*Answer, err
 	return publicAnswer(ans), nil
 }
 
-// Stats returns a snapshot of the system's stores and queue health.
+// Stats returns a snapshot of the system's stores, queue health and
+// durability state.
 func (s *System) Stats() Stats {
 	st := s.sys.Stats()
 	q := s.sys.Queue.Stats()
+	ck := s.sys.CheckpointStats()
 	return Stats{
 		GazetteerEntries: st.GazetteerEntries,
 		GazetteerNames:   st.GazetteerNames,
 		Queue: QueueStats{
-			Pending:      q.Pending,
-			InFlight:     q.InFlight,
-			Acked:        q.Acked,
-			DeadLettered: q.DeadLettered,
+			Pending:         q.Pending,
+			InFlight:        q.InFlight,
+			Acked:           q.Acked,
+			DeadLettered:    q.DeadLettered,
+			WALAppendErrors: q.WALAppendErrors,
 		},
 		Collections:  st.Collections,
 		Shards:       st.Shards,
 		ShardRecords: st.ShardRecords,
+		Checkpoint: CheckpointStats{
+			Enabled:   ck.Enabled,
+			Count:     ck.Count,
+			LastSeq:   ck.LastSeq,
+			LastBytes: ck.LastBytes,
+			LastAge:   ck.LastAge,
+		},
 	}
+}
+
+// Checkpoint writes one durable image of the integrated store to the
+// data directory (WithDataDir) and returns what was written. The write
+// is atomic and fsynced; on the next construction against the same
+// directory the newest valid checkpoint is restored before the queue
+// WAL replays, so a crash between checkpoints loses nothing that was
+// acknowledged — those messages re-integrate idempotently. Without a
+// data directory it fails with ErrNoDataDir.
+func (s *System) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
+	info, err := s.sys.Checkpoint(ctx)
+	if err != nil {
+		if errors.Is(err, core.ErrNoDataDir) {
+			return CheckpointInfo{}, ErrNoDataDir
+		}
+		return CheckpointInfo{}, err
+	}
+	return CheckpointInfo{Seq: info.Seq, Bytes: info.Size}, nil
+}
+
+// CheckpointInterval returns the cadence configured with
+// WithCheckpointInterval (0: none) — the serving layer's background
+// checkpoint loop reads it off the built system.
+func (s *System) CheckpointInterval() time.Duration {
+	return s.sys.CheckpointInterval()
 }
 
 // Snapshot writes a consistent image of the (possibly sharded)

@@ -35,6 +35,30 @@ func WithQueueWAL(path string) Option {
 	return func(s *settings) { s.core.QueueWAL = path }
 }
 
+// WithDataDir makes the integrated store durable: checkpoints of the
+// (possibly sharded) probabilistic database are written to dir as an
+// atomic, fsynced, rotated file set, and construction restores the
+// newest valid checkpoint before the queue WAL replays. Combined with
+// WithQueueWAL this makes the system crash-safe — every acknowledged
+// contribution is either inside the restored image or replayed into it.
+func WithDataDir(dir string) Option {
+	return func(s *settings) { s.core.DataDir = dir }
+}
+
+// WithCheckpointInterval sets the cadence the serving layer's
+// background loop checkpoints the store at (default 0: only explicit
+// Checkpoint calls write images). Meaningful only with WithDataDir.
+func WithCheckpointInterval(d time.Duration) Option {
+	return func(s *settings) { s.core.CheckpointInterval = d }
+}
+
+// WithCheckpointRetain keeps the newest n checkpoint files after each
+// write (default 3) — enough history to survive a corrupt newest image
+// without unbounded disk growth.
+func WithCheckpointRetain(n int) Option {
+	return func(s *settings) { s.core.CheckpointRetain = n }
+}
+
 // WithWorkers sets the concurrency of the stream-processing pipeline:
 // Drain runs classification and extraction on this many goroutines while
 // per-shard integration lanes serialize database writes. 0 (the default)

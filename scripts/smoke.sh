@@ -1,28 +1,51 @@
 #!/usr/bin/env sh
-# End-to-end HTTP smoke test: build neogeod, start it, submit one report
-# and one question over the API, and assert the answer names the hotel
-# the report was about. Exercises the full submit -> background drain ->
-# ask -> stats path a deployment depends on.
+# End-to-end HTTP smoke test: build neogeod, start it durable (-wal +
+# -data-dir), submit one report and one question over the API, and
+# assert the answer names the hotel the report was about. Then the
+# crash-recovery leg: checkpoint over the admin endpoint, submit one
+# more report (acknowledged after the checkpoint), SIGKILL the daemon,
+# restart it against the same WAL and data directory, and assert the
+# pre-crash knowledge — both the checkpointed and the replayed half —
+# still answers. Exercises the full submit -> background drain -> ask ->
+# stats -> checkpoint -> crash -> recover path a deployment depends on.
 set -eu
 
 ADDR="127.0.0.1:${SMOKE_PORT:-8765}"
 BASE="http://$ADDR"
 BIN="$(mktemp -d)/neogeod"
-WAL="$(mktemp -d)/queue.wal"
+STATE="$(mktemp -d)"
+WAL="$STATE/queue.wal"
+DATA="$STATE/data"
 
 go build -o "$BIN" ./cmd/neogeod
 
-"$BIN" -addr "$ADDR" -wal "$WAL" -shards 2 -drain-interval 50ms &
-PID=$!
-trap 'kill "$PID" 2>/dev/null || true' EXIT
+start_daemon() {
+  "$BIN" -addr "$ADDR" -wal "$WAL" -data-dir "$DATA" -shards 2 -drain-interval 50ms &
+  PID=$!
+}
 
-# Wait for the daemon to come up.
-i=0
-until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
-  i=$((i + 1))
-  [ "$i" -lt 100 ] || { echo "neogeod never became healthy" >&2; exit 1; }
-  sleep 0.1
-done
+wait_healthy() {
+  i=0
+  until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "neogeod never became healthy" >&2; exit 1; }
+    sleep 0.1
+  done
+}
+
+wait_hotels() {
+  want=$1
+  i=0
+  until curl -fsS "$BASE/v1/stats" | grep -q "\"Hotels\": $want"; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "report never integrated:" >&2; curl -fsS "$BASE/v1/stats" >&2; exit 1; }
+    sleep 0.1
+  done
+}
+
+start_daemon
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+wait_healthy
 
 echo "== submit one report"
 SUBMIT=$(curl -fsS -X POST "$BASE/v1/messages" \
@@ -32,12 +55,7 @@ echo "$SUBMIT"
 echo "$SUBMIT" | grep -q '"status": "queued"' || { echo "submit not acknowledged" >&2; exit 1; }
 
 echo "== wait for the drain loop to integrate it"
-i=0
-until curl -fsS "$BASE/v1/stats" | grep -q '"Hotels": 1'; do
-  i=$((i + 1))
-  [ "$i" -lt 100 ] || { echo "report never integrated:" >&2; curl -fsS "$BASE/v1/stats" >&2; exit 1; }
-  sleep 0.1
-done
+wait_hotels 1
 curl -fsS "$BASE/v1/stats"
 
 echo "== ask the question"
@@ -47,4 +65,36 @@ ANSWER=$(curl -fsS -X POST "$BASE/v1/ask" \
 echo "$ANSWER"
 echo "$ANSWER" | grep -qi "axel hotel" || { echo "answer does not name the reported hotel" >&2; exit 1; }
 
-echo "== smoke OK"
+echo "== checkpoint over the admin endpoint"
+CKPT=$(curl -fsS -X POST "$BASE/v1/checkpoint")
+echo "$CKPT"
+echo "$CKPT" | grep -q '"status": "written"' || { echo "checkpoint not written" >&2; exit 1; }
+
+echo "== submit a second report, acknowledged after the checkpoint"
+curl -fsS -X POST "$BASE/v1/messages" \
+  -H 'Content-Type: application/json' \
+  -d '{"text":"very impressed by the Movenpick Hotel in Berlin, well done","source":"carol"}' >/dev/null
+wait_hotels 2
+
+echo "== SIGKILL the daemon (no graceful shutdown, no final checkpoint)"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+echo "== restart against the same WAL and data directory"
+start_daemon
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+wait_healthy
+
+echo "== the checkpointed report and the WAL-replayed one both recovered"
+wait_hotels 2
+curl -fsS "$BASE/v1/stats"
+curl -fsS "$BASE/v1/stats" | grep -q '"enabled": true' || { echo "durability not reported in stats" >&2; exit 1; }
+
+ANSWER=$(curl -fsS -X POST "$BASE/v1/ask" \
+  -H 'Content-Type: application/json' \
+  -d '{"question":"can anyone recommend a good hotel in Berlin?","source":"bob"}')
+echo "$ANSWER"
+echo "$ANSWER" | grep -qi "axel hotel" || { echo "checkpointed knowledge lost after crash" >&2; exit 1; }
+echo "$ANSWER" | grep -qi "movenpick" || { echo "WAL-replayed knowledge lost after crash" >&2; exit 1; }
+
+echo "== smoke OK (including crash recovery)"

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/coordinator"
 	"repro/internal/extract"
+	"repro/internal/integrate"
 	"repro/internal/pxml"
 	"repro/internal/qa"
 	"repro/internal/xmldb"
@@ -99,6 +100,10 @@ type Stats struct {
 	ShardRecords []int
 	// Checkpoint is the durability subsystem's state.
 	Checkpoint CheckpointStats
+	// Feedback is the user-feedback subsystem's counters.
+	Feedback FeedbackStats
+	// Decay is the certainty-ageing totals.
+	Decay DecayStats
 }
 
 // CheckpointStats is the durability subsystem's health snapshot: is
@@ -176,7 +181,10 @@ func publicResult(r xmldb.Result) Result {
 		res.Location = &Location{Lat: r.Record.Location.Lat, Lon: r.Record.Location.Lon}
 	}
 	for _, c := range r.Record.Doc.Children {
-		if c.Tag == "" {
+		// Structural fields and provenance metadata stay out of the
+		// public field map: the source trace names contributing users,
+		// which belongs to the feedback machinery, not to answers.
+		if c.Tag == "" || c.Tag == integrate.SourceTraceField {
 			continue
 		}
 		v := c.TextContent()
@@ -189,8 +197,26 @@ func publicResult(r xmldb.Result) Result {
 			res.Fields[c.Tag] = v
 		}
 	}
-	if s, err := pxml.Marshal(r.Record.Doc); err == nil {
+	if s, err := pxml.Marshal(withoutSourceTrace(r.Record.Doc)); err == nil {
 		res.XML = s
 	}
 	return res
+}
+
+// withoutSourceTrace strips the provenance element from a document
+// before it is marshalled for display — the trace names contributing
+// users and must not leak through the XML any more than through the
+// field map. The stored document is never mutated.
+func withoutSourceTrace(doc *pxml.Node) *pxml.Node {
+	if n, _ := doc.FirstChild(integrate.SourceTraceField); n == nil {
+		return doc
+	}
+	clean := doc.Clone()
+	for i, c := range clean.Children {
+		if c.Tag == integrate.SourceTraceField {
+			clean.Children = append(clean.Children[:i], clean.Children[i+1:]...)
+			break
+		}
+	}
+	return clean
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disambig"
 	"repro/internal/extract"
+	"repro/internal/feedback"
 	"repro/internal/gazetteer"
 	"repro/internal/geo"
 	"repro/internal/integrate"
@@ -835,5 +836,112 @@ func BenchmarkDrainSharded(b *testing.B) {
 			}
 			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "msgs/sec")
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E13: the feedback loop. BenchmarkFeedbackApply prices the new write
+// path that is not message integration — verdict validation, durable
+// ledger sequencing and the per-shard batched apply (certainty + trust
+// + reinforcement) — across shard layouts. BenchmarkMixedAskFeedback
+// drains the mixed serving workload the loop creates in production:
+// questions answered while verdicts about earlier answers apply.
+
+// benchFeedbackSystem builds a drained store of n records and returns
+// the system plus every record ID (feedback targets).
+func benchFeedbackSystem(b *testing.B, shards, n int) (*core.System, []int64) {
+	b.Helper()
+	g, _ := benchFixtures(b)
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 99, Noise: 0.4, Domain: tweetgen.DomainMixed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.New(core.Config{Gazetteer: g, Workers: 4, Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range gen.Generate(n) {
+		if _, err := sys.Submit(m.Text, m.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, errs := sys.ProcessConcurrent(context.Background(), 0); len(errs) != 0 {
+		b.Fatalf("drain errors: %v", errs[0])
+	}
+	var ids []int64
+	for _, coll := range sys.Store.Collections() {
+		sys.Store.Each(coll, func(rec *xmldb.Record) bool {
+			ids = append(ids, rec.ID)
+			return true
+		})
+	}
+	if len(ids) == 0 {
+		b.Fatal("no records to give feedback about")
+	}
+	return sys, ids
+}
+
+func BenchmarkFeedbackApply(b *testing.B) {
+	kinds := []feedback.Kind{feedback.KindConfirm, feedback.KindConfirm, feedback.KindReject}
+	for _, nShards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
+			sys, ids := benchFeedbackSystem(b, nShards, 256)
+			defer sys.Close()
+			b.ResetTimer()
+			applied := 0
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.SubmitFeedback(feedback.Verdict{
+					RecordID: ids[i%len(ids)],
+					Kind:     kinds[i%len(kinds)],
+					Source:   fmt.Sprintf("judge%d", i%13),
+				}); err != nil {
+					b.Fatal(err)
+				}
+				applied++
+				if i%64 == 63 {
+					sys.FlushFeedback()
+				}
+			}
+			sys.FlushFeedback()
+			b.ReportMetric(float64(applied)/b.Elapsed().Seconds(), "verdicts/sec")
+		})
+	}
+}
+
+func BenchmarkMixedAskFeedbackDrain(b *testing.B) {
+	questions := []string{
+		"can anyone recommend a good hotel in Berlin?",
+		"any good hotels near Paris?",
+		"is the road to the airport open?",
+	}
+	sys, ids := benchFeedbackSystem(b, 4, 256)
+	defer sys.Close()
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 7, Noise: 0.4, Domain: tweetgen.DomainMixed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := gen.Generate(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One serving beat: a fresh contribution drains, a question is
+		// answered, a verdict arrives and the buffered batch applies.
+		m := stream[i%len(stream)]
+		if _, err := sys.Submit(m.Text, m.Source); err != nil {
+			b.Fatal(err)
+		}
+		if _, errs := sys.ProcessConcurrent(context.Background(), 0); len(errs) != 0 {
+			b.Fatalf("drain errors: %v", errs[0])
+		}
+		if _, err := sys.Ask(questions[i%len(questions)], "asker"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.SubmitFeedback(feedback.Verdict{
+			RecordID: ids[i%len(ids)],
+			Kind:     feedback.KindConfirm,
+			Source:   fmt.Sprintf("fan%d", i%7),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		sys.FlushFeedback()
 	}
 }

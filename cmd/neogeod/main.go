@@ -44,6 +44,7 @@ func main() {
 		shards     = flag.Int("shards", 1, "probabilistic store shard count")
 		workers    = flag.Int("workers", 0, "pipeline worker-pool width (0 = GOMAXPROCS)")
 		interval   = flag.Duration("drain-interval", 250*time.Millisecond, "background drain period")
+		fbBatch    = flag.Int("feedback-batch", 16, "per-shard verdict count that triggers an immediate feedback apply (buffered verdicts also flush every drain interval)")
 		decayEvery = flag.Duration("decay-interval", 0, "certainty-decay period (0: decay off)")
 		decayFloor = flag.Float64("decay-floor", 0.05, "certainty below which a decayed record is deleted")
 	)
@@ -63,6 +64,7 @@ func main() {
 		neogeo.WithCheckpointRetain(*ckptRetain),
 		neogeo.WithShards(*shards),
 		neogeo.WithWorkers(*workers),
+		neogeo.WithFeedbackBatch(*fbBatch),
 	)
 	if err != nil {
 		log.Fatalf("building system: %v", err)
@@ -105,6 +107,12 @@ func main() {
 		if err != nil {
 			log.Printf("final drain: %v", err)
 		}
+	}
+	// Apply any feedback still buffered so the shutdown checkpoint
+	// covers every accepted verdict (the ledger would replay them
+	// anyway, but a clean stop should leave nothing to replay).
+	if _, err := sys.FlushFeedback(context.Background()); err != nil {
+		log.Printf("final feedback flush: %v", err)
 	}
 	// Final checkpoint, ordered after the drain wound down (the image
 	// covers everything integrated) and before Close releases the WAL:

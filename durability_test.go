@@ -188,7 +188,11 @@ func TestCrashRecoveryMergesReplayedDuplicate(t *testing.T) {
 	report := crashMessages[0]
 	control := buildDurable(t, "", "")
 	defer control.Close()
-	submitAndDrain(t, control, []string{report, report})
+	// Two separate passes so the control's sources match the crashed
+	// run's (submitAndDrain numbers sources per call): the recovered
+	// record's provenance trace must equal the control's byte for byte.
+	submitAndDrain(t, control, []string{report})
+	submitAndDrain(t, control, []string{report})
 
 	dir := t.TempDir()
 	dataDir, wal := filepath.Join(dir, "data"), filepath.Join(dir, "queue.wal")

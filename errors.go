@@ -21,6 +21,19 @@ var (
 	// ErrNoDataDir reports a Checkpoint on a system built without
 	// WithDataDir: there is nowhere durable to write the image.
 	ErrNoDataDir = errors.New("neogeo: no data directory configured")
+
+	// ErrUnknownRecord reports Feedback about a record ID that was never
+	// allocated — the reference is bogus.
+	ErrUnknownRecord = errors.New("neogeo: unknown record")
+
+	// ErrStaleAnswer reports Feedback about a record that existed when
+	// its answer was generated but has since been deleted (certainty
+	// decay): the answer is stale, ask again.
+	ErrStaleAnswer = errors.New("neogeo: answer is stale")
+
+	// ErrInvalidFeedback reports a malformed Feedback verdict (unknown
+	// verdict, correction without a replacement, partial location).
+	ErrInvalidFeedback = errors.New("neogeo: invalid feedback")
 )
 
 // NotAQuestionError is the concrete error behind ErrNotAQuestion: what

@@ -1,0 +1,330 @@
+package neogeo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/gazetteer"
+	"repro/internal/geo"
+	"repro/internal/pxml"
+)
+
+// TestFeedbackAPI exercises the facade's feedback surface: a verdict on
+// an answer result is accepted, applies on flush, and re-ranks the
+// answer; bad references fail with the typed sentinels.
+func TestFeedbackAPI(t *testing.T) {
+	sys, err := New(WithGazetteerNames(300), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+
+	// Two one-report hotels in the same city tie on certainty; the
+	// earlier record ID ranks first.
+	for _, m := range []string{
+		"wonderful stay at the Hotel Kilo in Berlin, lovely place",
+		"wonderful stay at the Hotel Lima in Berlin, lovely place",
+	} {
+		if _, err := sys.Ingest(ctx, m, "reporter"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	question := "can anyone recommend a good hotel in Berlin?"
+	before, err := sys.Ask(ctx, question, "asker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Results) < 2 {
+		t.Fatalf("want 2 ranked results, got %d", len(before.Results))
+	}
+	if got := before.Results[0].Fields["Hotel_Name"]; got != "Hotel Kilo" {
+		t.Fatalf("pre-feedback leader = %q, want Hotel Kilo", got)
+	}
+
+	receipt, err := sys.Feedback(ctx, Feedback{RecordID: before.Results[0].ID, Verdict: VerdictReject, Source: "critic"})
+	if err != nil {
+		t.Fatalf("Feedback: %v", err)
+	}
+	if receipt.Seq != 1 {
+		t.Errorf("receipt seq = %d, want 1", receipt.Seq)
+	}
+	if n, err := sys.FlushFeedback(ctx); err != nil || n != 1 {
+		t.Fatalf("FlushFeedback = (%d, %v), want (1, nil)", n, err)
+	}
+
+	after, err := sys.Ask(ctx, question, "asker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := after.Results[0].Fields["Hotel_Name"]; got != "Hotel Lima" {
+		t.Errorf("post-reject leader = %q, want Hotel Lima (answer: %s)", got, after.Text)
+	}
+
+	st := sys.Stats()
+	if st.Feedback.Accepted != 1 || st.Feedback.Applied != 1 || st.Feedback.Rejected != 1 {
+		t.Errorf("feedback stats = %+v", st.Feedback)
+	}
+
+	// Typed errors.
+	if _, err := sys.Feedback(ctx, Feedback{RecordID: 999_999, Verdict: VerdictConfirm}); !errors.Is(err, ErrUnknownRecord) {
+		t.Errorf("unknown record: err = %v", err)
+	}
+	if _, err := sys.Feedback(ctx, Feedback{RecordID: before.Results[0].ID, Verdict: "praise"}); !errors.Is(err, ErrInvalidFeedback) {
+		t.Errorf("bad verdict: err = %v", err)
+	}
+}
+
+// TestFeedbackCrashRecoveryEquivalence is the pinned differential: a
+// run that takes feedback, checkpoints in between, takes more feedback
+// and then dies without warning (SIGKILL equivalent) must restart into
+// a system that answers identically to one that never crashed. The
+// pre-checkpoint confirm rides inside the image (covered by the
+// feedback watermark, never re-applied); the post-checkpoint reject
+// replays from the ledger exactly once.
+func TestFeedbackCrashRecoveryEquivalence(t *testing.T) {
+	ctx := context.Background()
+	run := func(sys *System) {
+		t.Helper()
+		submitAndDrain(t, sys, crashMessages)
+		ans, err := sys.Ask(ctx, crashQuestion, "asker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ans.Results) < 2 {
+			t.Fatalf("want 2+ results, got %d", len(ans.Results))
+		}
+		if _, err := sys.Feedback(ctx, Feedback{RecordID: ans.Results[1].ID, Verdict: VerdictConfirm, Source: "fan"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.FlushFeedback(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reject := func(sys *System) {
+		t.Helper()
+		ans, err := sys.Ask(ctx, crashQuestion, "asker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Feedback(ctx, Feedback{RecordID: ans.Results[0].ID, Verdict: VerdictReject, Source: "critic"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.FlushFeedback(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	control := buildDurable(t, "", "")
+	defer control.Close()
+	run(control)
+	reject(control)
+
+	dir := t.TempDir()
+	dataDir, wal := filepath.Join(dir, "data"), filepath.Join(dir, "queue.wal")
+	crashed := buildDurable(t, dataDir, wal)
+	run(crashed)
+	if _, err := crashed.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	reject(crashed)
+	// SIGKILL: no Close, no final checkpoint.
+
+	recovered := buildDurable(t, dataDir, wal)
+	defer recovered.Close()
+	st := recovered.Stats()
+	if st.Feedback.Replayed != 1 || st.Feedback.Pending != 1 {
+		t.Fatalf("recovery feedback stats = %+v, want exactly the post-checkpoint reject replayed", st.Feedback)
+	}
+	if n, err := recovered.FlushFeedback(ctx); err != nil || n != 1 {
+		t.Fatalf("replay flush = (%d, %v), want (1, nil)", n, err)
+	}
+	askEqual(t, control, recovered)
+
+	// Exactly once: flushing again applies nothing.
+	if n, _ := recovered.FlushFeedback(ctx); n != 0 {
+		t.Errorf("second flush re-applied %d verdicts", n)
+	}
+}
+
+// TestFeedbackReplayWaitsForWALReplay: feedback about a record whose
+// message was acknowledged after the last checkpoint defers at boot
+// until the queue WAL re-integrates the record, then applies — the
+// recovered system converges to the uninterrupted one.
+func TestFeedbackReplayWaitsForWALReplay(t *testing.T) {
+	ctx := context.Background()
+	control := buildDurable(t, "", "")
+	defer control.Close()
+
+	dir := t.TempDir()
+	dataDir, wal := filepath.Join(dir, "data"), filepath.Join(dir, "queue.wal")
+	crashed := buildDurable(t, dataDir, wal)
+
+	for _, sys := range []*System{control, crashed} {
+		submitAndDrain(t, sys, crashMessages)
+		ans, err := sys.Ask(ctx, crashQuestion, "asker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Feedback(ctx, Feedback{RecordID: ans.Results[0].ID, Verdict: VerdictReject, Source: "critic"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.FlushFeedback(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// SIGKILL with no checkpoint at all: every record must rebuild from
+	// the WAL, and the reject must wait for its record to come back.
+
+	recovered := buildDurable(t, dataDir, wal)
+	defer recovered.Close()
+	// Before the drain, the record does not exist: the replayed verdict
+	// defers rather than dropping.
+	if n, _ := recovered.FlushFeedback(ctx); n != 0 {
+		t.Fatalf("flush before WAL replay applied %d verdicts", n)
+	}
+	if st := recovered.Stats(); st.Feedback.Deferred != 1 {
+		t.Fatalf("feedback stats before drain = %+v, want 1 deferred", st.Feedback)
+	}
+	submitAndDrain(t, recovered, nil) // drain the WAL-replayed messages
+	if n, _ := recovered.FlushFeedback(ctx); n != 1 {
+		t.Fatalf("flush after WAL replay applied %d verdicts, want 1", n)
+	}
+	askEqual(t, control, recovered)
+}
+
+// countryP reads the probability of one named country alternative out
+// of a ranked result's probabilistic document.
+func countryP(t *testing.T, r Result, country string) float64 {
+	t.Helper()
+	doc, err := pxml.Unmarshal(r.XML)
+	if err != nil {
+		t.Fatalf("unmarshal result XML: %v", err)
+	}
+	n, _ := doc.FirstChild("Country")
+	if n == nil {
+		t.Fatalf("result %d has no Country distribution: %s", r.ID, r.XML)
+	}
+	return extract.MuxToDist(n).P(country)
+}
+
+// interpretationCountry names the country of the gazetteer reference a
+// record resolved to — the "which Paris" behind the record's location.
+func interpretationCountry(t *testing.T, sys *System, name string, loc *Location) string {
+	t.Helper()
+	if loc == nil {
+		t.Fatalf("record for %q has no resolved location", name)
+	}
+	entries := sys.sys.Gaz.Lookup(name)
+	if len(entries) < 2 {
+		t.Fatalf("%q is not ambiguous in this gazetteer (%d refs)", name, len(entries))
+	}
+	best := entries[0]
+	bestD := best.Location.DistanceMeters(geo.Point{Lat: loc.Lat, Lon: loc.Lon})
+	for _, e := range entries[1:] {
+		if d := e.Location.DistanceMeters(geo.Point{Lat: loc.Lat, Lon: loc.Lon}); d < bestD {
+			best, bestD = e, d
+		}
+	}
+	if c, ok := gazetteer.CountryByCode(best.Country); ok {
+		return c.Name
+	}
+	return best.Country
+}
+
+// resultByHotel finds the ranked result for one hotel.
+func resultByHotel(t *testing.T, ans *Answer, name string) Result {
+	t.Helper()
+	for _, r := range ans.Results {
+		if r.Fields["Hotel_Name"] == name {
+			return r
+		}
+	}
+	t.Fatalf("no result for %q in answer %q", name, ans.Text)
+	return Result{}
+}
+
+// TestFeedbackReinforcementLoop pins the end-to-end acceptance
+// criterion: after N confirmations of one gazetteer interpretation, a
+// freshly submitted ambiguous message resolves to that interpretation
+// with higher certainty than before the feedback — and the effect
+// survives checkpoint + SIGKILL-equivalent recovery.
+func TestFeedbackReinforcementLoop(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	dataDir, wal := filepath.Join(dir, "data"), filepath.Join(dir, "queue.wal")
+	sys := buildDurable(t, dataDir, wal)
+
+	// "Paris" is the paper's worked ambiguity: 62 gazetteer references.
+	submitAndDrain(t, sys, []string{"wonderful stay at the Hotel Meridian in Paris, lovely place"})
+	question := "can anyone recommend a good hotel in Paris?"
+	ans, err := sys.Ask(ctx, question, "asker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := resultByHotel(t, ans, "Hotel Meridian")
+	// The interpretation under test is the specific gazetteer reference
+	// the pipeline resolved "Paris" to; its certainty is that country's
+	// probability in the record's Country distribution.
+	country := interpretationCountry(t, sys, "Paris", seed.Location)
+	before := countryP(t, seed, country)
+	if before <= 0 || before >= 1 {
+		t.Fatalf("baseline P(%s) = %v leaves no room to rise", country, before)
+	}
+
+	// N users confirm the answer — each confirm reinforces the record's
+	// resolved interpretation of "Paris".
+	const confirmations = 5
+	for i := 0; i < confirmations; i++ {
+		if _, err := sys.Feedback(ctx, Feedback{RecordID: seed.ID, Verdict: VerdictConfirm, Source: fmt.Sprintf("fan%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := sys.FlushFeedback(ctx); err != nil || n != confirmations {
+		t.Fatalf("flush = (%d, %v), want (%d, nil)", n, err, confirmations)
+	}
+
+	// A fresh ambiguous message now resolves the same way, more firmly.
+	submitAndDrain(t, sys, []string{"wonderful stay at the Hotel Solstice in Paris, lovely place"})
+	ans, err = sys.Ask(ctx, question, "asker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := resultByHotel(t, ans, "Hotel Solstice")
+	if probe.Location == nil || seed.Location == nil || *probe.Location != *seed.Location {
+		t.Fatalf("fresh message resolved to %v, want the confirmed interpretation at %v", probe.Location, seed.Location)
+	}
+	after := countryP(t, probe, country)
+	if after <= before {
+		t.Fatalf("P(%s) after %d confirmations = %v, want > baseline %v", country, confirmations, after, before)
+	}
+
+	// The reinforcement survives checkpoint + crash: a message submitted
+	// to the recovered process still resolves with the boost.
+	if _, err := sys.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL: no Close.
+	recovered := buildDurable(t, dataDir, wal)
+	defer recovered.Close()
+	submitAndDrain(t, recovered, []string{"wonderful stay at the Hotel Equinox in Paris, lovely place"})
+	ans, err = recovered.Ask(ctx, question, "asker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered2 := resultByHotel(t, ans, "Hotel Equinox")
+	if recovered2.Location == nil || *recovered2.Location != *seed.Location {
+		t.Errorf("recovered system resolved to %v, want the confirmed interpretation at %v", recovered2.Location, seed.Location)
+	}
+	if recP := countryP(t, recovered2, country); recP <= before {
+		t.Errorf("after recovery P(%s) = %v, want > pre-feedback %v", country, recP, before)
+	}
+	if !strings.Contains(ans.Text, "Hotel") {
+		t.Errorf("uninformative recovered answer: %s", ans.Text)
+	}
+}

@@ -11,10 +11,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/coordinator"
+	"repro/internal/disambig"
 	"repro/internal/extract"
+	"repro/internal/feedback"
 	"repro/internal/gazetteer"
 	"repro/internal/integrate"
 	"repro/internal/kb"
@@ -78,6 +82,10 @@ type Config struct {
 	// IntegrateBatch caps how many messages a pipeline integration lane
 	// folds into one amortized database batch (default 16).
 	IntegrateBatch int
+	// FeedbackBatch is the per-shard verdict count that triggers an
+	// automatic feedback apply (default 16); the serving layer's loop
+	// also flushes whatever is buffered every drain interval.
+	FeedbackBatch int
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
 }
@@ -109,12 +117,31 @@ type System struct {
 	// Persist is the durability subsystem's checkpoint manager, nil
 	// without a data directory.
 	Persist *persist.Manager
-	clock   func() time.Time
+	// Priors is the disambiguation reinforcement memory shared by the
+	// extraction resolver and the feedback engine.
+	Priors *disambig.Priors
+	// Feedback is the user-feedback engine: verdicts on answer results
+	// route to their record's home shard and apply in batches.
+	Feedback *feedback.Engine
+	clock    func() time.Time
 	// workers is the configured pipeline width (0 = GOMAXPROCS).
 	workers int
 	// ckptInterval is the configured checkpoint cadence the serving
 	// layer reads.
 	ckptInterval time.Duration
+	// decayMu guards the cumulative decay counters.
+	decayMu    sync.Mutex
+	decayStats DecayStats
+}
+
+// DecayStats accumulates the certainty-ageing totals across explicit
+// and loop-driven decay runs.
+type DecayStats struct {
+	// Runs counts DecayAll invocations.
+	Runs int64
+	// Decayed and Deleted total the records aged and dropped.
+	Decayed int64
+	Deleted int64
 }
 
 // New builds a system.
@@ -142,6 +169,7 @@ func New(cfg Config) (*System, error) {
 	s.Ont = ontology.New()
 	s.Ont.LoadContainment(s.Gaz)
 	s.KB = kb.New()
+	s.Priors = disambig.NewPriors()
 
 	shards := cfg.Shards
 	if shards < 1 {
@@ -165,8 +193,12 @@ func New(cfg Config) (*System, error) {
 	// Durability: restore the newest valid checkpoint into the store
 	// BEFORE the queue WAL replays, so messages acknowledged after the
 	// image (its recorded LSN) re-enter the queue and re-integrate into
-	// the restored state instead of an empty one.
+	// the restored state instead of an empty one. The composite image
+	// carries the learned auxiliary state too — source trust, the
+	// disambiguation priors, and the feedback engine's applied watermark
+	// — so none of it silently resets to defaults on restart.
 	var recoveredLSN int64
+	var recoveredFB recoveredFeedback
 	if cfg.DataDir != "" {
 		popts := []persist.Option{persist.WithClock(s.clock)}
 		if cfg.CheckpointRetain > 0 {
@@ -176,7 +208,12 @@ func New(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: opening data directory: %w", err)
 		}
-		info, err := s.Persist.Recover(s.Store)
+		info, err := s.Persist.Recover(image{
+			store:     s.Store,
+			trust:     s.KB.Trust(),
+			priors:    s.Priors,
+			recovered: &recoveredFB,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: recovering checkpoint: %w", err)
 		}
@@ -185,6 +222,44 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 	s.ckptInterval = cfg.CheckpointInterval
+
+	// The feedback ledger replays independently of the queue WAL:
+	// verdicts accepted after the restored image's watermark are parked
+	// and re-applied once their records exist again (deferring past the
+	// WAL replay that re-integrates them).
+	var ledger feedback.Ledger
+	var replay []feedback.Entry
+	if cfg.DataDir != "" {
+		ledger, replay, err = feedback.OpenFileLedger(filepath.Join(cfg.DataDir, "feedback.log"))
+		if err != nil {
+			return nil, fmt.Errorf("core: opening feedback ledger: %w", err)
+		}
+	} else {
+		ledger = feedback.NewMemLedger()
+	}
+	// Any construction failure past this point must release the ledger's
+	// file handle (Close on a built System does it via the engine).
+	built := false
+	defer func() {
+		if !built {
+			_ = ledger.Close()
+		}
+	}()
+	s.Feedback, err = feedback.NewEngine(feedback.Config{
+		Store:       s.Store,
+		KB:          s.KB,
+		Gaz:         s.Gaz,
+		Priors:      s.Priors,
+		Ledger:      ledger,
+		Batch:       cfg.FeedbackBatch,
+		Clock:       s.clock,
+		AppliedSeq:  recoveredFB.seq,
+		AppliedDone: recoveredFB.done,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building feedback engine: %w", err)
+	}
+	s.Feedback.Park(replay)
 
 	if cfg.QueueWAL != "" {
 		qopts := []mq.Option{mq.WithClock(s.clock)}
@@ -201,6 +276,10 @@ func New(cfg Config) (*System, error) {
 	if s.IE, err = extract.NewService(s.KB, s.Gaz, s.Ont); err != nil {
 		return nil, err
 	}
+	// Close the loop: the extraction resolver consults the reinforcement
+	// priors the feedback engine feeds, so confirmed interpretations
+	// change how future ambiguous mentions resolve.
+	s.IE.Resolver().Priors = s.Priors
 	if s.Integrator, err = shard.NewIntegrator(s.KB, s.Store); err != nil {
 		return nil, err
 	}
@@ -218,12 +297,17 @@ func New(cfg Config) (*System, error) {
 	if cfg.Clock != nil {
 		s.MC.SetClock(cfg.Clock)
 	}
+	built = true
 	return s, nil
 }
 
-// Close releases resources (the queue WAL).
+// Close releases resources (the queue WAL and the feedback ledger).
 func (s *System) Close() error {
-	return s.Queue.Close()
+	err := s.Queue.Close()
+	if ferr := s.Feedback.Close(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
 // Submit enqueues a raw user message for asynchronous processing.
@@ -293,7 +377,8 @@ func (s *System) Ask(question, source string) (*qa.Answer, error) {
 }
 
 // DecayAll applies temporal certainty decay to every collection on every
-// shard, dropping records below floor.
+// shard, dropping records below floor, and accumulates the totals the
+// stats endpoint reports.
 func (s *System) DecayAll(now time.Time, floor uncertain.CF) (decayed, deleted int, err error) {
 	for i, di := range s.DIs {
 		for _, coll := range s.Store.Shard(i).Collections() {
@@ -305,7 +390,40 @@ func (s *System) DecayAll(now time.Time, floor uncertain.CF) (decayed, deleted i
 			deleted += x
 		}
 	}
+	s.decayMu.Lock()
+	s.decayStats.Runs++
+	s.decayStats.Decayed += int64(decayed)
+	s.decayStats.Deleted += int64(deleted)
+	s.decayMu.Unlock()
 	return decayed, deleted, nil
+}
+
+// DecayStats returns the cumulative certainty-ageing totals.
+func (s *System) DecayStats() DecayStats {
+	s.decayMu.Lock()
+	defer s.decayMu.Unlock()
+	return s.decayStats
+}
+
+// SubmitFeedback validates a user verdict about an answer result,
+// appends it durably to the feedback ledger and buffers it on its
+// record's home-shard lane; the apply happens asynchronously in batches
+// (FlushFeedback, or automatically once a lane holds a full batch). The
+// returned sequence number identifies the verdict in the ledger.
+func (s *System) SubmitFeedback(v feedback.Verdict) (int64, error) {
+	return s.Feedback.Submit(v)
+}
+
+// FlushFeedback applies every buffered verdict — one amortized database
+// batch per home shard, shards in parallel — and returns how many were
+// applied. The serving layer calls it from its background loop.
+func (s *System) FlushFeedback() int {
+	return s.Feedback.Flush()
+}
+
+// FeedbackStats returns the feedback engine's counters.
+func (s *System) FeedbackStats() feedback.Stats {
+	return s.Feedback.Stats()
 }
 
 // Stats is a system snapshot.
@@ -320,6 +438,10 @@ type Stats struct {
 	// record count per shard (the balance benchmarks report).
 	Shards       int
 	ShardRecords []int
+	// Feedback is the user-feedback engine's counters.
+	Feedback feedback.Stats
+	// Decay is the cumulative certainty-ageing totals.
+	Decay DecayStats
 }
 
 // Stats returns a snapshot of the system's stores.
@@ -332,6 +454,8 @@ func (s *System) Stats() Stats {
 		Collections:      make(map[string]int),
 		Shards:           s.Store.NumShards(),
 		ShardRecords:     s.Store.Balance(),
+		Feedback:         s.Feedback.Stats(),
+		Decay:            s.DecayStats(),
 	}
 	for _, c := range s.Store.Collections() {
 		st.Collections[c] = s.Store.Len(c)
@@ -353,7 +477,13 @@ func (s *System) Checkpoint(ctx context.Context) (persist.Info, error) {
 	if err := ctx.Err(); err != nil {
 		return persist.Info{}, err
 	}
-	return s.Persist.Checkpoint(s.Store, s.Queue.LSN())
+	return s.Persist.Checkpoint(s.image(), s.Queue.LSN())
+}
+
+// image assembles the composite durable state: store bytes plus the
+// learned auxiliary state (trust, priors, feedback watermark).
+func (s *System) image() image {
+	return image{store: s.Store, trust: s.KB.Trust(), priors: s.Priors, eng: s.Feedback}
 }
 
 // CheckpointInterval returns the configured periodic-checkpoint cadence
@@ -391,23 +521,24 @@ func (s *System) CheckpointStats() CheckpointStats {
 	return out
 }
 
-// Snapshot writes an image of the (possibly sharded) probabilistic
-// spatial XML database to w; Restore replaces the database contents from
-// a snapshot. Together with the message queue's WAL this covers the
-// system's durable state — the gazetteer, ontology and KB are rebuilt
-// from configuration. The stream holds one length-prefixed section per
-// shard, each internally consistent; writes racing a multi-shard
-// snapshot can land in a later section only, so quiesce the drain first
-// for a point-in-time image of the whole store. Restore validates that
-// the snapshot's shard count matches this system's before touching any
-// shard (a single-store system also accepts the previous release's bare
-// snapshot format).
+// Snapshot writes a composite image of the system's durable state to w:
+// the (possibly sharded) probabilistic spatial XML database plus the
+// learned auxiliary state — source trust, disambiguation priors and the
+// feedback watermark. Together with the message queue's WAL and the
+// feedback ledger this covers everything a restart must not lose; the
+// gazetteer, ontology and KB schemas are rebuilt from configuration.
+// Store shards snapshot one at a time, so writes racing a multi-shard
+// snapshot can land in a later section only — quiesce the drain first
+// for a point-in-time image of the whole store (feedback applies are
+// excluded automatically for the duration).
 func (s *System) Snapshot(w io.Writer) error {
-	return s.Store.Snapshot(w)
+	return s.image().Snapshot(w)
 }
 
-// Restore replaces the database contents with a snapshot produced by
-// Snapshot. On error the database is unchanged.
+// Restore replaces the database contents and learned state with a
+// snapshot produced by Snapshot (a legacy bare store snapshot is also
+// accepted; it resets the learned state, which such images never
+// carried). On error the database is unchanged.
 func (s *System) Restore(r io.Reader) error {
-	return s.Store.Restore(r)
+	return s.image().Restore(r)
 }

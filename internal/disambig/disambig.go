@@ -69,6 +69,10 @@ type Resolver struct {
 	// CoherenceRadiusMeters is the distance at which co-toponym support
 	// halves (default 300 km).
 	CoherenceRadiusMeters float64
+	// Priors is the reinforcement memory learned from user feedback;
+	// nil disables the learned boost. Set once at construction — the
+	// Priors value itself is internally synchronised.
+	Priors *Priors
 }
 
 // NewResolver returns a resolver with default parameters.
@@ -115,6 +119,12 @@ func (r *Resolver) resolveEntries(name string, entries []*gazetteer.Entry, ctx C
 		score := r.prior(e, ctx)
 		if !priorOnly {
 			score *= r.contextBoost(e, ctx)
+			// Reinforcement from confirmed feedback: interpretations users
+			// have validated outrank equally plausible ones. Excluded from
+			// the prior-only ablation baseline along with all context.
+			if r.Priors != nil {
+				score *= r.Priors.Boost(name, e.ID)
+			}
 		}
 		key := strconv.FormatInt(e.ID, 10)
 		byKey[key] = e

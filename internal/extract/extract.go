@@ -54,6 +54,10 @@ func NewService(k *kb.KB, g *gazetteer.Gazetteer, o *ontology.Ontology) (*Servic
 	}, nil
 }
 
+// Resolver exposes the geographic disambiguation resolver so the system
+// can attach shared state (the feedback-learned Priors) at construction.
+func (s *Service) Resolver() *disambig.Resolver { return s.resolver }
+
 // MessageType is the IE service's first decision per message.
 type MessageType string
 

@@ -1,0 +1,132 @@
+// Package feedback closes the paper's loop: it accepts human verdicts
+// on query-answer results and feeds them back into the probabilistic
+// store at traffic scale. The paper frames the system as a cycle —
+// ill-behaved streams are extracted, disambiguated and integrated under
+// uncertainty, and "user feedback on query answers" is the mechanism
+// that drives that uncertainty down over time. The forward half of the
+// cycle is the message pipeline; this package is the backward half, a
+// write path that is not message integration:
+//
+//   - a Verdict (confirm / reject / correct) references a record ID
+//     exposed by an answer;
+//   - accepted verdicts land in an append-only, replayable Ledger
+//     (durable under the system's data directory) and are buffered per
+//     home shard — the strided record-ID scheme makes the shard
+//     recoverable from the ID alone, so no routing table is needed;
+//   - an asynchronous batched apply folds each shard's buffered
+//     verdicts into one amortized database batch, mirroring the
+//     integration lanes: Bayesian certainty update on the record
+//     (uncertain.Combine), reliability updates on the record's traced
+//     sources (uncertain.TrustModel), and a reinforcement signal into
+//     the disambiguation priors (disambig.Priors) so repeated
+//     confirmations of one gazetteer interpretation change how future
+//     messages resolve.
+//
+// Durability: each store checkpoint records the engine's applied
+// watermark; on recovery, ledger entries above the watermark are parked
+// and re-applied once their records exist again (WAL-replayed messages
+// re-integrate under their original IDs), giving exactly-once apply
+// across crashes. Verdicts interleaved *between* contributions about
+// the same record are re-ordered after them on recovery — quiesce the
+// drain before checkpointing when strict interleaving matters, the same
+// caveat the store snapshot carries.
+package feedback
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Kind is the verdict type a user can return about an answer result.
+type Kind string
+
+// Verdict kinds.
+const (
+	// KindConfirm corroborates the record: its certainty rises, its
+	// contributing sources gain reliability, and its resolved gazetteer
+	// interpretation is reinforced for future disambiguation.
+	KindConfirm Kind = "confirm"
+	// KindReject disputes the record: certainty falls and contributing
+	// sources lose reliability.
+	KindReject Kind = "reject"
+	// KindCorrect replaces a field value or the record's location; the
+	// contributing sources are contradicted on the corrected field while
+	// the record itself gains mild support (the corrector affirms the
+	// entity exists).
+	KindCorrect Kind = "correct"
+)
+
+// Verdict is one user's judgement of one answer result.
+type Verdict struct {
+	// RecordID is the record the answer exposed (Result.ID).
+	RecordID int64 `json:"record_id"`
+	// Kind is the judgement.
+	Kind Kind `json:"kind"`
+	// Field and Value carry a correction's replacement field value.
+	Field string `json:"field,omitempty"`
+	Value string `json:"value,omitempty"`
+	// Lat/Lon carry a correction's replacement location.
+	Lat *float64 `json:"lat,omitempty"`
+	Lon *float64 `json:"lon,omitempty"`
+	// Source identifies the user giving feedback; their current
+	// reliability weights the evidence their verdict contributes.
+	Source string `json:"source,omitempty"`
+}
+
+// Entry is one accepted verdict in the ledger, ordered by Seq.
+type Entry struct {
+	Seq     int64     `json:"seq"`
+	At      time.Time `json:"at"`
+	Verdict Verdict   `json:"verdict"`
+	// Key fingerprints the record the verdict was accepted against (its
+	// entity-key text). Replay re-checks it: if crash recovery
+	// re-integrated messages in a different order and the ID now names a
+	// different record, the verdict is dropped instead of silently
+	// applied to the wrong entity.
+	Key string `json:"key,omitempty"`
+}
+
+// Typed failure conditions callers branch on with errors.Is.
+var (
+	// ErrUnknownRecord reports a verdict about a record ID that was
+	// never allocated — the caller's reference is bogus.
+	ErrUnknownRecord = errors.New("feedback: unknown record ID")
+	// ErrStaleAnswer reports a verdict about a record that existed when
+	// the answer was generated but has since been deleted (certainty
+	// decay, correction): the answer is stale, ask again.
+	ErrStaleAnswer = errors.New("feedback: answer is stale, record no longer exists")
+	// ErrInvalidVerdict reports a verdict whose kind or payload is
+	// malformed (unknown kind, correction without a replacement).
+	ErrInvalidVerdict = errors.New("feedback: invalid verdict")
+)
+
+// validateShape checks the verdict's payload against its kind (the
+// record-existence half of validation lives in the engine, which owns
+// the store).
+func validateShape(v Verdict) error {
+	switch v.Kind {
+	case KindConfirm, KindReject:
+		if v.Field != "" || v.Value != "" || v.Lat != nil || v.Lon != nil {
+			return fmt.Errorf("%w: %s carries a correction payload", ErrInvalidVerdict, v.Kind)
+		}
+	case KindCorrect:
+		hasField := v.Field != ""
+		hasLoc := v.Lat != nil || v.Lon != nil
+		if !hasField && !hasLoc {
+			return fmt.Errorf("%w: correct needs a field value or a location", ErrInvalidVerdict)
+		}
+		if hasField && v.Value == "" {
+			return fmt.Errorf("%w: correct of field %q has no replacement value", ErrInvalidVerdict, v.Field)
+		}
+		if (v.Lat == nil) != (v.Lon == nil) {
+			return fmt.Errorf("%w: correct carries a partial location", ErrInvalidVerdict)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %q", ErrInvalidVerdict, v.Kind)
+	}
+	if v.RecordID < 1 {
+		return fmt.Errorf("%w: record ID %d", ErrUnknownRecord, v.RecordID)
+	}
+	return nil
+}

@@ -16,7 +16,9 @@ package integrate
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/extract"
@@ -274,6 +276,7 @@ func (s *Service) insert(st Store, domain kb.Domain, tpl extract.Template) (*Res
 		return nil, err
 	}
 	setObservedAt(doc, tpl.Extracted)
+	addSourceTrace(doc, tpl.Source)
 	cf := uncertain.Attenuate(tpl.Certainty, s.kb.Trust().Reliability(tpl.Source))
 	rec, err := st.Insert(domain.Collection, doc, cf, tpl.Location)
 	if err != nil {
@@ -424,6 +427,7 @@ func (s *Service) merge(st Store, domain kb.Domain, rec *xmldb.Record, tpl extra
 	if incomingNewer {
 		setObservedAt(doc, tpl.Extracted)
 	}
+	addSourceTrace(doc, tpl.Source)
 
 	// A nil location leaves the stored one untouched (xmldb semantics).
 	if err := st.Update(domain.Collection, rec.ID, doc, newCF, tpl.Location); err != nil {
@@ -503,6 +507,60 @@ func setObservedAt(doc *pxml.Node, t time.Time) {
 		return
 	}
 	doc.Add(pxml.ElemText(observedAtField, stamp))
+}
+
+// SourceTraceField is the document element recording which sources
+// contributed evidence to the record — the per-record provenance the
+// feedback subsystem needs to credit or blame the right users when a
+// human verdict arrives about an answer. Stored as a comma-joined
+// sorted set, capped so a viral entity cannot grow its record without
+// bound.
+const SourceTraceField = "Source_Trace"
+
+// maxTraceSources caps the per-record provenance set.
+const maxTraceSources = 16
+
+// addSourceTrace folds one contributing source into the document's
+// provenance set.
+func addSourceTrace(doc *pxml.Node, source string) {
+	source = strings.TrimSpace(source)
+	if source == "" {
+		return
+	}
+	existing := TraceSources(doc)
+	for _, s := range existing {
+		if s == source {
+			return
+		}
+	}
+	if len(existing) >= maxTraceSources {
+		return
+	}
+	existing = append(existing, source)
+	sort.Strings(existing)
+	joined := strings.Join(existing, ",")
+	if n, _ := doc.FirstChild(SourceTraceField); n != nil {
+		n.Children = []*pxml.Node{pxml.Text(joined)}
+		return
+	}
+	doc.Add(pxml.ElemText(SourceTraceField, joined))
+}
+
+// TraceSources reads a record's contributing sources (empty for records
+// integrated before provenance stamping existed).
+func TraceSources(doc *pxml.Node) []string {
+	n, _ := doc.FirstChild(SourceTraceField)
+	if n == nil {
+		return nil
+	}
+	raw := strings.Split(n.TextContent(), ",")
+	out := make([]string, 0, len(raw))
+	for _, s := range raw {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // observedAt reads the document's observation time; the zero time when the

@@ -14,15 +14,18 @@ import (
 // dead-lettered messages, wedged queues, checkpoint errors — and record
 // what the background loops invoked.
 type fakeSystem struct {
-	mu         sync.Mutex
-	stats      neogeo.Stats
-	submitErr  error
-	askErr     error
-	ckptErr    error
-	ckptSeq    uint64
-	ckptCalls  int
-	decayCalls int
-	drainCalls int
+	mu          sync.Mutex
+	stats       neogeo.Stats
+	submitErr   error
+	askErr      error
+	ckptErr     error
+	feedbackErr error
+	ckptSeq     uint64
+	ckptCalls   int
+	decayCalls  int
+	drainCalls  int
+	flushCalls  int
+	feedbackSeq int64
 }
 
 func (f *fakeSystem) Submit(ctx context.Context, body, source string) (int64, error) {
@@ -74,6 +77,23 @@ func (f *fakeSystem) Decay(now time.Time, floor float64) (int, int, error) {
 	defer f.mu.Unlock()
 	f.decayCalls++
 	return 1, 0, nil
+}
+
+func (f *fakeSystem) Feedback(ctx context.Context, fb neogeo.Feedback) (neogeo.FeedbackReceipt, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.feedbackErr != nil {
+		return neogeo.FeedbackReceipt{}, f.feedbackErr
+	}
+	f.feedbackSeq++
+	return neogeo.FeedbackReceipt{Seq: f.feedbackSeq}, nil
+}
+
+func (f *fakeSystem) FlushFeedback(ctx context.Context) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flushCalls++
+	return 0, nil
 }
 
 func (f *fakeSystem) counts() (ckpt, decay, drain int) {

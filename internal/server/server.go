@@ -10,13 +10,16 @@
 //
 //	POST /v1/messages    submit a contribution for asynchronous integration
 //	POST /v1/ask         answer a question synchronously
+//	POST /v1/feedback    return a verdict on an answer result
+//	POST /v1/decay       age stored certainties now (admin)
 //	POST /v1/checkpoint  write one durable checkpoint now (admin)
-//	GET  /v1/stats       store, shard, queue and durability statistics
+//	GET  /v1/stats       store, shard, queue, feedback and durability stats
 //	GET  /healthz        liveness + queue/durability health
 //
 // Submitted messages are integrated by a background drain loop (Run)
 // that periodically drains the queue through the concurrent pipeline via
-// the facade's streaming iterator. Run also hosts the durability loop —
+// the facade's streaming iterator; accepted feedback verdicts apply in
+// batches on the same cadence. Run also hosts the durability loop —
 // periodic checkpoints of the integrated store when the system was built
 // with a data directory — and an optional certainty-decay loop ageing
 // stored records.
@@ -49,6 +52,8 @@ type System interface {
 	Checkpoint(ctx context.Context) (neogeo.CheckpointInfo, error)
 	CheckpointInterval() time.Duration
 	Decay(now time.Time, floor float64) (decayed, deleted int, err error)
+	Feedback(ctx context.Context, fb neogeo.Feedback) (neogeo.FeedbackReceipt, error)
+	FlushFeedback(ctx context.Context) (int, error)
 }
 
 // Server serves a neogeo System over HTTP.
@@ -145,6 +150,8 @@ func New(sys System, opts ...Option) *Server {
 	s.routes = map[string]map[string]http.HandlerFunc{
 		"/v1/messages":   {http.MethodPost: s.handleSubmit},
 		"/v1/ask":        {http.MethodPost: s.handleAsk},
+		"/v1/feedback":   {http.MethodPost: s.handleFeedback},
+		"/v1/decay":      {http.MethodPost: s.handleDecay},
 		"/v1/checkpoint": {http.MethodPost: s.handleCheckpoint},
 		"/v1/stats":      {http.MethodGet: s.handleStats},
 		"/healthz":       {http.MethodGet: s.handleHealthz},
@@ -183,6 +190,12 @@ func (s *Server) Run(ctx context.Context) {
 				if err != nil {
 					s.logf("server: drain: %v", err)
 				}
+			}
+			// Apply buffered feedback on the drain cadence, after the
+			// pass: verdicts parked at recovery wait for the drain to
+			// re-integrate their records, so this ordering converges.
+			if _, err := s.sys.FlushFeedback(ctx); err != nil && ctx.Err() == nil {
+				s.logf("server: feedback flush: %v", err)
 			}
 		case <-ckptC:
 			if info, err := s.sys.Checkpoint(ctx); err != nil {
@@ -326,6 +339,95 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// feedbackRequest is the POST /v1/feedback body.
+type feedbackRequest struct {
+	RecordID int64         `json:"record_id"`
+	Verdict  string        `json:"verdict"`
+	Field    string        `json:"field,omitempty"`
+	Value    string        `json:"value,omitempty"`
+	Location *locationJSON `json:"location,omitempty"`
+	Source   string        `json:"source,omitempty"`
+}
+
+// feedbackResponse acknowledges an accepted verdict. Status "accepted"
+// says the verdict is durably logged and will apply within one drain
+// interval; the effects are not yet visible.
+type feedbackResponse struct {
+	Seq    int64  `json:"seq"`
+	Status string `json:"status"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	fb := neogeo.Feedback{
+		RecordID: req.RecordID,
+		Verdict:  neogeo.Verdict(req.Verdict),
+		Field:    req.Field,
+		Value:    req.Value,
+		Source:   req.Source,
+	}
+	if req.Location != nil {
+		fb.Location = &neogeo.Location{Lat: req.Location.Lat, Lon: req.Location.Lon}
+	}
+	receipt, err := s.sys.Feedback(r.Context(), fb)
+	if err != nil {
+		switch {
+		case errors.Is(err, neogeo.ErrInvalidFeedback):
+			s.writeError(w, http.StatusUnprocessableEntity, "invalid_feedback", err.Error(), nil)
+		case errors.Is(err, neogeo.ErrUnknownRecord):
+			s.writeError(w, http.StatusNotFound, "unknown_record",
+				fmt.Sprintf("no record %d exists; feedback must reference a result id from an answer", req.RecordID), nil)
+		case errors.Is(err, neogeo.ErrStaleAnswer):
+			s.writeError(w, http.StatusGone, "stale_answer",
+				fmt.Sprintf("record %d no longer exists (it decayed or was corrected away); ask again for a fresh answer", req.RecordID), nil)
+		default:
+			s.internalError(w, "feedback", err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, feedbackResponse{Seq: receipt.Seq, Status: "accepted"})
+}
+
+// decayRequest is the POST /v1/decay body; an empty body uses the
+// server's configured floor.
+type decayRequest struct {
+	Floor *float64 `json:"floor,omitempty"`
+}
+
+// decayResponse reports one certainty-ageing pass.
+type decayResponse struct {
+	Decayed int     `json:"decayed"`
+	Deleted int     `json:"deleted"`
+	Floor   float64 `json:"floor"`
+}
+
+func (s *Server) handleDecay(w http.ResponseWriter, r *http.Request) {
+	var req decayRequest
+	if r.ContentLength != 0 {
+		if !s.decodeJSON(w, r, &req) {
+			return
+		}
+	}
+	floor := s.decayFloor
+	if req.Floor != nil {
+		floor = *req.Floor
+		if floor < -1 || floor > 1 {
+			s.writeError(w, http.StatusUnprocessableEntity, "invalid_floor",
+				fmt.Sprintf("floor %v outside [-1, 1]", floor), nil)
+			return
+		}
+	}
+	decayed, deleted, err := s.sys.Decay(time.Now(), floor)
+	if err != nil {
+		s.internalError(w, "decay", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, decayResponse{Decayed: decayed, Deleted: deleted, Floor: floor})
+}
+
 // checkpointResponse acknowledges an admin-triggered checkpoint.
 type checkpointResponse struct {
 	Seq    uint64 `json:"seq"`
@@ -354,6 +456,44 @@ type statsResponse struct {
 	Collections map[string]int `json:"collections"`
 	Shards      shardsJSON     `json:"shards"`
 	Checkpoint  checkpointJSON `json:"checkpoint"`
+	Feedback    feedbackJSON   `json:"feedback"`
+	Decay       decayJSON      `json:"decay"`
+}
+
+// feedbackJSON is the feedback subsystem's counters: how many verdicts
+// arrived, how many have applied (by kind), and how many are buffered
+// (deferred = parked by recovery until their record re-integrates).
+type feedbackJSON struct {
+	Accepted     int64 `json:"accepted"`
+	Replayed     int64 `json:"replayed"`
+	Applied      int64 `json:"applied"`
+	Confirmed    int64 `json:"confirmed"`
+	Rejected     int64 `json:"rejected"`
+	Corrected    int64 `json:"corrected"`
+	Pending      int   `json:"pending"`
+	Deferred     int   `json:"deferred"`
+	DroppedStale int64 `json:"dropped_stale"`
+}
+
+// decayJSON is the certainty-ageing totals across loop and admin runs.
+type decayJSON struct {
+	Runs    int64 `json:"runs"`
+	Decayed int64 `json:"decayed"`
+	Deleted int64 `json:"deleted"`
+}
+
+func feedbackBody(st neogeo.FeedbackStats) feedbackJSON {
+	return feedbackJSON{
+		Accepted:     st.Accepted,
+		Replayed:     st.Replayed,
+		Applied:      st.Applied,
+		Confirmed:    st.Confirmed,
+		Rejected:     st.Rejected,
+		Corrected:    st.Corrected,
+		Pending:      st.Pending,
+		Deferred:     st.Deferred,
+		DroppedStale: st.DroppedStale,
+	}
 }
 
 type gazetteerJSON struct {
@@ -417,6 +557,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Collections: st.Collections,
 		Shards:      shardsJSON{Count: st.Shards, Records: st.ShardRecords},
 		Checkpoint:  checkpointBody(st.Checkpoint),
+		Feedback:    feedbackBody(st.Feedback),
+		Decay:       decayJSON{Runs: st.Decay.Runs, Decayed: st.Decay.Decayed, Deleted: st.Decay.Deleted},
 	})
 }
 

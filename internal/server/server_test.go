@@ -167,6 +167,12 @@ func TestErrorMapping(t *testing.T) {
 		{"malformed ask body", http.MethodPost, "/v1/ask", "[", http.StatusBadRequest, "bad_request"},
 		{"empty question", http.MethodPost, "/v1/ask", `{"question":"","source":"a"}`, http.StatusUnprocessableEntity, "empty_question"},
 		{"informative ask", http.MethodPost, "/v1/ask", `{"question":"loved the Axel Hotel in Berlin, great stay","source":"a"}`, http.StatusUnprocessableEntity, "not_a_question"},
+		{"feedback with GET", http.MethodGet, "/v1/feedback", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"malformed feedback body", http.MethodPost, "/v1/feedback", "{oops", http.StatusBadRequest, "bad_request"},
+		{"feedback unknown verdict", http.MethodPost, "/v1/feedback", `{"record_id":1,"verdict":"praise"}`, http.StatusUnprocessableEntity, "invalid_feedback"},
+		{"feedback unknown record", http.MethodPost, "/v1/feedback", `{"record_id":424242,"verdict":"confirm"}`, http.StatusNotFound, "unknown_record"},
+		{"decay with GET", http.MethodGet, "/v1/decay", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"decay floor out of range", http.MethodPost, "/v1/decay", `{"floor": 7}`, http.StatusUnprocessableEntity, "invalid_floor"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -84,6 +84,67 @@ type SourceReport struct {
 	Contradicted float64
 }
 
+// TrustState is the serializable image of a TrustModel: the prior and
+// every tracked source's raw counts. It exists so learned source
+// reliability can ride inside store checkpoints and snapshots instead
+// of silently resetting to the prior on every restart.
+type TrustState struct {
+	Prior   float64                 `json:"prior"`
+	Weight  float64                 `json:"weight"`
+	Sources map[string]SourceCounts `json:"sources,omitempty"`
+}
+
+// SourceCounts is one source's raw confirmation/contradiction tally.
+type SourceCounts struct {
+	Confirmed    float64 `json:"confirmed"`
+	Contradicted float64 `json:"contradicted"`
+}
+
+// ExportState snapshots the model for serialization.
+func (t *TrustModel) ExportState() TrustState {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := TrustState{Prior: t.prior, Weight: t.weight}
+	if len(t.sources) > 0 {
+		st.Sources = make(map[string]SourceCounts, len(t.sources))
+		for name, s := range t.sources {
+			st.Sources[name] = SourceCounts{Confirmed: s.confirmed, Contradicted: s.contradicted}
+		}
+	}
+	return st
+}
+
+// ImportState replaces the model's learned counts with a previously
+// exported image. A zero-valued state (no prior) keeps the model's own
+// prior and only restores the per-source counts, so images written by a
+// differently configured model still restore the learned evidence.
+func (t *TrustModel) ImportState(st TrustState) error {
+	if st.Prior != 0 && (st.Prior <= 0 || st.Prior >= 1) {
+		return fmt.Errorf("uncertain: trust state prior %v outside (0, 1)", st.Prior)
+	}
+	if st.Weight < 0 {
+		return fmt.Errorf("uncertain: trust state weight %v negative", st.Weight)
+	}
+	for name, c := range st.Sources {
+		if c.Confirmed < 0 || c.Contradicted < 0 {
+			return fmt.Errorf("uncertain: trust state source %q has negative counts", name)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st.Prior != 0 {
+		t.prior = st.Prior
+	}
+	if st.Weight > 0 {
+		t.weight = st.Weight
+	}
+	t.sources = make(map[string]*sourceStats, len(st.Sources))
+	for name, c := range st.Sources {
+		t.sources[name] = &sourceStats{confirmed: c.Confirmed, contradicted: c.Contradicted}
+	}
+	return nil
+}
+
 // Report returns all tracked sources sorted by decreasing reliability.
 func (t *TrustModel) Report() []SourceReport {
 	t.mu.RLock()

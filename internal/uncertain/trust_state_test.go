@@ -1,0 +1,74 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTrustStateRoundTrip: learned reliabilities survive export/import
+// exactly — the counts behind every source, not just the point
+// estimate.
+func TestTrustStateRoundTrip(t *testing.T) {
+	src, err := NewTrustModel(0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		src.Confirm("alice")
+	}
+	src.Contradict("bob")
+	src.Confirm("bob")
+
+	dst, err := NewTrustModel(0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportState(src.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alice", "bob", "unseen"} {
+		if got, want := dst.Reliability(name), src.Reliability(name); math.Abs(got-want) > 1e-15 {
+			t.Errorf("Reliability(%s) after round trip = %v, want %v", name, got, want)
+		}
+	}
+	// Counts restored, not just ratios: further feedback continues from
+	// the imported evidence.
+	src.Contradict("alice")
+	dst.Contradict("alice")
+	if got, want := dst.Reliability("alice"), src.Reliability("alice"); math.Abs(got-want) > 1e-15 {
+		t.Errorf("post-import update diverges: %v vs %v", got, want)
+	}
+}
+
+// TestTrustStateValidation: malformed states are refused before any
+// mutation.
+func TestTrustStateValidation(t *testing.T) {
+	m, err := NewTrustModel(0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Confirm("alice")
+	before := m.Reliability("alice")
+
+	bad := []TrustState{
+		{Prior: 1.5},
+		{Weight: -1},
+		{Sources: map[string]SourceCounts{"x": {Confirmed: -1}}},
+	}
+	for i, st := range bad {
+		if err := m.ImportState(st); err == nil {
+			t.Errorf("bad state #%d accepted", i)
+		}
+	}
+	if got := m.Reliability("alice"); got != before {
+		t.Errorf("failed import mutated the model: %v != %v", got, before)
+	}
+
+	// An empty state resets learned counts but keeps the configured prior.
+	if err := m.ImportState(TrustState{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reliability("alice"); got != 0.6 {
+		t.Errorf("reset state reliability = %v, want prior 0.6", got)
+	}
+}

@@ -113,6 +113,18 @@ func (db *DB) AlignIDSequence(start, stride int64) error {
 	return nil
 }
 
+// NextID returns the next record ID the database would assign — IDs
+// strictly below it (on this database's residue class) have been
+// allocated at some point, so a missing smaller ID names a record that
+// existed and was deleted, while an ID at or past it was never issued.
+// The feedback subsystem uses this to tell a stale answer from a bogus
+// record reference.
+func (db *DB) NextID() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.nextID
+}
+
 // SetClock overrides the timestamp source (tests).
 func (db *DB) SetClock(clock func() time.Time) {
 	db.mu.Lock()
@@ -138,6 +150,11 @@ func (db *DB) Collections() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.collectionNamesLocked()
+}
+
+// Collections is Tx's form of DB.Collections.
+func (tx *Tx) Collections() []string {
+	return tx.db.collectionNamesLocked()
 }
 
 // Tx is a view of the database inside a Batch call: the database lock is

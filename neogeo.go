@@ -45,6 +45,20 @@
 //		...
 //	}
 //
+// Answers expose record IDs, and Feedback closes the paper's loop: a
+// verdict (confirm/reject/correct) about a result updates the record's
+// certainty, the reliability of the sources that built it, and the
+// disambiguation priors that decide how future ambiguous place names
+// resolve. Verdicts apply asynchronously in per-shard batches:
+//
+//	ans, _ := sys.Ask(ctx, "any good hotel in Paris?", "bob")
+//	sys.Feedback(ctx, neogeo.Feedback{
+//		RecordID: ans.Results[0].ID,
+//		Verdict:  neogeo.VerdictConfirm,
+//		Source:   "bob",
+//	})
+//	sys.FlushFeedback(ctx) // or let the serving layer's loop apply it
+//
 // To serve the system over HTTP, see internal/server and the cmd/neogeod
 // daemon.
 package neogeo
@@ -170,6 +184,22 @@ func (s *System) Stats() Stats {
 			LastSeq:   ck.LastSeq,
 			LastBytes: ck.LastBytes,
 			LastAge:   ck.LastAge,
+		},
+		Feedback: FeedbackStats{
+			Accepted:     st.Feedback.Accepted,
+			Replayed:     st.Feedback.Replayed,
+			Applied:      st.Feedback.Applied,
+			Confirmed:    st.Feedback.Confirmed,
+			Rejected:     st.Feedback.Rejected,
+			Corrected:    st.Feedback.Corrected,
+			Pending:      st.Feedback.Pending,
+			Deferred:     st.Feedback.Deferred,
+			DroppedStale: st.Feedback.DroppedStale,
+		},
+		Decay: DecayStats{
+			Runs:    st.Decay.Runs,
+			Decayed: st.Decay.Decayed,
+			Deleted: st.Decay.Deleted,
 		},
 	}
 }

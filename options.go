@@ -81,6 +81,14 @@ func WithIntegrateBatch(n int) Option {
 	return func(s *settings) { s.core.IntegrateBatch = n }
 }
 
+// WithFeedbackBatch sets the per-shard verdict count that triggers an
+// automatic feedback apply (default 16). Buffered verdicts below the
+// threshold apply on the next FlushFeedback — the serving layer's
+// background loop flushes every drain interval.
+func WithFeedbackBatch(n int) Option {
+	return func(s *settings) { s.core.FeedbackBatch = n }
+}
+
 // WithClock overrides the system's time source (tests).
 func WithClock(clock func() time.Time) Option {
 	return func(s *settings) { s.core.Clock = clock }

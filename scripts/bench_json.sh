@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Convert `go test -bench` text output into a JSON array so CI can
+# publish the benchmark smoke step's results as an artifact and the
+# perf trajectory can be tracked across PRs.
+#
+#   sh scripts/bench_json.sh bench-smoke.out BENCH_5.json
+#
+# Each benchmark line becomes {"name", "iterations", "<unit>": value}
+# with every reported metric (ns/op, B/op, msgs/sec, ...) keyed by its
+# unit string.
+set -eu
+
+in=${1:?usage: bench_json.sh <bench-output> <out.json>}
+out=${2:?usage: bench_json.sh <bench-output> <out.json>}
+
+awk '
+BEGIN { n = 0; print "[" }
+$1 ~ /^Benchmark/ && NF >= 4 {
+  name = $1
+  iters = $2
+  metrics = ""
+  for (i = 3; i + 1 <= NF; i += 2) {
+    val = $i
+    unit = $(i + 1)
+    gsub(/"/, "", unit)
+    if (metrics != "") metrics = metrics ", "
+    metrics = metrics sprintf("\"%s\": %s", unit, val)
+  }
+  if (n++) printf ",\n"
+  printf "  {\"name\": \"%s\", \"iterations\": %s, %s}", name, iters, metrics
+}
+END {
+  if (n) printf "\n"
+  print "]"
+}
+' "$in" >"$out"
+
+# Fail loudly if nothing parsed: an empty artifact means the bench step
+# silently changed its output format.
+grep -q '"name"' "$out" || { echo "bench_json.sh: no benchmark lines parsed from $in" >&2; exit 1; }

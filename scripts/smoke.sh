@@ -20,7 +20,10 @@ DATA="$STATE/data"
 go build -o "$BIN" ./cmd/neogeod
 
 start_daemon() {
-  "$BIN" -addr "$ADDR" -wal "$WAL" -data-dir "$DATA" -shards 2 -drain-interval 50ms &
+  # -workers 1 keeps drains in queue order so record IDs are stable
+  # across crash-replay restarts — the feedback leg rejects a record by
+  # ID and asserts the effect survives a second SIGKILL.
+  "$BIN" -addr "$ADDR" -wal "$WAL" -data-dir "$DATA" -shards 2 -workers 1 -drain-interval 50ms &
   PID=$!
 }
 
@@ -97,4 +100,58 @@ echo "$ANSWER"
 echo "$ANSWER" | grep -qi "axel hotel" || { echo "checkpointed knowledge lost after crash" >&2; exit 1; }
 echo "$ANSWER" | grep -qi "movenpick" || { echo "WAL-replayed knowledge lost after crash" >&2; exit 1; }
 
-echo "== smoke OK (including crash recovery)"
+echo "== feedback round-trip: two tied reports, reject the leader"
+curl -fsS -X POST "$BASE/v1/messages" \
+  -H 'Content-Type: application/json' \
+  -d '{"text":"wonderful stay at the Hotel Kilo in Paris, lovely place","source":"dave"}' >/dev/null
+curl -fsS -X POST "$BASE/v1/messages" \
+  -H 'Content-Type: application/json' \
+  -d '{"text":"wonderful stay at the Hotel Lima in Paris, lovely place","source":"erin"}' >/dev/null
+wait_hotels 4
+
+first_paris_hotel() {
+  curl -fsS -X POST "$BASE/v1/ask" \
+    -H 'Content-Type: application/json' \
+    -d '{"question":"can anyone recommend a good hotel in Paris?","source":"bob"}' |
+    grep -o 'Hotel Kilo\|Hotel Lima' | head -1
+}
+
+ANSWER=$(curl -fsS -X POST "$BASE/v1/ask" \
+  -H 'Content-Type: application/json' \
+  -d '{"question":"can anyone recommend a good hotel in Paris?","source":"bob"}')
+echo "$ANSWER"
+[ "$(first_paris_hotel)" = "Hotel Kilo" ] || { echo "expected Hotel Kilo to lead the tied ranking" >&2; exit 1; }
+TOP_ID=$(echo "$ANSWER" | grep -o '"id": [0-9]*' | head -1 | grep -o '[0-9]*')
+
+echo "== reject record $TOP_ID over /v1/feedback"
+FB=$(curl -fsS -X POST "$BASE/v1/feedback" \
+  -H 'Content-Type: application/json' \
+  -d "{\"record_id\":$TOP_ID,\"verdict\":\"reject\",\"source\":\"bob\"}")
+echo "$FB"
+echo "$FB" | grep -q '"status": "accepted"' || { echo "feedback not accepted" >&2; exit 1; }
+
+echo "== wait for the background loop to apply the verdict"
+i=0
+until curl -fsS "$BASE/v1/stats" | grep -q '"rejected": 1'; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || { echo "verdict never applied:" >&2; curl -fsS "$BASE/v1/stats" >&2; exit 1; }
+  sleep 0.1
+done
+[ "$(first_paris_hotel)" = "Hotel Lima" ] || { echo "reject did not change the ranking" >&2; exit 1; }
+echo "== ranking flipped to Hotel Lima"
+
+echo "== SIGKILL again: the applied verdict must survive via ledger replay"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+start_daemon
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+wait_healthy
+i=0
+until [ "$(first_paris_hotel 2>/dev/null || true)" = "Hotel Lima" ]; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || { echo "feedback effect lost after crash:" >&2; curl -fsS "$BASE/v1/stats" >&2; exit 1; }
+  sleep 0.1
+done
+echo "== feedback survived the crash"
+
+echo "== smoke OK (including crash recovery and the feedback loop)"

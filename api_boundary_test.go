@@ -1,57 +1,43 @@
 package neogeo
 
 import (
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path/filepath"
-	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/importboundary"
 )
 
-// TestPublicSurfaceImports walks the import graph of every program under
-// cmd/ and examples/ and fails if any imports the internal pipeline
-// packages the facade now covers. This pins the API redesign's core
-// guarantee: the facade's own types suffice for every in-tree caller, so
-// future pipeline refactors land behind a stable surface.
+// TestPublicSurfaceImports pins the API redesign's core guarantee: the
+// facade's own types suffice for every in-tree caller, so future
+// pipeline refactors land behind a stable surface. The rule itself
+// lives in the importboundary analyzer (internal/analysis) — this test
+// is a thin wrapper that runs it over the real cmd/ and examples/
+// trees, so the invariant has exactly one implementation shared by
+// `go test`, cmd/neogeolint and CI.
 func TestPublicSurfaceImports(t *testing.T) {
-	banned := map[string]string{
-		"repro/internal/coordinator": "use neogeo.Outcome / neogeo.Drain",
-		"repro/internal/extract":     "use neogeo.MessageType / neogeo.Answer",
-		"repro/internal/core":        "use neogeo.New with options",
+	pkgs, err := analysis.LoadPackages(".", "./cmd/...", "./examples/...")
+	if err != nil {
+		t.Fatalf("loading cmd/ and examples/: %v", err)
 	}
-	fset := token.NewFileSet()
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded — wrong working directory?")
+	}
 	checked := 0
-	for _, root := range []string{"cmd", "examples"} {
-		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() || !strings.HasSuffix(path, ".go") {
-				return nil
-			}
+	for _, p := range pkgs {
+		if strings.HasPrefix(p.Path, importboundary.ModulePath+"/cmd/") ||
+			strings.HasPrefix(p.Path, importboundary.ModulePath+"/examples/") {
 			checked++
-			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-			if err != nil {
-				return err
-			}
-			for _, imp := range f.Imports {
-				p, err := strconv.Unquote(imp.Path.Value)
-				if err != nil {
-					continue
-				}
-				if hint, bad := banned[p]; bad {
-					t.Errorf("%s imports %s — %s", path, p, hint)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			t.Fatalf("walking %s: %v", root, err)
 		}
 	}
 	if checked == 0 {
-		t.Fatal("no files checked — wrong working directory?")
+		t.Fatal("no cmd/ or examples/ packages matched — analyzer scoping is broken")
+	}
+	diags, err := analysis.RunPackages(pkgs, []*analysis.Analyzer{importboundary.Analyzer})
+	if err != nil {
+		t.Fatalf("running importboundary: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", analysis.Format(pkgs[0].Fset, d))
 	}
 }

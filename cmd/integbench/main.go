@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -44,7 +45,7 @@ func main() {
 
 	switch *mode {
 	case "parallel":
-		err := benchkit.Parallel(benchkit.ParallelConfig{
+		err := benchkit.Parallel(context.Background(), benchkit.ParallelConfig{
 			Messages:       *msgs,
 			Seed:           *seed,
 			Noise:          *noise,

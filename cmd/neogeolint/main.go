@@ -1,0 +1,153 @@
+// Command neogeolint is the project's invariant checker: a
+// multichecker driving the analyzers under internal/analysis/passes
+// over the module. It runs two ways:
+//
+//	neogeolint ./...                      # standalone, from the module root
+//	go vet -vettool=$(which neogeolint) ./...  # inside the go vet cache
+//
+// Standalone mode loads packages via `go list -export` and prints
+// findings to stdout (exit 1 when there are any; -json emits them as a
+// machine-readable array, which CI uploads as an artifact). Vet mode
+// speaks cmd/go's vettool protocol: answer -V=full with a stable
+// version line, read the vet.cfg the go command supplies, analyze that
+// one package against the export data in the config, and exit nonzero
+// on findings.
+//
+// Suppress a finding with a justified directive on or above the line:
+//
+//	//lint:ignore atomicwrite scratch file, durability not required
+//
+// See docs/INVARIANTS.md for the invariant each analyzer pins.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/atomicwrite"
+	"repro/internal/analysis/passes/ctxflow"
+	"repro/internal/analysis/passes/errdiscipline"
+	"repro/internal/analysis/passes/importboundary"
+	"repro/internal/analysis/passes/singlewriter"
+)
+
+// version identifies the tool to cmd/go's -V=full handshake; bump it
+// to invalidate go vet's result cache after changing an analyzer.
+const version = "v1.0.0"
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicwrite.Analyzer,
+		ctxflow.Analyzer,
+		errdiscipline.Analyzer,
+		importboundary.Analyzer,
+		singlewriter.Analyzer,
+	}
+}
+
+func main() {
+	// cmd/go probes the tool's identity before first use, and asks for
+	// its flag set (as a JSON array) so `go vet` can accept and forward
+	// tool flags on its own command line.
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "-V":
+			fmt.Printf("neogeolint version %s\n", version)
+			return
+		case "-flags":
+			type flagDesc struct {
+				Name  string
+				Bool  bool
+				Usage string
+			}
+			out, err := json.Marshal([]flagDesc{
+				{Name: "json", Bool: true, Usage: "emit findings as JSON on stdout"},
+				{Name: "list", Bool: true, Usage: "list analyzers and exit"},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("%s\n", out)
+			return
+		}
+	}
+
+	fs := flag.NewFlagSet("neogeolint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: neogeolint [-json] [packages]\n       go vet -vettool=neogeolint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-15s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range analyzers() {
+			fmt.Printf("%-15s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVet(args[0])
+		return
+	}
+	runStandalone(args, *jsonOut)
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	Position string `json:"position"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func runStandalone(patterns []string, jsonOut bool) {
+	pkgs, err := analysis.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunPackages(pkgs, analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if jsonOut {
+		out := []finding{} // empty array, not null, when clean
+		for _, d := range diags {
+			var fset = pkgs[0].Fset
+			out = append(out, finding{
+				Position: fset.Position(d.Pos).String(),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(analysis.Format(pkgs[0].Fset, d))
+		}
+	}
+	if len(diags) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "neogeolint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the JSON cmd/go writes next to each package when
+// driving a -vettool (see buildVetConfig in cmd/go/internal/work).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes the single package described by the vet.cfg file,
+// following the vettool protocol: diagnostics to stderr, exit 2 when
+// there are findings, and always publish the (empty — the analyzers
+// exchange no facts) vetx output so cmd/go can cache the result.
+func runVet(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("neogeolint: parsing %s: %w", cfgPath, err))
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("neogeolint-facts v1\n"), 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, and we have none
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return // only gc export data is readable here
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("neogeolint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	var files []string
+	dir := cfg.Dir
+	for _, f := range cfg.GoFiles {
+		files = append(files, filepath.Base(f))
+		dir = filepath.Dir(f)
+	}
+	fset := token.NewFileSet()
+	pkg, err := analysis.TypecheckFiles(fset, cfg.ImportPath, dir, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(err)
+	}
+	diags, err := analysis.RunPackages([]*analysis.Package{pkg}, analyzers())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, analysis.Format(fset, d))
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Package analysis is a self-contained static-analysis framework
+// modelled on golang.org/x/tools/go/analysis, built only on the
+// standard library's go/ast, go/parser and go/types (the x/tools
+// module is not vendored here, so the real framework is out of reach
+// offline). It provides just the slice the project needs:
+//
+//   - Analyzer / Pass / Diagnostic mirroring the x/tools API shape, so
+//     the project's analyzers port to the real framework mechanically
+//     if the dependency ever lands.
+//   - A loader that type-checks module packages against compiler
+//     export data obtained from `go list -export` (load.go), plus a
+//     GOPATH-style testdata loader for golden tests (the analysistest
+//     subpackage).
+//   - A multichecker driver (multichecker.go) used by cmd/neogeolint,
+//     standalone or as a `go vet -vettool`, with //lint:ignore
+//     suppression directives (directive.go).
+//
+// The analyzers themselves live under passes/ and encode the repo's
+// hard invariants — import boundaries, single-writer shard discipline,
+// temp→fsync→rename durability, error wrapping, context flow — so a
+// refactor that silently violates one fails CI instead of corrupting a
+// store at runtime. docs/INVARIANTS.md is the human-readable index.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis: a named invariant and the
+// function that checks a single package against it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. By convention it is a single
+	// lower-case word.
+	Name string
+
+	// Doc is the analyzer's documentation: first line a summary, the
+	// rest an explanation of the invariant it pins.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through pass.Report. The returned value is unused (kept for API
+	// symmetry with x/tools); errors abort the whole run.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer with the type-checked syntax of one
+// package plus the Report sink for its diagnostics.
+type Pass struct {
+	// Analyzer is the analyzer being applied.
+	Analyzer *Analyzer
+
+	// Path is the package's import path (e.g. "repro/internal/mq").
+	Path string
+
+	// Fset maps token positions to file locations for all Files.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax, test files excluded.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type information recorded while checking
+	// Files (definitions, uses, selections, expression types).
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver owns filtering
+	// (lint:ignore directives, test files) and formatting.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position and a message. The driver
+// stamps the reporting analyzer's name before printing.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}

@@ -1,0 +1,145 @@
+// Package analysistest is the golden-test harness for the project's
+// analyzers, modelled on golang.org/x/tools/go/analysis/analysistest.
+// A test names import paths under testdata/src; every diagnostic the
+// analyzer reports must be matched by a `// want` comment on the same
+// source line, and every want comment must be matched by a diagnostic:
+//
+//	f.Close() // want `discards the error`
+//	ok()      // no comment: reporting here fails the test
+//
+// The expectation is a regular expression in a back-quoted or quoted
+// Go string. Multiple expectations on one line each need a match.
+// Because the harness routes through the same driver as cmd/neogeolint
+// (RunPackages), //lint:ignore suppression is testable in golden files
+// too: a suppressed line simply carries no want comment.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each import path from testdata/src, applies the analyzer,
+// and reports mismatches between diagnostics and want comments on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadTree(testdata, paths...)
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	diags, err := analysis.RunPackages(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type expectation struct {
+		rx      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	expected := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					patterns, perr := wantPatterns(c)
+					if perr != nil {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s: %v", pos, perr)
+					}
+					for _, p := range patterns {
+						rx, rerr := regexp.Compile(p)
+						if rerr != nil {
+							pos := pkg.Fset.Position(c.Pos())
+							t.Fatalf("%s: bad want pattern %q: %v", pos, p, rerr)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+						expected[key] = append(expected[key], &expectation{rx: rx, raw: p})
+					}
+				}
+			}
+		}
+	}
+
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, exp := range expected[key] {
+			if !exp.matched && exp.rx.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for key, exps := range expected {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, exp.raw)
+			}
+		}
+	}
+}
+
+// wantPatterns extracts the expectation patterns from one comment, nil
+// when it is not a want comment.
+func wantPatterns(c *ast.Comment) ([]string, error) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	var patterns []string
+	for rest != "" {
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated ` in want comment")
+			}
+			patterns = append(patterns, rest[1:1+end])
+			rest = strings.TrimSpace(rest[2+end:])
+		case '"':
+			// Find the closing quote respecting escapes via Unquote.
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				return nil, fmt.Errorf("unterminated \" in want comment")
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want string %s: %w", rest[:end+1], err)
+			}
+			patterns = append(patterns, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		default:
+			return nil, fmt.Errorf("want comment: expected quoted pattern, got %q", rest)
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return patterns, nil
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives let a human override an analyzer where the
+// code is right and the rule is wrong — but only with a written
+// justification, so every exception is greppable and reviewable:
+//
+//	//lint:ignore atomicwrite scratch file, durability not required
+//	//lint:ignore singlewriter,ctxflow migration shim, remove with #42
+//	//lint:ignore * generated code
+//
+// A directive suppresses matching diagnostics on its own line and on
+// the line directly below it (covering both end-of-line and
+// full-line-above comment placement). A directive with no
+// justification suppresses nothing and is itself reported.
+
+const directivePrefix = "//lint:ignore"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file      string
+	line      int
+	analyzers map[string]bool // nil means all ("*")
+	reason    string
+	pos       token.Pos
+}
+
+// parseDirectives extracts every lint:ignore directive from the
+// package's comments.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var dirs []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignoreme
+				}
+				fields := strings.Fields(rest)
+				d := directive{
+					file: fset.Position(c.Pos()).Filename,
+					line: fset.Position(c.Pos()).Line,
+					pos:  c.Pos(),
+				}
+				if len(fields) > 0 {
+					if fields[0] != "*" {
+						d.analyzers = make(map[string]bool)
+						for _, name := range strings.Split(fields[0], ",") {
+							d.analyzers[name] = true
+						}
+					}
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// matches reports whether the directive suppresses a diagnostic from
+// the named analyzer at file:line.
+func (d *directive) matches(analyzer, file string, line int) bool {
+	if d.reason == "" {
+		return false
+	}
+	if d.file != file || (line != d.line && line != d.line+1) {
+		return false
+	}
+	return d.analyzers == nil || d.analyzers[analyzer]
+}

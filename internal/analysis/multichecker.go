@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// RunPackages applies every analyzer to every package and returns the
+// surviving diagnostics in position order. The driver applies the
+// project-wide filtering policy:
+//
+//   - Diagnostics positioned in _test.go files are dropped — tests
+//     exercise failure paths and fakes that deliberately break the
+//     production invariants (vet-mode loads include test variants).
+//   - Diagnostics matched by a justified //lint:ignore directive are
+//     dropped; a directive without a justification is itself reported
+//     under the pseudo-analyzer "lint".
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := parseDirectives(pkg.Fset, pkg.Files)
+		for _, d := range dirs {
+			if d.reason == "" {
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "lint",
+					Message:  "lint:ignore directive without a justification — state why the rule does not apply",
+				})
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Path:      pkg.Path,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			var reported []Diagnostic
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				reported = append(reported, d)
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range reported {
+				p := pkg.Fset.Position(d.Pos)
+				if strings.HasSuffix(p.Filename, "_test.go") {
+					continue
+				}
+				suppressed := false
+				for i := range dirs {
+					if dirs[i].matches(a.Name, p.Filename, p.Line) {
+						suppressed = true
+						break
+					}
+				}
+				if !suppressed {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	// Sort by file position, then analyzer, for stable output. All
+	// packages share one FileSet per load, so positions are comparable
+	// within a run; across loads the file name breaks ties first.
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := position(pkgs, diags[i].Pos), position(pkgs, diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// position resolves pos against whichever package's FileSet knows it.
+func position(pkgs []*Package, pos token.Pos) token.Position {
+	for _, pkg := range pkgs {
+		if p := pkg.Fset.Position(pos); p.IsValid() {
+			return p
+		}
+	}
+	return token.Position{}
+}
+
+// Format renders one diagnostic the way `go vet` does, with the
+// analyzer name appended so the invariant it enforces is identifiable
+// (and suppressible by name).
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+}

@@ -1,0 +1,56 @@
+// Package persist is the durable checkpoint path: publication must be
+// temp -> fsync -> rename, and os.WriteFile is banned.
+package persist
+
+import "os"
+
+func publishGood(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+func publishViaHelper(tmp, final string) error {
+	if err := syncDir(tmp); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// syncDir is recognised as a sync by name.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func publishTorn(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `os.Rename with no preceding sync in publishTorn`
+}
+
+func writeManifest(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile in durable package repro/internal/persist`
+}
+
+func suppressed(tmp, final string) error {
+	//lint:ignore atomicwrite target lives on a tmpfs scratch mount
+	return os.Rename(tmp, final)
+}

@@ -1,0 +1,13 @@
+// Package scratch is not a durable package: os.WriteFile is allowed,
+// but rename-without-sync is still the crash-consistency bug.
+package scratch
+
+import "os"
+
+func cache(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func swap(a, b string) error {
+	return os.Rename(a, b) // want `os.Rename with no preceding sync in swap`
+}

@@ -1,0 +1,148 @@
+// Package ctxflow pins the cancellation discipline the facade
+// promised when every entry point gained a context parameter:
+//
+//   - Library code never mints its own context.Background() /
+//     context.TODO(): a root context on a cancellable path detaches
+//     the work under it from the caller's deadline and shutdown. Only
+//     package main gets to create roots.
+//   - In the entry-point packages (the facade, the serving layer, the
+//     coordinator, core), an exported function that accepts a
+//     context.Context takes it as its first parameter — the position
+//     is the convention that makes call sites skimmable.
+//   - In the pipeline packages, a goroutine must be launched with
+//     cancellation or join wiring in hand: its body (or call) has to
+//     mention a context, a channel, or a WaitGroup. A bare goroutine
+//     with none of the three outlives shutdown invisibly — the drain
+//     loop's wind-down ordering (outcomes before WAL close) depends on
+//     there being no such stragglers.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// entryPackages are where the ctx-first convention is enforced.
+var entryPackages = map[string]bool{
+	"repro":                      true,
+	"repro/internal/server":      true,
+	"repro/internal/coordinator": true,
+	"repro/internal/core":        true,
+}
+
+// pipelinePackages are where goroutines must carry cancellation or
+// join wiring.
+var pipelinePackages = map[string]bool{
+	"repro":                      true,
+	"repro/internal/server":      true,
+	"repro/internal/coordinator": true,
+	"repro/internal/core":        true,
+	"repro/internal/shard":       true,
+	"repro/internal/feedback":    true,
+	"repro/internal/integrate":   true,
+	"repro/internal/mq":          true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "contexts flow from the caller: no library roots, ctx first, wired goroutines\n\n" +
+		"Flags context.Background()/TODO() outside package main, exported\n" +
+		"entry points whose context parameter is not first, and goroutines\n" +
+		"launched without a context, channel or WaitGroup in hand.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isMain {
+					return true
+				}
+				if analysis.IsFunc(pass.TypesInfo, n, "context.Background") ||
+					analysis.IsFunc(pass.TypesInfo, n, "context.TODO") {
+					pass.Reportf(n.Pos(), "new root context on a library path — accept a context.Context from the caller so cancellation reaches this work")
+				}
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, n)
+			case *ast.GoStmt:
+				checkGoWiring(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCtxFirst enforces ctx-first on exported functions in the entry
+// packages.
+func checkCtxFirst(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !entryPackages[pass.Path] || !fd.Name.IsExported() || fd.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		isCtx := ok && isContextType(tv.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtx && pos != 0 {
+			pass.Reportf(field.Pos(), "%s takes context.Context at position %d — entry points take ctx first", fd.Name.Name, pos+1)
+		}
+		pos += n
+	}
+}
+
+// checkGoWiring requires a context, channel or WaitGroup somewhere in
+// the launched call or its function literal's body.
+func checkGoWiring(pass *analysis.Pass, g *ast.GoStmt) {
+	if !pipelinePackages[pass.Path] {
+		return
+	}
+	wired := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if wired {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[e]; ok && isWiring(tv.Type) {
+			wired = true
+			return false
+		}
+		return true
+	})
+	if !wired {
+		pass.Reportf(g.Pos(), "goroutine launched without cancellation or join wiring — pass a ctx, channel, or WaitGroup so shutdown can reach it")
+	}
+}
+
+// isWiring reports whether t is a context, a channel, or a WaitGroup
+// (possibly behind a pointer).
+func isWiring(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContextType(t) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	pkgPath, name, ok := analysis.NamedType(t)
+	return ok && pkgPath == "sync" && name == "WaitGroup"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	pkgPath, name, ok := analysis.NamedType(t)
+	return ok && pkgPath == "context" && name == "Context"
+}

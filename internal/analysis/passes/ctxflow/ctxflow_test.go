@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/ctxflow"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"repro/internal/server",
+		"repro/internal/text",
+		"repro/cmd/daemon",
+	)
+}

@@ -1,0 +1,9 @@
+// Command daemon is package main: the process owns its root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,51 @@
+// Package server is both an entry package (ctx-first) and a pipeline
+// package (wired goroutines).
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// Run takes ctx first: fine.
+func Run(ctx context.Context, addr string) error { return nil }
+
+// Ask declares ctx second: flagged.
+func Ask(question string, ctx context.Context) error { return nil } // want `Ask takes context\.Context at position 2`
+
+// NoCtx has no context parameter at all, which is legal — the rule is
+// about position, not presence.
+func NoCtx(addr string) error { return nil }
+
+func drainLoop(ctx context.Context) {
+	go func() { // wired: the body watches ctx
+		<-ctx.Done()
+	}()
+
+	done := make(chan struct{})
+	go func() { // wired: the body owns a channel
+		close(done)
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // wired: joined by a WaitGroup
+		defer wg.Done()
+	}()
+	wg.Wait()
+
+	go func() { // want `goroutine launched without cancellation or join wiring`
+		for {
+		}
+	}()
+}
+
+func mint() error {
+	ctx := context.Background() // want `new root context on a library path`
+	_ = ctx
+	return nil
+}
+
+func todo() {
+	_ = context.TODO() // want `new root context on a library path`
+}

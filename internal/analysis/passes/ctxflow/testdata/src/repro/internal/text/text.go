@@ -1,0 +1,15 @@
+// Package text is neither an entry nor a pipeline package: the
+// ctx-first and goroutine rules do not apply, but minting roots is
+// still a library-path violation.
+package text
+
+import "context"
+
+// Tokenize declaring ctx second is tolerated outside entry packages.
+func Tokenize(s string, ctx context.Context) []string { return nil }
+
+func helper() {
+	go func() {}() // goroutine wiring is only enforced in pipeline packages
+
+	_ = context.Background() // want `new root context on a library path`
+}

@@ -1,0 +1,226 @@
+// Package errdiscipline pins how errors cross package boundaries:
+//
+//   - A discarded error return is a swallowed failure. Statement-level
+//     calls whose error result is ignored are flagged, with one
+//     carve-out: best-effort cleanup (Close / os.Remove) while the
+//     surrounding code is already failing — compensation on an error
+//     path cannot improve on the error already in flight. Explicit
+//     `_ =` discards are visible and greppable, so they pass (pair
+//     them with a comment saying why).
+//   - Errors must be matched by identity (errors.Is / errors.As /
+//     sentinels), never by their rendered text: string-matching breaks
+//     the moment a message is reworded and couples callers to wording
+//     that is explicitly not API.
+//   - fmt.Errorf that formats an underlying error without %w erases
+//     the chain — callers can no longer errors.Is/As through the
+//     boundary. Flatten deliberately only with a lint:ignore and a
+//     reason.
+package errdiscipline
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdiscipline",
+	Doc: "errors are handled, matched by identity, and wrapped with %w\n\n" +
+		"Flags discarded error returns (outside error-path cleanup),\n" +
+		"string-matching on rendered error text, and fmt.Errorf calls\n" +
+		"that format an error without %w.",
+	Run: run,
+}
+
+// stringMatchers are the functions whose use on rendered error text is
+// a boundary violation.
+var stringMatchers = map[string]bool{
+	"strings.Contains":  true,
+	"strings.HasPrefix": true,
+	"strings.HasSuffix": true,
+	"strings.EqualFold": true,
+	"strings.Index":     true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscard(pass, n, stack)
+			case *ast.CallExpr:
+				checkTextMatch(pass, n)
+				checkErrorf(pass, n)
+			case *ast.BinaryExpr:
+				checkTextCompare(pass, n)
+			}
+		})
+	}
+	return nil, nil
+}
+
+// checkDiscard flags statement-level calls whose error result vanishes.
+func checkDiscard(pass *analysis.Pass, stmt *ast.ExprStmt, stack []ast.Node) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok || !analysis.ReturnsError(pass.TypesInfo, call) {
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return // dynamic call: the function value's provenance decides, not us
+	}
+	if isPrint(fn) || isInfallibleBuffer(fn) {
+		return
+	}
+	if isCleanup(fn) && onErrorPath(pass.TypesInfo, stack) {
+		return
+	}
+	pass.Reportf(stmt.Pos(), "%s returns an error that is discarded — handle it, or assign to _ with a comment saying why it cannot matter", fn.FullName())
+}
+
+// isCleanup reports whether fn is a best-effort compensation call.
+func isCleanup(fn *types.Func) bool {
+	return fn.Name() == "Close" || fn.FullName() == "os.Remove"
+}
+
+// isPrint exempts fmt's print family: formatted output is
+// overwhelmingly diagnostic, and a failing report writer duplicates
+// whatever failure it was reporting. The buffered/filed classes that
+// actually lose data — Flush, Sync, Close, Append — stay flagged.
+func isPrint(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+}
+
+// isInfallibleBuffer exempts writers whose errors are documented to
+// always be nil.
+func isInfallibleBuffer(fn *types.Func) bool {
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	pkgPath, name, ok := analysis.NamedType(recv.Type())
+	if !ok {
+		return false
+	}
+	return (pkgPath == "bytes" && name == "Buffer") || (pkgPath == "strings" && name == "Builder")
+}
+
+// onErrorPath reports whether the statement sits in code that is
+// already failing: inside an if whose condition involves an error
+// value, or inside a function (closure) that received an error
+// parameter.
+func onErrorPath(info *types.Info, stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if exprMentionsError(info, n.Cond) {
+				return true
+			}
+		case *ast.FuncLit:
+			if signatureHasErrorParam(info, n.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprMentionsError reports whether any identifier in e has type error.
+func exprMentionsError(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := info.Uses[id]; obj != nil && analysis.IsErrorType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// signatureHasErrorParam reports whether the function type declares an
+// error-typed parameter.
+func signatureHasErrorParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && analysis.IsErrorType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTextMatch flags strings.Contains / HasPrefix / ... applied to
+// rendered error text.
+func checkTextMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || !stringMatchers[fn.FullName()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorText(pass.TypesInfo, arg) {
+			pass.Reportf(call.Pos(), "matching on rendered error text via %s — use errors.Is/errors.As against a sentinel instead", fn.FullName())
+			return
+		}
+	}
+}
+
+// checkTextCompare flags err.Error() == "..." style comparisons.
+func checkTextCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op.String() != "==" && b.Op.String() != "!=" {
+		return
+	}
+	if isErrorText(pass.TypesInfo, b.X) || isErrorText(pass.TypesInfo, b.Y) {
+		pass.Reportf(b.Pos(), "comparing rendered error text — use errors.Is/errors.As against a sentinel instead")
+	}
+}
+
+// isErrorText reports whether e is a call to the Error() string method
+// of an error value.
+func isErrorText(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	if tv, ok := info.Types[sel.X]; ok && analysis.IsErrorType(tv.Type) {
+		return true
+	}
+	return false
+}
+
+// checkErrorf flags fmt.Errorf formatting an error without %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !analysis.IsFunc(pass.TypesInfo, call, "fmt.Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: nothing to prove
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && analysis.IsErrorType(tv.Type) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w — callers cannot errors.Is/As through this boundary")
+			return
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package errdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/errdiscipline"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", errdiscipline.Analyzer, "a")
+}

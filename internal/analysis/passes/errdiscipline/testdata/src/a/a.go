@@ -1,0 +1,81 @@
+// Package a exercises the three errdiscipline rules.
+package a
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func fallible() error { return nil }
+
+// --- discarded error returns ---
+
+func discards(f *os.File, w *bufio.Writer) {
+	fallible()     // want `a\.fallible returns an error that is discarded`
+	f.Close()      // want `\(\*os\.File\)\.Close returns an error that is discarded`
+	w.Flush()      // want `\(\*bufio\.Writer\)\.Flush returns an error that is discarded`
+	_ = fallible() // explicit discard: visible, greppable, allowed
+	fmt.Println("diagnostic output is exempt")
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // defers are conventional cleanup
+}
+
+func errorPathCleanup(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		f.Close()       // best-effort compensation while already failing
+		os.Remove(path) // same
+		return err
+	}
+	return f.Close()
+}
+
+func closureCompensation(path string) {
+	fail := func(err error) {
+		os.Remove(path) // closure received the error: still a failure path
+		_ = err
+	}
+	fail(nil)
+}
+
+func infallibleBuffers(b *bytes.Buffer, sb *strings.Builder) {
+	b.WriteString("never fails")
+	sb.WriteString("never fails")
+}
+
+// --- matching on rendered error text ---
+
+func textMatch(err error) bool {
+	if strings.Contains(err.Error(), "not found") { // want `matching on rendered error text via strings\.Contains`
+		return true
+	}
+	if err.Error() == "boom" { // want `comparing rendered error text`
+		return true
+	}
+	return errors.Is(err, errSentinel) // identity matching is the point
+}
+
+// --- fmt.Errorf without %w ---
+
+func wrap(err error) error {
+	return fmt.Errorf("loading config: %w", err)
+}
+
+func flatten(err error) error {
+	return fmt.Errorf("loading config: %v", err) // want `fmt\.Errorf formats an error without %w`
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("count %d out of range", n)
+}

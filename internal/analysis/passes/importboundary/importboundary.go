@@ -1,0 +1,93 @@
+// Package importboundary pins the facade boundary introduced by the
+// API redesign: programs under cmd/ and examples/ build against the
+// stable public surface, never against the pipeline internals, so the
+// pipeline can be refactored behind the facade without breaking any
+// in-tree caller. The rule is default-deny — a new internal package is
+// off-limits to cmd/ and examples/ until it is added to the allow list
+// here — which is strictly stronger than the original import-graph
+// test that only banned three named packages.
+package importboundary
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ModulePath is the module all rules are anchored to.
+const ModulePath = "repro"
+
+// allowed names the internal subtrees cmd/ and examples/ may import:
+// the bench harness, the serving layer (daemons embed it), the
+// analysis tooling itself, and the leaf research-kit packages that the
+// offline eval binaries (nerbench, disambench, geostats) drive
+// directly. Everything else under internal/ is pipeline machinery the
+// facade covers.
+var allowed = map[string]bool{
+	"benchkit":  true,
+	"server":    true,
+	"analysis":  true,
+	"gazetteer": true,
+	"ner":       true,
+	"ontology":  true,
+	"disambig":  true,
+	"tweetgen":  true,
+	"text":      true,
+	"geo":       true,
+}
+
+// hints carries per-package guidance for the packages most likely to
+// be reached for out of habit.
+var hints = map[string]string{
+	"repro/internal/coordinator": "use neogeo.Outcome / neogeo.Drain",
+	"repro/internal/extract":     "use neogeo.MessageType / neogeo.Answer",
+	"repro/internal/core":        "use neogeo.New with options",
+	"repro/internal/xmldb":       "use neogeo.Ask / neogeo.Feedback; the store is never touched directly",
+	"repro/internal/mq":          "use neogeo.Submit; the queue and its WAL are facade-managed",
+	"repro/internal/shard":       "shard routing is internal; configure neogeo.WithShards instead",
+	"repro/internal/persist":     "use neogeo.WithDataDir / System.Checkpoint",
+	"repro/internal/feedback":    "use neogeo.Feedback / neogeo.FlushFeedback",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "importboundary",
+	Doc: "cmd/ and examples/ may only import the public facade\n\n" +
+		"Programs under cmd/ and examples/ must build against the stable\n" +
+		"neogeo surface (plus the allow-listed bench/serving/research-kit\n" +
+		"packages); importing pipeline internals couples them to details\n" +
+		"the facade exists to hide.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !strings.HasPrefix(pass.Path, ModulePath+"/cmd/") &&
+		!strings.HasPrefix(pass.Path, ModulePath+"/examples/") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			rest, ok := strings.CutPrefix(path, ModulePath+"/internal/")
+			if !ok {
+				continue // the facade itself, std, or sibling commands
+			}
+			top := rest
+			if i := strings.IndexByte(rest, '/'); i >= 0 {
+				top = rest[:i]
+			}
+			if allowed[top] {
+				continue
+			}
+			hint := hints[path]
+			if hint == "" {
+				hint = "use the neogeo facade instead, or allow-list the package in importboundary with a rationale"
+			}
+			pass.Reportf(imp.Pos(), "%s imports internal package %s — %s", pass.Path, path, hint)
+		}
+	}
+	return nil, nil
+}

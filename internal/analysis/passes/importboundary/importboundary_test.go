@@ -1,0 +1,17 @@
+package importboundary_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/importboundary"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", importboundary.Analyzer,
+		"repro/cmd/app",
+		"repro/cmd/ok",
+		"repro/examples/demo",
+		"repro/internal/other",
+	)
+}

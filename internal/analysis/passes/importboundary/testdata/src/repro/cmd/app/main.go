@@ -1,0 +1,8 @@
+// Command app reaches into pipeline internals and is flagged.
+package main
+
+import (
+	_ "repro/internal/core" // want `repro/cmd/app imports internal package repro/internal/core — use neogeo.New with options`
+)
+
+func main() {}

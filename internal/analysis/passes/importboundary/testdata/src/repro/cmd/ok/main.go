@@ -1,0 +1,12 @@
+// Command ok builds only against the facade and allow-listed helpers.
+package main
+
+import (
+	neogeo "repro"
+	"repro/internal/benchkit"
+)
+
+func main() {
+	_ = neogeo.System{}
+	benchkit.Run()
+}

@@ -1,0 +1,10 @@
+// Example demo is flagged for importing an internal not on the allow
+// list (no specific hint is registered for it, so the generic one is
+// expected).
+package main
+
+import (
+	_ "repro/internal/core" // want `use neogeo.New with options`
+)
+
+func main() {}

@@ -1,0 +1,5 @@
+// Package core is a stub pipeline internal.
+package core
+
+// Config stands in for the real config.
+type Config struct{}

@@ -1,0 +1,7 @@
+// Package other is an internal package: the boundary rule does not
+// apply between internals.
+package other
+
+import (
+	_ "repro/internal/core"
+)

@@ -1,0 +1,5 @@
+// Package neogeo is a stub of the public facade for analyzer tests.
+package neogeo
+
+// System stands in for the real facade type.
+type System struct{}

@@ -1,0 +1,16 @@
+package singlewriter_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/singlewriter"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", singlewriter.Analyzer,
+		"repro/internal/server",
+		"repro/internal/integrate",
+		"repro/cmd/tool",
+	)
+}

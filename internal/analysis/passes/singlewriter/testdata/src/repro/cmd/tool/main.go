@@ -1,0 +1,10 @@
+// Command tool must go through the facade, not the store.
+package main
+
+import "repro/internal/xmldb"
+
+func main() {
+	db := xmldb.New()
+	db.Delete("poi", 1) // want `direct xmldb\.DB\.Delete from repro/cmd/tool`
+	_ = db.Len("poi")
+}

@@ -1,0 +1,11 @@
+// Package integrate owns a write path: mutations are legal here.
+package integrate
+
+import "repro/internal/xmldb"
+
+func merge(db *xmldb.DB) error {
+	if err := db.Insert("poi"); err != nil {
+		return err
+	}
+	return db.Update("poi", 1)
+}

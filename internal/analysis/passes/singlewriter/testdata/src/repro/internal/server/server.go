@@ -1,0 +1,23 @@
+// Package server must not touch the store directly.
+package server
+
+import "repro/internal/xmldb"
+
+func handle(db *xmldb.DB) error {
+	if db.Get("poi", 1) { // reads are fine from anywhere
+		return nil
+	}
+	db.Insert("poi")                           // want `direct xmldb\.DB\.Insert from repro/internal/server`
+	return db.Batch(func(tx *xmldb.Tx) error { // want `direct xmldb\.DB\.Batch from repro/internal/server`
+		return tx.Insert("poi") // want `direct xmldb\.Tx\.Insert from repro/internal/server`
+	})
+}
+
+func restoreShim(db *xmldb.DB) {
+	//lint:ignore singlewriter boot-time restore shim exercised by the driver test
+	db.Restore()
+}
+
+func reseed(db *xmldb.DB) {
+	db.SetIDSequence(1, 4) // want `direct xmldb\.DB\.SetIDSequence from repro/internal/server`
+}

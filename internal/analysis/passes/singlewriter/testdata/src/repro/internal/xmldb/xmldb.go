@@ -1,0 +1,23 @@
+// Package xmldb is a stub of the store for analyzer tests: the method
+// set matters, the signatures do not.
+package xmldb
+
+// DB is the stub store.
+type DB struct{}
+
+// Tx is the stub batch transaction.
+type Tx struct{}
+
+func New() *DB { return &DB{} }
+
+func (db *DB) Insert(collection string) error           { return nil }
+func (db *DB) Update(collection string, id int64) error { return nil }
+func (db *DB) Delete(collection string, id int64) error { return nil }
+func (db *DB) Batch(fn func(*Tx) error) error           { return fn(&Tx{}) }
+func (db *DB) Restore() error                           { return nil }
+func (db *DB) SetIDSequence(start, stride int64) error  { return nil }
+func (db *DB) Get(collection string, id int64) bool     { return false }
+func (db *DB) Len(collection string) int                { return 0 }
+
+func (tx *Tx) Insert(collection string) error { return nil }
+func (tx *Tx) Get(collection string) bool     { return false }

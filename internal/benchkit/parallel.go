@@ -48,8 +48,9 @@ type ParallelConfig struct {
 // same slice (same gazetteer too), so sequential, concurrent and sharded
 // runs compare identical inputs; submission is not timed — the
 // measurement is the drain, which is where acknowledgement durability,
-// integration batching and shard-lane parallelism live.
-func Parallel(cfg ParallelConfig, w io.Writer) error {
+// integration batching and shard-lane parallelism live. Cancelling ctx
+// stops the concurrent drains early.
+func Parallel(ctx context.Context, cfg ParallelConfig, w io.Writer) error {
 	gaz, err := gazetteer.Synthesize(gazetteer.Config{Names: cfg.GazetteerNames, Seed: 2011})
 	if err != nil {
 		return fmt.Errorf("synthesising gazetteer: %w", err)
@@ -126,14 +127,20 @@ func Parallel(cfg ParallelConfig, w io.Writer) error {
 			if wk == 0 {
 				outs, errs = sys.MC.Drain(0)
 			} else {
-				outs, errs = sys.ProcessConcurrent(context.Background(), 0)
+				outs, errs = sys.ProcessConcurrent(ctx, 0)
 			}
 			elapsed := time.Since(start).Seconds()
 			balance := sys.Store.Balance()
 			qstats := sys.Queue.Stats()
-			sys.Close()
+			// A failed close means the WAL's final state is suspect: the
+			// numbers above would describe a run whose durability story is
+			// broken, so it fails the benchmark like any drain error.
+			closeErr := sys.Close()
 			if len(errs) > 0 {
-				return fmt.Errorf("%s: %d drain errors (first: %v)", label, len(errs), errs[0])
+				return fmt.Errorf("%s: %d drain errors (first: %w)", label, len(errs), errs[0])
+			}
+			if closeErr != nil {
+				return fmt.Errorf("%s: closing system: %w", label, closeErr)
 			}
 			if len(outs) != n {
 				return fmt.Errorf("%s: drained %d of %d messages", label, len(outs), n)

@@ -317,13 +317,14 @@ func (s *System) Submit(body, source string) (int64, error) {
 
 // Process drains the queue (up to limit messages; 0 = all) and returns the
 // outcomes. When Workers was explicitly configured above 1 it runs the
-// concurrent pipeline (outcomes in completion order); otherwise it keeps
-// the deterministic sequential drain in queue order, so existing callers'
-// ordering does not silently become machine-dependent. Use
-// ProcessConcurrent to opt in regardless of configuration.
-func (s *System) Process(limit int) ([]*coordinator.Outcome, []error) {
+// concurrent pipeline (outcomes in completion order, stopping early if
+// ctx is cancelled); otherwise it keeps the deterministic sequential
+// drain in queue order, so existing callers' ordering does not silently
+// become machine-dependent. Use ProcessConcurrent to opt in regardless
+// of configuration.
+func (s *System) Process(ctx context.Context, limit int) ([]*coordinator.Outcome, []error) {
 	if s.workers > 1 {
-		return s.MC.DrainConcurrent(context.Background(), limit)
+		return s.MC.DrainConcurrent(ctx, limit)
 	}
 	return s.MC.Drain(limit)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -104,7 +105,7 @@ func TestSubmitProcessBatch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	outs, errs := s.Process(0)
+	outs, errs := s.Process(context.Background(), 0)
 	if len(errs) != 0 {
 		t.Fatalf("errors: %v", errs)
 	}
@@ -171,7 +172,7 @@ func TestQueueWALPersistence(t *testing.T) {
 	if s2.Queue.Len() != 1 {
 		t.Fatalf("recovered queue len = %d", s2.Queue.Len())
 	}
-	outs, errs := s2.Process(0)
+	outs, errs := s2.Process(context.Background(), 0)
 	if len(errs) != 0 || len(outs) != 1 {
 		t.Fatalf("recovered processing: %d outs, %v", len(outs), errs)
 	}

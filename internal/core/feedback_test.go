@@ -64,10 +64,10 @@ func TestShardedFeedbackMatchesSingleStore(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, errs := single.Process(0); len(errs) != 0 {
+	if _, errs := single.Process(context.Background(), 0); len(errs) != 0 {
 		t.Fatalf("single drain errors: %v", errs)
 	}
-	if _, errs := sharded.Process(0); len(errs) != 0 {
+	if _, errs := sharded.Process(context.Background(), 0); len(errs) != 0 {
 		t.Fatalf("sharded drain errors: %v", errs)
 	}
 

@@ -77,10 +77,10 @@ func TestShardedAskMatchesSingleStore(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, errs := single.Process(0); len(errs) != 0 {
+	if _, errs := single.Process(context.Background(), 0); len(errs) != 0 {
 		t.Fatalf("single drain errors: %v", errs)
 	}
-	if _, errs := sharded.Process(0); len(errs) != 0 {
+	if _, errs := sharded.Process(context.Background(), 0); len(errs) != 0 {
 		t.Fatalf("sharded drain errors: %v", errs)
 	}
 
@@ -152,7 +152,7 @@ func TestShardedConcurrentDrain(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	wantOuts, errs := single.Process(0)
+	wantOuts, errs := single.Process(context.Background(), 0)
 	if len(errs) != 0 {
 		t.Fatalf("single drain errors: %v", errs)
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -43,32 +44,24 @@ type wal struct {
 	f *os.File
 }
 
-// openWAL opens (creating if needed) the log and returns its replayed
-// entries. A trailing partial line (torn write) is truncated away, not
-// just skipped: appending after a tolerated partial line would fuse the
-// next entry into it, and the fused unparseable line would end replay
-// early on the following boot, silently dropping everything after it.
-// An entry whose group commit never completed also never reported
-// success to its producer, so cutting it loses nothing acknowledged.
-func openWAL(path string) (*wal, []walEntry, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("mq: open wal: %w", err)
-	}
-	fail := func(op string, err error) (*wal, []walEntry, error) {
-		f.Close()
-		return nil, nil, fmt.Errorf("mq: %s wal: %w", op, err)
-	}
-	fi, err := f.Stat()
-	if err != nil {
-		return fail("stat", err)
-	}
-	size := fi.Size()
+// scanWAL replays the log bytes arriving through r (size bytes long)
+// and returns the parsed entries plus validEnd, the byte offset just
+// past the last complete, parseable, newline-terminated entry — where
+// appends resume. Everything at and beyond validEnd is a torn trailing
+// write the caller should truncate away, not just skip: appending
+// after a tolerated partial line would fuse the next entry into it,
+// and the fused unparseable line would end replay early on the
+// following boot, silently dropping everything after it. An entry
+// whose group commit never completed also never reported success to
+// its producer, so cutting it loses nothing acknowledged.
+//
+// The returned error reports only read failures from r; torn tails are
+// not errors. The function is pure with respect to its input bytes,
+// which is what lets FuzzWALScan hammer it with arbitrary corruption.
+func scanWAL(r io.Reader, size int64) ([]walEntry, int64, error) {
 	var entries []walEntry
-	// validEnd is the byte offset just past the last complete,
-	// parseable, newline-terminated entry — where appends resume.
 	var validEnd int64
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -91,6 +84,30 @@ func openWAL(path string) (*wal, []walEntry, error) {
 		validEnd += lineLen
 	}
 	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return entries, validEnd, nil
+}
+
+// openWAL opens (creating if needed) the log, replays it through
+// scanWAL, and truncates any torn tail so appends resume at the end of
+// the valid prefix.
+func openWAL(path string) (*wal, []walEntry, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mq: open wal: %w", err)
+	}
+	fail := func(op string, err error) (*wal, []walEntry, error) {
+		f.Close()
+		return nil, nil, fmt.Errorf("mq: %s wal: %w", op, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fail("stat", err)
+	}
+	size := fi.Size()
+	entries, validEnd, err := scanWAL(f, size)
+	if err != nil {
 		return fail("read", err)
 	}
 	if validEnd < size {

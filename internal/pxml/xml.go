@@ -18,10 +18,16 @@ const (
 	probKey = "p"
 )
 
-// Marshal renders the tree as indented XML.
+// Marshal renders the tree as indented XML. The root must be an
+// element or distribution node: a bare text root would render as
+// character data outside any element, a document Unmarshal cannot
+// read back.
 func Marshal(n *Node) (string, error) {
 	if err := n.Validate(); err != nil {
 		return "", err
+	}
+	if n.Kind == KindText {
+		return "", fmt.Errorf("pxml: text node cannot be the document root")
 	}
 	var sb strings.Builder
 	enc := xml.NewEncoder(&sb)
@@ -114,6 +120,12 @@ func Unmarshal(s string) (*Node, error) {
 		n, err := decodeElement(dec, start)
 		if err != nil {
 			return nil, err
+		}
+		if n.Kind == KindText {
+			// A <p:text> wrapper is only meaningful as a distribution
+			// alternative; as the root it would round-trip to a
+			// rootless document.
+			return nil, fmt.Errorf("pxml: text node cannot be the document root")
 		}
 		if err := n.Validate(); err != nil {
 			return nil, err

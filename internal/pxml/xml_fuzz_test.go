@@ -1,0 +1,54 @@
+package pxml
+
+import "testing"
+
+// FuzzUnmarshal throws arbitrary documents at the probabilistic-XML
+// parser. The invariants:
+//
+//  1. Unmarshal never panics, whatever the input;
+//  2. any tree Unmarshal accepts that also passes Validate must
+//     survive a Marshal → Unmarshal → Marshal round trip with the two
+//     marshalled forms byte-identical — Marshal's output is a fixpoint,
+//     which is what lets the store treat serialised documents as
+//     canonical.
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []string{
+		"<hotel><name>Axel</name><city>Berlin</city></hotel>",
+		`<poi><p:mux><name p="0.6">Eiffel Tower</name><name p="0.4">Tour Eiffel</name></p:mux></poi>`,
+		`<poi><p:ind><tag p="0.9">landmark</tag><tag p="0.5">museum</tag></p:ind></poi>`,
+		`<r><p:mux><p:text p="0.5">flood</p:text><p:text p="0.5">fire</p:text></p:mux></r>`,
+		"<a><b/><c>text</c></a>",
+		"<a>",                     // unterminated
+		"<a><p:mux></p:mux></a>",  // empty distribution
+		`<a p="1.5">bad prob</a>`, // probability out of range
+		"plain text, no element",
+		`<a><p:mux><b p="abc">x</b></p:mux></a>`, // unparseable probability
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := Unmarshal(s)
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			return
+		}
+		first, err := Marshal(n)
+		if err != nil {
+			t.Fatalf("Marshal of accepted valid tree failed: %v", err)
+		}
+		back, err := Unmarshal(first)
+		if err != nil {
+			t.Fatalf("Unmarshal of own Marshal output failed: %v\ndoc: %s", err, first)
+		}
+		second, err := Marshal(back)
+		if err != nil {
+			t.Fatalf("re-Marshal failed: %v\ndoc: %s", err, first)
+		}
+		if first != second {
+			t.Fatalf("Marshal is not a fixpoint:\nfirst:  %s\nsecond: %s", first, second)
+		}
+	})
+}

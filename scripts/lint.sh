@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Build cmd/neogeolint and run the project-invariant analyzer suite
+# over the whole module. Exits nonzero when any finding is reported, so
+# both CI and the smoke preflight can gate on it. Findings print to
+# stdout in file:line:col form; pass extra args (e.g. -json out.json)
+# through via LINT_FLAGS.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BIN="${NEOGEOLINT_BIN:-$(mktemp -d)/neogeolint}"
+go build -o "$BIN" ./cmd/neogeolint
+
+exec "$BIN" ${LINT_FLAGS:-} ./...

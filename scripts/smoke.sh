@@ -10,6 +10,9 @@
 # stats -> checkpoint -> crash -> recover path a deployment depends on.
 set -eu
 
+echo "== preflight: static analysis (scripts/lint.sh)"
+sh "$(dirname "$0")/lint.sh"
+
 ADDR="127.0.0.1:${SMOKE_PORT:-8765}"
 BASE="http://$ADDR"
 BIN="$(mktemp -d)/neogeod"

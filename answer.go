@@ -41,6 +41,10 @@ type Outcome struct {
 	// Answer is the structured reply for request messages, nil for
 	// informative ones.
 	Answer *Answer
+	// Trace is the observability trace ID the message carried through
+	// the pipeline (minted at Submit or accepted via X-Request-Id);
+	// empty for untraced submissions.
+	Trace string
 }
 
 // Answer is a question's structured reply: the generated text plus the
@@ -104,6 +108,34 @@ type Stats struct {
 	Feedback FeedbackStats
 	// Decay is the certainty-ageing totals.
 	Decay DecayStats
+	// Latency summarises the observability layer's latency histograms
+	// for the hot paths; zero-valued summaries when nothing has been
+	// observed yet (full distributions are on GET /metrics).
+	Latency LatencyStats
+}
+
+// LatencyStats groups the latency summaries surfaced in Stats.
+type LatencyStats struct {
+	// Ask is the synchronous ask path end to end.
+	Ask LatencySummary
+	// Extract is the IE stage per message (classify+NER+disambiguate).
+	Extract LatencySummary
+	// Integrate is the integration stage per amortized batch.
+	Integrate LatencySummary
+	// Transit is the full pipeline transit, enqueue to acknowledged.
+	Transit LatencySummary
+}
+
+// LatencySummary digests one latency histogram. Quantiles are
+// estimated by interpolation over fixed histogram buckets, so they are
+// bounded by the bucket layout's resolution.
+type LatencySummary struct {
+	// Count is how many observations the summary covers.
+	Count uint64
+	// Mean is the arithmetic mean in seconds.
+	Mean float64
+	// P50, P95 and P99 are estimated quantiles in seconds.
+	P50, P95, P99 float64
 }
 
 // CheckpointStats is the durability subsystem's health snapshot: is
@@ -119,6 +151,10 @@ type CheckpointStats struct {
 	LastSeq   uint64
 	LastBytes int64
 	LastAge   time.Duration
+	// LastError is the most recent checkpoint attempt's failure message,
+	// empty when it succeeded. /healthz degrades with reason
+	// checkpoint_stale while it is set.
+	LastError string
 }
 
 // QueueStats is the message queue's health snapshot.
@@ -151,6 +187,7 @@ func publicOutcome(out *coordinator.Outcome) *Outcome {
 		Domain:      out.Domain,
 		Inserted:    out.Inserted,
 		Merged:      out.Merged,
+		Trace:       out.Trace,
 	}
 	if out.Response != nil {
 		pub.Answer = publicAnswer(out.Response)

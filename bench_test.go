@@ -29,6 +29,7 @@ import (
 	"repro/internal/integrate"
 	"repro/internal/kb"
 	"repro/internal/ner"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/pxml"
 	"repro/internal/shard"
@@ -127,11 +128,11 @@ func BenchmarkScenarioPipeline(b *testing.B) {
 		}
 		b.StartTimer()
 		for j, m := range paperScenarioMessages {
-			if _, err := sys.Ingest(m, fmt.Sprintf("user%d", j)); err != nil {
+			if _, err := sys.Ingest(context.Background(), m, fmt.Sprintf("user%d", j)); err != nil {
 				b.Fatal(err)
 			}
 		}
-		answer, err := sys.Ask(paperScenarioRequest, "asker")
+		answer, err := sys.Ask(context.Background(), paperScenarioRequest, "asker")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -423,7 +424,7 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := msgs[i%len(msgs)]
-		if _, err := sys.Ingest(m.Text, m.Source); err != nil {
+		if _, err := sys.Ingest(context.Background(), m.Text, m.Source); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -471,7 +472,7 @@ func BenchmarkDrainParallel(b *testing.B) {
 				}
 				for j := 0; j < perIter; j++ {
 					m := msgs[(i*perIter+j)%len(msgs)]
-					if _, err := sys.Submit(m.Text, m.Source); err != nil {
+					if _, err := sys.Submit(context.Background(), m.Text, m.Source); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -488,6 +489,64 @@ func BenchmarkDrainParallel(b *testing.B) {
 					b.Fatalf("drain errors: %v", errs[0])
 				}
 				processed += len(outs)
+				sys.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "msgs/sec")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E14 — observability cost: the same WAL-backed concurrent drain with the
+// metrics registry recording versus disabled (one atomic load per
+// instrument call and every observation skipped). The two msgs/sec
+// figures bound what the whole instrumentation layer charges the hot
+// path; the roadmap's acceptance bar is within 5%.
+
+func BenchmarkDrainMetricsOverhead(b *testing.B) {
+	g, _ := benchFixtures(b)
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 99, Noise: 0.4, Domain: tweetgen.DomainMixed, RequestRatio: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := gen.Generate(256)
+	const perIter = 64
+
+	for _, cfg := range []struct {
+		name    string
+		enabled bool
+	}{
+		{"metrics=on", true},
+		{"metrics=off", false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			obs.Default().SetEnabled(cfg.enabled)
+			defer obs.Default().SetEnabled(true)
+			processed := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys, err := core.New(core.Config{
+					Gazetteer: g,
+					Workers:   4,
+					QueueWAL:  filepath.Join(b.TempDir(), "queue.wal"),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < perIter; j++ {
+					m := msgs[(i*perIter+j)%len(msgs)]
+					if _, err := sys.Submit(context.Background(), m.Text, m.Source); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				_, errs := sys.ProcessConcurrent(context.Background(), 0)
+				b.StopTimer()
+				if len(errs) != 0 {
+					b.Fatalf("drain errors: %v", errs[0])
+				}
+				processed += perIter
 				sys.Close()
 				b.StartTimer()
 			}
@@ -523,7 +582,7 @@ func BenchmarkCheckpoint(b *testing.B) {
 			}
 			defer sys.Close()
 			for _, m := range gen.Generate(n) {
-				if _, err := sys.Submit(m.Text, m.Source); err != nil {
+				if _, err := sys.Submit(context.Background(), m.Text, m.Source); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -576,7 +635,7 @@ func BenchmarkDrainWithCheckpointing(b *testing.B) {
 				}
 				for j := 0; j < perIter; j++ {
 					m := msgs[(i*perIter+j)%len(msgs)]
-					if _, err := sys.Submit(m.Text, m.Source); err != nil {
+					if _, err := sys.Submit(context.Background(), m.Text, m.Source); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -820,7 +879,7 @@ func BenchmarkDrainSharded(b *testing.B) {
 				}
 				for j := 0; j < perIter; j++ {
 					m := msgs[(i*perIter+j)%len(msgs)]
-					if _, err := sys.Submit(m.Text, m.Source); err != nil {
+					if _, err := sys.Submit(context.Background(), m.Text, m.Source); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -861,7 +920,7 @@ func benchFeedbackSystem(b *testing.B, shards, n int) (*core.System, []int64) {
 		b.Fatal(err)
 	}
 	for _, m := range gen.Generate(n) {
-		if _, err := sys.Submit(m.Text, m.Source); err != nil {
+		if _, err := sys.Submit(context.Background(), m.Text, m.Source); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -926,13 +985,13 @@ func BenchmarkMixedAskFeedbackDrain(b *testing.B) {
 		// One serving beat: a fresh contribution drains, a question is
 		// answered, a verdict arrives and the buffered batch applies.
 		m := stream[i%len(stream)]
-		if _, err := sys.Submit(m.Text, m.Source); err != nil {
+		if _, err := sys.Submit(context.Background(), m.Text, m.Source); err != nil {
 			b.Fatal(err)
 		}
 		if _, errs := sys.ProcessConcurrent(context.Background(), 0); len(errs) != 0 {
 			b.Fatalf("drain errors: %v", errs[0])
 		}
-		if _, err := sys.Ask(questions[i%len(questions)], "asker"); err != nil {
+		if _, err := sys.Ask(context.Background(), questions[i%len(questions)], "asker"); err != nil {
 			b.Fatal(err)
 		}
 		if _, err := sys.SubmitFeedback(feedback.Verdict{

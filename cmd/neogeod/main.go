@@ -13,28 +13,40 @@
 // writes one final checkpoint before the WAL closes; after a SIGKILL the
 // next boot re-integrates from the log instead.
 //
+// Observability: GET /metrics on the public listener serves the whole
+// pipeline's Prometheus families; -debug-addr starts a second, private
+// listener that adds net/http/pprof profiling next to /metrics, so
+// profiles never ride the public surface. -log-format/-log-level shape
+// the structured log stream every subsystem writes to.
+//
 //	neogeod -addr :8080 -shards 4 -workers 8 \
-//	    -wal /var/lib/neogeo/queue.wal -data-dir /var/lib/neogeo/data
+//	    -wal /var/lib/neogeo/queue.wal -data-dir /var/lib/neogeo/data \
+//	    -debug-addr 127.0.0.1:6060 -log-format json
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	neogeo "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		debugAddr  = flag.String("debug-addr", "", "private debug listener for pprof + metrics (empty: off; bind loopback in production)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		walPath    = flag.String("wal", "", "message-queue write-ahead log path (empty: in-memory)")
 		dataDir    = flag.String("data-dir", "", "checkpoint directory for the integrated store (empty: store is not durable)")
 		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period (requires -data-dir; 0 disables the loop)")
@@ -49,6 +61,8 @@ func main() {
 		decayFloor = flag.Float64("decay-floor", 0.05, "certainty below which a decayed record is deleted")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	slog.SetDefault(logger)
 	if *dataDir == "" {
 		// No data directory means nowhere to checkpoint: keep the
 		// serving layer's loop off instead of failing every interval.
@@ -67,7 +81,8 @@ func main() {
 		neogeo.WithFeedbackBatch(*fbBatch),
 	)
 	if err != nil {
-		log.Fatalf("building system: %v", err)
+		logger.Error("building system", "err", err)
+		os.Exit(1)
 	}
 	defer sys.Close()
 
@@ -75,12 +90,34 @@ func main() {
 		server.WithDrainInterval(*interval),
 		server.WithDecayInterval(*decayEvery),
 		server.WithDecayFloor(*decayFloor),
+		server.WithSlog(logger),
 	)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// The debug mux is assembled by hand rather than from
+		// http.DefaultServeMux, so nothing else that registers there
+		// leaks onto the listener, and pprof stays off the public mux
+		// entirely.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(obs.Default()))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: mux}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 	drainDone := make(chan struct{})
 	go func() {
 		defer close(drainDone)
@@ -91,11 +128,15 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
 	}()
 
-	log.Printf("neogeod listening on %s (shards=%d, drain every %s, data-dir=%q)", *addr, *shards, *interval, *dataDir)
+	logger.Info("neogeod listening", "addr", *addr, "shards", *shards, "drain_interval", *interval, "data_dir", *dataDir)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("serving: %v", err)
+		logger.Error("serving", "err", err)
+		os.Exit(1)
 	}
 	// Let the drain loop finish its pass so accepted messages are not
 	// stranded in flight before the WAL-backed queue closes.
@@ -105,23 +146,23 @@ func main() {
 	// the shutdown checkpoint covers everything that was accepted.
 	for _, err := range sys.Drain(context.Background(), 0) {
 		if err != nil {
-			log.Printf("final drain: %v", err)
+			logger.Error("final drain", "err", err)
 		}
 	}
 	// Apply any feedback still buffered so the shutdown checkpoint
 	// covers every accepted verdict (the ledger would replay them
 	// anyway, but a clean stop should leave nothing to replay).
 	if _, err := sys.FlushFeedback(context.Background()); err != nil {
-		log.Printf("final feedback flush: %v", err)
+		logger.Error("final feedback flush", "err", err)
 	}
 	// Final checkpoint, ordered after the drain wound down (the image
 	// covers everything integrated) and before Close releases the WAL:
 	// a graceful restart then recovers from the checkpoint alone.
 	if *dataDir != "" {
 		if info, err := sys.Checkpoint(context.Background()); err != nil {
-			log.Printf("final checkpoint failed (the queue WAL still covers the gap): %v", err)
+			logger.Error("final checkpoint failed (the queue WAL still covers the gap)", "err", err)
 		} else {
-			log.Printf("final checkpoint %d written (%d bytes)", info.Seq, info.Bytes)
+			logger.Info("final checkpoint written", "seq", info.Seq, "bytes", info.Bytes)
 		}
 	}
 }

@@ -20,13 +20,15 @@ const ModulePath = "repro"
 
 // allowed names the internal subtrees cmd/ and examples/ may import:
 // the bench harness, the serving layer (daemons embed it), the
-// analysis tooling itself, and the leaf research-kit packages that the
-// offline eval binaries (nerbench, disambench, geostats) drive
-// directly. Everything else under internal/ is pipeline machinery the
-// facade covers.
+// observability layer (daemons mount its /metrics handler and build
+// their loggers from it), the analysis tooling itself, and the leaf
+// research-kit packages that the offline eval binaries (nerbench,
+// disambench, geostats) drive directly. Everything else under
+// internal/ is pipeline machinery the facade covers.
 var allowed = map[string]bool{
 	"benchkit":  true,
 	"server":    true,
+	"obs":       true,
 	"analysis":  true,
 	"gazetteer": true,
 	"ner":       true,

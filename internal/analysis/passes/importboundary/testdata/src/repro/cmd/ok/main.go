@@ -4,9 +4,11 @@ package main
 import (
 	neogeo "repro"
 	"repro/internal/benchkit"
+	"repro/internal/obs"
 )
 
 func main() {
 	_ = neogeo.System{}
 	benchkit.Run()
+	_ = obs.Handler()
 }

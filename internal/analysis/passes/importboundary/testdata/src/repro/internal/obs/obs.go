@@ -1,0 +1,5 @@
+// Package obs stands in for the real observability layer: allow-listed,
+// so commands may mount its metrics handler and build loggers from it.
+package obs
+
+func Handler() any { return nil }

@@ -109,7 +109,7 @@ func Parallel(ctx context.Context, cfg ParallelConfig, w io.Writer) error {
 				return err
 			}
 			for _, m := range stream {
-				if _, err := sys.Submit(m.Text, m.Source); err != nil {
+				if _, err := sys.Submit(ctx, m.Text, m.Source); err != nil {
 					sys.Close()
 					return err
 				}

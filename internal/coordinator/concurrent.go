@@ -3,7 +3,9 @@ package coordinator
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/extract"
 	"repro/internal/mq"
@@ -166,6 +168,7 @@ func (c *Coordinator) workOne(m mq.Message, sink *drainSink, lanes []chan integr
 	out, tpls, err := c.prepare(m)
 	if err != nil {
 		_ = c.queue.Nack(m.ID)
+		messagesErr.Inc()
 		sink.addErr(fmt.Errorf("coordinator: message %d: %w", m.ID, err))
 		notify()
 		return
@@ -208,22 +211,26 @@ func (c *Coordinator) runIntegrator(lane int, integ <-chan integrationJob, sink 
 }
 
 func (c *Coordinator) flushBatch(lane int, batch []integrationJob, sink *drainSink) {
+	mBatchMessages.With(strconv.Itoa(lane)).Observe(float64(len(batch)))
 	groups := make([][]extract.Template, len(batch))
 	for i, job := range batch {
 		groups[i] = job.tpls
 	}
+	intStart := time.Now()
 	results := c.di.IntegrateGroups(lane, groups)
+	stageIntegrate.Since(intStart)
 
 	ackIDs := make([]int64, 0, len(batch))
-	completed := make([]*Outcome, 0, len(batch))
+	completed := make([]integrationJob, 0, len(batch))
 	for i, job := range batch {
 		if err := foldGroup(job.out, results[i]); err != nil {
 			_ = c.queue.Nack(job.msg.ID)
+			messagesErr.Inc()
 			sink.addErr(fmt.Errorf("coordinator: message %d: %w", job.msg.ID, err))
 			continue
 		}
 		ackIDs = append(ackIDs, job.msg.ID)
-		completed = append(completed, job.out)
+		completed = append(completed, job)
 	}
 	if len(ackIDs) > 0 {
 		acked, err := c.queue.AckBatch(ackIDs)
@@ -241,7 +248,8 @@ func (c *Coordinator) flushBatch(lane int, batch []integrationJob, sink *drainSi
 		}
 		for i, id := range ackIDs {
 			if ackedSet[id] {
-				sink.addOut(completed[i])
+				c.finish(completed[i].msg, completed[i].out)
+				sink.addOut(completed[i].out)
 			} else {
 				_ = c.queue.Nack(id)
 			}

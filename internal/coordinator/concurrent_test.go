@@ -26,7 +26,7 @@ func TestDrainConcurrentExactlyOnce(t *testing.T) {
 		if i%5 == 0 {
 			body = "can anyone recommend a good hotel in Berlin?"
 		}
-		if _, err := c.Submit(body, fmt.Sprintf("user%d", i%7)); err != nil {
+		if _, err := c.Submit(context.Background(), body, fmt.Sprintf("user%d", i%7)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -58,7 +58,7 @@ func TestDrainConcurrentLimit(t *testing.T) {
 	c, _ := newCoordinator(t)
 	c.SetWorkers(3)
 	for i := 0; i < 7; i++ {
-		if _, err := c.Submit("nice stay at the Axel Hotel in Berlin", "u"); err != nil {
+		if _, err := c.Submit(context.Background(), "nice stay at the Axel Hotel in Berlin", "u"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -83,10 +83,10 @@ func TestDrainConcurrentErrorsDeadLetter(t *testing.T) {
 		extract.TypeInformative: {Step("bogus")},
 		extract.TypeRequest:     {StepClassify, StepExtract, StepAnswer},
 	}
-	if _, err := c.Submit("lovely Axel Hotel in Berlin", "x"); err != nil {
+	if _, err := c.Submit(context.Background(), "lovely Axel Hotel in Berlin", "x"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Submit("can anyone recommend a good hotel in Berlin?", "y"); err != nil {
+	if _, err := c.Submit(context.Background(), "can anyone recommend a good hotel in Berlin?", "y"); err != nil {
 		t.Fatal(err)
 	}
 	outs, errs := c.DrainConcurrent(context.Background(), 0)
@@ -118,7 +118,7 @@ func TestSubmitDuringDrainConcurrent(t *testing.T) {
 	// Seed the queue so the drain has work before producers start.
 	var ids sync.Map
 	for i := 0; i < 5; i++ {
-		id, err := c.Submit("great time at the Axel Hotel in Berlin", "seed")
+		id, err := c.Submit(context.Background(), "great time at the Axel Hotel in Berlin", "seed")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +130,7 @@ func TestSubmitDuringDrainConcurrent(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for i := 0; i < perProducer; i++ {
-				id, err := c.Submit("lovely Axel Hotel in Berlin", fmt.Sprintf("p%d", p))
+				id, err := c.Submit(context.Background(), "lovely Axel Hotel in Berlin", fmt.Sprintf("p%d", p))
 				if err != nil {
 					t.Errorf("submit: %v", err)
 					return
@@ -185,7 +185,7 @@ func TestDrainConcurrentCancel(t *testing.T) {
 	c, _ := newCoordinator(t)
 	c.SetWorkers(2)
 	for i := 0; i < 10; i++ {
-		if _, err := c.Submit("stay at the Axel Hotel in Berlin", "u"); err != nil {
+		if _, err := c.Submit(context.Background(), "stay at the Axel Hotel in Berlin", "u"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -210,7 +210,7 @@ func TestDrainConcurrentAckFailureTerminates(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := newCoordinatorWithQueue(t, q)
-	if _, err := c.Submit("loved the Axel Hotel in Berlin", "alice"); err != nil {
+	if _, err := c.Submit(context.Background(), "loved the Axel Hotel in Berlin", "alice"); err != nil {
 		t.Fatal(err)
 	}
 	// Closing the WAL makes every subsequent ack append fail.

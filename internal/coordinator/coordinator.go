@@ -10,7 +10,9 @@
 package coordinator
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/integrate"
 	"repro/internal/mq"
+	"repro/internal/obs"
 	"repro/internal/qa"
 )
 
@@ -76,6 +79,9 @@ type Outcome struct {
 	// with their certainties — of which Answer/Query are the flattened
 	// legacy projection. Nil for informative messages.
 	Response *qa.Answer
+	// Trace is the observability trace ID the message carried through
+	// the queue (empty for untraced submissions).
+	Trace string
 }
 
 // NotAQuestionError reports that a message handed to the synchronous ask
@@ -147,6 +153,13 @@ type Coordinator struct {
 	// batchSize caps how many integration jobs the batching stage folds
 	// into one amortized database batch (default 16).
 	batchSize int
+
+	// log receives per-message structured lines: outcomes at debug, slow
+	// transits at warn. Defaults to slog.Default().
+	log *slog.Logger
+	// slowThreshold is the pipeline-transit duration past which a
+	// message's completion logs at warn (default 5s; <= 0 disables).
+	slowThreshold time.Duration
 }
 
 // New wires a coordinator around an Integrator — SingleLane for the
@@ -163,20 +176,37 @@ func New(queue *mq.Queue, ie *extract.Service, di Integrator, ans *qa.Service, r
 		rules = DefaultRules()
 	}
 	return &Coordinator{
-		queue:      queue,
-		ie:         ie,
-		di:         di,
-		qa:         ans,
-		rules:      rules,
-		clock:      time.Now,
-		maxSignals: 10000,
-		workers:    runtime.GOMAXPROCS(0),
-		batchSize:  16,
+		queue:         queue,
+		ie:            ie,
+		di:            di,
+		qa:            ans,
+		rules:         rules,
+		clock:         time.Now,
+		maxSignals:    10000,
+		workers:       runtime.GOMAXPROCS(0),
+		batchSize:     16,
+		log:           slog.Default(),
+		slowThreshold: 5 * time.Second,
 	}, nil
 }
 
 // SetClock overrides the time source (tests).
 func (c *Coordinator) SetClock(clock func() time.Time) { c.clock = clock }
+
+// SetLogger replaces the structured logger for per-message outcome and
+// slow-transit lines (nil restores slog.Default()). Not safe to call
+// while a drain is running.
+func (c *Coordinator) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.Default()
+	}
+	c.log = l
+}
+
+// SetSlowThreshold sets the pipeline-transit duration past which a
+// message's completion is logged at warn; d <= 0 disables the slow log.
+// Not safe to call while a drain is running.
+func (c *Coordinator) SetSlowThreshold(d time.Duration) { c.slowThreshold = d }
 
 // SetWorkers sets the DrainConcurrent worker-pool size; n <= 0 restores
 // the default (GOMAXPROCS). Not safe to call while a drain is running.
@@ -197,9 +227,13 @@ func (c *Coordinator) SetBatchSize(n int) {
 }
 
 // Submit enqueues a user message and returns its queue ID ("Once a
-// message is received, it is placed in the MQ").
-func (c *Coordinator) Submit(body, source string) (int64, error) {
-	id, err := c.queue.Enqueue(body, source)
+// message is received, it is placed in the MQ"). The trace ID carried
+// by ctx (obs.WithTrace) — or minted here when the caller brought none
+// — rides in the message envelope so observability follows the message
+// across the queue hop.
+func (c *Coordinator) Submit(ctx context.Context, body, source string) (int64, error) {
+	_, trace := obs.EnsureTrace(ctx)
+	id, err := c.queue.EnqueueTraced(body, source, trace)
 	if err != nil {
 		return 0, err
 	}
@@ -220,12 +254,34 @@ func (c *Coordinator) ProcessOne() (*Outcome, bool, error) {
 	out, err := c.process(m)
 	if err != nil {
 		_ = c.queue.Nack(m.ID)
+		messagesErr.Inc()
 		return nil, true, fmt.Errorf("coordinator: message %d: %w", m.ID, err)
 	}
 	if err := c.queue.Ack(m.ID); err != nil {
 		return nil, true, err
 	}
+	c.finish(m, out)
 	return out, true, nil
+}
+
+// finish records a message's pipeline exit: the enqueue→acknowledged
+// transit histogram, the ok counter, a debug outcome line, and the warn
+// slow line when transit exceeded the threshold. Called after the
+// acknowledgement succeeds, on both the sequential and concurrent
+// paths.
+func (c *Coordinator) finish(m mq.Message, out *Outcome) {
+	transit := c.clock().Sub(m.Received)
+	mTransitSeconds.Observe(transit.Seconds())
+	messagesOK.Inc()
+	if c.slowThreshold > 0 && transit > c.slowThreshold {
+		c.log.Warn("slow message transit",
+			"trace", m.Trace, "msg_id", m.ID, "type", out.Type,
+			"transit", transit, "threshold", c.slowThreshold)
+		return
+	}
+	c.log.Debug("message processed",
+		"trace", m.Trace, "msg_id", m.ID, "type", out.Type,
+		"inserted", out.Inserted, "merged", out.Merged, "transit", transit)
 }
 
 // AskDirect answers a question synchronously through the read-only QA
@@ -235,8 +291,12 @@ func (c *Coordinator) ProcessOne() (*Outcome, bool, error) {
 // message ProcessOne picks up next — the serving layer's ask endpoint and
 // the background drain loop can run side by side. A message classified
 // informative returns a *NotAQuestionError carrying the classification.
-func (c *Coordinator) AskDirect(body, source string) (*qa.Answer, error) {
+// The trace ID carried by ctx (obs.WithTrace) labels its log lines.
+func (c *Coordinator) AskDirect(ctx context.Context, body, source string) (*qa.Answer, error) {
+	defer mAskSeconds.Since(time.Now())
+	exStart := time.Now()
 	ex, err := c.ie.Extract(body, source, c.clock())
+	stageExtract.Since(exStart)
 	if err != nil {
 		return nil, err
 	}
@@ -245,9 +305,14 @@ func (c *Coordinator) AskDirect(body, source string) (*qa.Answer, error) {
 		return nil, &NotAQuestionError{Type: ex.Type, TypeP: ex.TypeP}
 	}
 	c.signal(Signal{From: "MC", To: "QA", Step: StepAnswer})
+	ansStart := time.Now()
 	ans, err := c.qa.Answer(ex)
+	stageAnswer.Since(ansStart)
 	if err != nil {
 		return nil, err
+	}
+	if trace := obs.Trace(ctx); trace != "" {
+		c.log.Debug("ask answered", "trace", trace, "results", len(ans.Results))
 	}
 	return &ans, nil
 }
@@ -272,7 +337,9 @@ func (c *Coordinator) process(m mq.Message) (*Outcome, error) {
 // templates to the caller's integration stage.
 func (c *Coordinator) prepare(m mq.Message) (*Outcome, []extract.Template, error) {
 	now := c.clock()
+	exStart := time.Now()
 	ex, err := c.ie.Extract(m.Body, m.Source, now)
+	stageExtract.Since(exStart)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -289,6 +356,7 @@ func (c *Coordinator) prepare(m mq.Message) (*Outcome, []extract.Template, error
 		Type:      ex.Type,
 		TypeP:     ex.TypeP,
 		Domain:    ex.Domain,
+		Trace:     m.Trace,
 	}
 	steps, ok := c.rules[ex.Type]
 	if !ok {
@@ -306,7 +374,9 @@ func (c *Coordinator) prepare(m mq.Message) (*Outcome, []extract.Template, error
 			pending = append(pending, ex.Templates...)
 		case StepAnswer:
 			c.signal(Signal{MessageID: m.ID, From: "MC", To: "QA", Step: step})
+			ansStart := time.Now()
 			ans, err := c.qa.Answer(ex)
+			stageAnswer.Since(ansStart)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -326,6 +396,7 @@ func (c *Coordinator) prepare(m mq.Message) (*Outcome, []extract.Template, error
 // actions into its outcome.
 func (c *Coordinator) integrateInto(out *Outcome, tpls []extract.Template) error {
 	lane := c.di.Route(tpls)
+	defer stageIntegrate.Since(time.Now())
 	return foldGroup(out, c.di.IntegrateGroups(lane, [][]extract.Template{tpls})[0])
 }
 

@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -70,7 +71,7 @@ func newCoordinatorServices(t *testing.T, q *mq.Queue) (*Coordinator, *xmldb.DB)
 
 func TestWorkflowInformative(t *testing.T) {
 	c, db := newCoordinator(t)
-	id, err := c.Submit("loved the Axel Hotel in Berlin, great stay", "alice")
+	id, err := c.Submit(context.Background(), "loved the Axel Hotel in Berlin, great stay", "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,10 +108,10 @@ func TestWorkflowInformative(t *testing.T) {
 
 func TestWorkflowRequest(t *testing.T) {
 	c, _ := newCoordinator(t)
-	if _, err := c.Submit("loved the Axel Hotel in Berlin, great stay", "alice"); err != nil {
+	if _, err := c.Submit(context.Background(), "loved the Axel Hotel in Berlin, great stay", "alice"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Submit("can anyone recommend a good hotel in Berlin?", "bob"); err != nil {
+	if _, err := c.Submit(context.Background(), "can anyone recommend a good hotel in Berlin?", "bob"); err != nil {
 		t.Fatal(err)
 	}
 	outs, errs := c.Drain(0)
@@ -146,7 +147,7 @@ func TestProcessOneEmptyQueue(t *testing.T) {
 func TestDrainLimit(t *testing.T) {
 	c, _ := newCoordinator(t)
 	for i := 0; i < 5; i++ {
-		if _, err := c.Submit("nice stay at the Axel Hotel in Berlin", "u"); err != nil {
+		if _, err := c.Submit(context.Background(), "nice stay at the Axel Hotel in Berlin", "u"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -161,7 +162,7 @@ func TestDrainLimit(t *testing.T) {
 
 func TestMessageTagging(t *testing.T) {
 	c, _ := newCoordinator(t)
-	if _, err := c.Submit("is the road to Nairobi open?", "driver"); err != nil {
+	if _, err := c.Submit(context.Background(), "is the road to Nairobi open?", "driver"); err != nil {
 		t.Fatal(err)
 	}
 	out, ok, err := c.ProcessOne()
@@ -185,7 +186,7 @@ func TestCustomRulesUnknownStep(t *testing.T) {
 		extract.TypeInformative: {Step("bogus")},
 		extract.TypeRequest:     {Step("bogus")},
 	}
-	if _, err := c.Submit("lovely Axel Hotel in Berlin", "x"); err != nil {
+	if _, err := c.Submit(context.Background(), "lovely Axel Hotel in Berlin", "x"); err != nil {
 		t.Fatal(err)
 	}
 	_, ok, err := c.ProcessOne()

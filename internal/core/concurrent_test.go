@@ -36,10 +36,10 @@ func TestProcessConcurrentMatchesSequential(t *testing.T) {
 
 	for i, m := range stream {
 		src := fmt.Sprintf("user%d", i%5)
-		if _, err := seq.Submit(m, src); err != nil {
+		if _, err := seq.Submit(context.Background(), m, src); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := conc.Submit(m, src); err != nil {
+		if _, err := conc.Submit(context.Background(), m, src); err != nil {
 			t.Fatal(err)
 		}
 	}

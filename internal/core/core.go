@@ -23,6 +23,7 @@ import (
 	"repro/internal/integrate"
 	"repro/internal/kb"
 	"repro/internal/mq"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/persist"
 	"repro/internal/qa"
@@ -297,6 +298,16 @@ func New(cfg Config) (*System, error) {
 	if cfg.Clock != nil {
 		s.MC.SetClock(cfg.Clock)
 	}
+	// Queue depth is sampled from the live queue at scrape time;
+	// GaugeFunc replaces on re-register, so the newest system owns the
+	// process-wide series (a daemon builds exactly one).
+	q := s.Queue
+	obs.Default().GaugeFunc("neogeo_mq_pending",
+		"Undelivered messages waiting in the queue.",
+		func() float64 { return float64(q.Len()) })
+	obs.Default().GaugeFunc("neogeo_mq_in_flight",
+		"Leased, unacknowledged messages.",
+		func() float64 { return float64(q.InFlight()) })
 	built = true
 	return s, nil
 }
@@ -310,9 +321,11 @@ func (s *System) Close() error {
 	return err
 }
 
-// Submit enqueues a raw user message for asynchronous processing.
-func (s *System) Submit(body, source string) (int64, error) {
-	return s.MC.Submit(body, source)
+// Submit enqueues a raw user message for asynchronous processing. A
+// trace ID carried by ctx (obs.WithTrace) is persisted in the message
+// envelope.
+func (s *System) Submit(ctx context.Context, body, source string) (int64, error) {
+	return s.MC.Submit(ctx, body, source)
 }
 
 // Process drains the queue (up to limit messages; 0 = all) and returns the
@@ -350,8 +363,8 @@ func (s *System) ProcessEach(ctx context.Context, limit int, emit func(*coordina
 // submission only while no concurrent drain is leasing messages; serving
 // deployments use Submit + a drain for contributions and Ask for
 // questions.
-func (s *System) Ingest(body, source string) (*coordinator.Outcome, error) {
-	if _, err := s.Submit(body, source); err != nil {
+func (s *System) Ingest(ctx context.Context, body, source string) (*coordinator.Outcome, error) {
+	if _, err := s.Submit(ctx, body, source); err != nil {
 		return nil, err
 	}
 	out, ok, err := s.MC.ProcessOne()
@@ -373,8 +386,8 @@ func (s *System) Ingest(body, source string) (*coordinator.Outcome, error) {
 // classification instead of parsing an error string. Because the queue is
 // untouched, Ask is safe to call while a concurrent drain integrates
 // pending informative messages.
-func (s *System) Ask(question, source string) (*qa.Answer, error) {
-	return s.MC.AskDirect(question, source)
+func (s *System) Ask(ctx context.Context, question, source string) (*qa.Answer, error) {
+	return s.MC.AskDirect(ctx, question, source)
 }
 
 // DecayAll applies temporal certainty decay to every collection on every
@@ -504,6 +517,12 @@ type CheckpointStats struct {
 	LastSeq   uint64
 	LastBytes int64
 	LastAge   time.Duration
+	// LastError is the failure message of the most recent checkpoint
+	// attempt, empty when it succeeded — the health endpoint's
+	// checkpoint_stale signal watches it so a silently failing
+	// durability loop degrades /healthz instead of surfacing only as
+	// restart-time data loss.
+	LastError string
 }
 
 // CheckpointStats reports the durability subsystem's state, measuring
@@ -513,7 +532,7 @@ func (s *System) CheckpointStats() CheckpointStats {
 		return CheckpointStats{}
 	}
 	st := s.Persist.Stats()
-	out := CheckpointStats{Enabled: true, Count: st.Count}
+	out := CheckpointStats{Enabled: true, Count: st.Count, LastError: st.LastError}
 	if st.Last != nil {
 		out.LastSeq = st.Last.Seq
 		out.LastBytes = st.Last.Size

@@ -42,7 +42,7 @@ func TestPaperScenarioEndToEnd(t *testing.T) {
 		"In Berlin hotel room, nice enough, weather grim however",
 	}
 	for i, m := range messages {
-		out, err := s.Ingest(m, "user"+string(rune('1'+i)))
+		out, err := s.Ingest(context.Background(), m, "user"+string(rune('1'+i)))
 		if err != nil {
 			t.Fatalf("ingest %d: %v", i, err)
 		}
@@ -56,7 +56,7 @@ func TestPaperScenarioEndToEnd(t *testing.T) {
 	if got := s.DB.Len("Hotels"); got != 3 {
 		t.Fatalf("Hotels records = %d, want 3 distinct hotels", got)
 	}
-	answer, err := s.Ask("Can anyone recommend a good, but not ridiculously expensive hotel right in the middle of Berlin?", "asker")
+	answer, err := s.Ask(context.Background(), "Can anyone recommend a good, but not ridiculously expensive hotel right in the middle of Berlin?", "asker")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestPaperScenarioEndToEnd(t *testing.T) {
 
 func TestAskOnInformative(t *testing.T) {
 	s := newSystem(t)
-	_, err := s.Ask("loved the Axel Hotel in Berlin", "x")
+	_, err := s.Ask(context.Background(), "loved the Axel Hotel in Berlin", "x")
 	if err == nil {
 		t.Fatal("informative message accepted as question")
 	}
@@ -101,7 +101,7 @@ func TestAskOnInformative(t *testing.T) {
 func TestSubmitProcessBatch(t *testing.T) {
 	s := newSystem(t)
 	for i := 0; i < 4; i++ {
-		if _, err := s.Submit("great stay at the Royal Gate Hotel in Paris", "u"); err != nil {
+		if _, err := s.Submit(context.Background(), "great stay at the Royal Gate Hotel in Paris", "u"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -120,7 +120,7 @@ func TestSubmitProcessBatch(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	s := newSystem(t)
-	if _, err := s.Ingest("lovely stay at hotel Sonne in Berlin", "u"); err != nil {
+	if _, err := s.Ingest(context.Background(), "lovely stay at hotel Sonne in Berlin", "u"); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -137,7 +137,7 @@ func TestStats(t *testing.T) {
 
 func TestDecayAll(t *testing.T) {
 	s := newSystem(t)
-	if _, err := s.Ingest("nice stay at the Garden Rose Inn in Rome", "u"); err != nil {
+	if _, err := s.Ingest(context.Background(), "nice stay at the Garden Rose Inn in Rome", "u"); err != nil {
 		t.Fatal(err)
 	}
 	later := t0.Add(400 * 24 * time.Hour)
@@ -157,7 +157,7 @@ func TestQueueWALPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit("unprocessed message about the Star Crown Hotel in Madrid", "u"); err != nil {
+	if _, err := s.Submit(context.Background(), "unprocessed message about the Star Crown Hotel in Madrid", "u"); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -180,10 +180,10 @@ func TestQueueWALPersistence(t *testing.T) {
 
 func TestTrafficAndFarmingFlows(t *testing.T) {
 	s := newSystem(t)
-	if _, err := s.Ingest("huge traffic jam in Nairobi after the accident, road blocked", "driver"); err != nil {
+	if _, err := s.Ingest(context.Background(), "huge traffic jam in Nairobi after the accident, road blocked", "driver"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Ingest("locust swarm near Cairo moving south, maize fields at risk", "farmer"); err != nil {
+	if _, err := s.Ingest(context.Background(), "locust swarm near Cairo moving south, maize fields at risk", "farmer"); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -193,7 +193,7 @@ func TestTrafficAndFarmingFlows(t *testing.T) {
 	if st.Collections["FarmReports"] != 1 {
 		t.Errorf("FarmReports = %d", st.Collections["FarmReports"])
 	}
-	ans, err := s.Ask("any traffic in Nairobi this morning?", "asker")
+	ans, err := s.Ask(context.Background(), "any traffic in Nairobi this morning?", "asker")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestSystemSnapshotRestore(t *testing.T) {
 		"loved the Axel Hotel in Berlin, great stay",
 		"Very impressed by the movenpick hotel in berlin!",
 	} {
-		if _, err := sys.Ingest(m, "u"); err != nil {
+		if _, err := sys.Ingest(context.Background(), m, "u"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -236,7 +236,7 @@ func TestSystemSnapshotRestore(t *testing.T) {
 	if got, want := fresh.Stats().Collections["Hotels"], sys.Stats().Collections["Hotels"]; got != want {
 		t.Fatalf("restored %d hotel records, want %d", got, want)
 	}
-	answer, err := fresh.Ask("can anyone recommend a good hotel in Berlin?", "asker")
+	answer, err := fresh.Ask(context.Background(), "can anyone recommend a good hotel in Berlin?", "asker")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,14 +255,14 @@ func TestEssexHousePriceConflict(t *testing.T) {
 	sys := newSystem(t)
 	defer sys.Close()
 
-	out1, err := sys.Ingest("Essex House Hotel and Suites from $154 USD", "pricebot1")
+	out1, err := sys.Ingest(context.Background(), "Essex House Hotel and Suites from $154 USD", "pricebot1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out1 == nil || out1.Inserted != 1 {
 		t.Fatalf("first tweet: outcome %+v, want one insert", out1)
 	}
-	out2, err := sys.Ingest("Essex House Hotel and Suites from $123 USD: Surrounded by clubs and designer", "pricebot2")
+	out2, err := sys.Ingest(context.Background(), "Essex House Hotel and Suites from $123 USD: Surrounded by clubs and designer", "pricebot2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +307,7 @@ func TestConcurrentIngestAsk(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
-				if _, err := sys.Ingest(msgs[(w+i)%len(msgs)], fmt.Sprintf("w%d", w)); err != nil {
+				if _, err := sys.Ingest(context.Background(), msgs[(w+i)%len(msgs)], fmt.Sprintf("w%d", w)); err != nil {
 					errs <- fmt.Errorf("ingest: %w", err)
 					return
 				}
@@ -319,7 +319,7 @@ func TestConcurrentIngestAsk(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
-				if _, err := sys.Ask("any good hotels in Berlin?", "asker"); err != nil {
+				if _, err := sys.Ask(context.Background(), "any good hotels in Berlin?", "asker"); err != nil {
 					errs <- fmt.Errorf("ask: %w", err)
 					return
 				}

@@ -57,10 +57,10 @@ func TestShardedFeedbackMatchesSingleStore(t *testing.T) {
 	single, sharded := newSys(1), newSys(4)
 	for i, m := range shardScenarioStream() {
 		src := fmt.Sprintf("user%d", i%7)
-		if _, err := single.Submit(m, src); err != nil {
+		if _, err := single.Submit(context.Background(), m, src); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sharded.Submit(m, src); err != nil {
+		if _, err := sharded.Submit(context.Background(), m, src); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -109,11 +109,11 @@ func TestShardedFeedbackMatchesSingleStore(t *testing.T) {
 	}
 
 	for _, q := range shardScenarioQuestions {
-		wantAns, err := single.Ask(q, "asker")
+		wantAns, err := single.Ask(context.Background(), q, "asker")
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotAns, err := sharded.Ask(q, "asker")
+		gotAns, err := sharded.Ask(context.Background(), q, "asker")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func TestShardedFeedbackMatchesSingleStore(t *testing.T) {
 	// The verdicts had observable effect: the rejected Essex House (5
 	// reports, previously the Paris leader) no longer tops the Paris
 	// ranking in either system.
-	ans, err := single.Ask("can anyone recommend a good hotel in Paris?", "asker")
+	ans, err := single.Ask(context.Background(), "can anyone recommend a good hotel in Paris?", "asker")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestLearnedStateSurvivesRestart(t *testing.T) {
 	// (feedback engine).
 	report := "wonderful stay at the Axel Hotel in Berlin, lovely place"
 	for i, src := range []string{"alice", "bob"} {
-		if _, err := sys.Ingest(report, src); err != nil {
+		if _, err := sys.Ingest(context.Background(), report, src); err != nil {
 			t.Fatalf("ingest #%d: %v", i, err)
 		}
 	}
@@ -242,7 +242,7 @@ func TestRestoreRejectsCorruptAuxAtomically(t *testing.T) {
 		"wonderful stay at the Axel Hotel in Berlin, lovely place",
 		"wonderful stay at the Movenpick Hotel in Berlin, lovely place",
 	} {
-		if _, err := donor.Ingest(m, "alice"); err != nil {
+		if _, err := donor.Ingest(context.Background(), m, "alice"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -270,7 +270,7 @@ func TestRestoreRejectsCorruptAuxAtomically(t *testing.T) {
 	}
 
 	target := build()
-	if _, err := target.Ingest("great night at the Hotel Elysium Park in Berlin", "bob"); err != nil {
+	if _, err := target.Ingest(context.Background(), "great night at the Hotel Elysium Park in Berlin", "bob"); err != nil {
 		t.Fatal(err)
 	}
 	wantTrust := target.KB.Trust().Report()

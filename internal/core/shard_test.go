@@ -70,10 +70,10 @@ func TestShardedAskMatchesSingleStore(t *testing.T) {
 
 	for i, m := range shardScenarioStream() {
 		src := fmt.Sprintf("user%d", i%7)
-		if _, err := single.Submit(m, src); err != nil {
+		if _, err := single.Submit(context.Background(), m, src); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sharded.Submit(m, src); err != nil {
+		if _, err := sharded.Submit(context.Background(), m, src); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -99,11 +99,11 @@ func TestShardedAskMatchesSingleStore(t *testing.T) {
 	}
 
 	for _, q := range shardScenarioQuestions {
-		wantAns, err := single.Ask(q, "asker")
+		wantAns, err := single.Ask(context.Background(), q, "asker")
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotAns, err := sharded.Ask(q, "asker")
+		gotAns, err := sharded.Ask(context.Background(), q, "asker")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,10 +145,10 @@ func TestShardedConcurrentDrain(t *testing.T) {
 
 	for i, m := range stream {
 		src := fmt.Sprintf("user%d", i%5)
-		if _, err := single.Submit(m, src); err != nil {
+		if _, err := single.Submit(context.Background(), m, src); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sharded.Submit(m, src); err != nil {
+		if _, err := sharded.Submit(context.Background(), m, src); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -203,7 +203,7 @@ func TestShardedSnapshotRoundTrip(t *testing.T) {
 	}
 	sys := newSys(4)
 	for i, m := range shardScenarioStream() {
-		if _, err := sys.Ingest(m, fmt.Sprintf("user%d", i%7)); err != nil {
+		if _, err := sys.Ingest(context.Background(), m, fmt.Sprintf("user%d", i%7)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -221,11 +221,11 @@ func TestShardedSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("restored balance %s, want %s", got, want)
 	}
 	for _, q := range shardScenarioQuestions {
-		want, err := sys.Ask(q, "asker")
+		want, err := sys.Ask(context.Background(), q, "asker")
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := fresh.Ask(q, "asker")
+		got, err := fresh.Ask(context.Background(), q, "asker")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,7 +235,7 @@ func TestShardedSnapshotRoundTrip(t *testing.T) {
 	}
 
 	// Post-restore inserts must keep strided, globally unique IDs.
-	if _, err := fresh.Ingest("wonderful stay at the Gilded Manor Hotel in Berlin, lovely place", "late"); err != nil {
+	if _, err := fresh.Ingest(context.Background(), "wonderful stay at the Gilded Manor Hotel in Berlin, lovely place", "late"); err != nil {
 		t.Fatalf("post-restore ingest: %v", err)
 	}
 	seen := make(map[int64]bool)

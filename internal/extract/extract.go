@@ -127,11 +127,15 @@ func (s *Service) Extract(msg, source string, now time.Time) (*Extraction, error
 	if strings.TrimSpace(msg) == "" {
 		return nil, fmt.Errorf("extract: empty message")
 	}
+	clsStart := time.Now()
 	mtype, p := s.ClassifyType(msg)
+	ieClassify.Since(clsStart)
 	out := &Extraction{Message: msg, Type: mtype, TypeP: p}
 	tokens := text.Tokenize(msg)
+	nerStart := time.Now()
 	out.Entities = s.ner.ExtractInformalTokens(tokens)
 	out.Relations = ner.ParseRelations(tokens)
+	ieNER.Since(nerStart)
 	out.Domain = s.detectDomain(msg, out.Entities)
 	out.Keywords = s.keywords(msg, out.Entities)
 	if mtype == TypeRequest {
@@ -401,6 +405,7 @@ func tokenDistance(a, b ner.Entity) int {
 // resolveLocation disambiguates a location entity using the other location
 // mentions as coherence context.
 func (s *Service) resolveLocation(loc *ner.Entity, ex *Extraction) (disambig.Resolution, error) {
+	defer ieDisambiguate.Since(time.Now())
 	var co [][]*gazetteer.Entry
 	for i := range ex.Entities {
 		e := &ex.Entities[i]

@@ -1,0 +1,14 @@
+package extract
+
+import "repro/internal/obs"
+
+// IE-internal stage timings: where the Ask path and the pipeline's
+// extract stage spend their time — type classification, informal NER,
+// and geographic disambiguation (the paper's hard problem).
+var (
+	mIEStageSeconds = obs.Default().Histogram("neogeo_extract_stage_seconds",
+		"Information-extraction sub-stage wall time per call.", nil, "stage")
+	ieClassify     = mIEStageSeconds.With("classify")
+	ieNER          = mIEStageSeconds.With("ner")
+	ieDisambiguate = mIEStageSeconds.With("disambiguate")
+)

@@ -11,10 +11,31 @@ import (
 	"repro/internal/geo"
 	"repro/internal/integrate"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/pxml"
 	"repro/internal/shard"
 	"repro/internal/uncertain"
 	"repro/internal/xmldb"
+)
+
+// Feedback-loop metric families: verdict intake, what each flush
+// applied (by kind, plus the stale drops), and how well the per-lane
+// batching amortizes.
+var (
+	mFBAccepted = obs.Default().Counter("neogeo_feedback_accepted_total",
+		"Verdicts accepted into the ledger.").With()
+	mFBApplied = obs.Default().Counter("neogeo_feedback_applied_total",
+		"Verdicts whose effects reached the store, by kind.", "kind")
+	fbConfirm = mFBApplied.With("confirm")
+	fbReject  = mFBApplied.With("reject")
+	fbCorrect = mFBApplied.With("correct")
+	fbStale   = mFBApplied.With("dropped_stale")
+
+	mFBFlushSeconds = obs.Default().Histogram("neogeo_feedback_flush_seconds",
+		"Wall time of one flush across all selected lanes.", nil).With()
+	mFBBatchVerdicts = obs.Default().Histogram("neogeo_feedback_batch_verdicts",
+		"Verdicts folded into one per-lane apply batch.",
+		obs.ExpBuckets(1, 2, 8)).With()
 )
 
 // DefaultBatch is how many buffered verdicts trigger an automatic
@@ -224,6 +245,7 @@ func (e *Engine) Submit(v Verdict) (int64, error) {
 	e.nextSeq++
 	e.lanes[lane] = append(e.lanes[lane], pending{e: ent})
 	e.stats.Accepted++
+	mFBAccepted.Inc()
 	full := len(e.lanes[lane]) >= e.batch
 	e.mu.Unlock()
 
@@ -283,6 +305,7 @@ func (e *Engine) Flush() int {
 func (e *Engine) flushLanes(only map[int]bool) int {
 	e.applyMu.Lock()
 	defer e.applyMu.Unlock()
+	defer mFBFlushSeconds.Since(time.Now())
 
 	e.mu.Lock()
 	batches := make([][]pending, len(e.lanes))
@@ -304,6 +327,7 @@ func (e *Engine) flushLanes(only map[int]bool) int {
 		if len(batch) == 0 {
 			continue
 		}
+		mFBBatchVerdicts.Observe(float64(len(batch)))
 		wg.Add(1)
 		go func(lane int, batch []pending) {
 			defer wg.Done()
@@ -326,17 +350,21 @@ func (e *Engine) flushLanes(only map[int]bool) int {
 			case appliedConfirm:
 				e.stats.Applied++
 				e.stats.Confirmed++
+				fbConfirm.Inc()
 				applied++
 			case appliedReject:
 				e.stats.Applied++
 				e.stats.Rejected++
+				fbReject.Inc()
 				applied++
 			case appliedCorrect:
 				e.stats.Applied++
 				e.stats.Corrected++
+				fbCorrect.Inc()
 				applied++
 			case droppedStale:
 				e.stats.DroppedStale++
+				fbStale.Inc()
 			}
 		}
 	}

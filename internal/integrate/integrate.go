@@ -24,10 +24,22 @@ import (
 	"repro/internal/extract"
 	"repro/internal/geo"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/pxml"
 	"repro/internal/text"
 	"repro/internal/uncertain"
 	"repro/internal/xmldb"
+)
+
+// Integration outcome counters: inserts create records, merges fold a
+// report into an existing one — their ratio is the live view of the
+// duplicate-detection behavior the EXPERIMENTS tables measure offline.
+var (
+	mActionsTotal = obs.Default().Counter("neogeo_integrate_actions_total",
+		"Template integrations by action.", "action")
+	actInserted = mActionsTotal.With("inserted")
+	actMerged   = mActionsTotal.With("merged")
+	actErrored  = mActionsTotal.With("error")
 )
 
 // Service is the DI module. Integrate, IntegrateNaive, IntegrateBatch and
@@ -154,6 +166,19 @@ func (s *Service) IntegrateGroups(groups [][]extract.Template) [][]BatchResult {
 }
 
 func (s *Service) integrateIn(st Store, tpl extract.Template) (*Result, error) {
+	res, err := s.integrateOne(st, tpl)
+	switch {
+	case err != nil:
+		actErrored.Inc()
+	case res.Action == ActionInserted:
+		actInserted.Inc()
+	case res.Action == ActionMerged:
+		actMerged.Inc()
+	}
+	return res, err
+}
+
+func (s *Service) integrateOne(st Store, tpl extract.Template) (*Result, error) {
 	domain, ok := s.kb.Domain(tpl.Domain)
 	if !ok {
 		return nil, fmt.Errorf("integrate: unknown domain %q", tpl.Domain)

@@ -1,0 +1,29 @@
+package mq
+
+import "repro/internal/obs"
+
+// Queue-level metric families on the process-wide registry. Counters
+// record lifecycle transitions at their mutation points; the histograms
+// time the durability-critical paths (enqueue and acknowledgement both
+// pay a WAL fsync when the queue is durable, and the fsync histogram
+// isolates that cost from the bookkeeping around it). Pending/in-flight
+// depth is exported as GaugeFuncs bound by core.New, which samples the
+// live queue at scrape time instead of shadowing it in a gauge.
+var (
+	mEnqueued = obs.Default().Counter("neogeo_mq_enqueued_total",
+		"Messages accepted into the queue.").With()
+	mAcked = obs.Default().Counter("neogeo_mq_acked_total",
+		"Messages acknowledged (single and batched).").With()
+	mNacked = obs.Default().Counter("neogeo_mq_nacked_total",
+		"Messages negatively acknowledged back to the front of the queue.").With()
+	mDeadLettered = obs.Default().Counter("neogeo_mq_dead_lettered_total",
+		"Messages moved to the dead-letter list after exhausting delivery attempts.").With()
+	mWALAppendErrors = obs.Default().Counter("neogeo_mq_wal_append_errors_total",
+		"WAL appends that failed (including the unreportable dead-letter path).").With()
+	mEnqueueSeconds = obs.Default().Histogram("neogeo_mq_enqueue_seconds",
+		"Enqueue latency including the WAL append when durable.", nil).With()
+	mAckSeconds = obs.Default().Histogram("neogeo_mq_ack_seconds",
+		"Acknowledgement latency including the WAL group commit when durable.", nil).With()
+	mWALFsyncSeconds = obs.Default().Histogram("neogeo_mq_wal_fsync_seconds",
+		"WAL append+fsync latency per group commit.", nil).With()
+)

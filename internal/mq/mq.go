@@ -28,6 +28,12 @@ type Message struct {
 	// Tag is the message-type annotation the IE service attaches ("A tag
 	// is then attached to the message on the MQ indicating its type").
 	Tag string
+	// Trace is the observability trace ID minted (or accepted via
+	// X-Request-Id) when the message entered the system. It rides in the
+	// envelope — and therefore in the WAL enqueue entry — so a message's
+	// log lines keep the same ID across the queue hop and across replay
+	// after a crash.
+	Trace string `json:",omitempty"`
 }
 
 // Queue is a FIFO message queue with leases. All methods are safe for
@@ -198,9 +204,17 @@ func (q *Queue) Close() error {
 // Enqueue adds a message and returns its ID. After Close it returns
 // ErrClosed.
 func (q *Queue) Enqueue(body, source string) (int64, error) {
+	return q.EnqueueTraced(body, source, "")
+}
+
+// EnqueueTraced adds a message carrying a trace ID, which is persisted
+// in the envelope (and the WAL) so observability follows the message
+// across the queue hop and replay.
+func (q *Queue) EnqueueTraced(body, source, trace string) (int64, error) {
 	if body == "" {
 		return 0, fmt.Errorf("mq: empty message body")
 	}
+	defer mEnqueueSeconds.Since(time.Now())
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -211,6 +225,7 @@ func (q *Queue) Enqueue(body, source string) (int64, error) {
 		Body:     body,
 		Source:   source,
 		Received: q.clock(),
+		Trace:    trace,
 	}
 	q.nextID++
 	if q.wal != nil {
@@ -220,6 +235,7 @@ func (q *Queue) Enqueue(body, source string) (int64, error) {
 	}
 	q.messages[m.ID] = m
 	q.pending = append(q.pending, m.ID)
+	mEnqueued.Inc()
 	return m.ID, nil
 }
 
@@ -248,8 +264,10 @@ func (q *Queue) Dequeue() (Message, bool) {
 				// longer agrees, and Stats surfaces that divergence.
 				if err := q.walAppend(walEntry{Op: opDead, ID: id}); err != nil {
 					q.walErrs++
+					mWALAppendErrors.Inc()
 				}
 			}
+			mDeadLettered.Inc()
 			continue
 		}
 		q.inflight[id] = now.Add(q.visibility)
@@ -269,6 +287,7 @@ func (q *Queue) reclaimExpired(now time.Time) {
 
 // Ack acknowledges a leased message, removing it permanently.
 func (q *Queue) Ack(id int64) error {
+	defer mAckSeconds.Since(time.Now())
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if _, ok := q.inflight[id]; !ok {
@@ -282,6 +301,7 @@ func (q *Queue) Ack(id int64) error {
 		}
 	}
 	q.acked++
+	mAcked.Inc()
 	return nil
 }
 
@@ -294,6 +314,7 @@ func (q *Queue) Ack(id int64) error {
 // (acked empty) from a partial one (acked non-empty plus an error for
 // the missing IDs).
 func (q *Queue) AckBatch(ids []int64) (acked []int64, err error) {
+	defer mAckSeconds.Since(time.Now())
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	var missing []int64
@@ -319,6 +340,7 @@ func (q *Queue) AckBatch(ids []int64) (acked []int64, err error) {
 		delete(q.messages, id)
 	}
 	q.acked += len(valid)
+	mAcked.Add(float64(len(valid)))
 	if len(missing) > 0 {
 		return valid, fmt.Errorf("mq: %d message(s) not in flight (first: %d)", len(missing), missing[0])
 	}
@@ -329,7 +351,10 @@ func (q *Queue) AckBatch(ids []int64) (acked []int64, err error) {
 // sequence number by however many entries became durable. Callers hold
 // q.mu.
 func (q *Queue) walAppend(entries ...walEntry) error {
-	if err := q.wal.appendAll(entries); err != nil {
+	start := time.Now()
+	err := q.wal.appendAll(entries)
+	mWALFsyncSeconds.Since(start)
+	if err != nil {
 		return err
 	}
 	q.lsn += int64(len(entries))
@@ -357,6 +382,7 @@ func (q *Queue) Nack(id int64) error {
 	}
 	delete(q.inflight, id)
 	q.pending = append([]int64{id}, q.pending...)
+	mNacked.Inc()
 	return nil
 }
 

@@ -1,0 +1,37 @@
+package mq
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceSurvivesWALReplay pins the envelope contract the tracing
+// layer depends on: a trace ID attached at enqueue is in the WAL entry
+// and comes back intact when the log is replayed after a restart.
+func TestTraceSurvivesWALReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := q.EnqueueTraced("pothole on 5th", "+15550001", "deadbeefcafef00d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	m, ok := q2.Dequeue()
+	if !ok {
+		t.Fatal("message lost across replay")
+	}
+	if m.ID != id || m.Trace != "deadbeefcafef00d" {
+		t.Fatalf("replayed message = %+v, want ID %d with trace deadbeefcafef00d", m, id)
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the Prometheus text format byte for byte:
+// HELP/TYPE comments, stable family and series ordering, label quoting,
+// cumulative histogram buckets with the implicit +Inf, and GaugeFunc
+// sampling at scrape time.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.", "route", "code")
+	c.With("/v1/ask", "2xx").Add(3)
+	c.With("/v1/ask", "5xx").Inc()
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.With().Set(7)
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.With().Observe(0.005)
+	h.With().Observe(0.05)
+	h.With().Observe(0.05)
+	h.With().Observe(5)
+	r.GaugeFunc("test_live", "Sampled at scrape.", func() float64 { return 2.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP test_depth Queue depth.
+# TYPE test_depth gauge
+test_depth 7
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.01"} 1
+test_latency_seconds_bucket{le="0.1"} 3
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 5.105
+test_latency_seconds_count 4
+# HELP test_live Sampled at scrape.
+# TYPE test_live gauge
+test_live 2.5
+# HELP test_requests_total Requests handled.
+# TYPE test_requests_total counter
+test_requests_total{route="/v1/ask",code="2xx"} 3
+test_requests_total{route="/v1/ask",code="5xx"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryConcurrency hammers one counter family and one histogram
+// family from many goroutines — run under -race in CI — and checks the
+// totals are exact (no lost updates in the CAS float adds).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	cf := r.Counter("hammer_total", "h", "worker")
+	hf := r.Histogram("hammer_seconds", "h", []float64{0.001, 0.01, 0.1})
+
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%4))
+			for i := 0; i < perWorker; i++ {
+				cf.With(lbl).Inc()
+				hf.With().Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total float64
+	for _, lbl := range []string{"a", "b", "c", "d"} {
+		total += cf.With(lbl).Value()
+	}
+	if want := float64(workers * perWorker); total != want {
+		t.Errorf("counter total = %v, want %v", total, want)
+	}
+	if got := hf.With().Summary().Count; got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestDisabledRegistrySkipsObservations verifies SetEnabled(false)
+// really drops updates (the metrics-off benchmark leg relies on it)
+// and that re-enabling resumes recording.
+func TestDisabledRegistrySkipsObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c").With()
+	h := r.Histogram("h_seconds", "h", nil).With()
+	r.SetEnabled(false)
+	c.Inc()
+	h.Observe(1)
+	if c.Value() != 0 || h.Summary().Count != 0 {
+		t.Fatalf("disabled registry recorded: counter=%v histCount=%d", c.Value(), h.Summary().Count)
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	h.Observe(1)
+	if c.Value() != 1 || h.Summary().Count != 1 {
+		t.Fatalf("re-enabled registry did not record: counter=%v histCount=%d", c.Value(), h.Summary().Count)
+	}
+}
+
+// TestHistogramSummaryQuantiles sanity-checks the bucket-interpolated
+// quantile estimates against a known distribution.
+func TestHistogramSummaryQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "q", []float64{0.1, 0.2, 0.5, 1}).With()
+	// 100 observations uniform in (0, 0.1]: everything lands in the
+	// first bucket, so quantiles interpolate within [0, 0.1].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean < 0.05 || s.Mean > 0.051 {
+		t.Errorf("mean = %v, want ~0.0505", s.Mean)
+	}
+	if s.P50 <= 0 || s.P50 > 0.1 {
+		t.Errorf("p50 = %v, want in (0, 0.1]", s.P50)
+	}
+	if s.P99 <= s.P50 || s.P99 > 0.1 {
+		t.Errorf("p99 = %v, want in (p50, 0.1]", s.P99)
+	}
+	// A value beyond the last finite bucket reports that bound.
+	h.Observe(100)
+	for i := 0; i < 300; i++ {
+		h.Observe(100)
+	}
+	if s := h.Summary(); s.P99 != 1 {
+		t.Errorf("overflow-heavy p99 = %v, want last finite bound 1", s.P99)
+	}
+}
+
+// TestFindHistogram verifies lookup-without-create semantics.
+func TestFindHistogram(t *testing.T) {
+	r := NewRegistry()
+	if r.FindHistogram("nope") != nil {
+		t.Fatal("found a histogram in an empty registry")
+	}
+	hf := r.Histogram("stage_seconds", "s", nil, "stage")
+	if r.FindHistogram("stage_seconds", "extract") != nil {
+		t.Fatal("FindHistogram created a series")
+	}
+	hf.With("extract").Observe(0.5)
+	h := r.FindHistogram("stage_seconds", "extract")
+	if h == nil {
+		t.Fatal("existing series not found")
+	}
+	if h.Summary().Count != 1 {
+		t.Fatalf("wrong series: count=%d", h.Summary().Count)
+	}
+	if r.FindHistogram("stage_seconds", "integrate") != nil {
+		t.Fatal("found a series for unobserved label")
+	}
+}
+
+// TestGaugeFuncReplace pins replace-on-register: the latest registered
+// function wins, which is how each newly constructed System takes over
+// the process-wide queue-depth gauges.
+func TestGaugeFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("depth", "d", func() float64 { return 1 })
+	r.GaugeFunc("depth", "d", func() float64 { return 2 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "depth 2\n") {
+		t.Errorf("replace-on-register failed:\n%s", b.String())
+	}
+}
+
+// TestHistogramSince covers the timing helper.
+func TestHistogramSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "t", nil).With()
+	h.Since(time.Now().Add(-10 * time.Millisecond))
+	s := h.Summary()
+	if s.Count != 1 || s.Sum < 0.01 || s.Sum > 10 {
+		t.Errorf("Since recorded count=%d sum=%v", s.Count, s.Sum)
+	}
+}

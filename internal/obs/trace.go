@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Per-message tracing: a trace ID is minted when a message enters the
+// system (HTTP submit, facade Submit, or accepted from the client via
+// X-Request-Id), travels through context.Context while the message is
+// in flight, and is persisted in the mq envelope so it survives the
+// queue hop and WAL replay. Every structured log line about the
+// message carries the same ID, which is what makes a single tweet's
+// path through dispatcher → worker → integration lane reconstructable
+// from logs at traffic scale.
+
+// traceKey is the context key for the trace ID.
+type traceKey struct{}
+
+// NewTraceID returns a fresh 16-hex-digit random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// constant rather than panicking on a diagnostics feature.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTrace returns ctx carrying the given trace ID. Empty IDs are not
+// stored.
+func WithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// Trace returns the trace ID carried by ctx, or "".
+func Trace(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// EnsureTrace returns ctx guaranteed to carry a trace ID, minting one
+// if absent, plus the ID.
+func EnsureTrace(ctx context.Context) (context.Context, string) {
+	if id := Trace(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewTraceID()
+	return WithTrace(ctx, id), id
+}
+
+// NewLogger builds a slog.Logger writing to w per the -log-format
+// ("text" or "json") and -log-level ("debug", "info", "warn", "error")
+// daemon flags. Unknown values fall back to text/info rather than
+// failing startup over a logging knob.
+func NewLogger(w io.Writer, format, level string) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if strings.EqualFold(format, "json") {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// LogfHandler adapts a legacy printf-style sink into a slog.Handler so
+// components migrated to structured logging keep honoring
+// WithLogger(func(format, args...)) options (tests pass t.Logf). Lines
+// render as "msg key=value ..." at Info and above.
+type LogfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+// NewLogfHandler wraps logf as a slog.Handler.
+func NewLogfHandler(logf func(format string, args ...any)) *LogfHandler {
+	return &LogfHandler{logf: logf}
+}
+
+// Enabled reports Info and above; the legacy sinks never asked for
+// debug spam.
+func (h *LogfHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= slog.LevelInfo
+}
+
+// Handle renders the record onto the wrapped logf.
+func (h *LogfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	emit := func(a slog.Attr) {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value.Any())
+	}
+	for _, a := range h.attrs {
+		emit(a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		emit(a)
+		return true
+	})
+	h.logf("%s", b.String())
+	return nil
+}
+
+// WithAttrs returns a handler that prefixes the given attrs.
+func (h *LogfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	n := &LogfHandler{logf: h.logf}
+	n.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return n
+}
+
+// WithGroup flattens groups — the legacy sink has no nesting.
+func (h *LogfHandler) WithGroup(string) slog.Handler { return h }

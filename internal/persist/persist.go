@@ -29,13 +29,30 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Checkpoint metric families: how long images take, how big they are,
+// and how often they succeed or fail — the running system's view of the
+// durability loop EXPERIMENTS only measured offline.
+var (
+	mCheckpointSeconds = obs.Default().Histogram("neogeo_checkpoint_seconds",
+		"Checkpoint wall time, snapshot through durable publish.", nil).With()
+	mCheckpointBytes = obs.Default().Histogram("neogeo_checkpoint_bytes",
+		"Published checkpoint image size in bytes.",
+		obs.ExpBuckets(1024, 4, 10)).With()
+	mCheckpointTotal = obs.Default().Counter("neogeo_checkpoint_total",
+		"Checkpoint attempts by result.", "result")
+	checkpointOK  = mCheckpointTotal.With("ok")
+	checkpointErr = mCheckpointTotal.With("error")
 )
 
 // Snapshotter is the slice of the store the manager persists;
@@ -88,6 +105,10 @@ type Stats struct {
 	// Last describes the newest valid checkpoint — written or
 	// recovered — nil when none exists.
 	Last *Info
+	// LastError is the most recent Checkpoint attempt's failure message,
+	// cleared by the next success — what /healthz's checkpoint_stale
+	// signal watches.
+	LastError string
 }
 
 // Manager writes and recovers checkpoints under one data directory.
@@ -98,10 +119,11 @@ type Manager struct {
 	clock  func() time.Time
 	logf   func(format string, args ...any)
 
-	mu    sync.Mutex
-	seq   uint64 // highest sequence number seen or written
-	count int    // checkpoints written this process
-	last  *Info  // newest valid checkpoint
+	mu      sync.Mutex
+	seq     uint64 // highest sequence number seen or written
+	count   int    // checkpoints written this process
+	last    *Info  // newest valid checkpoint
+	lastErr string // most recent Checkpoint failure, "" after a success
 }
 
 // Option configures a Manager.
@@ -118,9 +140,16 @@ func WithClock(clock func() time.Time) Option {
 	return func(m *Manager) { m.clock = clock }
 }
 
-// WithLogger routes skip/prune diagnostics to logf (default log.Printf).
+// WithLogger routes skip/prune diagnostics to logf (default: warn
+// lines on slog.Default()).
 func WithLogger(logf func(format string, args ...any)) Option {
 	return func(m *Manager) { m.logf = logf }
+}
+
+// slogf renders printf-style diagnostics onto the process's structured
+// logger — the default sink after the slog migration.
+func slogf(format string, args ...any) {
+	slog.Warn(fmt.Sprintf(format, args...))
 }
 
 // NewManager opens (creating if needed) the data directory and resumes
@@ -130,7 +159,7 @@ func NewManager(dir string, opts ...Option) (*Manager, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("persist: empty data directory")
 	}
-	m := &Manager{dir: dir, retain: 3, clock: time.Now, logf: log.Printf}
+	m := &Manager{dir: dir, retain: 3, clock: time.Now, logf: slogf}
 	for _, o := range opts {
 		o(m)
 	}
@@ -155,7 +184,7 @@ func (m *Manager) Dir() string { return m.dir }
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := Stats{Count: m.count}
+	st := Stats{Count: m.count, LastError: m.lastErr}
 	if m.last != nil {
 		info := *m.last
 		st.Last = &info
@@ -170,6 +199,25 @@ func (m *Manager) Stats() Stats {
 // instant leaves the previous checkpoint authoritative. Old checkpoints
 // beyond the retention count are pruned afterwards.
 func (m *Manager) Checkpoint(s Snapshotter, lsn int64) (Info, error) {
+	start := time.Now()
+	info, err := m.checkpoint(s, lsn)
+	mCheckpointSeconds.Since(start)
+	m.mu.Lock()
+	if err != nil {
+		checkpointErr.Inc()
+		m.lastErr = err.Error()
+	} else {
+		checkpointOK.Inc()
+		mCheckpointBytes.Observe(float64(info.Size))
+		m.lastErr = ""
+	}
+	m.mu.Unlock()
+	return info, err
+}
+
+// checkpoint is Checkpoint's locked body; the wrapper records metrics
+// and the last-attempt error outside the critical section.
+func (m *Manager) checkpoint(s Snapshotter, lsn int64) (Info, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 

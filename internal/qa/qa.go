@@ -8,14 +8,26 @@ package qa
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/extract"
 	"repro/internal/gazetteer"
 	"repro/internal/geo"
 	"repro/internal/kb"
 	"repro/internal/ner"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/xmldb"
+)
+
+// Ask-path breakdown inside the QA service: the store fan-out (Run
+// crosses every shard in a partitioned deployment) versus ranking,
+// filtering and natural-language generation.
+var (
+	mQAStageSeconds = obs.Default().Histogram("neogeo_qa_stage_seconds",
+		"QA sub-stage wall time per answered request.", nil, "stage")
+	qaStoreQuery = mQAStageSeconds.With("store_query")
+	qaRank       = mQAStageSeconds.With("rank")
 )
 
 // Store is the query surface QA needs from the database. Both the
@@ -88,10 +100,13 @@ func (s *Service) Answer(ex *extract.Extraction) (Answer, error) {
 		}, nil
 	}
 	query := s.formulate(req)
+	runStart := time.Now()
 	results, err := s.db.Run(query)
+	qaStoreQuery.Since(runStart)
 	if err != nil {
 		return Answer{}, fmt.Errorf("qa: executing %q: %w", query, err)
 	}
+	rankStart := time.Now()
 	kept := results[:0]
 	for _, r := range results {
 		if r.CondP >= s.MinCondP {
@@ -99,11 +114,13 @@ func (s *Service) Answer(ex *extract.Extraction) (Answer, error) {
 		}
 	}
 	results = kept
-	return Answer{
+	ans := Answer{
 		Text:    s.generate(req, results),
 		Query:   query,
 		Results: results,
-	}, nil
+	}
+	qaRank.Since(rankStart)
+	return ans, nil
 }
 
 // analyze maps keywords and entities onto a domain, a location and

@@ -1,0 +1,14 @@
+package server
+
+import "repro/internal/obs"
+
+// HTTP surface metrics. The route label is bounded to the server's own
+// route table (everything else observes as "other") so scrapes cannot be
+// used to mint unbounded series from attacker-chosen paths.
+var (
+	mHTTPRequests = obs.Default().Counter("neogeo_http_requests_total",
+		"HTTP requests served, by route, method and status-code class.",
+		"route", "method", "code_class")
+	mHTTPSeconds = obs.Default().Histogram("neogeo_http_request_seconds",
+		"HTTP request wall time by route.", nil, "route")
+)

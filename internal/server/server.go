@@ -15,6 +15,7 @@
 //	POST /v1/checkpoint  write one durable checkpoint now (admin)
 //	GET  /v1/stats       store, shard, queue, feedback and durability stats
 //	GET  /healthz        liveness + queue/durability health
+//	GET  /metrics        Prometheus text exposition of the whole pipeline
 //
 // Submitted messages are integrated by a background drain loop (Run)
 // that periodically drains the queue through the concurrent pipeline via
@@ -31,13 +32,15 @@ import (
 	"errors"
 	"fmt"
 	"iter"
-	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	neogeo "repro"
+	"repro/internal/obs"
 )
 
 // System is the slice of the neogeo facade the server drives;
@@ -71,7 +74,7 @@ type Server struct {
 	// stallAfter is how long the queue may hold pending messages without
 	// any acknowledgement progress before /healthz degrades.
 	stallAfter time.Duration
-	logf       func(format string, args ...any)
+	log        *slog.Logger
 	// routes is the path -> method -> handler table, built once in New;
 	// everything off it is a JSON 404/405.
 	routes map[string]map[string]http.HandlerFunc
@@ -126,9 +129,17 @@ func WithStallAfter(d time.Duration) Option {
 }
 
 // WithLogger routes the server's diagnostics (drain/checkpoint/decay
-// errors, masked 500 causes) to logf (default log.Printf).
+// errors, masked 500 causes) to logf (default: the process slog
+// logger). The printf-shaped signature is kept for compatibility;
+// structured records render onto it as "msg key=value ..." lines.
 func WithLogger(logf func(format string, args ...any)) Option {
-	return func(s *Server) { s.logf = logf }
+	return func(s *Server) { s.log = slog.New(obs.NewLogfHandler(logf)) }
+}
+
+// WithSlog routes the server's diagnostics to a structured logger
+// directly (the daemon passes its -log-format/-log-level logger here).
+func WithSlog(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
 }
 
 // New wires a server around a built system.
@@ -139,7 +150,7 @@ func New(sys System, opts ...Option) *Server {
 		ckptInterval:  sys.CheckpointInterval(),
 		decayFloor:    0.05,
 		stallAfter:    5 * time.Second,
-		logf:          log.Printf,
+		log:           slog.Default(),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -155,6 +166,7 @@ func New(sys System, opts ...Option) *Server {
 		"/v1/checkpoint": {http.MethodPost: s.handleCheckpoint},
 		"/v1/stats":      {http.MethodGet: s.handleStats},
 		"/healthz":       {http.MethodGet: s.handleHealthz},
+		"/metrics":       {http.MethodGet: obs.Handler(obs.Default()).ServeHTTP},
 	}
 	return s
 }
@@ -188,29 +200,29 @@ func (s *Server) Run(ctx context.Context) {
 		case <-drain.C:
 			for _, err := range s.sys.Drain(ctx, s.drainBatch) {
 				if err != nil {
-					s.logf("server: drain: %v", err)
+					s.log.Error("server: drain failed", "err", err)
 				}
 			}
 			// Apply buffered feedback on the drain cadence, after the
 			// pass: verdicts parked at recovery wait for the drain to
 			// re-integrate their records, so this ordering converges.
 			if _, err := s.sys.FlushFeedback(ctx); err != nil && ctx.Err() == nil {
-				s.logf("server: feedback flush: %v", err)
+				s.log.Error("server: feedback flush failed", "err", err)
 			}
 		case <-ckptC:
 			if info, err := s.sys.Checkpoint(ctx); err != nil {
 				if ctx.Err() == nil {
-					s.logf("server: checkpoint: %v", err)
+					s.log.Error("server: checkpoint failed", "err", err)
 				}
 			} else {
-				s.logf("server: checkpoint %d written (%d bytes)", info.Seq, info.Bytes)
+				s.log.Info("server: checkpoint written", "seq", info.Seq, "bytes", info.Bytes)
 			}
 		case <-decayC:
 			decayed, deleted, err := s.sys.Decay(time.Now(), s.decayFloor)
 			if err != nil {
-				s.logf("server: decay: %v", err)
+				s.log.Error("server: decay failed", "err", err)
 			} else if decayed+deleted > 0 {
-				s.logf("server: decay: %d records aged, %d dropped below %.2f", decayed, deleted, s.decayFloor)
+				s.log.Info("server: decay pass", "aged", decayed, "dropped", deleted, "floor", s.decayFloor)
 			}
 		}
 	}
@@ -220,7 +232,32 @@ func (s *Server) Run(ctx context.Context) {
 // paths are 404 not_found, known paths with the wrong method are 405
 // method_not_allowed (with an Allow header), malformed bodies are 400
 // bad_request, and semantically rejected inputs are 422.
+//
+// Every request passes through the observability middleware first: a
+// trace ID is accepted from X-Request-Id (or minted), echoed back on
+// the response, and carried in the request context so handlers thread
+// it into the pipeline; the route's count and latency are recorded
+// with the route label bounded to the server's own table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	route := r.URL.Path
+	if _, known := s.routes[route]; !known {
+		route = "other"
+	}
+	trace := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	w.Header().Set("X-Request-Id", trace)
+	r = r.WithContext(obs.WithTrace(r.Context(), trace))
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.route(sw, r)
+	mHTTPSeconds.With(route).Observe(time.Since(start).Seconds())
+	mHTTPRequests.With(route, r.Method, strconv.Itoa(sw.code/100)+"xx").Inc()
+}
+
+// route is the dispatch half of ServeHTTP, after the middleware.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	byMethod, ok := s.routes[r.URL.Path]
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint: %s", r.URL.Path), nil)
@@ -238,6 +275,44 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h(w, r)
+}
+
+// statusWriter records the status code ServeHTTP's metrics need; a
+// handler that never calls WriteHeader implies 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// sanitizeRequestID bounds a caller-supplied trace ID: at most 64 bytes
+// of printable ASCII with no spaces or quotes, so arbitrary header
+// junk cannot wreck log lines. Anything else is discarded (a fresh ID
+// is minted instead).
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' {
+			return ""
+		}
+	}
+	return id
 }
 
 // submitRequest is the POST /v1/messages body.
@@ -267,7 +342,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusServiceUnavailable, "queue_closed", "the system is shutting down", nil)
 			return
 		}
-		s.internalError(w, "submit", err)
+		s.internalError(w, r, "submit", err)
 		return
 	}
 	s.writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Status: "queued"})
@@ -325,7 +400,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 				})
 			return
 		}
-		s.internalError(w, "ask", err)
+		s.internalError(w, r, "ask", err)
 		return
 	}
 	resp := askResponse{Answer: answerJSON{Text: ans.Text, Query: ans.Query, Results: []resultJSON{}}}
@@ -384,7 +459,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusGone, "stale_answer",
 				fmt.Sprintf("record %d no longer exists (it decayed or was corrected away); ask again for a fresh answer", req.RecordID), nil)
 		default:
-			s.internalError(w, "feedback", err)
+			s.internalError(w, r, "feedback", err)
 		}
 		return
 	}
@@ -422,7 +497,7 @@ func (s *Server) handleDecay(w http.ResponseWriter, r *http.Request) {
 	}
 	decayed, deleted, err := s.sys.Decay(time.Now(), floor)
 	if err != nil {
-		s.internalError(w, "decay", err)
+		s.internalError(w, r, "decay", err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, decayResponse{Decayed: decayed, Deleted: deleted, Floor: floor})
@@ -443,7 +518,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 				"the system has no data directory; start it with -data-dir to enable checkpoints", nil)
 			return
 		}
-		s.internalError(w, "checkpoint", err)
+		s.internalError(w, r, "checkpoint", err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, checkpointResponse{Seq: info.Seq, Bytes: info.Bytes, Status: "written"})
@@ -575,9 +650,12 @@ type healthResponse struct {
 
 // health decides the service's status from a stats snapshot: degraded
 // when messages have dead-lettered (contributions were dropped), when
-// the queue-WAL diverged on the dead-letter path, or when pending
+// the queue-WAL diverged on the dead-letter path, when pending
 // messages have sat without any acknowledgement progress for longer
-// than the stall window (the drain loop is wedged or not running).
+// than the stall window (the drain loop is wedged or not running), or
+// when durability has gone stale — the last checkpoint attempt failed,
+// or the newest image is more than twice the checkpoint interval old
+// (the loop stopped making progress).
 func (s *Server) health(st neogeo.Stats, now time.Time) (status string, reasons []string) {
 	s.progressMu.Lock()
 	progress := st.Queue.Acked + st.Queue.DeadLettered
@@ -598,10 +676,29 @@ func (s *Server) health(st neogeo.Stats, now time.Time) (status string, reasons 
 	if stalled {
 		reasons = append(reasons, "queue_stalled")
 	}
+	if s.checkpointStale(st.Checkpoint) {
+		reasons = append(reasons, "checkpoint_stale")
+	}
 	if len(reasons) > 0 {
 		return "degraded", reasons
 	}
 	return "ok", nil
+}
+
+// checkpointStale reports whether the durability subsystem has fallen
+// behind: the most recent checkpoint attempt failed, or periodic
+// checkpoints are configured, at least one image exists, and the
+// newest one is more than twice the interval old. Staleness by age is
+// only judged against this server's own loop cadence — a system built
+// without an interval checkpoints on demand and is never "late".
+func (s *Server) checkpointStale(ck neogeo.CheckpointStats) bool {
+	if !ck.Enabled {
+		return false
+	}
+	if ck.LastError != "" {
+		return true
+	}
+	return s.ckptInterval > 0 && ck.LastSeq > 0 && ck.LastAge > 2*s.ckptInterval
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -638,8 +735,8 @@ type errorBody struct {
 // internalError logs the real failure and serves a generic envelope:
 // internal error strings name pipeline paths and shard layouts, which
 // belong in the operator's log, not on the wire.
-func (s *Server) internalError(w http.ResponseWriter, op string, err error) {
-	s.logf("server: %s: %v", op, err)
+func (s *Server) internalError(w http.ResponseWriter, r *http.Request, op string, err error) {
+	s.log.Error("server: request failed", "op", op, "trace", obs.Trace(r.Context()), "err", err)
 	s.writeError(w, http.StatusInternalServerError, "internal", "internal error", nil)
 }
 
@@ -655,7 +752,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := enc.Encode(v); err != nil {
 		// The status line is gone; all that's left is to record why the
 		// body broke off (usually the client hanging up mid-response).
-		s.logf("server: writing response: %v", err)
+		s.log.Warn("server: writing response", "err", err)
 	}
 }
 

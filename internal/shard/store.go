@@ -8,9 +8,20 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/integrate"
+	"repro/internal/obs"
 	"repro/internal/pxml"
 	"repro/internal/uncertain"
 	"repro/internal/xmldb"
+)
+
+// Store fan-out timings: Run covers the QA service's query path
+// (scatter to every shard, merge, re-rank); Near the spatial probe the
+// integrator's duplicate-blocking uses.
+var (
+	mStoreQuerySeconds = obs.Default().Histogram("neogeo_store_query_seconds",
+		"Cross-shard store operation wall time.", nil, "op")
+	storeRunSeconds  = mStoreQuerySeconds.With("run")
+	storeNearSeconds = mStoreQuerySeconds.With("near")
 )
 
 // Store partitions records across N independent xmldb databases. Writes
@@ -181,6 +192,7 @@ func (s *Store) Each(collection string, fn func(*xmldb.Record) bool) {
 // single-store query would, because membership is re-checked per shard
 // and the merge re-sorts by true distance.
 func (s *Store) Near(collection string, p geo.Point, radiusMeters float64) []int64 {
+	defer storeNearSeconds.Since(time.Now())
 	type hit struct {
 		id int64
 		d  float64
@@ -228,7 +240,10 @@ func (s *Store) Query(query string) ([]xmldb.Result, error) {
 // Run is Query under the name *xmldb.DB uses, so the Store is a drop-in
 // read replacement wherever a Run-shaped store is expected (the QA
 // service).
-func (s *Store) Run(query string) ([]xmldb.Result, error) { return s.Query(query) }
+func (s *Store) Run(query string) ([]xmldb.Result, error) {
+	defer storeRunSeconds.Since(time.Now())
+	return s.Query(query)
+}
 
 // Execute scatters a parsed query across every shard in parallel and
 // merges. With orderby score($x) each shard pre-truncates to its local

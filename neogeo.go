@@ -71,6 +71,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mq"
+	"repro/internal/obs"
 	"repro/internal/uncertain"
 )
 
@@ -116,7 +117,7 @@ func (s *System) Submit(ctx context.Context, body, source string) (int64, error)
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	id, err := s.sys.Submit(body, source)
+	id, err := s.sys.Submit(ctx, body, source)
 	if err != nil {
 		return 0, mapQueueErr(err)
 	}
@@ -136,7 +137,7 @@ func (s *System) Ingest(ctx context.Context, body, source string) (*Outcome, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	out, err := s.sys.Ingest(body, source)
+	out, err := s.sys.Ingest(ctx, body, source)
 	if err != nil {
 		return nil, mapQueueErr(err)
 	}
@@ -152,7 +153,7 @@ func (s *System) Ask(ctx context.Context, question, source string) (*Answer, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ans, err := s.sys.Ask(question, source)
+	ans, err := s.sys.Ask(ctx, question, source)
 	if err != nil {
 		return nil, mapAskErr(err)
 	}
@@ -184,6 +185,7 @@ func (s *System) Stats() Stats {
 			LastSeq:   ck.LastSeq,
 			LastBytes: ck.LastBytes,
 			LastAge:   ck.LastAge,
+			LastError: ck.LastError,
 		},
 		Feedback: FeedbackStats{
 			Accepted:     st.Feedback.Accepted,
@@ -201,7 +203,21 @@ func (s *System) Stats() Stats {
 			Decayed: st.Decay.Decayed,
 			Deleted: st.Decay.Deleted,
 		},
+		Latency: LatencyStats{
+			Ask:       latencySummary("neogeo_ask_seconds"),
+			Extract:   latencySummary("neogeo_pipeline_stage_seconds", "extract"),
+			Integrate: latencySummary("neogeo_pipeline_stage_seconds", "integrate"),
+			Transit:   latencySummary("neogeo_pipeline_transit_seconds"),
+		},
 	}
+}
+
+// latencySummary digests one of the observability layer's histogram
+// series for Stats; series that do not exist yet (nothing observed)
+// digest to a zero summary.
+func latencySummary(name string, labels ...string) LatencySummary {
+	s := obs.Default().FindHistogram(name, labels...).Summary()
+	return LatencySummary{Count: s.Count, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99}
 }
 
 // Checkpoint writes one durable image of the integrated store to the

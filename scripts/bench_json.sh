@@ -3,7 +3,7 @@
 # publish the benchmark smoke step's results as an artifact and the
 # perf trajectory can be tracked across PRs.
 #
-#   sh scripts/bench_json.sh bench-smoke.out BENCH_5.json
+#   sh scripts/bench_json.sh bench-smoke.out BENCH_7.json
 #
 # Each benchmark line becomes {"name", "iterations", "<unit>": value}
 # with every reported metric (ns/op, B/op, msgs/sec, ...) keyed by its

@@ -15,6 +15,8 @@ sh "$(dirname "$0")/lint.sh"
 
 ADDR="127.0.0.1:${SMOKE_PORT:-8765}"
 BASE="http://$ADDR"
+DEBUG_ADDR="127.0.0.1:${SMOKE_DEBUG_PORT:-8766}"
+DEBUG_BASE="http://$DEBUG_ADDR"
 BIN="$(mktemp -d)/neogeod"
 STATE="$(mktemp -d)"
 WAL="$STATE/queue.wal"
@@ -26,8 +28,14 @@ start_daemon() {
   # -workers 1 keeps drains in queue order so record IDs are stable
   # across crash-replay restarts — the feedback leg rejects a record by
   # ID and asserts the effect survives a second SIGKILL.
-  "$BIN" -addr "$ADDR" -wal "$WAL" -data-dir "$DATA" -shards 2 -workers 1 -drain-interval 50ms &
+  "$BIN" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -wal "$WAL" -data-dir "$DATA" -shards 2 -workers 1 -drain-interval 50ms &
   PID=$!
+}
+
+# acked_total reads the queue's acknowledged-message counter off the
+# Prometheus exposition (0 when the series does not exist yet).
+acked_total() {
+  curl -fsS "$BASE/metrics" | awk 'BEGIN {v = 0} $1 == "neogeo_mq_acked_total" {v = int($2)} END {print v}'
 }
 
 wait_healthy() {
@@ -71,6 +79,28 @@ ANSWER=$(curl -fsS -X POST "$BASE/v1/ask" \
 echo "$ANSWER"
 echo "$ANSWER" | grep -qi "axel hotel" || { echo "answer does not name the reported hotel" >&2; exit 1; }
 
+echo "== scrape /metrics: pipeline families present after traffic"
+METRICS=$(curl -fsS "$BASE/metrics")
+for fam in neogeo_mq_enqueued_total neogeo_mq_acked_total neogeo_pipeline_stage_seconds \
+  neogeo_pipeline_transit_seconds neogeo_ask_seconds neogeo_http_requests_total \
+  neogeo_http_request_seconds neogeo_mq_pending; do
+  echo "$METRICS" | grep -q "^# TYPE $fam" || { echo "metrics family $fam missing" >&2; exit 1; }
+done
+ACKED1=$(acked_total)
+[ "$ACKED1" -ge 1 ] || { echo "no acknowledged messages recorded in metrics" >&2; exit 1; }
+
+echo "== X-Request-Id round-trip on the public surface"
+curl -fsS -D - -o /dev/null -H 'X-Request-Id: smoke-trace-1' "$BASE/healthz" |
+  grep -qi '^x-request-id: smoke-trace-1' || { echo "request id not echoed" >&2; exit 1; }
+
+echo "== debug listener: metrics and pprof, off the public mux"
+curl -fsS "$DEBUG_BASE/metrics" | grep -q '^# TYPE neogeo_mq_enqueued_total' ||
+  { echo "debug listener does not serve metrics" >&2; exit 1; }
+curl -fsS "$DEBUG_BASE/debug/pprof/cmdline" >/dev/null || { echo "debug listener does not serve pprof" >&2; exit 1; }
+if curl -fsS "$BASE/debug/pprof/cmdline" >/dev/null 2>&1; then
+  echo "pprof leaked onto the public mux" >&2; exit 1
+fi
+
 echo "== checkpoint over the admin endpoint"
 CKPT=$(curl -fsS -X POST "$BASE/v1/checkpoint")
 echo "$CKPT"
@@ -81,6 +111,10 @@ curl -fsS -X POST "$BASE/v1/messages" \
   -H 'Content-Type: application/json' \
   -d '{"text":"very impressed by the Movenpick Hotel in Berlin, well done","source":"carol"}' >/dev/null
 wait_hotels 2
+
+echo "== acked counter advanced with the second report"
+ACKED2=$(acked_total)
+[ "$ACKED2" -gt "$ACKED1" ] || { echo "acked counter did not advance ($ACKED1 -> $ACKED2)" >&2; exit 1; }
 
 echo "== SIGKILL the daemon (no graceful shutdown, no final checkpoint)"
 kill -9 "$PID"
@@ -93,6 +127,9 @@ wait_healthy
 
 echo "== the checkpointed report and the WAL-replayed one both recovered"
 wait_hotels 2
+
+echo "== metrics recording resumed after the crash restart"
+[ "$(acked_total)" -ge 1 ] || { echo "no acks recorded after restart (replay drain should ack)" >&2; exit 1; }
 curl -fsS "$BASE/v1/stats"
 curl -fsS "$BASE/v1/stats" | grep -q '"enabled": true' || { echo "durability not reported in stats" >&2; exit 1; }
 

@@ -108,10 +108,44 @@ type Stats struct {
 	Feedback FeedbackStats
 	// Decay is the certainty-ageing totals.
 	Decay DecayStats
+	// Cache is the answer cache's snapshot (Enabled false without
+	// WithAnswerCache).
+	Cache CacheStats
+	// Subscriptions is the standing-query broadcaster's snapshot.
+	Subscriptions SubscriptionStats
 	// Latency summarises the observability layer's latency histograms
 	// for the hot paths; zero-valued summaries when nothing has been
 	// observed yet (full distributions are on GET /metrics).
 	Latency LatencyStats
+}
+
+// CacheStats is the answer cache's snapshot.
+type CacheStats struct {
+	// Enabled says whether the cache is configured (WithAnswerCache).
+	Enabled bool
+	// Entries is the current entry count; Capacity the configured bound.
+	Entries  int
+	Capacity int
+	// Hits and Misses count lookups; HitRate is Hits/(Hits+Misses),
+	// 0 before any lookup.
+	Hits    int64
+	Misses  int64
+	HitRate float64
+	// Evictions counts entries dropped by LRU capacity pressure,
+	// Invalidations entries dropped because a touched shard's version
+	// moved.
+	Evictions     int64
+	Invalidations int64
+}
+
+// SubscriptionStats is the standing-query broadcaster's snapshot.
+type SubscriptionStats struct {
+	// Active is the current subscription count.
+	Active int
+	// Delivered and Dropped count events buffered for consumers versus
+	// lost to per-subscription buffer bounds.
+	Delivered int64
+	Dropped   int64
 }
 
 // LatencyStats groups the latency summaries surfaced in Stats.

@@ -660,6 +660,74 @@ func BenchmarkDrainWithCheckpointing(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// E15 — the hot read path: the shard-versioned answer cache. Both
+// benchmarks serve the same rotating question set over the same drained
+// store; the cached system answers every repeat from the cache (the
+// store is quiescent, so no version moves and every ask after the warm
+// pass is a hit) while the uncached one re-runs the full QA pipeline.
+// The roadmap's acceptance bar is a >=5x lower hit latency.
+
+var askBenchQuestions = []string{
+	"can anyone recommend a good hotel in Berlin?",
+	"any good hotels near Paris?",
+	"is the road to the airport open?",
+}
+
+func benchAskSystem(b *testing.B, cache int) *core.System {
+	b.Helper()
+	g, _ := benchFixtures(b)
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 99, Noise: 0.4, Domain: tweetgen.DomainMixed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.New(core.Config{Gazetteer: g, Workers: 4, Shards: 4, AnswerCache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range gen.Generate(256) {
+		if _, err := sys.Submit(context.Background(), m.Text, m.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, errs := sys.ProcessConcurrent(context.Background(), 0); len(errs) != 0 {
+		b.Fatalf("drain errors: %v", errs[0])
+	}
+	// Warm pass: fills the cache when one is configured; for the uncached
+	// system it just equalises any lazy one-time costs.
+	for _, q := range askBenchQuestions {
+		if _, err := sys.Ask(context.Background(), q, "asker"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func BenchmarkAskUncached(b *testing.B) {
+	sys := benchAskSystem(b, 0)
+	defer sys.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask(context.Background(), askBenchQuestions[i%len(askBenchQuestions)], "asker"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAskCached(b *testing.B) {
+	sys := benchAskSystem(b, 64)
+	defer sys.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask(context.Background(), askBenchQuestions[i%len(askBenchQuestions)], "asker"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if st := sys.Cache.Stats(); st.Hits == 0 {
+		b.Fatalf("benchmark never hit the cache: %+v", st)
+	}
+}
+
+// ---------------------------------------------------------------------------
 // E10 — probabilistic XML query cost: marginal-probability evaluation vs
 // explicit possible-world enumeration, as the number of distribution nodes
 // (and thus worlds) grows.

@@ -15,6 +15,12 @@
 // the coordinator's pipeline, reporting msgs/sec, the speedup over the
 // first configuration, per-shard record balance and queue health
 // (acked/dead-lettered).
+//
+// -mode=readheavy replays a serving mix — questions and reports
+// interleaved at -ask-ratio — twice, with the shard-versioned answer
+// cache off and then on (-cache entries), reporting throughput, mean ask
+// latency and the cache hit rate. EXPERIMENTS.md §E15 records a
+// reference run.
 package main
 
 import (
@@ -38,8 +44,12 @@ func main() {
 		shards   = flag.String("shards", "1", "comma-separated shard counts for the probabilistic store (parallel)")
 		noise    = flag.Float64("noise", 0.4, "tweet-stream noise level (parallel)")
 		reqRatio = flag.Float64("requests", 0.2, "fraction of request messages (parallel)")
-		gazNames = flag.Int("gaznames", 2000, "synthetic gazetteer size (parallel)")
+		gazNames = flag.Int("gaznames", 2000, "synthetic gazetteer size (parallel, readheavy)")
 		useWAL   = flag.Bool("wal", true, "back the queue with a write-ahead log (parallel)")
+		askRatio = flag.Float64("ask-ratio", 0.9, "fraction of ask operations in the serving mix (readheavy)")
+		cache    = flag.Int("cache", 256, "answer-cache capacity for the cached run (readheavy)")
+		rhWork   = flag.Int("drain-workers", 4, "pipeline worker-pool width (readheavy)")
+		rhShards = flag.Int("store-shards", 4, "probabilistic store shard count (readheavy)")
 	)
 	flag.Parse()
 
@@ -69,7 +79,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	case "readheavy":
+		err := benchkit.ReadHeavy(context.Background(), benchkit.ReadHeavyConfig{
+			Ops:            *msgs,
+			AskRatio:       *askRatio,
+			Seed:           *seed,
+			Noise:          *noise,
+			GazetteerNames: *gazNames,
+			Workers:        *rhWork,
+			Shards:         *rhShards,
+			Cache:          *cache,
+		}, os.Stdout)
+		if err != nil {
+			log.Fatal(err)
+		}
 	default:
-		log.Fatalf("unknown -mode %q (want e7 or parallel)", *mode)
+		log.Fatalf("unknown -mode %q (want e7, parallel or readheavy)", *mode)
 	}
 }

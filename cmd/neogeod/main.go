@@ -59,6 +59,7 @@ func main() {
 		fbBatch    = flag.Int("feedback-batch", 16, "per-shard verdict count that triggers an immediate feedback apply (buffered verdicts also flush every drain interval)")
 		decayEvery = flag.Duration("decay-interval", 0, "certainty-decay period (0: decay off)")
 		decayFloor = flag.Float64("decay-floor", 0.05, "certainty below which a decayed record is deleted")
+		ansCache   = flag.Int("answer-cache", 0, "answer-cache capacity in entries (0: every ask recomputes)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -79,6 +80,7 @@ func main() {
 		neogeo.WithShards(*shards),
 		neogeo.WithWorkers(*workers),
 		neogeo.WithFeedbackBatch(*fbBatch),
+		neogeo.WithAnswerCache(*ansCache),
 	)
 	if err != nil {
 		logger.Error("building system", "err", err)

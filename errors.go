@@ -34,6 +34,22 @@ var (
 	// ErrInvalidFeedback reports a malformed Feedback verdict (unknown
 	// verdict, correction without a replacement, partial location).
 	ErrInvalidFeedback = errors.New("neogeo: invalid feedback")
+
+	// ErrUnknownSubscription reports a subscription ID that was never
+	// issued or was already cancelled.
+	ErrUnknownSubscription = errors.New("neogeo: unknown subscription")
+
+	// ErrStreamBusy reports an OpenSubscription on a subscription whose
+	// stream another consumer already holds.
+	ErrStreamBusy = errors.New("neogeo: subscription stream busy")
+
+	// ErrSubscriptionClosed reports a read on a cancelled subscription's
+	// stream, or a Subscribe after Close.
+	ErrSubscriptionClosed = errors.New("neogeo: subscription closed")
+
+	// ErrInvalidSubscription reports a malformed Subscribe spec (neither
+	// or both of key and center, bad coordinates, non-positive radius).
+	ErrInvalidSubscription = errors.New("neogeo: invalid subscription")
 )
 
 // NotAQuestionError is the concrete error behind ErrNotAQuestion: what

@@ -43,6 +43,7 @@ var pipelinePackages = map[string]bool{
 	"repro/internal/feedback":    true,
 	"repro/internal/integrate":   true,
 	"repro/internal/mq":          true,
+	"repro/internal/readpath":    true,
 }
 
 var Analyzer = &analysis.Analyzer{

@@ -11,6 +11,7 @@ func Test(t *testing.T) {
 	analysistest.Run(t, "testdata", ctxflow.Analyzer,
 		"repro/internal/server",
 		"repro/internal/text",
+		"repro/internal/readpath",
 		"repro/cmd/daemon",
 	)
 }

@@ -1,0 +1,28 @@
+// Package readpath is a pipeline package: its goroutines fan events out
+// to subscribers and must be wired for shutdown.
+package readpath
+
+import "context"
+
+// Event stands in for the real broker event.
+type Event struct{}
+
+func fanOut(ctx context.Context, events chan Event) {
+	go func() { // wired: the body owns a channel
+		for range events {
+		}
+	}()
+
+	go func() { // wired: the body watches ctx
+		<-ctx.Done()
+	}()
+
+	go func() { // want `goroutine launched without cancellation or join wiring`
+		for {
+		}
+	}()
+}
+
+func mint() {
+	_ = context.Background() // want `new root context on a library path`
+}

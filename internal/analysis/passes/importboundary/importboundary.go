@@ -50,6 +50,7 @@ var hints = map[string]string{
 	"repro/internal/shard":       "shard routing is internal; configure neogeo.WithShards instead",
 	"repro/internal/persist":     "use neogeo.WithDataDir / System.Checkpoint",
 	"repro/internal/feedback":    "use neogeo.Feedback / neogeo.FlushFeedback",
+	"repro/internal/readpath":    "use neogeo.WithAnswerCache / neogeo.Subscribe / neogeo.OpenSubscription",
 }
 
 var Analyzer = &analysis.Analyzer{

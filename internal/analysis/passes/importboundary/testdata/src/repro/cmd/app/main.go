@@ -2,7 +2,8 @@
 package main
 
 import (
-	_ "repro/internal/core" // want `repro/cmd/app imports internal package repro/internal/core — use neogeo.New with options`
+	_ "repro/internal/core"     // want `repro/cmd/app imports internal package repro/internal/core — use neogeo.New with options`
+	_ "repro/internal/readpath" // want `repro/cmd/app imports internal package repro/internal/readpath — use neogeo.WithAnswerCache / neogeo.Subscribe / neogeo.OpenSubscription`
 )
 
 func main() {}

@@ -1,0 +1,5 @@
+// Package readpath is a stub hot-read-path internal.
+package readpath
+
+// Subscription stands in for the real spec.
+type Subscription struct{}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/persist"
 	"repro/internal/qa"
+	"repro/internal/readpath"
 	"repro/internal/shard"
 	"repro/internal/uncertain"
 	"repro/internal/xmldb"
@@ -87,6 +88,11 @@ type Config struct {
 	// automatic feedback apply (default 16); the serving layer's loop
 	// also flushes whatever is buffered every drain interval.
 	FeedbackBatch int
+	// AnswerCache bounds the hot read path's answer cache (entries of
+	// Ask results keyed by normalized question + the version vector of
+	// the shards the query plan touched). 0 disables caching: every Ask
+	// re-runs classification, extraction and the fan-out store query.
+	AnswerCache int
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
 }
@@ -124,7 +130,14 @@ type System struct {
 	// Feedback is the user-feedback engine: verdicts on answer results
 	// route to their record's home shard and apply in batches.
 	Feedback *feedback.Engine
-	clock    func() time.Time
+	// Cache is the hot read path's answer cache, nil when disabled
+	// (Config.AnswerCache == 0).
+	Cache *readpath.Cache
+	// Broker is the standing-query broadcaster — the system's single
+	// fan-out point between the write lanes and subscribers. Always
+	// built; idle until something subscribes.
+	Broker *readpath.Broker
+	clock  func() time.Time
 	// workers is the configured pipeline width (0 = GOMAXPROCS).
 	workers int
 	// ckptInterval is the configured checkpoint cadence the serving
@@ -189,6 +202,12 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.Clock != nil {
 		s.Store.SetClock(cfg.Clock)
+	}
+	// The hot read path: the broker always exists (idle until something
+	// subscribes); the answer cache only when sized.
+	s.Broker = readpath.NewBroker(s.Store)
+	if cfg.AnswerCache > 0 {
+		s.Cache = readpath.NewCache(cfg.AnswerCache)
 	}
 
 	// Durability: restore the newest valid checkpoint into the store
@@ -256,6 +275,17 @@ func New(cfg Config) (*System, error) {
 		Clock:       s.clock,
 		AppliedSeq:  recoveredFB.seq,
 		AppliedDone: recoveredFB.done,
+		OnApplied: func(lane int, applied []feedback.Applied) {
+			if !s.Broker.ActiveOn(lane) {
+				return
+			}
+			now := s.clock()
+			for _, a := range applied {
+				if rec, ok := s.Store.Shard(lane).Get(a.Collection, a.RecordID); ok {
+					s.Broker.Publish(lane, a.Action, a.Collection, rec, now)
+				}
+			}
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: building feedback engine: %w", err)
@@ -284,6 +314,21 @@ func New(cfg Config) (*System, error) {
 	if s.Integrator, err = shard.NewIntegrator(s.KB, s.Store); err != nil {
 		return nil, err
 	}
+	// Standing queries see integration commits as they land: the hook
+	// runs on the lane goroutine after the batch's writes (and the
+	// shard's version bump), publishes the records' post-write state,
+	// and is skipped entirely while the lane has no subscribers.
+	s.Integrator.OnCommit(func(lane int, commits []shard.Commit) {
+		if !s.Broker.ActiveOn(lane) {
+			return
+		}
+		now := s.clock()
+		for _, c := range commits {
+			if rec, ok := s.Store.Shard(lane).Get(c.Collection, c.RecordID); ok {
+				s.Broker.Publish(lane, string(c.Action), c.Collection, rec, now)
+			}
+		}
+	})
 	s.DIs = s.Integrator.Services()
 	s.DI = s.DIs[0]
 	if s.QA, err = qa.NewService(s.Store, s.KB, s.Gaz, s.Ont); err != nil {
@@ -312,8 +357,10 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// Close releases resources (the queue WAL and the feedback ledger).
+// Close releases resources (the queue WAL, the feedback ledger and the
+// standing-query broadcaster).
 func (s *System) Close() error {
+	s.Broker.Close()
 	err := s.Queue.Close()
 	if ferr := s.Feedback.Close(); err == nil {
 		err = ferr
@@ -387,7 +434,29 @@ func (s *System) Ingest(ctx context.Context, body, source string) (*coordinator.
 // untouched, Ask is safe to call while a concurrent drain integrates
 // pending informative messages.
 func (s *System) Ask(ctx context.Context, question, source string) (*qa.Answer, error) {
-	return s.MC.AskDirect(ctx, question, source)
+	if s.Cache == nil {
+		return s.MC.AskDirect(ctx, question, source)
+	}
+	// The version vector and drift epoch are read BEFORE the question
+	// runs: a write that lands during execution moves a version past the
+	// one recorded here, so the entry is born stale and the next Get
+	// recomputes — racing writes cost a recompute, never a stale hit.
+	// The cache key is the normalized question alone, which is sound
+	// because the QA path never consults source or the clock for
+	// requests (extraction returns before touching either, and place
+	// resolution ranks by gazetteer population only).
+	q := readpath.NormalizeQuestion(question)
+	versions := s.Store.Versions()
+	drift := s.Store.Drift()
+	if ans, ok := s.Cache.Get(q, versions, drift); ok {
+		return ans, nil
+	}
+	ans, err := s.MC.AskDirect(ctx, question, source)
+	if err != nil {
+		return nil, err
+	}
+	s.Cache.Put(q, ans, readpath.TouchedShards(ans.Query, s.Store), versions, drift)
+	return ans, nil
 }
 
 // DecayAll applies temporal certainty decay to every collection on every
@@ -440,6 +509,30 @@ func (s *System) FeedbackStats() feedback.Stats {
 	return s.Feedback.Stats()
 }
 
+// Subscribe registers a standing query with the broadcaster and returns
+// its ID. The subscription starts matching immediately; attach a
+// consumer with AttachSubscription to receive events.
+func (s *System) Subscribe(spec readpath.Subscription) (string, error) {
+	return s.Broker.Subscribe(spec)
+}
+
+// Unsubscribe removes a standing query and closes its event channel.
+func (s *System) Unsubscribe(id string) error {
+	return s.Broker.Unsubscribe(id)
+}
+
+// AttachSubscription claims a subscription's event stream for a single
+// consumer. The release function must be called when the consumer is
+// done so a later attach can claim it.
+func (s *System) AttachSubscription(id string) (<-chan readpath.Event, func(), error) {
+	return s.Broker.Attach(id)
+}
+
+// SubscriptionInfo describes one registered standing query.
+func (s *System) SubscriptionInfo(id string) (readpath.SubscriptionInfo, error) {
+	return s.Broker.Info(id)
+}
+
 // Stats is a system snapshot.
 type Stats struct {
 	GazetteerEntries int
@@ -456,6 +549,12 @@ type Stats struct {
 	Feedback feedback.Stats
 	// Decay is the cumulative certainty-ageing totals.
 	Decay DecayStats
+	// CacheEnabled says whether the answer cache is configured; Cache
+	// holds its counters (zero value when disabled).
+	CacheEnabled bool
+	Cache        readpath.CacheStats
+	// Subscriptions is the standing-query broadcaster's snapshot.
+	Subscriptions readpath.BrokerStats
 }
 
 // Stats returns a snapshot of the system's stores.
@@ -470,6 +569,11 @@ func (s *System) Stats() Stats {
 		ShardRecords:     s.Store.Balance(),
 		Feedback:         s.Feedback.Stats(),
 		Decay:            s.DecayStats(),
+		Subscriptions:    s.Broker.Stats(),
+	}
+	if s.Cache != nil {
+		st.CacheEnabled = true
+		st.Cache = s.Cache.Stats()
 	}
 	for _, c := range s.Store.Collections() {
 		st.Collections[c] = s.Store.Len(c)

@@ -108,6 +108,7 @@ type Engine struct {
 	clock     func() time.Time
 	batch     int
 	verdictCF uncertain.CF
+	onApplied func(lane int, applied []Applied)
 
 	// applyMu serialises batched applies and checkpoint freezes.
 	applyMu sync.Mutex
@@ -149,6 +150,23 @@ type Config struct {
 	// deferring. Park skips them, so a watermark hole never causes a
 	// double apply across crashes.
 	AppliedDone []int64
+	// OnApplied, when set, observes every lane's committed applies: it
+	// runs on the lane's apply goroutine AFTER the shard's batch
+	// committed (and its version counter moved), so a reader woken by it
+	// always sees the new state. It must be brief and must not call back
+	// into the engine. The read path hooks its standing-query
+	// broadcaster here.
+	OnApplied func(lane int, applied []Applied)
+}
+
+// Applied describes one verdict's committed database effect.
+type Applied struct {
+	// Collection and RecordID identify the updated record.
+	Collection string
+	RecordID   int64
+	// Action is the verdict's effect: "confirmed", "rejected" or
+	// "corrected".
+	Action string
 }
 
 // NewEngine builds an engine.
@@ -165,6 +183,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		clock:     cfg.Clock,
 		batch:     cfg.Batch,
 		verdictCF: cfg.VerdictCF,
+		onApplied: cfg.OnApplied,
 		lanes:     make([][]pending, cfg.Store.NumShards()),
 		nextSeq:   cfg.AppliedSeq + 1,
 		applied:   cfg.AppliedSeq,
@@ -393,6 +412,7 @@ type outcome struct {
 // (applyMu); the trust model and priors are internally synchronised, so
 // cross-lane updates to them are safe.
 func (e *Engine) applyLane(lane int, batch []pending) (outcomes []outcome, kept []pending) {
+	var applied []Applied
 	db := e.store.Shard(lane)
 	_ = db.Batch(func(tx *xmldb.Tx) error {
 		colls := tx.Collections()
@@ -423,10 +443,36 @@ func (e *Engine) applyLane(lane int, batch []pending) (outcomes []outcome, kept 
 				continue
 			}
 			outcomes = append(outcomes, outcome{seq: p.e.Seq, kind: kind})
+			if e.onApplied != nil {
+				applied = append(applied, Applied{
+					Collection: coll,
+					RecordID:   rec.ID,
+					Action:     kind.action(),
+				})
+			}
 		}
 		return nil
 	})
+	// The hook fires outside the batch: the writes (and the shard's
+	// version bump) are committed, and a slow observer cannot extend the
+	// database lock's hold time.
+	if e.onApplied != nil && len(applied) > 0 {
+		e.onApplied(lane, applied)
+	}
 	return outcomes, kept
+}
+
+// action names an applied outcome for the read path's events.
+func (k outcomeKind) action() string {
+	switch k {
+	case appliedConfirm:
+		return "confirmed"
+	case appliedReject:
+		return "rejected"
+	case appliedCorrect:
+		return "corrected"
+	}
+	return ""
 }
 
 // findRecord locates a record by ID across the shard's collections.

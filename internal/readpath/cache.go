@@ -1,0 +1,211 @@
+// Package readpath is the hot read side of the pipeline: a
+// shard-versioned answer cache and a standing-query broadcaster that
+// share one invalidation spine. Every store mutation — integration,
+// feedback apply, certainty decay, restore — moves its shard's version
+// counter (xmldb.DB.Version); the cache keys answers to the versions of
+// the shards a query's plan touches, so a hit is provably as fresh as a
+// recompute, and invalidation is precise (a write to an untouched shard
+// never evicts). The broker rides the same per-shard routing: a write
+// on one integration or feedback lane is tested against only that
+// shard's subscriptions.
+package readpath
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/qa"
+)
+
+// Answer-cache counters. Hits and misses make the hit rate scrapeable;
+// evictions separate capacity pressure (grow the cache) from
+// invalidations (the store is changing under the questions).
+var (
+	mCacheHits = obs.Default().Counter("neogeo_cache_hits_total",
+		"Answer-cache lookups served without re-running the QA path.").With()
+	mCacheMisses = obs.Default().Counter("neogeo_cache_misses_total",
+		"Answer-cache lookups that fell through to the full QA path.").With()
+	mCacheEvictions = obs.Default().Counter("neogeo_cache_evictions_total",
+		"Answer-cache entries dropped by LRU capacity pressure.").With()
+	mCacheInvalidations = obs.Default().Counter("neogeo_cache_invalidations_total",
+		"Answer-cache entries dropped because a touched shard's version moved.").With()
+)
+
+// Cache is a bounded LRU of Ask answers keyed by normalized question
+// text, each entry pinned to the shard version vector observed BEFORE
+// its answer was computed. That ordering is the coherence argument: if
+// the versions of the entry's touched shards still equal the current
+// ones, no touched shard has committed a mutation since before the
+// query ran, so re-running it would read the same data. A write that
+// races the original query only makes the entry invalid early — a
+// wasted recompute, never a stale hit.
+//
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recently used; values are *entry
+	byKey map[string]*list.Element
+
+	hits, misses, evictions, invalidations int64
+}
+
+// entry is one cached answer.
+type entry struct {
+	key string
+	ans *qa.Answer
+	// shards is the query plan's touched-shard set, sorted; nil means
+	// the whole store (any shard's write invalidates).
+	shards []int
+	// versions is the full shard version vector read before the answer
+	// was computed.
+	versions []int64
+	// drift pins the store's placement-drift epoch for narrowed plans:
+	// shard narrowing assumes located records live where their location
+	// routes, so any drift after the entry was cached voids the plan.
+	drift int64
+}
+
+// NewCache returns an answer cache holding at most capacity entries
+// (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:   capacity,
+		lru:   list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// NormalizeQuestion is the cache's key function: whitespace runs
+// collapse to single spaces and the ends are trimmed. Nothing else —
+// case is preserved, because classification and entity extraction may
+// read capitalization, and an over-merging key could serve question A
+// the answer to question B. Under-merging only costs a recompute.
+func NormalizeQuestion(q string) string {
+	return strings.Join(strings.Fields(q), " ")
+}
+
+// Get returns the cached answer for a question if one exists and is
+// still coherent against the current shard version vector and drift
+// epoch; a stale entry is removed on the way out. The returned answer
+// is shared — callers must treat it as immutable (qa answers hold
+// immutable record snapshots, so sharing is safe).
+func (c *Cache) Get(question string, versions []int64, drift int64) (*qa.Answer, bool) {
+	key := NormalizeQuestion(question)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if !e.fresh(versions, drift) {
+		c.removeLocked(el)
+		c.invalidations++
+		c.misses++
+		mCacheInvalidations.Inc()
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	mCacheHits.Inc()
+	return e.ans, true
+}
+
+// fresh reports whether no touched shard's version has moved since the
+// entry's vector was read.
+func (e *entry) fresh(versions []int64, drift int64) bool {
+	if len(versions) != len(e.versions) {
+		return false
+	}
+	if e.shards == nil {
+		for i, v := range versions {
+			if v != e.versions[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if drift != e.drift {
+		return false
+	}
+	for _, s := range e.shards {
+		if s < 0 || s >= len(versions) || versions[s] != e.versions[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// Put caches an answer under its question. versions MUST be the vector
+// read before the answer was computed (not after), and shards the
+// touched-shard plan (nil = whole store); drift the placement-drift
+// epoch read alongside. A nil answer is ignored.
+func (c *Cache) Put(question string, ans *qa.Answer, shards []int, versions []int64, drift int64) {
+	if ans == nil {
+		return
+	}
+	key := NormalizeQuestion(question)
+	e := &entry{key: key, ans: ans, shards: shards, versions: versions, drift: drift}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		c.removeLocked(c.lru.Back())
+		c.evictions++
+		mCacheEvictions.Inc()
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	c.lru.Remove(el)
+	delete(c.byKey, el.Value.(*entry).key)
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// CacheStats is the cache's counter snapshot.
+type CacheStats struct {
+	// Entries is the current entry count; Capacity the configured bound.
+	Entries  int
+	Capacity int
+	// Hits and Misses count lookups; Misses includes Invalidations.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries dropped by LRU capacity pressure,
+	// Invalidations entries dropped because a touched shard moved.
+	Evictions     int64
+	Invalidations int64
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:       c.lru.Len(),
+		Capacity:      c.cap,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+	}
+}

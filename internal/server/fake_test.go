@@ -26,6 +26,12 @@ type fakeSystem struct {
 	drainCalls  int
 	flushCalls  int
 	feedbackSeq int64
+
+	subscribeErr error
+	openErr      error
+	unsubErr     error
+	subIDs       []string
+	unsubIDs     []string
 }
 
 func (f *fakeSystem) Submit(ctx context.Context, body, source string) (int64, error) {
@@ -94,6 +100,39 @@ func (f *fakeSystem) FlushFeedback(ctx context.Context) (int, error) {
 	defer f.mu.Unlock()
 	f.flushCalls++
 	return 0, nil
+}
+
+func (f *fakeSystem) Subscribe(ctx context.Context, sub neogeo.Subscription) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.subscribeErr != nil {
+		return "", f.subscribeErr
+	}
+	id := "sub1"
+	f.subIDs = append(f.subIDs, id)
+	return id, nil
+}
+
+func (f *fakeSystem) Unsubscribe(ctx context.Context, id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.unsubErr != nil {
+		return f.unsubErr
+	}
+	f.unsubIDs = append(f.unsubIDs, id)
+	return nil
+}
+
+// OpenSubscription returns a zero-value stream on success: its nil
+// channel never yields, so Next always runs into the caller's timeout —
+// exactly the shape a heartbeat test needs.
+func (f *fakeSystem) OpenSubscription(ctx context.Context, id string) (*neogeo.SubscriptionStream, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.openErr != nil {
+		return nil, f.openErr
+	}
+	return &neogeo.SubscriptionStream{}, nil
 }
 
 func (f *fakeSystem) counts() (ckpt, decay, drain int) {

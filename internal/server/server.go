@@ -8,14 +8,17 @@
 //
 // Endpoints (see docs/API.md for the full contract):
 //
-//	POST /v1/messages    submit a contribution for asynchronous integration
-//	POST /v1/ask         answer a question synchronously
-//	POST /v1/feedback    return a verdict on an answer result
-//	POST /v1/decay       age stored certainties now (admin)
-//	POST /v1/checkpoint  write one durable checkpoint now (admin)
-//	GET  /v1/stats       store, shard, queue, feedback and durability stats
-//	GET  /healthz        liveness + queue/durability health
-//	GET  /metrics        Prometheus text exposition of the whole pipeline
+//	POST   /v1/messages              submit a contribution for asynchronous integration
+//	POST   /v1/ask                   answer a question synchronously
+//	POST   /v1/feedback              return a verdict on an answer result
+//	POST   /v1/subscribe             register a standing query (entity key or geofence)
+//	GET    /v1/subscribe/{id}/stream stream the standing query's matches (SSE)
+//	DELETE /v1/subscribe/{id}        cancel a standing query
+//	POST   /v1/decay                 age stored certainties now (admin)
+//	POST   /v1/checkpoint            write one durable checkpoint now (admin)
+//	GET    /v1/stats                 store, shard, queue, feedback and durability stats
+//	GET    /healthz                  liveness + queue/durability health
+//	GET    /metrics                  Prometheus text exposition of the whole pipeline
 //
 // Submitted messages are integrated by a background drain loop (Run)
 // that periodically drains the queue through the concurrent pipeline via
@@ -57,6 +60,9 @@ type System interface {
 	Decay(now time.Time, floor float64) (decayed, deleted int, err error)
 	Feedback(ctx context.Context, fb neogeo.Feedback) (neogeo.FeedbackReceipt, error)
 	FlushFeedback(ctx context.Context) (int, error)
+	Subscribe(ctx context.Context, sub neogeo.Subscription) (string, error)
+	Unsubscribe(ctx context.Context, id string) error
+	OpenSubscription(ctx context.Context, id string) (*neogeo.SubscriptionStream, error)
 }
 
 // Server serves a neogeo System over HTTP.
@@ -74,7 +80,10 @@ type Server struct {
 	// stallAfter is how long the queue may hold pending messages without
 	// any acknowledgement progress before /healthz degrades.
 	stallAfter time.Duration
-	log        *slog.Logger
+	// heartbeat is the SSE comment-line cadence on quiet subscription
+	// streams.
+	heartbeat time.Duration
+	log       *slog.Logger
 	// routes is the path -> method -> handler table, built once in New;
 	// everything off it is a JSON 404/405.
 	routes map[string]map[string]http.HandlerFunc
@@ -128,6 +137,13 @@ func WithStallAfter(d time.Duration) Option {
 	return func(s *Server) { s.stallAfter = d }
 }
 
+// WithHeartbeatInterval sets how often a quiet subscription stream
+// emits an SSE comment line so intermediaries keep the connection open
+// (default 15s).
+func WithHeartbeatInterval(d time.Duration) Option {
+	return func(s *Server) { s.heartbeat = d }
+}
+
 // WithLogger routes the server's diagnostics (drain/checkpoint/decay
 // errors, masked 500 causes) to logf (default: the process slog
 // logger). The printf-shaped signature is kept for compatibility;
@@ -150,6 +166,7 @@ func New(sys System, opts ...Option) *Server {
 		ckptInterval:  sys.CheckpointInterval(),
 		decayFloor:    0.05,
 		stallAfter:    5 * time.Second,
+		heartbeat:     15 * time.Second,
 		log:           slog.Default(),
 	}
 	for _, opt := range opts {
@@ -162,6 +179,7 @@ func New(sys System, opts ...Option) *Server {
 		"/v1/messages":   {http.MethodPost: s.handleSubmit},
 		"/v1/ask":        {http.MethodPost: s.handleAsk},
 		"/v1/feedback":   {http.MethodPost: s.handleFeedback},
+		"/v1/subscribe":  {http.MethodPost: s.handleSubscribe},
 		"/v1/decay":      {http.MethodPost: s.handleDecay},
 		"/v1/checkpoint": {http.MethodPost: s.handleCheckpoint},
 		"/v1/stats":      {http.MethodGet: s.handleStats},
@@ -242,7 +260,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	route := r.URL.Path
 	if _, known := s.routes[route]; !known {
-		route = "other"
+		// Subscription sub-resources carry an ID in the path; the metric
+		// label stays bounded by collapsing it to a template.
+		if _, stream, ok := subscribePath(route); ok {
+			if stream {
+				route = "/v1/subscribe/{id}/stream"
+			} else {
+				route = "/v1/subscribe/{id}"
+			}
+		} else {
+			route = "other"
+		}
 	}
 	trace := sanitizeRequestID(r.Header.Get("X-Request-Id"))
 	if trace == "" {
@@ -260,6 +288,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	byMethod, ok := s.routes[r.URL.Path]
 	if !ok {
+		if id, stream, subOK := subscribePath(r.URL.Path); subOK {
+			switch {
+			case stream && r.Method == http.MethodGet:
+				s.handleStream(w, r, id)
+			case !stream && r.Method == http.MethodDelete:
+				s.handleUnsubscribe(w, r, id)
+			default:
+				allow := http.MethodDelete
+				if stream {
+					allow = http.MethodGet
+				}
+				w.Header().Set("Allow", allow)
+				s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+					fmt.Sprintf("%s does not accept %s", r.URL.Path, r.Method), nil)
+			}
+			return
+		}
 		s.writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint: %s", r.URL.Path), nil)
 		return
 	}
@@ -297,6 +342,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the wrapped writer so streaming handlers can reach the
+// connection's Flusher through the metrics middleware.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // sanitizeRequestID bounds a caller-supplied trace ID: at most 64 bytes
 // of printable ASCII with no spaces or quotes, so arbitrary header
@@ -533,6 +582,29 @@ type statsResponse struct {
 	Checkpoint  checkpointJSON `json:"checkpoint"`
 	Feedback    feedbackJSON   `json:"feedback"`
 	Decay       decayJSON      `json:"decay"`
+	Cache       cacheJSON      `json:"cache"`
+	Subs        subsJSON       `json:"subscriptions"`
+}
+
+// cacheJSON is the answer cache's snapshot: configured or not, fill
+// level, and the hit/miss/eviction/invalidation counters behind the
+// hit rate.
+type cacheJSON struct {
+	Enabled       bool    `json:"enabled"`
+	Entries       int     `json:"entries"`
+	Capacity      int     `json:"capacity"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	Evictions     int64   `json:"evictions"`
+	Invalidations int64   `json:"invalidations"`
+}
+
+// subsJSON is the standing-query broadcaster's snapshot.
+type subsJSON struct {
+	Active    int   `json:"active"`
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
 }
 
 // feedbackJSON is the feedback subsystem's counters: how many verdicts
@@ -634,6 +706,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Checkpoint:  checkpointBody(st.Checkpoint),
 		Feedback:    feedbackBody(st.Feedback),
 		Decay:       decayJSON{Runs: st.Decay.Runs, Decayed: st.Decay.Decayed, Deleted: st.Decay.Deleted},
+		Cache: cacheJSON{
+			Enabled:       st.Cache.Enabled,
+			Entries:       st.Cache.Entries,
+			Capacity:      st.Cache.Capacity,
+			Hits:          st.Cache.Hits,
+			Misses:        st.Cache.Misses,
+			HitRate:       st.Cache.HitRate,
+			Evictions:     st.Cache.Evictions,
+			Invalidations: st.Cache.Invalidations,
+		},
+		Subs: subsJSON{
+			Active:    st.Subscriptions.Active,
+			Delivered: st.Subscriptions.Delivered,
+			Dropped:   st.Subscriptions.Dropped,
+		},
 	})
 }
 

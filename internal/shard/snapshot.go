@@ -103,5 +103,29 @@ func (s *Store) Restore(r io.Reader) error {
 			return fmt.Errorf("shard: restore: shard %d: %w", i, err)
 		}
 	}
+	s.auditDrift()
 	return nil
+}
+
+// auditDrift re-counts placement drift after a restore: a restored
+// image can carry records whose location moved off their home shard's
+// routing cell in a previous process (the in-memory drift counters do
+// not persist). Any such record makes spatial plan narrowing unsound,
+// so finding one moves the store's drift epoch.
+func (s *Store) auditDrift() {
+	if len(s.dbs) == 1 {
+		return
+	}
+	var drifted int64
+	for i, db := range s.dbs {
+		for _, coll := range db.Collections() {
+			db.Each(coll, func(rec *xmldb.Record) bool {
+				if rec.Location != nil && s.router.Route(rec.Location, DocKey(rec.Doc)) != i {
+					drifted++
+				}
+				return true
+			})
+		}
+	}
+	s.restoreDrift.Add(drifted)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -43,6 +44,9 @@ var (
 type Store struct {
 	router Router
 	dbs    []*xmldb.DB
+	// restoreDrift accumulates placement drift found by restore-time
+	// audits, on top of the live per-shard counters (see Drift).
+	restoreDrift atomic.Int64
 }
 
 var _ integrate.Store = (*Store)(nil)
@@ -88,6 +92,40 @@ func (s *Store) SetClock(clock func() time.Time) {
 	}
 }
 
+// Versions returns every shard's mutation counter (xmldb.DB.Version) as
+// one vector — the read path's invalidation spine. Each element is a
+// single atomic load; the call never touches a database lock, so it is
+// cheap enough to run on every Ask. Elements are read independently,
+// not as one consistent cut: the vector a reader records before a query
+// can only under-count concurrent writes, which makes a later
+// equality check conservative (a moved version may force a needless
+// recompute, never a stale hit).
+func (s *Store) Versions() []int64 {
+	out := make([]int64, len(s.dbs))
+	for i, db := range s.dbs {
+		out[i] = db.Version()
+	}
+	return out
+}
+
+// Drift returns the store's placement-drift epoch: how many times a
+// record's location has been observed somewhere its home shard's
+// routing cell does not cover — location-moving merges and feedback
+// corrections in this process (xmldb.DB.LocationDrift) plus drifted
+// records found by restore-time audits. While zero, every located
+// record lives on the shard its current location routes to, so the
+// read path may narrow a spatial query's blast radius to the covering
+// shards (GridRouter.CoverShards); once it moves, narrowing is
+// permanently disabled — conservative, because a transient drifted
+// record may be long deleted, but always sound.
+func (s *Store) Drift() int64 {
+	d := s.restoreDrift.Load()
+	for _, db := range s.dbs {
+		d += db.LocationDrift()
+	}
+	return d
+}
+
 // ShardFor returns the home shard index encoded in a record ID.
 func (s *Store) ShardFor(id int64) int {
 	n := int64(len(s.dbs))
@@ -114,13 +152,16 @@ func (s *Store) fanOut(fn func(i int, db *xmldb.DB)) {
 	wg.Wait()
 }
 
-// docKey derives the routing key of a bare document: the text of its
+// DocKey derives the routing key of a bare document: the text of its
 // first child element that has any — the domain key field for every
 // built-in domain, since templates emit the key field first (see
 // extract.Template.fieldOrder). It must return the bare field text,
 // exactly what Integrator.Route feeds the router, so direct Store
-// writes and routed integration lanes agree on placement.
-func docKey(doc *pxml.Node) string {
+// writes and routed integration lanes agree on placement. The read
+// path's entity-keyed standing queries match on the same key, so a
+// subscription and the router agree about which records an entity name
+// denotes.
+func DocKey(doc *pxml.Node) string {
 	if doc == nil {
 		return ""
 	}
@@ -137,7 +178,7 @@ func docKey(doc *pxml.Node) string {
 
 // Insert stores a document on the shard the router assigns it.
 func (s *Store) Insert(collection string, doc *pxml.Node, certainty uncertain.CF, loc *geo.Point) (*xmldb.Record, error) {
-	return s.dbs[s.router.Route(loc, docKey(doc))].Insert(collection, doc, certainty, loc)
+	return s.dbs[s.router.Route(loc, DocKey(doc))].Insert(collection, doc, certainty, loc)
 }
 
 // Update replaces a record on its home shard (derived from the ID).

@@ -9,6 +9,7 @@ package xmldb
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -57,6 +58,23 @@ type DB struct {
 	// record's shard is recoverable from its ID alone.
 	idStride int64
 	clock    func() time.Time
+	// version counts successful mutations (insert, update, delete,
+	// restore). It is the database's cache-invalidation spine: any reader
+	// that records the version before a query and re-checks it later can
+	// tell whether the data the query saw may have changed. The bump
+	// happens at the END of each mutation, still under the write lock, so
+	// a reader that observes version v is guaranteed to see every
+	// mutation that produced v once it acquires the read lock.
+	version atomic.Int64
+	// locDrift counts updates that changed where a record IS relative to
+	// where it LIVES: a record gains a location or its coordinates move,
+	// while its home shard (fixed at insert) stays put. While it is zero,
+	// "a located record within region R lives on a shard that routes
+	// region R" holds, and the read path may narrow spatial cache plans
+	// and geofenced subscriptions to the covering shards; once it moves,
+	// that inference is unsound and the read path degrades to
+	// whole-store invalidation. See shard.Store.Drift.
+	locDrift atomic.Int64
 }
 
 // New returns an empty database.
@@ -225,8 +243,20 @@ func (db *DB) insertLocked(collection string, doc *pxml.Node, certainty uncertai
 	}
 	c.records[rec.ID] = rec
 	c.order = append(c.order, rec.ID)
+	db.version.Add(1)
 	return rec, nil
 }
+
+// Version returns the database's mutation counter: a monotonic value
+// that moves on every successful insert, update, delete and restore —
+// including certainty decay and feedback applies, which are updates and
+// deletes like any other. Reading it is one atomic load; it never
+// blocks on the database lock.
+func (db *DB) Version() int64 { return db.version.Load() }
+
+// LocationDrift returns the count of updates that gave a record a
+// location or moved its coordinates — see the locDrift field.
+func (db *DB) LocationDrift() int64 { return db.locDrift.Load() }
 
 // Get returns the record with the given ID from a collection.
 func (db *DB) Get(collection string, id int64) (*Record, bool) {
@@ -301,8 +331,12 @@ func (db *DB) updateLocked(collection string, id int64, doc *pxml.Node, certaint
 		if err := c.spatial.Insert(geo.BBoxOf(p), rec.ID); err != nil {
 			return fmt.Errorf("xmldb: spatial index: %w", err)
 		}
+		if rec.Location == nil || *rec.Location != p {
+			db.locDrift.Add(1)
+		}
 	}
 	c.records[id] = next
+	db.version.Add(1)
 	return nil
 }
 
@@ -337,6 +371,7 @@ func (db *DB) deleteLocked(collection string, id int64) error {
 			break
 		}
 	}
+	db.version.Add(1)
 	return nil
 }
 

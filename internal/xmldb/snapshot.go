@@ -166,5 +166,8 @@ func (db *DB) Restore(r io.Reader) error {
 	defer db.mu.Unlock()
 	db.collections = staged
 	db.nextID = nextID
+	// A restore replaces everything the database holds; any cached view
+	// keyed to an older version must be invalidated.
+	db.version.Add(1)
 	return nil
 }

@@ -203,6 +203,21 @@ func (s *System) Stats() Stats {
 			Decayed: st.Decay.Decayed,
 			Deleted: st.Decay.Deleted,
 		},
+		Cache: CacheStats{
+			Enabled:       st.CacheEnabled,
+			Entries:       st.Cache.Entries,
+			Capacity:      st.Cache.Capacity,
+			Hits:          st.Cache.Hits,
+			Misses:        st.Cache.Misses,
+			HitRate:       hitRate(st.Cache.Hits, st.Cache.Misses),
+			Evictions:     st.Cache.Evictions,
+			Invalidations: st.Cache.Invalidations,
+		},
+		Subscriptions: SubscriptionStats{
+			Active:    st.Subscriptions.Active,
+			Delivered: st.Subscriptions.Delivered,
+			Dropped:   st.Subscriptions.Dropped,
+		},
 		Latency: LatencyStats{
 			Ask:       latencySummary("neogeo_ask_seconds"),
 			Extract:   latencySummary("neogeo_pipeline_stage_seconds", "extract"),
@@ -210,6 +225,14 @@ func (s *System) Stats() Stats {
 			Transit:   latencySummary("neogeo_pipeline_transit_seconds"),
 		},
 	}
+}
+
+// hitRate folds the cache counters into the ratio dashboards want.
+func hitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 // latencySummary digests one of the observability layer's histogram

@@ -89,6 +89,16 @@ func WithFeedbackBatch(n int) Option {
 	return func(s *settings) { s.core.FeedbackBatch = n }
 }
 
+// WithAnswerCache bounds the hot read path's answer cache at n entries:
+// Ask results are cached under the normalized question, pinned to the
+// version vector of the shards the query's plan touched, and served
+// without re-running classification, extraction or the store query
+// until a touched shard commits a write. 0 (the default) disables
+// caching — every Ask recomputes.
+func WithAnswerCache(n int) Option {
+	return func(s *settings) { s.core.AnswerCache = n }
+}
+
 // WithClock overrides the system's time source (tests).
 func WithClock(clock func() time.Time) Option {
 	return func(s *settings) { s.core.Clock = clock }

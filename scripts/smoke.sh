@@ -8,6 +8,10 @@
 # pre-crash knowledge — both the checkpointed and the replayed half —
 # still answers. Exercises the full submit -> background drain -> ask ->
 # stats -> checkpoint -> crash -> recover path a deployment depends on.
+# The hot-read-path legs then assert the answer cache serves a repeated
+# question (hit counter advances on /metrics) and that a standing query
+# registered over /v1/subscribe streams a matching report as an SSE
+# event end to end.
 set -eu
 
 echo "== preflight: static analysis (scripts/lint.sh)"
@@ -28,7 +32,7 @@ start_daemon() {
   # -workers 1 keeps drains in queue order so record IDs are stable
   # across crash-replay restarts — the feedback leg rejects a record by
   # ID and asserts the effect survives a second SIGKILL.
-  "$BIN" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -wal "$WAL" -data-dir "$DATA" -shards 2 -workers 1 -drain-interval 50ms &
+  "$BIN" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -wal "$WAL" -data-dir "$DATA" -shards 2 -workers 1 -drain-interval 50ms -answer-cache 64 &
   PID=$!
 }
 
@@ -194,4 +198,49 @@ until [ "$(first_paris_hotel 2>/dev/null || true)" = "Hotel Lima" ]; do
 done
 echo "== feedback survived the crash"
 
-echo "== smoke OK (including crash recovery and the feedback loop)"
+echo "== answer cache: a repeated question is served from the cache"
+cache_hits() {
+  curl -fsS "$BASE/metrics" | awk 'BEGIN {v = 0} $1 == "neogeo_cache_hits_total" {v = int($2)} END {print v}'
+}
+HITS0=$(cache_hits)
+curl -fsS -X POST "$BASE/v1/ask" \
+  -H 'Content-Type: application/json' \
+  -d '{"question":"can anyone recommend a good hotel in Berlin?","source":"bob"}' >/dev/null
+curl -fsS -X POST "$BASE/v1/ask" \
+  -H 'Content-Type: application/json' \
+  -d '{"question":"can anyone recommend a good hotel in Berlin?","source":"bob"}' >/dev/null
+HITS1=$(cache_hits)
+[ "$HITS1" -gt "$HITS0" ] || { echo "cache hit counter did not advance ($HITS0 -> $HITS1)" >&2; exit 1; }
+curl -fsS "$BASE/v1/stats" | grep -q '"enabled": true' || { echo "cache not reported in stats" >&2; exit 1; }
+echo "== cache hits advanced $HITS0 -> $HITS1"
+
+echo "== standing query: subscribe, stream, and watch a matching write arrive"
+SUB=$(curl -fsS -X POST "$BASE/v1/subscribe" \
+  -H 'Content-Type: application/json' \
+  -d '{"collection":"Hotels","key":"Hotel Sierra"}')
+echo "$SUB"
+SUB_ID=$(echo "$SUB" | grep -o '"id": "[^"]*"' | head -1 | sed 's/.*"id": "//;s/"$//')
+[ -n "$SUB_ID" ] || { echo "subscribe returned no id" >&2; exit 1; }
+SSE="$STATE/sse.out"
+curl -fsS -N "$BASE/v1/subscribe/$SUB_ID/stream" >"$SSE" &
+SSE_PID=$!
+trap 'kill "$PID" "$SSE_PID" 2>/dev/null || true' EXIT
+sleep 0.3 # let the stream attach before the write lands
+curl -fsS -X POST "$BASE/v1/messages" \
+  -H 'Content-Type: application/json' \
+  -d '{"text":"wonderful stay at the Hotel Sierra in Rome, lovely place","source":"frank"}' >/dev/null
+i=0
+until grep -q 'Hotel Sierra' "$SSE" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || { echo "no SSE event arrived:" >&2; cat "$SSE" >&2; exit 1; }
+  sleep 0.1
+done
+grep -q '^event: record' "$SSE" || { echo "stream frames malformed:" >&2; cat "$SSE" >&2; exit 1; }
+grep -q '"action":"inserted"' "$SSE" || { echo "event is not the insert:" >&2; cat "$SSE" >&2; exit 1; }
+kill "$SSE_PID" 2>/dev/null || true
+wait "$SSE_PID" 2>/dev/null || true
+curl -fsS -X DELETE "$BASE/v1/subscribe/$SUB_ID" | grep -q '"status": "cancelled"' ||
+  { echo "unsubscribe failed" >&2; exit 1; }
+echo "== SSE event delivered and subscription cancelled"
+
+echo "== smoke OK (including crash recovery, the feedback loop and the hot read path)"

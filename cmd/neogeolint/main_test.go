@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBaselineKeyIsLineIndependent pins the matching contract: a
+// finding that moves to a different line (edits above it) still
+// matches its baseline entry, while a different message or file does
+// not.
+func TestBaselineKeyIsLineIndependent(t *testing.T) {
+	old := finding{Position: "internal/xmldb/db.go:240:4", Analyzer: "versionbump", Message: "m"}
+	moved := finding{Position: "internal/xmldb/db.go:267:9", Analyzer: "versionbump", Message: "m"}
+	if old.key() != moved.key() {
+		t.Errorf("keys differ across lines: %q vs %q", old.key(), moved.key())
+	}
+	otherMsg := finding{Position: "internal/xmldb/db.go:240:4", Analyzer: "versionbump", Message: "other"}
+	if old.key() == otherMsg.key() {
+		t.Error("different messages must not share a key")
+	}
+	otherFile := finding{Position: "internal/xmldb/snapshot.go:240:4", Analyzer: "versionbump", Message: "m"}
+	if old.key() == otherFile.key() {
+		t.Error("different files must not share a key")
+	}
+}
+
+// TestLoadBaseline round-trips the artifact shape through the
+// baseline loader.
+func TestLoadBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	blob := `[
+  {"position": "a/b.go:10:2", "analyzer": "ctxflow", "message": "msg one"},
+  {"position": "a/b.go:20:2", "analyzer": "atomicwrite", "message": "msg two"}
+]`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("got %d keys, want 2", len(keys))
+	}
+	probe := finding{Position: "a/b.go:99:1", Analyzer: "ctxflow", Message: "msg one"}
+	if !keys[probe.key()] {
+		t.Errorf("baseline does not match same finding on a new line: %q", probe.key())
+	}
+	fresh := finding{Position: "a/b.go:10:2", Analyzer: "ctxflow", Message: "brand new"}
+	if keys[fresh.key()] {
+		t.Error("baseline must not match a new message")
+	}
+}
+
+// TestLoadBaselineRejectsGarbage: a corrupt baseline is an error, not
+// an empty allowlist that would silently re-fail on every accepted
+// finding.
+func TestLoadBaselineRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(path); err == nil {
+		t.Error("expected an error for a corrupt baseline file")
+	}
+}

@@ -7,12 +7,16 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 )
 
 // vetConfig mirrors the JSON cmd/go writes next to each package when
 // driving a -vettool (see buildVetConfig in cmd/go/internal/work).
+// PackageVetx maps each dependency's import path to the .vetx fact
+// file that dependency's vet run produced; VetxOutput is where this
+// run must publish its own.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -21,15 +25,18 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // runVet analyzes the single package described by the vet.cfg file,
-// following the vettool protocol: diagnostics to stderr, exit 2 when
-// there are findings, and always publish the (empty — the analyzers
-// exchange no facts) vetx output so cmd/go can cache the result.
+// following the vettool protocol: decode the dependencies' facts from
+// their .vetx files, run the suite (facts are computed even on
+// VetxOnly dependency passes — only diagnostics are suppressed), write
+// the accumulated fact set to VetxOutput for dependents, print
+// diagnostics to stderr, and exit 2 when there are findings.
 func runVet(cfgPath string) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -39,16 +46,23 @@ func runVet(cfgPath string) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatal(fmt.Errorf("neogeolint: parsing %s: %w", cfgPath, err))
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("neogeolint-facts v1\n"), 0o666); err != nil {
-			fatal(err)
-		}
-	}
-	if cfg.VetxOnly {
-		return // dependency pass: facts only, and we have none
-	}
 	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		publishFacts(cfg.VetxOutput, analysis.NewFactSet())
 		return // only gc export data is readable here
+	}
+
+	// Rehydrate facts exported by dependencies. Unknown fact names
+	// (from a different tool version) are skipped by Decode.
+	facts := analysis.NewFactSet()
+	prototypes := factPrototypes()
+	for _, vetx := range cfg.PackageVetx {
+		raw, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // missing dependency facts degrade, not fail
+		}
+		if err := facts.Decode(raw, prototypes); err != nil {
+			fatal(fmt.Errorf("neogeolint: decoding facts %s: %w", vetx, err))
+		}
 	}
 
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -71,14 +85,23 @@ func runVet(cfgPath string) {
 	fset := token.NewFileSet()
 	pkg, err := analysis.TypecheckFiles(fset, cfg.ImportPath, dir, files, lookup)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		// Outside the module the suite has nothing to say, and cgo
+		// dependencies (runtime/cgo, net) list generated files that do
+		// not exist when the build cache is warm — degrade to an empty
+		// result rather than failing the whole vet run.
+		if cfg.SucceedOnTypecheckFailure || !inModule(cfg.ImportPath) {
+			publishFacts(cfg.VetxOutput, facts)
 			return
 		}
 		fatal(err)
 	}
-	diags, err := analysis.RunPackages([]*analysis.Package{pkg}, analyzers())
+	diags, err := analysis.RunPackagesWithFacts([]*analysis.Package{pkg}, analyzers(), facts)
 	if err != nil {
 		fatal(err)
+	}
+	publishFacts(cfg.VetxOutput, facts)
+	if cfg.VetxOnly {
+		return // dependency pass: facts published, diagnostics are not wanted
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, analysis.Format(fset, d))
@@ -88,7 +111,51 @@ func runVet(cfgPath string) {
 	}
 }
 
+// publishFacts writes the fact set where cmd/go expects it so the
+// result is cacheable and dependents can import the facts.
+func publishFacts(path string, facts *analysis.FactSet) {
+	if path == "" {
+		return
+	}
+	data, err := facts.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fatal(err)
+	}
+}
+
+// inModule reports whether the import path belongs to this project's
+// module; only those packages must analyze cleanly.
+func inModule(path string) bool {
+	return path == "repro" || strings.HasPrefix(path, "repro/")
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// factPrototypes collects every fact type the suite (including its
+// required analyzers) can produce, for decoding dependency .vetx
+// files.
+func factPrototypes() []analysis.Fact {
+	var protos []analysis.Fact
+	seen := make(map[*analysis.Analyzer]bool)
+	var visit func(a *analysis.Analyzer)
+	visit = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		protos = append(protos, a.FactTypes...)
+		for _, dep := range a.Requires {
+			visit(dep)
+		}
+	}
+	for _, a := range analyzers() {
+		visit(a)
+	}
+	return protos
 }

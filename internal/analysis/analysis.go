@@ -42,9 +42,23 @@ type Analyzer struct {
 	Doc string
 
 	// Run applies the analyzer to one package, reporting diagnostics
-	// through pass.Report. The returned value is unused (kept for API
-	// symmetry with x/tools); errors abort the whole run.
+	// through pass.Report. The returned value is this analyzer's result
+	// for the package: dependents declared via Requires receive it in
+	// Pass.ResultOf. Errors abort the whole run.
 	Run func(*Pass) (any, error)
+
+	// Requires lists analyzers whose results this one consumes. The
+	// driver expands the closure, rejects cycles, and runs requirements
+	// first; their per-package results appear in Pass.ResultOf. The
+	// shared single-walk AST index (passes/inspect) and the locked-region
+	// layer (passes/lockspan) are the common requirements — N analyzers
+	// requiring them cost one traversal per package, not N.
+	Requires []*Analyzer
+
+	// FactTypes lists prototypes of the fact types this analyzer
+	// exports (one instance per type). Registration is what lets the
+	// vet driver decode facts read back from .vetx files.
+	FactTypes []Fact
 }
 
 // A Pass provides one analyzer with the type-checked syntax of one
@@ -72,6 +86,28 @@ type Pass struct {
 	// Report delivers one diagnostic. The driver owns filtering
 	// (lint:ignore directives, test files) and formatting.
 	Report func(Diagnostic)
+
+	// ResultOf holds the results of this package's analyses by the
+	// analyzers named in Analyzer.Requires.
+	ResultOf map[*Analyzer]any
+
+	// facts is the run-wide fact store (see facts.go).
+	facts *FactSet
+}
+
+// ExportFact publishes a fact about fn for later analyses — of this
+// package by dependent analyzers, and of downstream packages by any
+// analyzer (the driver analyzes packages in import order, and the vet
+// driver round-trips facts through .vetx files).
+func (p *Pass) ExportFact(fn *types.Func, f Fact) {
+	p.facts.export(fn, f)
+}
+
+// ImportFact copies the stored fact of dst's type about fn into dst,
+// reporting whether one was found. fn may belong to this package or to
+// any dependency already analyzed.
+func (p *Pass) ImportFact(fn *types.Func, dst Fact) bool {
+	return p.facts.imp(fn, dst)
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.

@@ -131,7 +131,8 @@ func f() {
 }
 
 func TestRangeDirectiveDoesNotLeak(t *testing.T) {
-	// A directive two lines up must not suppress.
+	// A directive two lines up must not suppress — and since it then
+	// suppresses nothing, it is itself reported as unused.
 	diags := runToy(t, `package p
 func bad() {}
 func f() {
@@ -140,8 +141,57 @@ func f() {
 	bad()
 }
 `)
-	if len(diags) != 1 {
-		t.Fatalf("want the finding to survive, got %v", diags)
+	if len(diags) != 2 {
+		t.Fatalf("want the surviving finding plus the unused-directive report, got %v", diags)
+	}
+	byAnalyzer := map[string]bool{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = true
+	}
+	if !byAnalyzer["toy"] || !byAnalyzer["lint"] {
+		t.Fatalf("want one toy and one lint diagnostic, got %v", diags)
+	}
+}
+
+func TestUnusedDirectiveReported(t *testing.T) {
+	// A justified directive with no matching diagnostic is stale and
+	// must itself be reported.
+	diags := runToy(t, `package p
+func fine() {}
+func f() {
+	fine() //lint:ignore toy nothing here to hush anymore
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "lint" {
+		t.Fatalf("want exactly the unused-directive report, got %v", diags)
+	}
+}
+
+func TestUnusedDirectiveForForeignAnalyzerNotReported(t *testing.T) {
+	// A directive naming an analyzer outside this run may be
+	// load-bearing for a different invocation — its usage is unknowable
+	// here, so it must not be reported.
+	diags := runToy(t, `package p
+func fine() {}
+func f() {
+	fine() //lint:ignore other someone else's rule
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestUnusedStarDirectiveReported(t *testing.T) {
+	// "*" matches any analyzer, so any run can decide it is unused.
+	diags := runToy(t, `package p
+func fine() {}
+func f() {
+	fine() //lint:ignore * hushing nothing
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "lint" {
+		t.Fatalf("want exactly the unused-directive report, got %v", diags)
 	}
 }
 

@@ -1,0 +1,103 @@
+// Package inspector provides the shared single-walk AST index behind
+// the inspect pass (modelled on x/tools' ast/inspector): the package's
+// files are traversed exactly once at construction into a flat event
+// list, and every analyzer then iterates that list — filtered by node
+// type — instead of re-walking the syntax trees. With N analyzers over
+// P packages this turns N×P traversals into P.
+package inspector
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// event is one push (preorder) or pop (postorder) of a node. For a
+// push, sibling is the index of the matching pop, so a filtered
+// iteration can skip a whole subtree in O(1); for a pop, it is the
+// index of the matching push.
+type event struct {
+	node    ast.Node
+	sibling int
+	push    bool
+}
+
+// Inspector is the prebuilt traversal of one package's files.
+type Inspector struct {
+	events []event
+}
+
+// New builds the event list with a single walk over files.
+func New(files []*ast.File) *Inspector {
+	in := &Inspector{}
+	var stack []int
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				in.events[top].sibling = len(in.events)
+				in.events = append(in.events, event{node: in.events[top].node, sibling: top})
+				return true
+			}
+			stack = append(stack, len(in.events))
+			in.events = append(in.events, event{node: n, push: true})
+			return true
+		})
+	}
+	return in
+}
+
+// typeSet builds the filter for a node-type list; nil/empty means all.
+func typeSet(nodeTypes []ast.Node) map[reflect.Type]bool {
+	if len(nodeTypes) == 0 {
+		return nil
+	}
+	set := make(map[reflect.Type]bool, len(nodeTypes))
+	for _, n := range nodeTypes {
+		set[reflect.TypeOf(n)] = true
+	}
+	return set
+}
+
+// Preorder calls f for every node whose type matches nodeTypes (an
+// instance per wanted type, e.g. (*ast.CallExpr)(nil); empty matches
+// everything), in depth-first preorder.
+func (in *Inspector) Preorder(nodeTypes []ast.Node, f func(ast.Node)) {
+	set := typeSet(nodeTypes)
+	for _, ev := range in.events {
+		if !ev.push {
+			continue
+		}
+		if set == nil || set[reflect.TypeOf(ev.node)] {
+			f(ev.node)
+		}
+	}
+}
+
+// WithStack is Preorder plus the stack of ancestors: f receives each
+// matching node on push (push=true) and again on pop (push=false),
+// with stack holding the path from the file down to and including n.
+// Returning false from a push call skips the node's subtree (the pop
+// call still happens).
+func (in *Inspector) WithStack(nodeTypes []ast.Node, f func(n ast.Node, push bool, stack []ast.Node) bool) {
+	set := typeSet(nodeTypes)
+	var stack []ast.Node
+	for i := 0; i < len(in.events); i++ {
+		ev := in.events[i]
+		if ev.push {
+			stack = append(stack, ev.node)
+			if set == nil || set[reflect.TypeOf(ev.node)] {
+				if !f(ev.node, true, stack) {
+					// Skip to the matching pop.
+					i = ev.sibling - 1
+					continue
+				}
+			}
+		} else {
+			if set == nil || set[reflect.TypeOf(ev.node)] {
+				f(ev.node, false, stack)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/inspect"
 )
 
 // durable lists the packages whose files must survive kill -9: the
@@ -39,19 +40,16 @@ var Analyzer = &analysis.Analyzer{
 		"os.Rename must be preceded by a sync in the same function, and\n" +
 		"the durability packages may not use os.WriteFile (it cannot\n" +
 		"fsync).",
-	Run: run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
+	inspect.Of(pass).Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		if fd := n.(*ast.FuncDecl); fd.Body != nil {
 			checkFunc(pass, fd)
 		}
-	}
+	})
 	return nil, nil
 }
 

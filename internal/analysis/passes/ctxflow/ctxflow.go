@@ -22,6 +22,7 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/inspect"
 )
 
 // entryPackages are where the ctx-first convention is enforced.
@@ -52,30 +53,29 @@ var Analyzer = &analysis.Analyzer{
 		"Flags context.Background()/TODO() outside package main, exported\n" +
 		"entry points whose context parameter is not first, and goroutines\n" +
 		"launched without a context, channel or WaitGroup in hand.",
-	Run: run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
 	isMain := pass.Pkg.Name() == "main"
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if isMain {
-					return true
-				}
-				if analysis.IsFunc(pass.TypesInfo, n, "context.Background") ||
-					analysis.IsFunc(pass.TypesInfo, n, "context.TODO") {
-					pass.Reportf(n.Pos(), "new root context on a library path — accept a context.Context from the caller so cancellation reaches this work")
-				}
-			case *ast.FuncDecl:
-				checkCtxFirst(pass, n)
-			case *ast.GoStmt:
-				checkGoWiring(pass, n)
+	nodeTypes := []ast.Node{(*ast.CallExpr)(nil), (*ast.FuncDecl)(nil), (*ast.GoStmt)(nil)}
+	inspect.Of(pass).Preorder(nodeTypes, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isMain {
+				return
 			}
-			return true
-		})
-	}
+			if analysis.IsFunc(pass.TypesInfo, n, "context.Background") ||
+				analysis.IsFunc(pass.TypesInfo, n, "context.TODO") {
+				pass.Reportf(n.Pos(), "new root context on a library path — accept a context.Context from the caller so cancellation reaches this work")
+			}
+		case *ast.FuncDecl:
+			checkCtxFirst(pass, n)
+		case *ast.GoStmt:
+			checkGoWiring(pass, n)
+		}
+	})
 	return nil, nil
 }
 

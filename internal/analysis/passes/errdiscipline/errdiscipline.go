@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/inspect"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -32,7 +33,8 @@ var Analyzer = &analysis.Analyzer{
 		"Flags discarded error returns (outside error-path cleanup),\n" +
 		"string-matching on rendered error text, and fmt.Errorf calls\n" +
 		"that format an error without %w.",
-	Run: run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
 }
 
 // stringMatchers are the functions whose use on rendered error text is
@@ -46,19 +48,22 @@ var stringMatchers = map[string]bool{
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	for _, f := range pass.Files {
-		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
-			switch n := n.(type) {
-			case *ast.ExprStmt:
-				checkDiscard(pass, n, stack)
-			case *ast.CallExpr:
-				checkTextMatch(pass, n)
-				checkErrorf(pass, n)
-			case *ast.BinaryExpr:
-				checkTextCompare(pass, n)
-			}
-		})
-	}
+	nodeTypes := []ast.Node{(*ast.ExprStmt)(nil), (*ast.CallExpr)(nil), (*ast.BinaryExpr)(nil)}
+	inspect.Of(pass).WithStack(nodeTypes, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			checkDiscard(pass, n, stack)
+		case *ast.CallExpr:
+			checkTextMatch(pass, n)
+			checkErrorf(pass, n)
+		case *ast.BinaryExpr:
+			checkTextCompare(pass, n)
+		}
+		return true
+	})
 	return nil, nil
 }
 

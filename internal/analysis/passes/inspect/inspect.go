@@ -1,0 +1,39 @@
+// Package inspect provides the shared single-walk AST index as an
+// analyzer result. Every traversal-based analyzer declares
+//
+//	Requires: []*analysis.Analyzer{inspect.Analyzer}
+//
+// and filters the prebuilt event list via Pass.ResultOf instead of
+// calling ast.Inspect itself, so a run of N analyzers walks each
+// package's syntax once, not N times.
+package inspect
+
+import (
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/inspector"
+)
+
+// Walks counts how many package traversals the pass has performed
+// across the process. It exists for the driver test that pins the
+// single-traversal property: K analyzers requiring inspect over P
+// packages must advance it by exactly P.
+var Walks atomic.Int64
+
+// Analyzer builds the package's inspector.Inspector. It reports
+// nothing; its value is the result.
+var Analyzer = &analysis.Analyzer{
+	Name: "inspect",
+	Doc:  "build the shared single-walk AST index consumed by other analyzers",
+	Run: func(pass *analysis.Pass) (any, error) {
+		Walks.Add(1)
+		return inspector.New(pass.Files), nil
+	},
+}
+
+// Of extracts the prebuilt inspector from a dependent pass.
+func Of(pass *analysis.Pass) *inspector.Inspector {
+	in, _ := pass.ResultOf[Analyzer].(*inspector.Inspector)
+	return in
+}

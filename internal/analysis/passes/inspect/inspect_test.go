@@ -1,0 +1,118 @@
+package inspect_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/inspect"
+)
+
+// TestSingleTraversalPerPackage pins the point of the shared inspect
+// pass: K analyzers requiring it across P packages perform exactly P
+// walks, not K×P.
+func TestSingleTraversalPerPackage(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"p/p.go": "package p\nfunc f() { g() }\nfunc g() {}\n",
+		"q/q.go": "package q\nfunc h() int { return 1 + 2 }\n",
+		"r/r.go": "package r\nvar V = []int{1, 2, 3}\n",
+	}
+	for name, src := range files {
+		path := filepath.Join(root, "src", filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := analysis.LoadTree(root, "p", "q", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three independent analyzers, all traversal-based, all sharing the
+	// one prebuilt index. Each also checks the index actually sees the
+	// package's nodes.
+	counts := make([]int, 3)
+	mk := func(i int, nodes []ast.Node) *analysis.Analyzer {
+		return &analysis.Analyzer{
+			Name:     "walker" + string(rune('a'+i)),
+			Requires: []*analysis.Analyzer{inspect.Analyzer},
+			Run: func(pass *analysis.Pass) (any, error) {
+				inspect.Of(pass).Preorder(nodes, func(ast.Node) { counts[i]++ })
+				return nil, nil
+			},
+		}
+	}
+	analyzers := []*analysis.Analyzer{
+		mk(0, []ast.Node{(*ast.FuncDecl)(nil)}),
+		mk(1, []ast.Node{(*ast.CallExpr)(nil), (*ast.BasicLit)(nil)}),
+		mk(2, nil), // unfiltered
+	}
+
+	before := inspect.Walks.Load()
+	if _, err := analysis.RunPackages(pkgs, analyzers); err != nil {
+		t.Fatal(err)
+	}
+	walks := inspect.Walks.Load() - before
+
+	if want := int64(len(pkgs)); walks != want {
+		t.Fatalf("want exactly %d traversals (one per package) for %d analyzers, got %d",
+			want, len(analyzers), walks)
+	}
+	if counts[0] != 3 { // f, g, h
+		t.Fatalf("FuncDecl filter saw %d decls, want 3", counts[0])
+	}
+	if counts[1] == 0 || counts[2] == 0 {
+		t.Fatalf("filtered/unfiltered iterations saw nothing: %v", counts)
+	}
+}
+
+// TestWithStackSkipsSubtree pins the prune contract golden analyzers
+// rely on: returning false from a push visit skips the node's subtree.
+func TestWithStackSkipsSubtree(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "src", "s", "s.go")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package s\nfunc outer() {\n\tf := func() { inner() }\n\tf()\n}\nfunc inner() {}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadTree(root, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls int
+	a := &analysis.Analyzer{
+		Name:     "pruner",
+		Requires: []*analysis.Analyzer{inspect.Analyzer},
+		Run: func(pass *analysis.Pass) (any, error) {
+			in := inspect.Of(pass)
+			in.WithStack([]ast.Node{(*ast.FuncLit)(nil), (*ast.CallExpr)(nil)},
+				func(n ast.Node, push bool, stack []ast.Node) bool {
+					if !push {
+						return true
+					}
+					if _, isLit := n.(*ast.FuncLit); isLit {
+						return false // skip the literal's body
+					}
+					calls++
+					return true
+				})
+			return nil, nil
+		},
+	}
+	if _, err := analysis.RunPackages(pkgs, []*analysis.Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 { // only f(), not inner() inside the pruned literal
+		t.Fatalf("want 1 call outside the pruned func literal, got %d", calls)
+	}
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/lockdiscipline"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer, "repro/internal/feedback")
+}

@@ -1,0 +1,128 @@
+// Golden testdata for lockdiscipline: blocking ops under lock,
+// acquisition order, unlock pairing. The Engine field names match the
+// production lock-rank table.
+package feedback
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+var errFail = errors.New("fail")
+
+type Engine struct {
+	applyMu sync.Mutex
+	mu      sync.Mutex
+	ch      chan int
+}
+
+// slowFlush hides the sleep one call away: blocking-ness must
+// propagate through the fact.
+func slowFlush() {
+	time.Sleep(time.Millisecond)
+}
+
+// GoodOrder nests applyMu before mu, matching the rank table.
+func (e *Engine) GoodOrder() {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// BadOrder acquires applyMu while holding mu.
+func (e *Engine) BadOrder() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.applyMu.Lock() // want `violates the lock order`
+	e.applyMu.Unlock()
+}
+
+// BadReentry re-locks a held mutex.
+func (e *Engine) BadReentry() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mu.Lock() // want `re-acquires e\.mu, which is already held`
+	e.mu.Unlock()
+}
+
+// BadSleep blocks under the lock.
+func (e *Engine) BadSleep() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `blocking operation \(time\.Sleep\) while holding e\.mu`
+}
+
+// BadTransitive blocks through the helper.
+func (e *Engine) BadTransitive() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	slowFlush() // want `blocking operation \(slowFlush -> time\.Sleep\) while holding e\.mu`
+}
+
+// GoodAsync: a goroutine does not block the lock holder.
+func (e *Engine) GoodAsync() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go slowFlush()
+}
+
+// BadWait parks on a WaitGroup under the lock.
+func (e *Engine) BadWait(wg *sync.WaitGroup) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	wg.Wait() // want `blocking operation \(\(\*sync\.WaitGroup\)\.Wait\) while holding e\.applyMu`
+}
+
+// BadSend: a bare send blocks until a receiver shows up.
+func (e *Engine) BadSend(v int) {
+	e.mu.Lock()
+	e.ch <- v // want `blocking operation \(channel send\) while holding e\.mu`
+	e.mu.Unlock()
+}
+
+// BadRecv blocks receiving under the lock.
+func (e *Engine) BadRecv() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return <-e.ch // want `blocking operation \(channel receive\) while holding e\.mu`
+}
+
+// GoodSend: select with default never blocks — the broker's delivery
+// shape.
+func (e *Engine) GoodSend(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case e.ch <- v:
+	default:
+	}
+}
+
+// BadReturn leaves without unlocking on the error path.
+func (e *Engine) BadReturn(fail bool) error {
+	e.mu.Lock()
+	if fail {
+		return errFail // want `return while e\.mu is still locked`
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// GoodBranchUnlock unlocks on both paths without defer.
+func (e *Engine) GoodBranchUnlock(fail bool) error {
+	e.mu.Lock()
+	if fail {
+		e.mu.Unlock()
+		return errFail
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// BadForever locks and falls off the end.
+func (e *Engine) BadForever() {
+	e.mu.Lock() // want `e\.mu is locked here and never released`
+	e.ch = nil
+}

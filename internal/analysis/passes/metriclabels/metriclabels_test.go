@@ -1,0 +1,13 @@
+package metriclabels_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/metriclabels"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", metriclabels.Analyzer,
+		"repro/internal/obs", "repro/internal/server")
+}

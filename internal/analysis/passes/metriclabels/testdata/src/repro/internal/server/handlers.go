@@ -1,0 +1,88 @@
+// Golden testdata for metriclabels: label values at obs With(...)
+// call sites must come from bounded sets.
+package server
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+var (
+	mRequests = obs.NewCounterFamily("http_requests_total", "route", "method", "class")
+	mSeconds  = obs.NewHistogramFamily("http_seconds", nil, "route")
+)
+
+const areaLabel = "gazetteer"
+
+type request struct {
+	Method string
+	Path   string
+}
+
+// routeLabel collapses arbitrary paths onto a fixed route vocabulary.
+func routeLabel(path string) string {
+	switch path {
+	case "/query", "/feedback":
+		return path
+	}
+	return "other"
+}
+
+// methodLabel collapses methods onto the handful the API serves.
+func methodLabel(m string) string {
+	switch m {
+	case "GET", "POST":
+		return m
+	}
+	return "other"
+}
+
+// GoodLiteral uses literals and constants.
+func GoodLiteral() {
+	mRequests.With("/query", "GET", "2xx").Inc()
+	mSeconds.With(areaLabel).Observe(0.1)
+}
+
+// GoodNormalized routes raw request data through *Label normalizers
+// and bounded formatters.
+func GoodNormalized(r *request, code int) {
+	route := routeLabel(r.Path)
+	mRequests.With(route, methodLabel(r.Method), strconv.Itoa(code/100)+"xx").Inc()
+	mSeconds.With(route).Observe(0.2)
+}
+
+// BadRawPath mints a series per distinct URL.
+func BadRawPath(r *request) {
+	mSeconds.With(r.Path).Observe(0.3) // want `metric label value is not from a bounded set`
+}
+
+// BadSprintf formats unbounded data into the label.
+func BadSprintf(r *request, code int) {
+	mRequests.With(
+		"/query",
+		fmt.Sprintf("%s:%s", r.Method, r.Path), // want `metric label value is not from a bounded set`
+		strconv.Itoa(code),
+	).Inc()
+}
+
+// BadReassigned: the local is overwritten with raw data after the
+// normalizer, so its provenance is no longer a single bounded source.
+func BadReassigned(r *request) {
+	route := routeLabel(r.Path)
+	if r.Path == "/debug" {
+		route = r.Path
+	}
+	mSeconds.With(route).Observe(0.4) // want `metric label value is not from a bounded set`
+}
+
+// BadParam: a parameter arrives with unknown provenance.
+func BadParam(label string) {
+	mSeconds.With(label).Observe(0.5) // want `metric label value is not from a bounded set`
+}
+
+// GoodConcat concatenates bounded parts.
+func GoodConcat(code int) {
+	mRequests.With("/query", "GET", strconv.Itoa(code/100)+"xx").Inc()
+}

@@ -1,0 +1,22 @@
+// Golden testdata: core is the system wiring and may construct the one
+// broker; publishing from a hook closure with no lock held is the
+// canonical clean shape.
+package core
+
+import "repro/internal/readpath"
+
+type System struct {
+	Broker *readpath.Broker
+}
+
+func New() *System {
+	return &System{Broker: readpath.NewBroker()}
+}
+
+// Wire installs the post-commit publisher: the closure publishes after
+// the commit, holding nothing.
+func (s *System) Wire(register func(func(string))) {
+	register(func(action string) {
+		s.Broker.Publish(action)
+	})
+}

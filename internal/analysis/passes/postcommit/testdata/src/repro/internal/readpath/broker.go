@@ -1,0 +1,21 @@
+// Golden testdata: a miniature readpath.Broker at the real import path
+// so FullName-based matching works as in the production tree.
+package readpath
+
+import "sync"
+
+type Broker struct {
+	mu sync.RWMutex
+}
+
+// NewBroker is legal here: readpath constructs its own broker in tests
+// of the real package.
+func NewBroker() *Broker { return &Broker{} }
+
+// Publish delivers one event. The broker's internal locking is its own
+// business, not a hook invocation.
+func (b *Broker) Publish(action string) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_ = action
+}

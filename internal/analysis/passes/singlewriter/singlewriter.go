@@ -13,6 +13,7 @@ import (
 	"go/ast"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/inspect"
 )
 
 // xmldbPath is the package whose DB/Tx mutations are guarded.
@@ -48,39 +49,34 @@ var Analyzer = &analysis.Analyzer{
 		"Each shard's DB has a single writer; mutating it from serving, QA\n" +
 		"or command code bypasses the lane ordering that keeps concurrent\n" +
 		"integration linearizable.",
-	Run: run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
 	if writers[pass.Path] {
 		return nil, nil
 	}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			selection, ok := pass.TypesInfo.Selections[sel]
-			if !ok {
-				return true // package-qualified call, not a method
-			}
-			pkgPath, typeName, ok := analysis.NamedType(selection.Recv())
-			if !ok || pkgPath != xmldbPath {
-				return true
-			}
-			if (typeName != "DB" && typeName != "Tx") || !mutators[sel.Sel.Name] {
-				return true
-			}
-			pass.Reportf(call.Pos(),
-				"direct xmldb.%s.%s from %s — store writes belong to integration lanes and feedback apply paths (see docs/INVARIANTS.md)",
-				typeName, sel.Sel.Name, pass.Path)
-			return true
-		})
-	}
+	inspect.Of(pass).Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok {
+			return // package-qualified call, not a method
+		}
+		pkgPath, typeName, ok := analysis.NamedType(selection.Recv())
+		if !ok || pkgPath != xmldbPath {
+			return
+		}
+		if (typeName != "DB" && typeName != "Tx") || !mutators[sel.Sel.Name] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"direct xmldb.%s.%s from %s — store writes belong to integration lanes and feedback apply paths (see docs/INVARIANTS.md)",
+			typeName, sel.Sel.Name, pass.Path)
+	})
 	return nil, nil
 }

@@ -1,0 +1,31 @@
+// Golden testdata for versionbump's cross-package facts: shard code
+// holding its own lock while calling into xmldb is checked against the
+// summaries exported when xmldb was analyzed.
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/xmldb"
+)
+
+type Store struct {
+	mu sync.Mutex
+	db *xmldb.DB
+}
+
+// Apply goes through the bumping mutator: the imported fact says the
+// call ends bumped, so the region is clean.
+func (s *Store) Apply(name string, id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Insert(name, id)
+}
+
+// Purge calls the non-bumping mutator and releases the lock: the
+// imported fact says the mutation is still pending at unlock.
+func (s *Store) Purge(name string) {
+	s.mu.Lock() // want `locked region s\.mu mutates store state with no version bump before unlock`
+	s.db.UnsafeClear(name)
+	s.mu.Unlock()
+}

@@ -1,0 +1,130 @@
+// Golden testdata for versionbump: a miniature of the real xmldb
+// surface. Field names (collections/records/order/spatial/version) and
+// the wrapper-over-*Locked-helper shape mirror the production package.
+package xmldb
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+type Index struct{}
+
+func (ix *Index) Insert(id int64) error { return nil }
+func (ix *Index) Delete(id int64)       {}
+func (ix *Index) Within(id int64) bool  { return false }
+
+type Collection struct {
+	records map[int64]int
+	order   []int64
+	spatial *Index
+}
+
+type DB struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+	version     atomic.Int64
+}
+
+var errBoom = errors.New("boom")
+
+// Insert is the canonical clean shape: wrapper locks, helper mutates
+// and bumps on every path that changed state.
+func (db *DB) Insert(name string, id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insertLocked(name, id)
+}
+
+func (db *DB) insertLocked(name string, id int64) error {
+	c, ok := db.collections[name]
+	if !ok {
+		return errBoom // nothing mutated yet: clean early return
+	}
+	c.records[id] = 1
+	c.order = append(c.order, id)
+	if err := c.spatial.Insert(id); err != nil {
+		db.version.Add(1) // records/order already changed: bump on the error path too
+		return err
+	}
+	db.version.Add(1)
+	return nil
+}
+
+// Len reads under RLock; reads need no bump.
+func (db *DB) Len(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.collections[name]
+	if !ok {
+		return 0
+	}
+	return len(c.records)
+}
+
+// Near uses the spatial index's query method under RLock: only
+// Insert/Delete on the index count as mutations.
+func (db *DB) Near(name string, id int64) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.collections[name]
+	if !ok {
+		return false
+	}
+	return c.spatial.Within(id)
+}
+
+// updateLocked reproduces the spatial error-path bug: the index is
+// mutated by Delete, then the Insert failure path returns without the
+// bump the happy path gets.
+func (db *DB) updateLocked(name string, id int64) error {
+	c, ok := db.collections[name]
+	if !ok {
+		return errBoom
+	}
+	c.spatial.Delete(id)
+	if err := c.spatial.Insert(id); err != nil {
+		return err // want `return after a tracked mutation with no version bump on this path`
+	}
+	c.records[id] = 2
+	db.version.Add(1)
+	return nil
+}
+
+// deleteAllLocked legitimately leaves the bump to its callers (the
+// *Locked contract): no finding here, but its fact says it ends with a
+// pending mutation.
+func (db *DB) deleteAllLocked(name string) error {
+	delete(db.collections, name)
+	return nil
+}
+
+// Update reproduces the reverted-decay-bump shape: the locked region
+// delegates to a helper that ends pending and never bumps.
+func (db *DB) Update(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.deleteAllLocked(name) // want `return leaves locked region db\.mu with a mutation not covered by a version bump`
+}
+
+// Touch mutates under a read lock.
+func (db *DB) Touch(name string) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.collections[name] = nil // want `mutation of tracked store state under read lock db\.mu`
+}
+
+// Clear mutates in a write region with no bump anywhere.
+func (db *DB) Clear(name string) {
+	db.mu.Lock() // want `locked region db\.mu mutates store state with no version bump before unlock`
+	db.collections[name] = nil
+	db.mu.Unlock()
+}
+
+// UnsafeClear is exported without a bump so the shard testdata can
+// check cross-package fact flow; within this package the bump is its
+// callers' responsibility, so no finding here.
+func (db *DB) UnsafeClear(name string) {
+	delete(db.collections, name)
+}

@@ -353,6 +353,7 @@ func (e *Engine) flushLanes(only map[int]bool) int {
 			results[lane].outcomes, results[lane].kept = e.applyLane(lane, batch)
 		}(i, batch)
 	}
+	//lint:ignore lockdiscipline applyMu exists to serialize whole flushes; waiting for the lanes is the critical section
 	wg.Wait()
 
 	applied := 0

@@ -99,6 +99,7 @@ func (l *FileLedger) Append(e Entry) error {
 	if _, err := l.f.Write(append(data, '\n')); err != nil {
 		return fmt.Errorf("feedback: appending ledger entry %d: %w", e.Seq, err)
 	}
+	//lint:ignore lockdiscipline the ledger's contract is one durable append at a time; the mutex exists to order the fsyncs
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("feedback: syncing ledger entry %d: %w", e.Seq, err)
 	}

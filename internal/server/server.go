@@ -258,20 +258,7 @@ func (s *Server) Run(ctx context.Context) {
 // with the route label bounded to the server's own table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	route := r.URL.Path
-	if _, known := s.routes[route]; !known {
-		// Subscription sub-resources carry an ID in the path; the metric
-		// label stays bounded by collapsing it to a template.
-		if _, stream, ok := subscribePath(route); ok {
-			if stream {
-				route = "/v1/subscribe/{id}/stream"
-			} else {
-				route = "/v1/subscribe/{id}"
-			}
-		} else {
-			route = "other"
-		}
-	}
+	route := s.routeLabel(r.URL.Path)
 	trace := sanitizeRequestID(r.Header.Get("X-Request-Id"))
 	if trace == "" {
 		trace = obs.NewTraceID()
@@ -281,7 +268,34 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.route(sw, r)
 	mHTTPSeconds.With(route).Observe(time.Since(start).Seconds())
-	mHTTPRequests.With(route, r.Method, strconv.Itoa(sw.code/100)+"xx").Inc()
+	mHTTPRequests.With(route, methodLabel(r.Method), strconv.Itoa(sw.code/100)+"xx").Inc()
+}
+
+// routeLabel collapses an arbitrary request path onto the server's
+// fixed route vocabulary so the metric label stays bounded.
+// Subscription sub-resources carry an ID in the path and collapse to a
+// template; everything unknown is "other".
+func (s *Server) routeLabel(path string) string {
+	if _, known := s.routes[path]; known {
+		return path
+	}
+	if _, stream, ok := subscribePath(path); ok {
+		if stream {
+			return "/v1/subscribe/{id}/stream"
+		}
+		return "/v1/subscribe/{id}"
+	}
+	return "other"
+}
+
+// methodLabel collapses the request method onto the handful the API
+// serves; arbitrary client-supplied methods must not mint series.
+func methodLabel(m string) string {
+	switch m {
+	case http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodHead:
+		return m
+	}
+	return "other"
 }
 
 // route is the dispatch half of ServeHTTP, after the middleware.

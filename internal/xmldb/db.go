@@ -238,6 +238,10 @@ func (db *DB) insertLocked(collection string, doc *pxml.Node, certainty uncertai
 		p := *loc
 		rec.Location = &p
 		if err := c.spatial.Insert(geo.BBoxOf(p), rec.ID); err != nil {
+			// collection() above may have created the (empty) collection:
+			// the store changed even though this insert failed, so cached
+			// views keyed to the old version must still be invalidated.
+			db.version.Add(1)
 			return nil, fmt.Errorf("xmldb: spatial index: %w", err)
 		}
 	}
@@ -329,6 +333,10 @@ func (db *DB) updateLocked(collection string, id int64, doc *pxml.Node, certaint
 		p := *newLoc
 		next.Location = &p
 		if err := c.spatial.Insert(geo.BBoxOf(p), rec.ID); err != nil {
+			// The old location was already deleted from the spatial
+			// index above; readers must not keep serving cached views
+			// of the pre-delete state.
+			db.version.Add(1)
 			return fmt.Errorf("xmldb: spatial index: %w", err)
 		}
 		if rec.Location == nil || *rec.Location != p {

@@ -145,6 +145,7 @@ func (db *DB) Restore(r io.Reader) error {
 				}
 				rec.Location = &p
 				if err := c.spatial.Insert(geo.BBoxOf(p), rec.ID); err != nil {
+					//lint:ignore versionbump mutations land in a staged collection that is only installed by the swap below, which bumps
 					return fmt.Errorf("xmldb: restore: %s/%d: spatial index: %w", sc.Name, sr.ID, err)
 				}
 			}

@@ -2,8 +2,14 @@
 # Build cmd/neogeolint and run the project-invariant analyzer suite
 # over the whole module. Exits nonzero when any finding is reported, so
 # both CI and the smoke preflight can gate on it. Findings print to
-# stdout in file:line:col form; pass extra args (e.g. -json out.json)
-# through via LINT_FLAGS.
+# stdout in file:line:col form.
+#
+#   LINT_ARTIFACT=out.json  write the findings JSON to out.json even
+#                           when the tree is clean (CI uploads it on
+#                           every run, not just red ones)
+#   LINT_BASELINE=base.json suppress findings already recorded in
+#                           base.json; fail only on new ones
+#   LINT_FLAGS=...          extra flags passed through verbatim
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,4 +17,12 @@ cd "$(dirname "$0")/.."
 BIN="${NEOGEOLINT_BIN:-$(mktemp -d)/neogeolint}"
 go build -o "$BIN" ./cmd/neogeolint
 
-exec "$BIN" ${LINT_FLAGS:-} ./...
+set -- ${LINT_FLAGS:-}
+if [ -n "${LINT_ARTIFACT:-}" ]; then
+  set -- "$@" -artifact "$LINT_ARTIFACT"
+fi
+if [ -n "${LINT_BASELINE:-}" ]; then
+  set -- "$@" -baseline "$LINT_BASELINE"
+fi
+
+exec "$BIN" "$@" ./...

@@ -117,6 +117,32 @@ type Stats struct {
 	// for the hot paths; zero-valued summaries when nothing has been
 	// observed yet (full distributions are on GET /metrics).
 	Latency LatencyStats
+	// Traces is the span flight recorder's snapshot (Enabled false
+	// without WithTraceRecorder).
+	Traces TraceStats
+}
+
+// TraceStats is the span flight recorder's snapshot.
+type TraceStats struct {
+	// Enabled says whether tracing is configured (WithTraceRecorder).
+	Enabled bool
+	// Capacity is the recorder's completed-trace ring bound; Kept how
+	// many traces it currently holds; Active how many traces have
+	// started but not yet finished their root span.
+	Capacity int
+	Kept     int
+	Active   int
+	// Completed counts finished traces, KeptTotal the subset the keep
+	// policy recorded, Dropped the subset it discarded, and Evicted
+	// recorded traces later displaced by ring capacity.
+	Completed uint64
+	KeptTotal uint64
+	Dropped   uint64
+	Evicted   uint64
+	// SlowThresholdSeconds is the always-keep latency bar; SampleN the
+	// 1-in-N sampling rate for ordinary traces (0: none kept).
+	SlowThresholdSeconds float64
+	SampleN              int
 }
 
 // CacheStats is the answer cache's snapshot.

@@ -257,7 +257,7 @@ func benchTemplates(b *testing.B, g *gazetteer.Gazetteer, o *ontology.Ontology, 
 	var tpls []extract.Template
 	now := time.Unix(1_300_000_000, 0)
 	for _, m := range gen.Generate(n * 3) {
-		ex, err := ie.Extract(m.Text, m.Source, now)
+		ex, err := ie.Extract(context.Background(), m.Text, m.Source, now)
 		if err != nil {
 			continue
 		}
@@ -523,6 +523,62 @@ func BenchmarkDrainMetricsOverhead(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			obs.Default().SetEnabled(cfg.enabled)
 			defer obs.Default().SetEnabled(true)
+			processed := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys, err := core.New(core.Config{
+					Gazetteer: g,
+					Workers:   4,
+					QueueWAL:  filepath.Join(b.TempDir(), "queue.wal"),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < perIter; j++ {
+					m := msgs[(i*perIter+j)%len(msgs)]
+					if _, err := sys.Submit(context.Background(), m.Text, m.Source); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				_, errs := sys.ProcessConcurrent(context.Background(), 0)
+				b.StopTimer()
+				if len(errs) != 0 {
+					b.Fatalf("drain errors: %v", errs[0])
+				}
+				processed += perIter
+				sys.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "msgs/sec")
+		})
+	}
+}
+
+// BenchmarkDrainTracingOverhead prices the span layer the same way the
+// metrics leg does: recorder=off is the default deployment (StartSpan
+// degrades to a context lookup plus an atomic load and must sit within
+// the drain benchmark's noise floor); recorder=on pays span allocation
+// and the keep-policy decision per message.
+func BenchmarkDrainTracingOverhead(b *testing.B) {
+	g, _ := benchFixtures(b)
+	gen, err := tweetgen.New(tweetgen.Config{Seed: 99, Noise: 0.4, Domain: tweetgen.DomainMixed, RequestRatio: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := gen.Generate(256)
+	const perIter = 64
+
+	for _, cfg := range []struct {
+		name     string
+		recorder *obs.Recorder
+	}{
+		{"recorder=on", obs.NewRecorder(obs.RecorderConfig{Capacity: 256, SampleN: 1})},
+		{"recorder=off", nil},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			obs.SetDefaultRecorder(cfg.recorder)
+			defer obs.SetDefaultRecorder(nil)
 			processed := 0
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()

@@ -15,9 +15,14 @@
 //
 // Observability: GET /metrics on the public listener serves the whole
 // pipeline's Prometheus families; -debug-addr starts a second, private
-// listener that adds net/http/pprof profiling next to /metrics, so
-// profiles never ride the public surface. -log-format/-log-level shape
-// the structured log stream every subsystem writes to.
+// listener that adds net/http/pprof profiling and the /debug/traces
+// flight-recorder view next to /metrics, so profiles and raw timelines
+// never ride the public surface. -trace-recorder keeps the last N
+// interesting request timelines queryable at GET /v1/traces/{id}
+// (slow or errored traces always kept, plus 1-in--trace-sample of the
+// rest; -trace-slow sets the slow bar, NEOGEO_TRACE_SLOW overrides
+// it). -log-format/-log-level shape the structured log stream every
+// subsystem writes to.
 //
 //	neogeod -addr :8080 -shards 4 -workers 8 \
 //	    -wal /var/lib/neogeo/queue.wal -data-dir /var/lib/neogeo/data \
@@ -60,8 +65,19 @@ func main() {
 		decayEvery = flag.Duration("decay-interval", 0, "certainty-decay period (0: decay off)")
 		decayFloor = flag.Float64("decay-floor", 0.05, "certainty below which a decayed record is deleted")
 		ansCache   = flag.Int("answer-cache", 0, "answer-cache capacity in entries (0: every ask recomputes)")
+		traceCap   = flag.Int("trace-recorder", 256, "span flight-recorder capacity in completed traces (0: tracing off)")
+		traceSlow  = flag.Duration("trace-slow", time.Second, "always keep traces at least this slow (NEOGEO_TRACE_SLOW overrides)")
+		traceN     = flag.Int("trace-sample", 0, "keep 1 in N ordinary traces (0: only slow/errored/explain traces kept)")
 	)
 	flag.Parse()
+	if env := os.Getenv("NEOGEO_TRACE_SLOW"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			slog.Error("invalid NEOGEO_TRACE_SLOW", "value", env, "err", err)
+			os.Exit(2)
+		}
+		*traceSlow = d
+	}
 	logger := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 	slog.SetDefault(logger)
 	if *dataDir == "" {
@@ -81,6 +97,9 @@ func main() {
 		neogeo.WithWorkers(*workers),
 		neogeo.WithFeedbackBatch(*fbBatch),
 		neogeo.WithAnswerCache(*ansCache),
+		neogeo.WithTraceRecorder(*traceCap),
+		neogeo.WithTraceSlowThreshold(*traceSlow),
+		neogeo.WithTraceSampling(*traceN),
 	)
 	if err != nil {
 		logger.Error("building system", "err", err)
@@ -112,6 +131,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/traces", obs.TracesHandler(obs.DefaultRecorder))
 		debugSrv = &http.Server{Addr: *debugAddr, Handler: mux}
 		go func() {
 			logger.Info("debug listener up", "addr", *debugAddr)

@@ -14,6 +14,12 @@
 //     same lock class — the cross-shard-lock smell) is flagged.
 //   - Unlock pairing: every return path releases what it locked, and no
 //     region runs off the end of its function still holding the lock.
+//   - No flight-recorder traffic under the read-path hot locks
+//     (xmldb.DB.mu, readpath.Broker.mu, readpath.Cache.mu): starting or
+//     ending a span takes the recorder's own lock and allocates, so a
+//     span call inside one of these critical sections couples recorder
+//     contention to every reader and writer queued on the store. Spans
+//     bracket the locked call from outside instead.
 package lockdiscipline
 
 import (
@@ -65,6 +71,26 @@ var blockingFuncs = map[string]bool{
 	"(*os/exec.Cmd).Output":         true,
 	"(*os/exec.Cmd).CombinedOutput": true,
 	"(*os/exec.Cmd).Wait":           true,
+}
+
+// tracerFuncs are the obs tracing entry points that touch the span
+// flight recorder, by FullName.
+var tracerFuncs = map[string]bool{
+	"repro/internal/obs.StartSpan":           true,
+	"repro/internal/obs.ForceSpan":           true,
+	"(*repro/internal/obs.Span).End":         true,
+	"(*repro/internal/obs.Recorder).Get":     true,
+	"(*repro/internal/obs.Recorder).Recent":  true,
+	"(*repro/internal/obs.Recorder).Slowest": true,
+	"(*repro/internal/obs.Recorder).Active":  true,
+}
+
+// hotLocks are the lock classes on the store's serving paths where
+// recorder traffic is forbidden outright.
+var hotLocks = map[string]bool{
+	"repro/internal/xmldb.DB.mu":        true,
+	"repro/internal/readpath.Broker.mu": true,
+	"repro/internal/readpath.Cache.mu":  true,
 }
 
 // lockRank is the project-wide acquisition order, outermost first.
@@ -185,6 +211,32 @@ func (ck *checker) checkRegion(r *lockspan.Region) {
 			ck.pass.Reportf(st.Pos(), "blocking operation (%s) while holding %s", what, r.Lock.Expr)
 		}
 	}
+
+	// Flight-recorder traffic inside a hot region.
+	if hotLocks[r.Lock.Key] {
+		for _, st := range r.Stmts {
+			ck.findTracer(st, r.Lock.Expr)
+		}
+	}
+}
+
+// findTracer reports every tracer call lexically inside n. Like
+// findBlocking, func literals, go statements and defers do not run
+// inside the region and are skipped.
+func (ck *checker) findTracer(n ast.Node, lockExpr string) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(ck.pass.TypesInfo, n)
+			if fn != nil && tracerFuncs[fn.FullName()] {
+				ck.pass.Reportf(n.Pos(),
+					"span recorder call (%s) while holding hot lock %s — start and end spans outside the critical section", fn.Name(), lockExpr)
+			}
+		}
+		return true
+	})
 }
 
 // findBlocking returns a description of the first blocking operation

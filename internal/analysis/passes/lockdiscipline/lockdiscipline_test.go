@@ -8,5 +8,6 @@ import (
 )
 
 func TestGolden(t *testing.T) {
-	analysistest.Run(t, "testdata", lockdiscipline.Analyzer, "repro/internal/feedback")
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer,
+		"repro/internal/feedback", "repro/internal/readpath")
 }

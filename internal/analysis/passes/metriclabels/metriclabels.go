@@ -10,6 +10,11 @@
 // A local variable is accepted when it has exactly one assignment in
 // the enclosing function and that right-hand side is itself bounded —
 // the `route := s.routeLabel(path)` shape.
+//
+// Span names are labels too: the flight recorder groups and displays
+// timelines by span name, so the name argument of obs.StartSpan /
+// obs.ForceSpan must be bounded the same way. Request data belongs in
+// span attributes (SetAttr/SetInt), never in the name.
 package metriclabels
 
 import (
@@ -33,11 +38,21 @@ var formatters = map[string]bool{
 	"strconv.FormatUint": true,
 }
 
+// spanStarters are the obs package-level functions whose name argument
+// (position 1, after ctx) names a span and must stay bounded.
+var spanStarters = map[string]bool{
+	obsPath + ".StartSpan": true,
+	obsPath + ".ForceSpan": true,
+}
+
 var Analyzer = &analysis.Analyzer{
 	Name: "metriclabels",
-	Doc: "obs metric label values come from bounded sets or *Label normalizers\n\n" +
+	Doc: "obs metric label values and span names come from bounded sets\n\n" +
 		"A label minted from raw request data creates a time series per\n" +
-		"distinct value; the registry and every scrape grow without bound.",
+		"distinct value; the registry and every scrape grow without bound.\n" +
+		"Span names group the flight recorder's timelines the same way, so\n" +
+		"StartSpan/ForceSpan names must be bounded too — variable data\n" +
+		"rides in span attributes.",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
@@ -51,6 +66,13 @@ func run(pass *analysis.Pass) (any, error) {
 			return true
 		}
 		call := n.(*ast.CallExpr)
+		if isSpanStarter(pass.TypesInfo, call) {
+			if len(call.Args) >= 2 && !bounded(pass.TypesInfo, call.Args[1], enclosingBody(stack)) {
+				pass.Reportf(call.Args[1].Pos(),
+					"span name is not from a bounded set — name spans with constants and put variable data in attributes")
+			}
+			return true
+		}
 		if !isObsWith(pass.TypesInfo, call) {
 			return true
 		}
@@ -63,6 +85,13 @@ func run(pass *analysis.Pass) (any, error) {
 		return true
 	})
 	return nil, nil
+}
+
+// isSpanStarter reports whether the call is obs.StartSpan or
+// obs.ForceSpan.
+func isSpanStarter(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && spanStarters[fn.FullName()]
 }
 
 // isObsWith reports whether the call is a With method on an obs family

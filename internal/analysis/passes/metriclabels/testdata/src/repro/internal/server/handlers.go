@@ -86,3 +86,41 @@ func BadParam(label string) {
 func GoodConcat(code int) {
 	mRequests.With("/query", "GET", strconv.Itoa(code/100)+"xx").Inc()
 }
+
+const spanAsk = "ask"
+
+// GoodSpanConst names spans with constants; request data rides in
+// attributes.
+func GoodSpanConst(r *request) {
+	_, sp := obs.StartSpan(nil, spanAsk)
+	sp.SetAttr("path", r.Path)
+	sp.End()
+	_, fsp := obs.ForceSpan(nil, "ask_explain")
+	fsp.End()
+}
+
+// GoodSpanLocal: a local with a single bounded assignment is fine.
+func GoodSpanLocal() {
+	name := spanAsk + "_retry"
+	_, sp := obs.StartSpan(nil, name)
+	sp.End()
+}
+
+// BadSpanRawPath mints a span name (and so a recorder grouping) per
+// distinct URL.
+func BadSpanRawPath(r *request) {
+	_, sp := obs.StartSpan(nil, r.Path) // want `span name is not from a bounded set`
+	sp.End()
+}
+
+// BadSpanSprintf formats unbounded data into the name.
+func BadSpanSprintf(r *request) {
+	_, sp := obs.ForceSpan(nil, fmt.Sprintf("ask:%s", r.Path)) // want `span name is not from a bounded set`
+	sp.End()
+}
+
+// BadSpanParam: a parameter arrives with unknown provenance.
+func BadSpanParam(name string) {
+	_, sp := obs.StartSpan(nil, name) // want `span name is not from a bounded set`
+	sp.End()
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/extract"
 	"repro/internal/mq"
+	"repro/internal/obs"
 )
 
 // DrainEach processes queued messages through a three-stage concurrent
@@ -65,7 +66,7 @@ func (c *Coordinator) DrainEach(ctx context.Context, limit int, emit func(*Outco
 		go func() {
 			defer workersWG.Done()
 			for m := range jobs {
-				c.workOne(m, sink, lanes, notify)
+				c.workOne(ctx, m, sink, lanes, notify)
 			}
 		}()
 	}
@@ -75,7 +76,7 @@ func (c *Coordinator) DrainEach(ctx context.Context, limit int, emit func(*Outco
 		lanesWG.Add(1)
 		go func(lane int, integ <-chan integrationJob) {
 			defer lanesWG.Done()
-			c.runIntegrator(lane, integ, sink, notify)
+			c.runIntegrator(ctx, lane, integ, sink, notify)
 		}(i, lanes[i])
 	}
 
@@ -164,8 +165,18 @@ type integrationJob struct {
 // Messages with no templates (requests) only need an acknowledgement;
 // they spread across lanes by message ID so no single lane becomes the
 // ack bottleneck.
-func (c *Coordinator) workOne(m mq.Message, sink *drainSink, lanes []chan integrationJob, notify func()) {
-	out, tpls, err := c.prepare(m)
+func (c *Coordinator) workOne(ctx context.Context, m mq.Message, sink *drainSink, lanes []chan integrationJob, notify func()) {
+	if m.Trace != "" {
+		ctx = obs.WithTrace(ctx, m.Trace)
+	}
+	// The span covers only the front half (extract/answer); integration
+	// happens later in a lane batch and is traced as its own
+	// integrate_batch timeline.
+	ctx, sp := obs.StartSpan(ctx, spanPipelineMessage)
+	sp.SetAttr("msg_id", strconv.FormatInt(m.ID, 10))
+	out, tpls, err := c.prepare(ctx, m)
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		_ = c.queue.Nack(m.ID)
 		messagesErr.Inc()
@@ -186,7 +197,7 @@ func (c *Coordinator) workOne(m mq.Message, sink *drainSink, lanes []chan integr
 // greedily collects the lane's pending jobs up to the batch cap,
 // integrates each batch under one acquisition of the lane's store lock,
 // and acknowledges the batch's messages with one group-committed ack.
-func (c *Coordinator) runIntegrator(lane int, integ <-chan integrationJob, sink *drainSink, notify func()) {
+func (c *Coordinator) runIntegrator(ctx context.Context, lane int, integ <-chan integrationJob, sink *drainSink, notify func()) {
 	for {
 		job, ok := <-integ
 		if !ok {
@@ -205,12 +216,16 @@ func (c *Coordinator) runIntegrator(lane int, integ <-chan integrationJob, sink 
 				break collect
 			}
 		}
-		c.flushBatch(lane, batch, sink)
+		c.flushBatch(ctx, lane, batch, sink)
 		notify()
 	}
 }
 
-func (c *Coordinator) flushBatch(lane int, batch []integrationJob, sink *drainSink) {
+func (c *Coordinator) flushBatch(ctx context.Context, lane int, batch []integrationJob, sink *drainSink) {
+	_, sp := obs.StartSpan(ctx, spanIntegrateBatch)
+	sp.SetInt("lane", lane)
+	sp.SetInt("messages", len(batch))
+	defer sp.End()
 	mBatchMessages.With(strconv.Itoa(lane)).Observe(float64(len(batch)))
 	groups := make([][]extract.Template, len(batch))
 	for i, job := range batch {

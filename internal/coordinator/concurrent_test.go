@@ -249,7 +249,7 @@ func TestDrainConcurrentAckFailureTerminates(t *testing.T) {
 func TestTagFailureRecordedInSignals(t *testing.T) {
 	c, _ := newCoordinator(t)
 	// A message that was never enqueued cannot be tagged.
-	_, _, err := c.prepare(mq.Message{ID: 9999, Body: "loved the Axel Hotel in Berlin", Source: "ghost"})
+	_, _, err := c.prepare(context.Background(), mq.Message{ID: 9999, Body: "loved the Axel Hotel in Berlin", Source: "ghost"})
 	if err != nil {
 		t.Fatalf("prepare: %v", err)
 	}

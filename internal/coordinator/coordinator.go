@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,6 +38,16 @@ const (
 	// with its classified type; tagging is advisory, so the workflow
 	// continues, but the failure is kept in the signal log.
 	StepTagError Step = "tag-error"
+)
+
+// Span names of the coordinator's stages (bounded constants; variable
+// data — message IDs, lanes, counts — rides in span attributes).
+const (
+	spanPipelineMessage = "pipeline_message"
+	spanExtract         = "extract"
+	spanAnswer          = "answer"
+	spanIntegrate       = "integrate"
+	spanIntegrateBatch  = "integrate_batch"
 )
 
 // Rules maps a message type to its step sequence — the paper's Work Flow
@@ -251,7 +262,16 @@ func (c *Coordinator) ProcessOne() (*Outcome, bool, error) {
 		return nil, false, nil
 	}
 	c.signal(Signal{MessageID: m.ID, From: "MC", To: "IE", Step: StepClassify})
-	out, err := c.process(m)
+	//lint:ignore ctxflow ProcessOne predates ctx plumbing; the span root is per-message, not cancellable work
+	ctx := context.Background()
+	if m.Trace != "" {
+		ctx = obs.WithTrace(ctx, m.Trace)
+	}
+	ctx, sp := obs.StartSpan(ctx, spanPipelineMessage)
+	sp.SetAttr("msg_id", strconv.FormatInt(m.ID, 10))
+	out, err := c.process(ctx, m)
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		_ = c.queue.Nack(m.ID)
 		messagesErr.Inc()
@@ -293,10 +313,18 @@ func (c *Coordinator) finish(m mq.Message, out *Outcome) {
 // informative returns a *NotAQuestionError carrying the classification.
 // The trace ID carried by ctx (obs.WithTrace) labels its log lines.
 func (c *Coordinator) AskDirect(ctx context.Context, body, source string) (*qa.Answer, error) {
-	defer mAskSeconds.Since(time.Now())
+	askStart := time.Now()
+	defer func() {
+		// The exemplar links the ask latency bucket to this request's
+		// recorded timeline; with tracing off the trace ID is "".
+		mAskSeconds.ObserveExemplar(time.Since(askStart).Seconds(), obs.SpanFromContext(ctx).TraceID())
+	}()
+	exCtx, exSpan := obs.StartSpan(ctx, spanExtract)
 	exStart := time.Now()
-	ex, err := c.ie.Extract(body, source, c.clock())
+	ex, err := c.ie.Extract(exCtx, body, source, c.clock())
 	stageExtract.Since(exStart)
+	exSpan.SetError(err)
+	exSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -305,9 +333,12 @@ func (c *Coordinator) AskDirect(ctx context.Context, body, source string) (*qa.A
 		return nil, &NotAQuestionError{Type: ex.Type, TypeP: ex.TypeP}
 	}
 	c.signal(Signal{From: "MC", To: "QA", Step: StepAnswer})
+	ansCtx, ansSpan := obs.StartSpan(ctx, spanAnswer)
 	ansStart := time.Now()
-	ans, err := c.qa.Answer(ex)
+	ans, err := c.qa.Answer(ansCtx, ex)
 	stageAnswer.Since(ansStart)
+	ansSpan.SetError(err)
+	ansSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -317,13 +348,13 @@ func (c *Coordinator) AskDirect(ctx context.Context, body, source string) (*qa.A
 	return &ans, nil
 }
 
-func (c *Coordinator) process(m mq.Message) (*Outcome, error) {
-	out, tpls, err := c.prepare(m)
+func (c *Coordinator) process(ctx context.Context, m mq.Message) (*Outcome, error) {
+	out, tpls, err := c.prepare(ctx, m)
 	if err != nil {
 		return nil, err
 	}
 	if len(tpls) > 0 {
-		if err := c.integrateInto(out, tpls); err != nil {
+		if err := c.integrateInto(ctx, out, tpls); err != nil {
 			return nil, err
 		}
 	}
@@ -335,11 +366,14 @@ func (c *Coordinator) process(m mq.Message) (*Outcome, error) {
 // integration — the parallelizable front half of the pipeline. Request
 // messages are answered here (read-only); informative messages hand their
 // templates to the caller's integration stage.
-func (c *Coordinator) prepare(m mq.Message) (*Outcome, []extract.Template, error) {
+func (c *Coordinator) prepare(ctx context.Context, m mq.Message) (*Outcome, []extract.Template, error) {
 	now := c.clock()
+	exCtx, exSpan := obs.StartSpan(ctx, spanExtract)
 	exStart := time.Now()
-	ex, err := c.ie.Extract(m.Body, m.Source, now)
+	ex, err := c.ie.Extract(exCtx, m.Body, m.Source, now)
 	stageExtract.Since(exStart)
+	exSpan.SetError(err)
+	exSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -374,9 +408,12 @@ func (c *Coordinator) prepare(m mq.Message) (*Outcome, []extract.Template, error
 			pending = append(pending, ex.Templates...)
 		case StepAnswer:
 			c.signal(Signal{MessageID: m.ID, From: "MC", To: "QA", Step: step})
+			ansCtx, ansSpan := obs.StartSpan(ctx, spanAnswer)
 			ansStart := time.Now()
-			ans, err := c.qa.Answer(ex)
+			ans, err := c.qa.Answer(ansCtx, ex)
 			stageAnswer.Since(ansStart)
+			ansSpan.SetError(err)
+			ansSpan.End()
 			if err != nil {
 				return nil, nil, err
 			}
@@ -394,10 +431,16 @@ func (c *Coordinator) prepare(m mq.Message) (*Outcome, []extract.Template, error
 // database batch on their routed lane, stopping at the first integration
 // error (templates after a failure are not applied), and folds the
 // actions into its outcome.
-func (c *Coordinator) integrateInto(out *Outcome, tpls []extract.Template) error {
+func (c *Coordinator) integrateInto(ctx context.Context, out *Outcome, tpls []extract.Template) error {
 	lane := c.di.Route(tpls)
+	_, sp := obs.StartSpan(ctx, spanIntegrate)
+	sp.SetInt("lane", lane)
+	sp.SetInt("templates", len(tpls))
+	defer sp.End()
 	defer stageIntegrate.Since(time.Now())
-	return foldGroup(out, c.di.IntegrateGroups(lane, [][]extract.Template{tpls})[0])
+	err := foldGroup(out, c.di.IntegrateGroups(lane, [][]extract.Template{tpls})[0])
+	sp.SetError(err)
+	return err
 }
 
 // foldGroup counts one message's integration actions into its outcome,

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,6 +37,13 @@ import (
 // ErrNoDataDir reports a Checkpoint on a system built without a data
 // directory — there is nowhere durable to write the image.
 var ErrNoDataDir = errors.New("core: no data directory configured")
+
+// Span names on the core surface (bounded constants; the metriclabels
+// analyzer enforces this at every StartSpan site).
+const (
+	spanAsk         = "ask"
+	spanCacheLookup = "cache_lookup"
+)
 
 // The sharded integrator is the pipeline's multi-lane integration sink.
 var _ coordinator.Integrator = (*shard.Integrator)(nil)
@@ -93,6 +101,20 @@ type Config struct {
 	// the shards the query plan touched). 0 disables caching: every Ask
 	// re-runs classification, extraction and the fan-out store query.
 	AnswerCache int
+	// TraceRecorder enables span tracing: completed request/pipeline
+	// traces land in a flight recorder ring of this many traces,
+	// installed process-wide (the newest system owns it, like the
+	// GaugeFuncs). 0 — the default — leaves tracing off, and the span
+	// hot path costs one atomic load.
+	TraceRecorder int
+	// TraceSlow is the recorder's always-keep latency threshold
+	// (default 1s): any trace at least this slow is retained regardless
+	// of sampling, as is any errored or explain-forced trace.
+	TraceSlow time.Duration
+	// TraceSampleN keeps one in N traces that no always-keep rule
+	// matched; 0 disables sampling so only slow/errored/forced traces
+	// are kept.
+	TraceSampleN int
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
 }
@@ -137,7 +159,10 @@ type System struct {
 	// fan-out point between the write lanes and subscribers. Always
 	// built; idle until something subscribes.
 	Broker *readpath.Broker
-	clock  func() time.Time
+	// Recorder is the flight recorder this system installed, nil when
+	// tracing is off (Config.TraceRecorder == 0).
+	Recorder *obs.Recorder
+	clock    func() time.Time
 	// workers is the configured pipeline width (0 = GOMAXPROCS).
 	workers int
 	// ckptInterval is the configured checkpoint cadence the serving
@@ -353,6 +378,18 @@ func New(cfg Config) (*System, error) {
 	obs.Default().GaugeFunc("neogeo_mq_in_flight",
 		"Leased, unacknowledged messages.",
 		func() float64 { return float64(q.InFlight()) })
+	// Span tracing is opt-in; like the GaugeFuncs, the newest system
+	// that asks for a recorder owns the process-wide one. With
+	// TraceRecorder == 0 whatever is installed (normally nothing) is
+	// left alone.
+	if cfg.TraceRecorder > 0 {
+		s.Recorder = obs.NewRecorder(obs.RecorderConfig{
+			Capacity: cfg.TraceRecorder,
+			Slow:     cfg.TraceSlow,
+			SampleN:  cfg.TraceSampleN,
+		})
+		obs.SetDefaultRecorder(s.Recorder)
+	}
 	built = true
 	return s, nil
 }
@@ -434,8 +471,12 @@ func (s *System) Ingest(ctx context.Context, body, source string) (*coordinator.
 // untouched, Ask is safe to call while a concurrent drain integrates
 // pending informative messages.
 func (s *System) Ask(ctx context.Context, question, source string) (*qa.Answer, error) {
+	ctx, sp := obs.StartSpan(ctx, spanAsk)
+	defer sp.End()
 	if s.Cache == nil {
-		return s.MC.AskDirect(ctx, question, source)
+		ans, err := s.MC.AskDirect(ctx, question, source)
+		sp.SetError(err)
+		return ans, err
 	}
 	// The version vector and drift epoch are read BEFORE the question
 	// runs: a write that lands during execution moves a version past the
@@ -445,17 +486,32 @@ func (s *System) Ask(ctx context.Context, question, source string) (*qa.Answer, 
 	// because the QA path never consults source or the clock for
 	// requests (extraction returns before touching either, and place
 	// resolution ranks by gazetteer population only).
+	//
+	// The lookup span brackets Get from outside — the recorder must
+	// never be touched under Cache.mu (lockdiscipline pins this).
 	q := readpath.NormalizeQuestion(question)
+	_, lookup := obs.StartSpan(ctx, spanCacheLookup)
 	versions := s.Store.Versions()
 	drift := s.Store.Drift()
-	if ans, ok := s.Cache.Get(q, versions, drift); ok {
+	ans, hit := s.Cache.Get(q, versions, drift)
+	if lookup != nil {
+		lookup.SetAttr("hit", strconv.FormatBool(hit))
+		lookup.SetAttr("shard_versions", fmt.Sprint(versions))
+		lookup.End()
+	}
+	if hit {
+		sp.SetAttr("cache", "hit")
 		return ans, nil
 	}
+	sp.SetAttr("cache", "miss")
 	ans, err := s.MC.AskDirect(ctx, question, source)
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
-	s.Cache.Put(q, ans, readpath.TouchedShards(ans.Query, s.Store), versions, drift)
+	touched := readpath.TouchedShards(ans.Query, s.Store)
+	sp.SetAttr("touched_shards", fmt.Sprint(touched))
+	s.Cache.Put(q, ans, touched, versions, drift)
 	return ans, nil
 }
 
@@ -555,6 +611,10 @@ type Stats struct {
 	Cache        readpath.CacheStats
 	// Subscriptions is the standing-query broadcaster's snapshot.
 	Subscriptions readpath.BrokerStats
+	// TracesEnabled says whether this system installed a flight
+	// recorder; Traces holds its counters (zero value when disabled).
+	TracesEnabled bool
+	Traces        obs.RecorderStats
 }
 
 // Stats returns a snapshot of the system's stores.
@@ -574,6 +634,10 @@ func (s *System) Stats() Stats {
 	if s.Cache != nil {
 		st.CacheEnabled = true
 		st.Cache = s.Cache.Stats()
+	}
+	if s.Recorder != nil {
+		st.TracesEnabled = true
+		st.Traces = s.Recorder.Stats()
 	}
 	for _, c := range s.Store.Collections() {
 		st.Collections[c] = s.Store.Len(c)
@@ -595,7 +659,7 @@ func (s *System) Checkpoint(ctx context.Context) (persist.Info, error) {
 	if err := ctx.Err(); err != nil {
 		return persist.Info{}, err
 	}
-	return s.Persist.Checkpoint(s.image(), s.Queue.LSN())
+	return s.Persist.CheckpointContext(ctx, s.image(), s.Queue.LSN())
 }
 
 // image assembles the composite durable state: store bytes plus the

@@ -7,6 +7,7 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -16,12 +17,21 @@ import (
 	"repro/internal/geo"
 	"repro/internal/kb"
 	"repro/internal/ner"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/sentiment"
 	"repro/internal/text"
 	"repro/internal/uncertain"
 
 	"repro/internal/classify"
+)
+
+// Span names of the IE stages (bounded constants — the metriclabels
+// analyzer enforces this at every StartSpan site).
+const (
+	spanClassify     = "classify"
+	spanNER          = "ner"
+	spanDisambiguate = "disambiguate"
 )
 
 // Service is the IE module.
@@ -122,20 +132,28 @@ type Extraction struct {
 	Keywords []string
 }
 
-// Extract runs the full IE pipeline on one message.
-func (s *Service) Extract(msg, source string, now time.Time) (*Extraction, error) {
+// Extract runs the full IE pipeline on one message. When ctx carries a
+// recording span, each stage (classify, NER, disambiguate) shows up as
+// a child on the request's timeline.
+func (s *Service) Extract(ctx context.Context, msg, source string, now time.Time) (*Extraction, error) {
 	if strings.TrimSpace(msg) == "" {
 		return nil, fmt.Errorf("extract: empty message")
 	}
+	_, clsSpan := obs.StartSpan(ctx, spanClassify)
 	clsStart := time.Now()
 	mtype, p := s.ClassifyType(msg)
 	ieClassify.Since(clsStart)
+	clsSpan.SetAttr("type", string(mtype))
+	clsSpan.End()
 	out := &Extraction{Message: msg, Type: mtype, TypeP: p}
 	tokens := text.Tokenize(msg)
+	_, nerSpan := obs.StartSpan(ctx, spanNER)
 	nerStart := time.Now()
 	out.Entities = s.ner.ExtractInformalTokens(tokens)
 	out.Relations = ner.ParseRelations(tokens)
 	ieNER.Since(nerStart)
+	nerSpan.SetInt("entities", len(out.Entities))
+	nerSpan.End()
 	out.Domain = s.detectDomain(msg, out.Entities)
 	out.Keywords = s.keywords(msg, out.Entities)
 	if mtype == TypeRequest {
@@ -145,7 +163,7 @@ func (s *Service) Extract(msg, source string, now time.Time) (*Extraction, error
 	if !ok {
 		return out, nil // no template for undetected domains
 	}
-	tpls, err := s.fillTemplates(domain, msg, source, now, out)
+	tpls, err := s.fillTemplates(ctx, domain, msg, source, now, out)
 	if err != nil {
 		return nil, err
 	}
@@ -206,12 +224,12 @@ func (s *Service) keywords(msg string, entities []ner.Entity) []string {
 
 // fillTemplates builds one template per anchor entity (facility for
 // tourism) or one per message for event-style domains.
-func (s *Service) fillTemplates(domain kb.Domain, msg, source string, now time.Time, ex *Extraction) ([]Template, error) {
+func (s *Service) fillTemplates(ctx context.Context, domain kb.Domain, msg, source string, now time.Time, ex *Extraction) ([]Template, error) {
 	switch domain.Name {
 	case "tourism":
-		return s.fillTourism(domain, msg, source, now, ex)
+		return s.fillTourism(ctx, domain, msg, source, now, ex)
 	default:
-		tpl, ok, err := s.fillEvent(domain, msg, source, now, ex)
+		tpl, ok, err := s.fillEvent(ctx, domain, msg, source, now, ex)
 		if err != nil || !ok {
 			return nil, err
 		}
@@ -219,7 +237,7 @@ func (s *Service) fillTemplates(domain kb.Domain, msg, source string, now time.T
 	}
 }
 
-func (s *Service) fillTourism(domain kb.Domain, msg, source string, now time.Time, ex *Extraction) ([]Template, error) {
+func (s *Service) fillTourism(ctx context.Context, domain kb.Domain, msg, source string, now time.Time, ex *Extraction) ([]Template, error) {
 	att := sentiment.Analyze(msg)
 	var out []Template
 	for _, e := range ex.Entities {
@@ -239,7 +257,7 @@ func (s *Service) fillTourism(domain kb.Domain, msg, source string, now time.Tim
 		loc := s.locationFor(e, ex)
 		cf := nameCF
 		if loc != nil {
-			res, err := s.resolveLocation(loc, ex)
+			res, err := s.resolveLocation(ctx, loc, ex)
 			if err != nil {
 				return nil, err
 			}
@@ -274,7 +292,7 @@ func (s *Service) fillTourism(domain kb.Domain, msg, source string, now time.Tim
 
 // fillEvent builds the single-template extraction for traffic and farming
 // messages.
-func (s *Service) fillEvent(domain kb.Domain, msg, source string, now time.Time, ex *Extraction) (Template, bool, error) {
+func (s *Service) fillEvent(ctx context.Context, domain kb.Domain, msg, source string, now time.Time, ex *Extraction) (Template, bool, error) {
 	tpl := Template{
 		Domain:    domain.Name,
 		RecordTag: domain.RecordTag,
@@ -322,7 +340,7 @@ func (s *Service) fillEvent(domain kb.Domain, msg, source string, now time.Time,
 	tpl.Fields[keyName] = FieldValue{Kind: kb.FieldText, Text: placeText, CF: placeCF}
 
 	if locEnt != nil {
-		res, err := s.resolveLocation(locEnt, ex)
+		res, err := s.resolveLocation(ctx, locEnt, ex)
 		if err != nil {
 			return Template{}, false, err
 		}
@@ -404,7 +422,9 @@ func tokenDistance(a, b ner.Entity) int {
 
 // resolveLocation disambiguates a location entity using the other location
 // mentions as coherence context.
-func (s *Service) resolveLocation(loc *ner.Entity, ex *Extraction) (disambig.Resolution, error) {
+func (s *Service) resolveLocation(ctx context.Context, loc *ner.Entity, ex *Extraction) (disambig.Resolution, error) {
+	_, sp := obs.StartSpan(ctx, spanDisambiguate)
+	defer sp.End()
 	defer ieDisambiguate.Since(time.Now())
 	var co [][]*gazetteer.Entry
 	for i := range ex.Entities {

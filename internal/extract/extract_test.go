@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -61,7 +62,7 @@ func TestClassifyTypePaperMessages(t *testing.T) {
 
 func TestExtractTemplate1(t *testing.T) {
 	s := testService(t)
-	ex, err := s.Extract("berlin has some nice hotels i just loved the hetero friendly love that word Axel Hotel in Berlin.", "user1", scenarioTime)
+	ex, err := s.Extract(context.Background(), "berlin has some nice hotels i just loved the hetero friendly love that word Axel Hotel in Berlin.", "user1", scenarioTime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestExtractTemplate1(t *testing.T) {
 
 func TestExtractTemplate3NestedHotel(t *testing.T) {
 	s := testService(t)
-	ex, err := s.Extract("In Berlin hotel room, nice enough, weather grim however", "user3", scenarioTime)
+	ex, err := s.Extract(context.Background(), "In Berlin hotel room, nice enough, weather grim however", "user3", scenarioTime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestExtractTemplate3NestedHotel(t *testing.T) {
 
 func TestExtractRequestNoTemplates(t *testing.T) {
 	s := testService(t)
-	ex, err := s.Extract("Can anyone recommend a good, but not ridiculously expensive hotel right in the middle of Berlin?", "asker", scenarioTime)
+	ex, err := s.Extract(context.Background(), "Can anyone recommend a good, but not ridiculously expensive hotel right in the middle of Berlin?", "asker", scenarioTime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestExtractRequestNoTemplates(t *testing.T) {
 
 func TestExtractPrice(t *testing.T) {
 	s := testService(t)
-	ex, err := s.Extract("Essex House Hotel and Suites from $154 USD: Surrounded by clubs and designer", "pricebot", scenarioTime)
+	ex, err := s.Extract(context.Background(), "Essex House Hotel and Suites from $154 USD: Surrounded by clubs and designer", "pricebot", scenarioTime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestExtractPrice(t *testing.T) {
 
 func TestExtractTraffic(t *testing.T) {
 	s := testService(t)
-	ex, err := s.Extract("huge traffic jam in Nairobi after the accident, road blocked", "driver7", scenarioTime)
+	ex, err := s.Extract(context.Background(), "huge traffic jam in Nairobi after the accident, road blocked", "driver7", scenarioTime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestExtractTraffic(t *testing.T) {
 
 func TestExtractFarming(t *testing.T) {
 	s := testService(t)
-	ex, err := s.Extract("locust swarm near Cairo moving south, maize fields at risk", "farmer2", scenarioTime)
+	ex, err := s.Extract(context.Background(), "locust swarm near Cairo moving south, maize fields at risk", "farmer2", scenarioTime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,10 +222,10 @@ func TestExtractFarming(t *testing.T) {
 
 func TestExtractErrors(t *testing.T) {
 	s := testService(t)
-	if _, err := s.Extract("", "x", scenarioTime); err == nil {
+	if _, err := s.Extract(context.Background(), "", "x", scenarioTime); err == nil {
 		t.Error("empty message accepted")
 	}
-	if _, err := s.Extract("   ", "x", scenarioTime); err == nil {
+	if _, err := s.Extract(context.Background(), "   ", "x", scenarioTime); err == nil {
 		t.Error("blank message accepted")
 	}
 	if _, err := NewService(nil, nil, nil); err == nil {
@@ -234,7 +235,7 @@ func TestExtractErrors(t *testing.T) {
 
 func TestExtractNoDomain(t *testing.T) {
 	s := testService(t)
-	ex, err := s.Extract("just thinking about life today", "muser", scenarioTime)
+	ex, err := s.Extract(context.Background(), "just thinking about life today", "muser", scenarioTime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestExtractNoDomain(t *testing.T) {
 
 func TestTemplateToDoc(t *testing.T) {
 	s := testService(t)
-	ex, err := s.Extract("Good morning Berlin. Very impressed by the customer service at #movenpick hotel in berlin.", "user2", scenarioTime)
+	ex, err := s.Extract(context.Background(), "Good morning Berlin. Very impressed by the customer service at #movenpick hotel in berlin.", "user2", scenarioTime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestTemplateToDoc(t *testing.T) {
 
 func TestToDocDeterministicOrder(t *testing.T) {
 	s := testService(t)
-	ex, err := s.Extract("loved the Axel Hotel in Berlin", "u", scenarioTime)
+	ex, err := s.Extract(context.Background(), "loved the Axel Hotel in Berlin", "u", scenarioTime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestExtractTemporalObservation(t *testing.T) {
 	s := testService(t)
 	now := time.Date(2011, 4, 1, 14, 30, 0, 0, time.UTC)
 
-	ex, err := s.Extract("road near Nairobi flooded 2 hours ago, take the detour", "driver", now)
+	ex, err := s.Extract(context.Background(), "road near Nairobi flooded 2 hours ago, take the detour", "driver", now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestExtractTemporalObservation(t *testing.T) {
 	}
 
 	// Without a temporal expression, the observation time is the arrival.
-	ex2, err := s.Extract("road near Nairobi flooded, take the detour", "driver", now)
+	ex2, err := s.Extract(context.Background(), "road near Nairobi flooded, take the detour", "driver", now)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package feedback
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -37,6 +38,9 @@ var (
 		"Verdicts folded into one per-lane apply batch.",
 		obs.ExpBuckets(1, 2, 8)).With()
 )
+
+// spanFeedbackFlush names the background timeline one flush records.
+const spanFeedbackFlush = "feedback_flush"
 
 // DefaultBatch is how many buffered verdicts trigger an automatic
 // per-lane apply (matching the integration lanes' default batch).
@@ -322,6 +326,12 @@ func (e *Engine) Flush() int {
 // flushLanes applies the buffered verdicts of the selected lanes (nil:
 // all lanes).
 func (e *Engine) flushLanes(only map[int]bool) int {
+	// Flushes run off any request path (timer or explicit call), so the
+	// span roots its own trace; applyMu is not in the tracer's hot-lock
+	// set, so holding it around span recording is within discipline.
+	//lint:ignore ctxflow flushes are background work with no caller deadline; the root only scopes the trace
+	_, sp := obs.StartSpan(context.Background(), spanFeedbackFlush)
+	defer sp.End()
 	e.applyMu.Lock()
 	defer e.applyMu.Unlock()
 	defer mFBFlushSeconds.Since(time.Now())
@@ -390,6 +400,7 @@ func (e *Engine) flushLanes(only map[int]bool) int {
 	}
 	e.stats.AppliedSeq = e.applied
 	e.mu.Unlock()
+	sp.SetInt("applied", applied)
 	return applied
 }
 

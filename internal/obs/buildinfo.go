@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart anchors the uptime gauge.
+var processStart = time.Now()
+
+// init publishes the process identity metrics on the Default registry:
+// a constant-1 neogeo_build_info gauge whose labels carry the module
+// version and Go toolchain (the Prometheus idiom for joining version
+// onto any other series), and a process uptime gauge sampled at scrape
+// time.
+func init() {
+	defaultRegistry.Gauge(
+		"neogeo_build_info",
+		"build identity; constant 1 with version labels",
+		"version", "goversion",
+	).With(buildVersion(), runtime.Version()).Set(1)
+	defaultRegistry.GaugeFunc(
+		"neogeo_process_uptime_seconds",
+		"seconds since the process started",
+		func() float64 { return time.Since(processStart).Seconds() },
+	)
+}
+
+// buildVersion resolves the module version stamped into the binary, or
+// "dev" for local builds where the toolchain records "(devel)" or
+// nothing.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "dev"
+}

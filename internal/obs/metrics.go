@@ -189,7 +189,11 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 func (hf *HistogramFamily) With(values ...string) *Histogram {
 	f := hf.f
 	v := f.seriesOf(values, func() any {
-		return &Histogram{reg: f.reg, buckets: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+		return &Histogram{
+			reg: f.reg, buckets: f.buckets,
+			counts:    make([]atomic.Uint64, len(f.buckets)+1),
+			exemplars: make([]atomic.Pointer[exemplar], len(f.buckets)+1),
+		}
 	})
 	return v.(*Histogram)
 }
@@ -300,26 +304,62 @@ func addFloat(bits *atomic.Uint64, v float64) {
 
 // Histogram is a fixed-bucket distribution series.
 type Histogram struct {
-	reg     *Registry
-	buckets []float64       // sorted upper bounds; +Inf implicit
-	counts  []atomic.Uint64 // len(buckets)+1, last is +Inf
-	sumBits atomic.Uint64
-	count   atomic.Uint64
+	reg       *Registry
+	buckets   []float64       // sorted upper bounds; +Inf implicit
+	counts    []atomic.Uint64 // len(buckets)+1, last is +Inf
+	exemplars []atomic.Pointer[exemplar]
+	sumBits   atomic.Uint64
+	count     atomic.Uint64
 }
+
+// exemplar links one concrete observation in a bucket to the trace
+// that produced it — the P99 bucket's pointer into the flight
+// recorder. Last write wins per bucket.
+type exemplar struct {
+	value float64
+	trace string
+	ts    time.Time
+}
+
+// exemplarNow stamps exemplars; a seam so the exposition golden test
+// can pin bytes.
+var exemplarNow = time.Now
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	if h.reg.disabled.Load() {
 		return
 	}
-	// Buckets are few (≤ ~20): linear scan beats binary search here.
+	h.counts[h.bucketOf(v)].Add(1)
+	addFloat(&h.sumBits, v)
+	h.count.Add(1)
+}
+
+// bucketOf returns the index of the bucket containing v.
+// Buckets are few (≤ ~20): linear scan beats binary search here.
+func (h *Histogram) bucketOf(v float64) int {
 	i := 0
 	for i < len(h.buckets) && v > h.buckets[i] {
 		i++
 	}
+	return i
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// attaches it as the bucket's exemplar so the exposition links that
+// latency band to a recorded trace. With an empty traceID it is
+// exactly Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h.reg.disabled.Load() {
+		return
+	}
+	i := h.bucketOf(v)
 	h.counts[i].Add(1)
 	addFloat(&h.sumBits, v)
 	h.count.Add(1)
+	if traceID != "" && i < len(h.exemplars) {
+		h.exemplars[i].Store(&exemplar{value: v, trace: traceID, ts: exemplarNow()})
+	}
 }
 
 // Since records the seconds elapsed from start — the one-line latency
@@ -468,14 +508,31 @@ func (f *family) write(b *strings.Builder) {
 			var cum uint64
 			for i, ub := range s.buckets {
 				cum += s.counts[i].Load()
-				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", fmtFloat(ub)), cum)
+				fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, values, "le", fmtFloat(ub)), cum, s.exemplarString(i))
 			}
 			cum += s.counts[len(s.buckets)].Load()
-			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", "+Inf"), cum)
+			fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, values, "le", "+Inf"), cum, s.exemplarString(len(s.buckets)))
 			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), fmtFloat(math.Float64frombits(s.sumBits.Load())))
 			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), s.count.Load())
 		}
 	}
+}
+
+// exemplarString renders the OpenMetrics-style exemplar suffix for one
+// bucket (" # {trace_id=\"...\"} value timestamp"), or "" when the
+// bucket has never carried an exemplar — so expositions without
+// exemplars stay byte-identical to the classic format.
+func (h *Histogram) exemplarString(i int) string {
+	if i >= len(h.exemplars) {
+		return ""
+	}
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %s",
+		e.trace, fmtFloat(e.value),
+		strconv.FormatFloat(float64(e.ts.UnixMilli())/1000, 'f', 3, 64))
 }
 
 // labelString renders {k="v",...}, optionally with one extra pair

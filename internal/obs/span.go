@@ -1,0 +1,260 @@
+// Span tracing: the per-request timeline layer on top of the flat
+// trace IDs. A Span brackets one stage of work (HTTP request, pipeline
+// stage, per-shard query, cache lookup); spans form a tree per trace,
+// carry bounded key-value attributes and an error flag, and on root
+// completion the whole trace is offered to the process-wide flight
+// Recorder, which decides whether to keep it (slow, errored, forced,
+// or 1-in-N sampled).
+//
+// The hot-path contract mirrors the metrics registry's disabled mode:
+// with no recorder installed, StartSpan is one context value lookup
+// plus one atomic pointer load, returns the caller's own ctx and a nil
+// *Span, and every Span method is nil-safe — the drain benchmark pins
+// this as free.
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanKey carries the current *Span through context.
+type spanKey struct{}
+
+// Caps keep a single trace's memory bounded no matter how wide a
+// fan-out gets; spans past the cap are counted, not recorded.
+const (
+	maxSpansPerTrace = 512
+	maxAttrsPerSpan  = 8
+	maxAttrValueLen  = 128
+)
+
+// Attr is one key-value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation within a trace. A nil *Span is a valid
+// no-op receiver for every method, so call sites never branch on
+// whether tracing is enabled.
+type Span struct {
+	t      *trace
+	id     int
+	parent int
+	name   string
+	start  time.Time
+
+	// Guarded by t.mu — spans from a shard fan-out finish on their own
+	// goroutines while /debug/traces snapshots the trace.
+	attrs []Attr
+	err   string
+	dur   time.Duration
+	done  bool
+}
+
+// trace is the span tree for one trace ID, accumulated while any span
+// is open and handed to the recorder when the root span ends.
+type trace struct {
+	id        string
+	rec       *Recorder
+	start     time.Time
+	forceKeep bool
+
+	mu      sync.Mutex
+	spans   []*Span // creation order; spans[0] is the root
+	open    int
+	dropped int
+	errored bool
+	done    bool
+	reason  string // keep decision, set by the recorder
+}
+
+// defaultRecorder is the process-wide flight recorder; nil means span
+// tracing is off (the default).
+var defaultRecorder atomic.Pointer[Recorder]
+
+// SetDefaultRecorder installs (or, with nil, removes) the process-wide
+// recorder new root spans report to. In-flight traces keep their
+// original recorder.
+func SetDefaultRecorder(r *Recorder) { defaultRecorder.Store(r) }
+
+// DefaultRecorder returns the installed recorder, or nil when tracing
+// is off.
+func DefaultRecorder() *Recorder { return defaultRecorder.Load() }
+
+// StartSpan starts a span named name. Inside an already-recording
+// trace it adds a child span; at the top of a request it starts a new
+// trace rooted here — but only when a recorder is installed. When not
+// recording it returns ctx unchanged and a nil span.
+//
+// Span names must come from a bounded set (the metriclabels analyzer
+// enforces constants); variable data belongs in SetAttr.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		return startChild(ctx, parent, name)
+	}
+	rec := defaultRecorder.Load()
+	if rec == nil {
+		return ctx, nil
+	}
+	return startRoot(ctx, rec, name, false)
+}
+
+// ForceSpan is StartSpan for the explain path: it records even with no
+// recorder installed (the caller snapshots the trace itself) and marks
+// the trace force-kept, so an explained request is always fetchable by
+// ID afterwards when a recorder exists.
+func ForceSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		parent.t.mu.Lock()
+		parent.t.forceKeep = true
+		parent.t.mu.Unlock()
+		return startChild(ctx, parent, name)
+	}
+	return startRoot(ctx, defaultRecorder.Load(), name, true)
+}
+
+// SpanFromContext returns the current span, or nil when the context is
+// not being traced.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// startRoot begins a new trace rooted at a span named name, reusing
+// the context's flat trace ID so log lines, X-Request-Id and the
+// recorded timeline all correlate.
+func startRoot(ctx context.Context, rec *Recorder, name string, force bool) (context.Context, *Span) {
+	id := Trace(ctx)
+	if id == "" {
+		id = NewTraceID()
+		ctx = WithTrace(ctx, id)
+	}
+	now := time.Now()
+	t := &trace{id: id, rec: rec, start: now, forceKeep: force}
+	root := &Span{t: t, id: 1, name: name, start: now}
+	t.spans = append(t.spans, root)
+	t.open = 1
+	if rec != nil {
+		rec.register(t)
+	}
+	return context.WithValue(ctx, spanKey{}, root), root
+}
+
+func startChild(ctx context.Context, parent *Span, name string) (context.Context, *Span) {
+	sp := parent.t.newSpan(name, parent.id)
+	if sp == nil {
+		return ctx, nil // trace at its span cap; keep the parent current
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// newSpan allocates the next span in the trace, or nil past the cap.
+func (t *trace) newSpan(name string, parent int) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxSpansPerTrace {
+		t.dropped++
+		return nil
+	}
+	sp := &Span{t: t, id: len(t.spans) + 1, parent: parent, name: name, start: time.Now()}
+	t.spans = append(t.spans, sp)
+	t.open++
+	return sp
+}
+
+// SetAttr annotates the span; at most maxAttrsPerSpan stick and long
+// values are truncated. Safe on a nil span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if len(value) > maxAttrValueLen {
+		value = value[:maxAttrValueLen] + "…"
+	}
+	s.t.mu.Lock()
+	if len(s.attrs) < maxAttrsPerSpan {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.t.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.Itoa(v))
+}
+
+// SetError flags the span (and therefore the trace) as errored; an
+// errored trace is always kept by the recorder. Nil err is a no-op.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	msg := err.Error()
+	if len(msg) > maxAttrValueLen {
+		msg = msg[:maxAttrValueLen] + "…"
+	}
+	s.t.mu.Lock()
+	s.err = msg
+	s.t.errored = true
+	s.t.mu.Unlock()
+}
+
+// TraceID returns the span's trace ID ("" on nil) — the exemplar hook.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.t.id
+}
+
+// SpanID returns the span's ID within its trace (0 on nil; recorded
+// spans start at 1).
+func (s *Span) SpanID() int {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End finishes the span. Ending the root span completes the trace and
+// offers it to the recorder; children still open at that point show as
+// unfinished in the snapshot. Safe on a nil span and idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.dur = time.Since(s.start)
+		t.open--
+	}
+	complete := s.id == 1 && !t.done
+	if complete {
+		t.done = true
+	}
+	rec := t.rec
+	t.mu.Unlock()
+	if complete && rec != nil {
+		rec.complete(t)
+	}
+}
+
+// Snapshot renders the span's whole trace as a view tree — the explain
+// path snapshots its ForceSpan trace directly, recorder or not. Call
+// after End; open spans render with Duration 0 and Unfinished set.
+func (s *Span) Snapshot() *TraceView {
+	if s == nil {
+		return nil
+	}
+	return s.t.snapshot()
+}

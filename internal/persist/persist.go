@@ -25,6 +25,7 @@ package persist
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -33,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -199,9 +201,27 @@ func (m *Manager) Stats() Stats {
 // instant leaves the previous checkpoint authoritative. Old checkpoints
 // beyond the retention count are pruned afterwards.
 func (m *Manager) Checkpoint(s Snapshotter, lsn int64) (Info, error) {
+	//lint:ignore ctxflow compat wrapper for ctx-less callers; CheckpointContext is the cancellable path
+	return m.CheckpointContext(context.Background(), s, lsn)
+}
+
+// spanCheckpoint names the durability span (a bounded constant).
+const spanCheckpoint = "checkpoint"
+
+// CheckpointContext is Checkpoint carrying the caller's context so the
+// write appears as a span on the request or background timeline that
+// triggered it, annotated with the image size and WAL position.
+func (m *Manager) CheckpointContext(ctx context.Context, s Snapshotter, lsn int64) (Info, error) {
+	_, sp := obs.StartSpan(ctx, spanCheckpoint)
 	start := time.Now()
 	info, err := m.checkpoint(s, lsn)
 	mCheckpointSeconds.Since(start)
+	sp.SetAttr("lsn", strconv.FormatInt(lsn, 10))
+	if err == nil {
+		sp.SetAttr("bytes", strconv.FormatInt(info.Size, 10))
+	}
+	sp.SetError(err)
+	sp.End()
 	m.mu.Lock()
 	if err != nil {
 		checkpointErr.Inc()

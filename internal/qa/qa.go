@@ -6,6 +6,7 @@
 package qa
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -36,6 +37,20 @@ var (
 type Store interface {
 	Run(query string) ([]xmldb.Result, error)
 }
+
+// ContextStore is the optional context-aware upgrade of Store (the
+// fs.ReadDirFS pattern): a store that also implements RunContext gets
+// the request context, so per-shard child spans land on the request's
+// timeline. Answer type-asserts and prefers it.
+type ContextStore interface {
+	RunContext(ctx context.Context, query string) ([]xmldb.Result, error)
+}
+
+// Span names of the QA sub-stages (bounded constants).
+const (
+	spanStoreQuery = "store_query"
+	spanRank       = "rank"
+)
 
 // Service is the QA module.
 type Service struct {
@@ -88,8 +103,11 @@ type request struct {
 	nearRadius float64
 }
 
-// Answer answers a request-message extraction.
-func (s *Service) Answer(ex *extract.Extraction) (Answer, error) {
+// Answer answers a request-message extraction. The store query and the
+// rank/generate half each get a span on the request timeline; a store
+// implementing ContextStore additionally records one child span per
+// shard it fans out to.
+func (s *Service) Answer(ctx context.Context, ex *extract.Extraction) (Answer, error) {
 	if ex == nil {
 		return Answer{}, fmt.Errorf("qa: nil extraction")
 	}
@@ -100,12 +118,23 @@ func (s *Service) Answer(ex *extract.Extraction) (Answer, error) {
 		}, nil
 	}
 	query := s.formulate(req)
+	runCtx, runSpan := obs.StartSpan(ctx, spanStoreQuery)
 	runStart := time.Now()
-	results, err := s.db.Run(query)
+	var results []xmldb.Result
+	var err error
+	if cs, ok := s.db.(ContextStore); ok {
+		results, err = cs.RunContext(runCtx, query)
+	} else {
+		results, err = s.db.Run(query)
+	}
 	qaStoreQuery.Since(runStart)
+	runSpan.SetInt("candidates", len(results))
+	runSpan.SetError(err)
+	runSpan.End()
 	if err != nil {
 		return Answer{}, fmt.Errorf("qa: executing %q: %w", query, err)
 	}
+	_, rankSpan := obs.StartSpan(ctx, spanRank)
 	rankStart := time.Now()
 	kept := results[:0]
 	for _, r := range results {
@@ -120,6 +149,8 @@ func (s *Service) Answer(ex *extract.Extraction) (Answer, error) {
 		Results: results,
 	}
 	qaRank.Since(rankStart)
+	rankSpan.SetInt("results", len(results))
+	rankSpan.End()
 	return ans, nil
 }
 

@@ -1,6 +1,7 @@
 package qa
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -60,7 +61,7 @@ func newWorld(t *testing.T) *world {
 // ingest runs a message through IE and DI.
 func (w *world) ingest(t *testing.T, msg, source string) {
 	t.Helper()
-	ex, err := w.ie.Extract(msg, source, t0)
+	ex, err := w.ie.Extract(context.Background(), msg, source, t0)
 	if err != nil {
 		t.Fatalf("extract %q: %v", msg, err)
 	}
@@ -79,14 +80,14 @@ func TestPaperScenarioEndToEndQA(t *testing.T) {
 	w.ingest(t, "In Berlin hotel room, nice enough, weather grim however", "u3")
 
 	// The paper's request.
-	ex, err := w.ie.Extract("Can anyone recommend a good, but not ridiculously expensive hotel right in the middle of Berlin?", "asker", t0)
+	ex, err := w.ie.Extract(context.Background(), "Can anyone recommend a good, but not ridiculously expensive hotel right in the middle of Berlin?", "asker", t0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ex.Type != extract.TypeRequest {
 		t.Fatalf("request misclassified: %s", ex.Type)
 	}
-	ans, err := w.qa.Answer(ex)
+	ans, err := w.qa.Answer(context.Background(), ex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +116,11 @@ func TestPaperScenarioEndToEndQA(t *testing.T) {
 
 func TestQANoData(t *testing.T) {
 	w := newWorld(t)
-	ex, err := w.ie.Extract("any good hotels in Paris?", "asker", t0)
+	ex, err := w.ie.Extract(context.Background(), "any good hotels in Paris?", "asker", t0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := w.qa.Answer(ex)
+	ans, err := w.qa.Answer(context.Background(), ex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +134,11 @@ func TestQACityFilter(t *testing.T) {
 	w.ingest(t, "loved the Axel Hotel in Berlin, great stay", "u1")
 	w.ingest(t, "wonderful stay at hotel Lumiere in Paris", "u2")
 
-	ex, err := w.ie.Extract("recommend a good hotel in Paris please", "asker", t0)
+	ex, err := w.ie.Extract(context.Background(), "recommend a good hotel in Paris please", "asker", t0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := w.qa.Answer(ex)
+	ans, err := w.qa.Answer(context.Background(), ex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,14 +154,14 @@ func TestQACityFilter(t *testing.T) {
 func TestQATraffic(t *testing.T) {
 	w := newWorld(t)
 	w.ingest(t, "huge traffic jam in Nairobi after the accident, road blocked", "driver")
-	ex, err := w.ie.Extract("any traffic in Nairobi this morning?", "asker", t0)
+	ex, err := w.ie.Extract(context.Background(), "any traffic in Nairobi this morning?", "asker", t0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ex.Type != extract.TypeRequest {
 		t.Fatalf("traffic request misclassified: %v", ex.Type)
 	}
-	ans, err := w.qa.Answer(ex)
+	ans, err := w.qa.Answer(context.Background(), ex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,18 +175,18 @@ func TestQATraffic(t *testing.T) {
 
 func TestQAUnintelligible(t *testing.T) {
 	w := newWorld(t)
-	ex, err := w.ie.Extract("what is the meaning of it all?", "philosopher", t0)
+	ex, err := w.ie.Extract(context.Background(), "what is the meaning of it all?", "philosopher", t0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := w.qa.Answer(ex)
+	ans, err := w.qa.Answer(context.Background(), ex)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(ans.Text, "could not understand") {
 		t.Errorf("answer = %q", ans.Text)
 	}
-	if _, err := w.qa.Answer(nil); err == nil {
+	if _, err := w.qa.Answer(context.Background(), nil); err == nil {
 		t.Error("nil extraction accepted")
 	}
 }
@@ -232,14 +233,14 @@ func TestNearPlaceSpatialQuery(t *testing.T) {
 	w.ingest(t, "the Orangerie Hotel in Versailles was wonderful and cheap", "u2")
 	w.ingest(t, "great weekend at the Spree Hotel in Berlin", "u3")
 
-	ex, err := w.ie.Extract("What are the good cheap hotels near Paris?", "asker", t0)
+	ex, err := w.ie.Extract(context.Background(), "What are the good cheap hotels near Paris?", "asker", t0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ex.Type != extract.TypeRequest {
 		t.Fatalf("request misclassified: %s", ex.Type)
 	}
-	ans, err := w.qa.Answer(ex)
+	ans, err := w.qa.Answer(context.Background(), ex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,11 +267,11 @@ func TestNearPlaceSpatialQuery(t *testing.T) {
 func TestNearUnknownPlaceFallsBack(t *testing.T) {
 	w := newWorld(t)
 	w.ingest(t, "lovely stay at the Lumiere Hotel in Paris", "u1")
-	ex, err := w.ie.Extract("any good hotels near Atlantis?", "asker", t0)
+	ex, err := w.ie.Extract(context.Background(), "any good hotels near Atlantis?", "asker", t0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := w.qa.Answer(ex)
+	ans, err := w.qa.Answer(context.Background(), ex)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -264,10 +264,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		trace = obs.NewTraceID()
 	}
 	w.Header().Set("X-Request-Id", trace)
-	r = r.WithContext(obs.WithTrace(r.Context(), trace))
+	ctx, sp := obs.StartSpan(obs.WithTrace(r.Context(), trace), spanHTTPRequest)
+	sp.SetAttr("route", route)
+	sp.SetAttr("method", methodLabel(r.Method))
+	r = r.WithContext(ctx)
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.route(sw, r)
-	mHTTPSeconds.With(route).Observe(time.Since(start).Seconds())
+	sp.SetInt("status", sw.code)
+	sp.End()
+	// The exemplar ties this route's latency bucket to the recorded
+	// timeline; with tracing off the trace ID is "" and this is a plain
+	// Observe.
+	mHTTPSeconds.With(route).ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
 	mHTTPRequests.With(route, methodLabel(r.Method), strconv.Itoa(sw.code/100)+"xx").Inc()
 }
 
@@ -284,6 +292,9 @@ func (s *Server) routeLabel(path string) string {
 			return "/v1/subscribe/{id}/stream"
 		}
 		return "/v1/subscribe/{id}"
+	}
+	if _, ok := tracesPath(path); ok {
+		return "/v1/traces/{id}"
 	}
 	return "other"
 }
@@ -314,6 +325,16 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 					allow = http.MethodGet
 				}
 				w.Header().Set("Allow", allow)
+				s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+					fmt.Sprintf("%s does not accept %s", r.URL.Path, r.Method), nil)
+			}
+			return
+		}
+		if id, traceOK := tracesPath(r.URL.Path); traceOK {
+			if r.Method == http.MethodGet {
+				s.handleTrace(w, r, id)
+			} else {
+				w.Header().Set("Allow", http.MethodGet)
 				s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
 					fmt.Sprintf("%s does not accept %s", r.URL.Path, r.Method), nil)
 			}
@@ -411,15 +432,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Status: "queued"})
 }
 
-// askRequest is the POST /v1/ask body.
+// askRequest is the POST /v1/ask body. Explain asks for the answer's
+// own span breakdown alongside the answer — same computation, same
+// bytes, plus a "trace" field.
 type askRequest struct {
 	Question string `json:"question"`
 	Source   string `json:"source"`
+	Explain  bool   `json:"explain,omitempty"`
 }
 
-// askResponse wraps the structured answer.
+// askResponse wraps the structured answer; Trace is present only in
+// explain mode, so a plain response's bytes never change.
 type askResponse struct {
 	Answer answerJSON `json:"answer"`
+	Trace  *traceJSON `json:"trace,omitempty"`
+}
+
+// traceJSON is the explain-mode breakdown: the trace ID (fetchable via
+// GET /v1/traces/{id} while the recorder holds it), whether a recorder
+// is installed, and the span subtree of this very Ask.
+type traceJSON struct {
+	TraceID   string        `json:"trace_id"`
+	Recorded  bool          `json:"recorded"`
+	Breakdown *obs.SpanView `json:"breakdown"`
 }
 
 // answerJSON mirrors neogeo.Answer on the wire.
@@ -451,7 +486,20 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, "empty_question", "question must not be empty", nil)
 		return
 	}
-	ans, err := s.sys.Ask(r.Context(), req.Question, req.Source)
+	ctx := r.Context()
+	var explain *obs.Span
+	if req.Explain {
+		// ForceSpan records even with no recorder installed and marks
+		// the trace force-kept, so the returned trace ID stays
+		// fetchable when one is. The Ask call itself is identical to
+		// the plain path — explain must never perturb the answer.
+		ctx, explain = obs.ForceSpan(ctx, spanAskExplain)
+	}
+	ans, err := s.sys.Ask(ctx, req.Question, req.Source)
+	if explain != nil {
+		explain.SetError(err)
+		explain.End()
+	}
 	if err != nil {
 		var naq *neogeo.NotAQuestionError
 		if errors.As(err, &naq) {
@@ -473,6 +521,13 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 			rj.Location = &locationJSON{Lat: res.Location.Lat, Lon: res.Location.Lon}
 		}
 		resp.Answer.Results = append(resp.Answer.Results, rj)
+	}
+	if explain != nil {
+		resp.Trace = &traceJSON{
+			TraceID:   explain.TraceID(),
+			Recorded:  obs.DefaultRecorder() != nil,
+			Breakdown: explainBreakdown(explain),
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -598,6 +653,22 @@ type statsResponse struct {
 	Decay       decayJSON      `json:"decay"`
 	Cache       cacheJSON      `json:"cache"`
 	Subs        subsJSON       `json:"subscriptions"`
+	Traces      tracesJSON     `json:"traces"`
+}
+
+// tracesJSON is the span flight recorder's snapshot: configured or
+// not, fill level, and the keep/drop/evict counters.
+type tracesJSON struct {
+	Enabled              bool    `json:"enabled"`
+	Capacity             int     `json:"capacity"`
+	Kept                 int     `json:"kept"`
+	Active               int     `json:"active"`
+	Completed            uint64  `json:"completed"`
+	KeptTotal            uint64  `json:"kept_total"`
+	Dropped              uint64  `json:"dropped"`
+	Evicted              uint64  `json:"evicted"`
+	SlowThresholdSeconds float64 `json:"slow_threshold_seconds"`
+	SampleN              int     `json:"sample_n"`
 }
 
 // cacheJSON is the answer cache's snapshot: configured or not, fill
@@ -734,6 +805,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Active:    st.Subscriptions.Active,
 			Delivered: st.Subscriptions.Delivered,
 			Dropped:   st.Subscriptions.Dropped,
+		},
+		Traces: tracesJSON{
+			Enabled:              st.Traces.Enabled,
+			Capacity:             st.Traces.Capacity,
+			Kept:                 st.Traces.Kept,
+			Active:               st.Traces.Active,
+			Completed:            st.Traces.Completed,
+			KeptTotal:            st.Traces.KeptTotal,
+			Dropped:              st.Traces.Dropped,
+			Evicted:              st.Traces.Evicted,
+			SlowThresholdSeconds: st.Traces.SlowThresholdSeconds,
+			SampleN:              st.Traces.SampleN,
 		},
 	})
 }

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Span names on the serving layer. Names are metric-grade identifiers
+// drawn from this bounded set (the metriclabels analyzer enforces it);
+// per-request data rides in span attributes instead.
+const (
+	spanHTTPRequest = "http_request"
+	spanAskExplain  = "ask_explain"
+)
+
+// tracesPath parses /v1/traces/{id}; the ID segment is opaque (it is
+// whatever X-Request-Id the trace ran under).
+func tracesPath(path string) (id string, ok bool) {
+	const prefix = "/v1/traces/"
+	if !strings.HasPrefix(path, prefix) {
+		return "", false
+	}
+	id = path[len(prefix):]
+	if id == "" || strings.ContainsRune(id, '/') {
+		return "", false
+	}
+	return id, true
+}
+
+// handleTrace serves GET /v1/traces/{id}: the recorded span tree of
+// one request, straight from the flight recorder.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request, id string) {
+	view, ok := obs.DefaultRecorder().Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "trace_not_found",
+			fmt.Sprintf("no recorded trace %q — it was never kept by the recorder or has been evicted", id), nil)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, view)
+}
+
+// explainBreakdown extracts the subtree rooted at the explain span
+// from its trace snapshot — when the HTTP middleware also traced the
+// request, the snapshot's root is the (still-open) http_request span
+// and the Ask subtree hangs under it.
+func explainBreakdown(sp *obs.Span) *obs.SpanView {
+	view := sp.Snapshot()
+	if view == nil || view.Root == nil {
+		return nil
+	}
+	return findSpanView(view.Root, sp)
+}
+
+func findSpanView(v *obs.SpanView, sp *obs.Span) *obs.SpanView {
+	if v.ID == sp.SpanID() {
+		return v
+	}
+	for _, c := range v.Children {
+		if found := findSpanView(c, sp); found != nil {
+			return found
+		}
+	}
+	return nil
+}

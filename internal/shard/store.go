@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,6 +24,15 @@ var (
 		"Cross-shard store operation wall time.", nil, "op")
 	storeRunSeconds  = mStoreQuerySeconds.With("run")
 	storeNearSeconds = mStoreQuerySeconds.With("near")
+)
+
+// Span names of the per-shard fan-out legs (bounded constants): in a
+// partitioned deployment a traced query shows one child span per
+// shard, which is exactly the view a future cross-process fan-out
+// needs.
+const (
+	spanShardRun  = "shard_run"
+	spanShardNear = "shard_near"
 )
 
 // Store partitions records across N independent xmldb databases. Writes
@@ -233,6 +243,14 @@ func (s *Store) Each(collection string, fn func(*xmldb.Record) bool) {
 // single-store query would, because membership is re-checked per shard
 // and the merge re-sorts by true distance.
 func (s *Store) Near(collection string, p geo.Point, radiusMeters float64) []int64 {
+	//lint:ignore ctxflow compat wrapper for ctx-less callers; NearContext is the cancellable path
+	return s.NearContext(context.Background(), collection, p, radiusMeters)
+}
+
+// NearContext is Near carrying the caller's context: when the request
+// is being traced, each shard's probe becomes a child span tagged with
+// its shard index.
+func (s *Store) NearContext(ctx context.Context, collection string, p geo.Point, radiusMeters float64) []int64 {
 	defer storeNearSeconds.Since(time.Now())
 	type hit struct {
 		id int64
@@ -240,6 +258,9 @@ func (s *Store) Near(collection string, p geo.Point, radiusMeters float64) []int
 	}
 	parts := make([][]hit, len(s.dbs))
 	s.fanOut(func(i int, db *xmldb.DB) {
+		_, sp := obs.StartSpan(ctx, spanShardNear)
+		sp.SetInt("shard", i)
+		defer sp.End()
 		ids := db.Near(collection, p, radiusMeters)
 		hits := make([]hit, 0, len(ids))
 		for _, id := range ids {
@@ -282,8 +303,20 @@ func (s *Store) Query(query string) ([]xmldb.Result, error) {
 // read replacement wherever a Run-shaped store is expected (the QA
 // service).
 func (s *Store) Run(query string) ([]xmldb.Result, error) {
+	//lint:ignore ctxflow compat wrapper for ctx-less callers; RunContext is the cancellable path
+	return s.RunContext(context.Background(), query)
+}
+
+// RunContext is Run carrying the caller's context (the qa.ContextStore
+// upgrade): a traced Ask records one child span per shard the query
+// scatters to.
+func (s *Store) RunContext(ctx context.Context, query string) ([]xmldb.Result, error) {
 	defer storeRunSeconds.Since(time.Now())
-	return s.Query(query)
+	q, err := xmldb.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecuteContext(ctx, q)
 }
 
 // Execute scatters a parsed query across every shard in parallel and
@@ -292,13 +325,26 @@ func (s *Store) Run(query string) ([]xmldb.Result, error) {
 // final top-k cut — the global top-k is always contained in the union of
 // per-shard top-ks. Without orderby, results keep shard-major order.
 func (s *Store) Execute(q *xmldb.Query) ([]xmldb.Result, error) {
+	//lint:ignore ctxflow compat wrapper for ctx-less callers; ExecuteContext is the cancellable path
+	return s.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute carrying the caller's context for per-shard
+// span attribution. Spans bracket each shard's Execute from outside the
+// shard's lock (the recorder is never touched under db.mu).
+func (s *Store) ExecuteContext(ctx context.Context, q *xmldb.Query) ([]xmldb.Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("shard: nil query")
 	}
 	parts := make([][]xmldb.Result, len(s.dbs))
 	errs := make([]error, len(s.dbs))
 	s.fanOut(func(i int, db *xmldb.DB) {
+		_, sp := obs.StartSpan(ctx, spanShardRun)
+		sp.SetInt("shard", i)
 		parts[i], errs[i] = db.Execute(q)
+		sp.SetInt("results", len(parts[i]))
+		sp.SetError(errs[i])
+		sp.End()
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -224,6 +224,18 @@ func (s *System) Stats() Stats {
 			Integrate: latencySummary("neogeo_pipeline_stage_seconds", "integrate"),
 			Transit:   latencySummary("neogeo_pipeline_transit_seconds"),
 		},
+		Traces: TraceStats{
+			Enabled:              st.TracesEnabled,
+			Capacity:             st.Traces.Capacity,
+			Kept:                 st.Traces.Kept,
+			Active:               st.Traces.Active,
+			Completed:            st.Traces.Completed,
+			KeptTotal:            st.Traces.KeptTotal,
+			Dropped:              st.Traces.Dropped,
+			Evicted:              st.Traces.Evicted,
+			SlowThresholdSeconds: st.Traces.SlowThresholdSeconds,
+			SampleN:              st.Traces.SampleN,
+		},
 	}
 }
 

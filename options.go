@@ -99,6 +99,31 @@ func WithAnswerCache(n int) Option {
 	return func(s *settings) { s.core.AnswerCache = n }
 }
 
+// WithTraceRecorder enables span tracing with an in-memory flight
+// recorder bounded at n completed traces (0, the default, disables
+// tracing — StartSpan degrades to a no-op on every hot path). Recorded
+// traces are served by the daemon at GET /v1/traces/{id} and on the
+// debug listener's /debug/traces view; Ask with "explain" always
+// records its own trace regardless of this setting.
+func WithTraceRecorder(n int) Option {
+	return func(s *settings) { s.core.TraceRecorder = n }
+}
+
+// WithTraceSlowThreshold sets the recorder's always-keep latency bar
+// (default 1s): a completed trace at least this slow is kept even when
+// sampling would drop it. Meaningful only with WithTraceRecorder.
+func WithTraceSlowThreshold(d time.Duration) Option {
+	return func(s *settings) { s.core.TraceSlow = d }
+}
+
+// WithTraceSampling keeps one in n ordinary traces (those neither
+// slow, errored, nor explicitly forced). 0, the default, keeps none —
+// only the always-keep rules record. Meaningful only with
+// WithTraceRecorder.
+func WithTraceSampling(n int) Option {
+	return func(s *settings) { s.core.TraceSampleN = n }
+}
+
 // WithClock overrides the system's time source (tests).
 func WithClock(clock func() time.Time) Option {
 	return func(s *settings) { s.core.Clock = clock }

@@ -11,7 +11,11 @@
 # The hot-read-path legs then assert the answer cache serves a repeated
 # question (hit counter advances on /metrics) and that a standing query
 # registered over /v1/subscribe streams a matching report as an SSE
-# event end to end.
+# event end to end. The tracing legs drive the span layer: an explained
+# ask returns its own stage breakdown, a request kept by the slow
+# threshold (forced low via NEOGEO_TRACE_SLOW) is fetchable by its
+# X-Request-Id at /v1/traces/{id}, and the flight-recorder view serves
+# on the debug listener only.
 set -eu
 
 echo "== preflight: static analysis (scripts/lint.sh)"
@@ -32,7 +36,9 @@ start_daemon() {
   # -workers 1 keeps drains in queue order so record IDs are stable
   # across crash-replay restarts — the feedback leg rejects a record by
   # ID and asserts the effect survives a second SIGKILL.
-  "$BIN" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -wal "$WAL" -data-dir "$DATA" -shards 2 -workers 1 -drain-interval 50ms -answer-cache 64 &
+  # NEOGEO_TRACE_SLOW=1us marks every request slow, so the tracing legs
+  # below can fetch an ordinary (non-explain) request's trace by ID.
+  NEOGEO_TRACE_SLOW=1us "$BIN" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -wal "$WAL" -data-dir "$DATA" -shards 2 -workers 1 -drain-interval 50ms -answer-cache 64 &
   PID=$!
 }
 
@@ -103,6 +109,46 @@ curl -fsS "$DEBUG_BASE/metrics" | grep -q '^# TYPE neogeo_mq_enqueued_total' ||
 curl -fsS "$DEBUG_BASE/debug/pprof/cmdline" >/dev/null || { echo "debug listener does not serve pprof" >&2; exit 1; }
 if curl -fsS "$BASE/debug/pprof/cmdline" >/dev/null 2>&1; then
   echo "pprof leaked onto the public mux" >&2; exit 1
+fi
+
+echo "== explain ask: the answer carries its own span breakdown"
+EXPLAIN=$(curl -fsS -X POST "$BASE/v1/ask" \
+  -H 'Content-Type: application/json' \
+  -d '{"question":"can anyone recommend a good hotel in Berlin?","source":"bob","explain":true}')
+echo "$EXPLAIN" | grep -q '"trace"' || { echo "explain response has no trace" >&2; exit 1; }
+echo "$EXPLAIN" | grep -q '"ask_explain"' || { echo "explain breakdown missing its root span" >&2; exit 1; }
+# The same question was asked above, so this ride goes through the
+# answer cache — the breakdown shows the ask stage and its cache lookup.
+for span in '"ask"' '"cache_lookup"'; do
+  echo "$EXPLAIN" | grep -q "\"name\": $span" || { echo "explain breakdown missing stage span $span" >&2; exit 1; }
+done
+echo "$EXPLAIN" | grep -qi "axel hotel" || { echo "explained answer lost the answer itself" >&2; exit 1; }
+
+echo "== slow trace kept by the recorder and fetchable by request ID"
+curl -fsS -X POST "$BASE/v1/ask" \
+  -H 'Content-Type: application/json' \
+  -H 'X-Request-Id: smoke-slow-1' \
+  -d '{"question":"can anyone recommend a good hotel in Berlin?","source":"bob"}' >/dev/null
+# The root span completes just after the response is written, so give
+# the recorder a beat before declaring the trace lost.
+TRACE=""
+for _ in $(seq 1 20); do
+  TRACE=$(curl -fsS "$BASE/v1/traces/smoke-slow-1" 2>/dev/null) && break
+  sleep 0.1
+done
+echo "$TRACE" | grep -q '"trace_id": "smoke-slow-1"' || { echo "trace not fetchable by ID" >&2; exit 1; }
+echo "$TRACE" | grep -q '"http_request"' || { echo "trace missing the middleware root span" >&2; exit 1; }
+if curl -fsS "$BASE/v1/traces/no-such-trace" >/dev/null 2>&1; then
+  echo "unknown trace ID did not 404" >&2; exit 1
+fi
+
+echo "== flight-recorder view on the debug listener, off the public mux"
+curl -fsS "$DEBUG_BASE/debug/traces" | grep -q 'flight recorder' ||
+  { echo "debug listener does not serve /debug/traces" >&2; exit 1; }
+curl -fsS "$DEBUG_BASE/debug/traces?format=json" | grep -q '"enabled": true' ||
+  { echo "/debug/traces JSON view broken" >&2; exit 1; }
+if curl -fsS "$BASE/debug/traces" >/dev/null 2>&1; then
+  echo "/debug/traces leaked onto the public mux" >&2; exit 1
 fi
 
 echo "== checkpoint over the admin endpoint"
@@ -243,4 +289,4 @@ curl -fsS -X DELETE "$BASE/v1/subscribe/$SUB_ID" | grep -q '"status": "cancelled
   { echo "unsubscribe failed" >&2; exit 1; }
 echo "== SSE event delivered and subscription cancelled"
 
-echo "== smoke OK (including crash recovery, the feedback loop and the hot read path)"
+echo "== smoke OK (including crash recovery, the feedback loop, the hot read path and tracing)"

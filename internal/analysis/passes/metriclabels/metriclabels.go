@@ -8,8 +8,10 @@
 // registry without bound and flattening scrape performance.
 //
 // A local variable is accepted when it has exactly one assignment in
-// the enclosing function and that right-hand side is itself bounded —
-// the `route := s.routeLabel(path)` shape.
+// the outermost enclosing function — closures that capture it
+// included — and that right-hand side is itself bounded: the
+// `route := s.routeLabel(path)` shape, also when the With call sits in
+// a deferred closure that observes at function exit.
 //
 // Span names are labels too: the flight recorder groups and displays
 // timelines by span name, so the name argument of obs.StartSpan /
@@ -109,10 +111,15 @@ func isObsWith(info *types.Info, call *ast.CallExpr) bool {
 	return ok && pkgPath == obsPath
 }
 
-// enclosingBody returns the innermost function body on the stack.
+// enclosingBody returns the outermost function body on the stack. The
+// outermost body contains every nested closure, so counting a label
+// variable's assignments there covers both the declaring scope and any
+// capturing closures — a variable bounded in the handler stays bounded
+// inside its deferred observation closure, and a reassignment inside
+// the closure still counts against it.
 func enclosingBody(stack []ast.Node) *ast.BlockStmt {
-	for i := len(stack) - 1; i >= 0; i-- {
-		switch fn := stack[i].(type) {
+	for _, n := range stack {
+		switch fn := n.(type) {
 		case *ast.FuncLit:
 			return fn.Body
 		case *ast.FuncDecl:

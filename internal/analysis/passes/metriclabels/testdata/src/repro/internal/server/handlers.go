@@ -82,6 +82,27 @@ func BadParam(label string) {
 	mSeconds.With(label).Observe(0.5) // want `metric label value is not from a bounded set`
 }
 
+// GoodDeferredClosure: a bounded local stays bounded when the
+// observation is deferred to function exit through a capturing
+// closure — the ServeHTTP middleware shape.
+func GoodDeferredClosure(r *request, code int) {
+	route := routeLabel(r.Path)
+	defer func() {
+		mRequests.With(route, methodLabel(r.Method), strconv.Itoa(code/100)+"xx").Inc()
+		mSeconds.With(route).Observe(0.6)
+	}()
+}
+
+// BadClosureReassign: overwriting the captured local with raw data
+// inside the closure breaks the single-bounded-source provenance.
+func BadClosureReassign(r *request) {
+	route := routeLabel(r.Path)
+	defer func() {
+		route = r.Path
+		mSeconds.With(route).Observe(0.7) // want `metric label value is not from a bounded set`
+	}()
+}
+
 // GoodConcat concatenates bounded parts.
 func GoodConcat(code int) {
 	mRequests.With("/query", "GET", strconv.Itoa(code/100)+"xx").Inc()

@@ -433,9 +433,20 @@ func quantile(q float64, counts []uint64, buckets []float64, total uint64) float
 	return buckets[len(buckets)-1]
 }
 
-// WritePrometheus writes every family in Prometheus text exposition
-// format (version 0.0.4), families and series in stable sorted order.
-func (r *Registry) WritePrometheus(w io.Writer) error {
+// WritePrometheus writes every family in classic Prometheus text
+// exposition format (version 0.0.4), families and series in stable
+// sorted order. The 0.0.4 grammar allows no tokens after the sample
+// value, so this exposition never carries exemplars — scrapers that
+// want them negotiate OpenMetrics (WriteOpenMetrics) instead.
+func (r *Registry) WritePrometheus(w io.Writer) error { return r.write(w, false) }
+
+// WriteOpenMetrics writes the same families in OpenMetrics text
+// format: counter HELP/TYPE lines drop the _total suffix from the
+// family name (samples keep it, per the spec), histogram bucket lines
+// carry their exemplars, and the exposition ends with # EOF.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error { return r.write(w, true) }
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.families)+len(r.gaugeFuncs))
 	for name := range r.families {
@@ -469,15 +480,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		f := families[fi]
 		fi++
-		f.write(&b)
+		f.write(&b, openMetrics)
+	}
+	if openMetrics {
+		b.WriteString("# EOF\n")
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
 // write renders one family's series.
-func (f *family) write(b *strings.Builder) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind)
+func (f *family) write(b *strings.Builder, openMetrics bool) {
+	famName := f.name
+	if openMetrics && f.kind == kindCounter {
+		famName = strings.TrimSuffix(famName, "_total")
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", famName, escapeHelp(f.help), famName, f.kind)
 	f.mu.Lock()
 	keys := make([]string, 0, len(f.series))
 	for k := range f.series {
@@ -505,23 +523,30 @@ func (f *family) write(b *strings.Builder) {
 		case *Gauge:
 			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, values, "", ""), fmtFloat(s.Value()))
 		case *Histogram:
+			exemplar := func(i int) string {
+				if !openMetrics {
+					return ""
+				}
+				return s.exemplarString(i)
+			}
 			var cum uint64
 			for i, ub := range s.buckets {
 				cum += s.counts[i].Load()
-				fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, values, "le", fmtFloat(ub)), cum, s.exemplarString(i))
+				fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, values, "le", fmtFloat(ub)), cum, exemplar(i))
 			}
 			cum += s.counts[len(s.buckets)].Load()
-			fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, values, "le", "+Inf"), cum, s.exemplarString(len(s.buckets)))
+			fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, values, "le", "+Inf"), cum, exemplar(len(s.buckets)))
 			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), fmtFloat(math.Float64frombits(s.sumBits.Load())))
 			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), s.count.Load())
 		}
 	}
 }
 
-// exemplarString renders the OpenMetrics-style exemplar suffix for one
+// exemplarString renders the OpenMetrics exemplar suffix for one
 // bucket (" # {trace_id=\"...\"} value timestamp"), or "" when the
-// bucket has never carried an exemplar — so expositions without
-// exemplars stay byte-identical to the classic format.
+// bucket has never carried an exemplar. Only the OpenMetrics
+// exposition emits it — the classic 0.0.4 grammar rejects any token
+// after the sample value, so a stored exemplar must never leak there.
 func (h *Histogram) exemplarString(i int) string {
 	if i >= len(h.exemplars) {
 		return ""
@@ -578,10 +603,36 @@ func escapeHelp(h string) string {
 // representation that round-trips.
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// Handler serves reg in Prometheus text format — GET /metrics.
+// Handler serves reg at GET /metrics, negotiating the exposition
+// format: a client whose Accept header names application/openmetrics-text
+// gets the OpenMetrics exposition (exemplars, # EOF terminator);
+// everyone else gets the classic 0.0.4 text format, which carries no
+// exemplars because its grammar forbids tokens after the sample value.
 func Handler(reg *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = reg.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
+}
+
+// acceptsOpenMetrics reports whether the Accept header explicitly
+// names the OpenMetrics media type. q-values are deliberately ignored:
+// a scraper that lists the type at all can parse it, and Prometheus
+// itself sends it first when OpenMetrics is enabled.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if strings.EqualFold(mt, "application/openmetrics-text") {
+			return true
+		}
+	}
+	return false
 }

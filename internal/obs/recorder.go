@@ -389,9 +389,13 @@ func TracesHandler(rec func() *Recorder) http.Handler {
 			_, _ = w.Write([]byte(b.String()))
 			return
 		}
-		fmt.Fprintf(&b, "<p>kept %d/%d · active %d · completed %d · dropped %d · evicted %d · slow ≥ %ss · sample 1/%d</p>",
+		sample := "off"
+		if p.Stats.SampleN > 0 {
+			sample = fmt.Sprintf("1/%d", p.Stats.SampleN)
+		}
+		fmt.Fprintf(&b, "<p>kept %d/%d · active %d · completed %d · dropped %d · evicted %d · slow ≥ %ss · sample %s</p>",
 			p.Stats.Kept, p.Stats.Capacity, p.Stats.Active, p.Stats.Completed, p.Stats.Dropped,
-			p.Stats.Evicted, fmtFloat(p.Stats.SlowThresholdSeconds), p.Stats.SampleN)
+			p.Stats.Evicted, fmtFloat(p.Stats.SlowThresholdSeconds), sample)
 		section := func(title string, rows []TraceSummary) {
 			fmt.Fprintf(&b, "<h2>%s</h2>", html.EscapeString(title))
 			if len(rows) == 0 {

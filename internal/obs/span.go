@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 )
 
 // spanKey carries the current *Span through context.
@@ -173,14 +174,26 @@ func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
 	}
-	if len(value) > maxAttrValueLen {
-		value = value[:maxAttrValueLen] + "…"
-	}
+	value = truncateAttr(value)
 	s.t.mu.Lock()
 	if len(s.attrs) < maxAttrsPerSpan {
 		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
 	}
 	s.t.mu.Unlock()
+}
+
+// truncateAttr bounds v to maxAttrValueLen bytes, backing the cut up
+// to a rune boundary so a multi-byte UTF-8 sequence is never split
+// (a split would surface as U+FFFD in the JSON trace view).
+func truncateAttr(v string) string {
+	if len(v) <= maxAttrValueLen {
+		return v
+	}
+	cut := maxAttrValueLen
+	for cut > 0 && !utf8.RuneStart(v[cut]) {
+		cut--
+	}
+	return v[:cut] + "…"
 }
 
 // SetInt annotates the span with an integer value.
@@ -197,10 +210,7 @@ func (s *Span) SetError(err error) {
 	if s == nil || err == nil {
 		return
 	}
-	msg := err.Error()
-	if len(msg) > maxAttrValueLen {
-		msg = msg[:maxAttrValueLen] + "…"
-	}
+	msg := truncateAttr(err.Error())
 	s.t.mu.Lock()
 	s.err = msg
 	s.t.errored = true

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"unicode/utf8"
 )
 
 // withRecorder installs r as the process recorder for one test and
@@ -350,9 +351,13 @@ func TestTracesHandler(t *testing.T) {
 	}
 }
 
-// TestExemplarExpositionGolden pins the exemplar suffix byte for byte:
-// the bucket line gains " # {trace_id=...} value timestamp" only on
-// buckets that hold an exemplar, and plain Observe never attaches one.
+// TestExemplarExpositionGolden pins the two expositions byte for byte:
+// OpenMetrics bucket lines gain " # {trace_id=...} value timestamp"
+// only on buckets that hold an exemplar (plain Observe never attaches
+// one), counters drop _total from HELP/TYPE, and the output ends with
+// # EOF — while the classic 0.0.4 exposition of the same registry
+// carries no exemplars at all, because its grammar rejects any token
+// after the sample value.
 func TestExemplarExpositionGolden(t *testing.T) {
 	prev := exemplarNow
 	exemplarNow = func() time.Time { return time.UnixMilli(1700000000123) }
@@ -364,10 +369,11 @@ func TestExemplarExpositionGolden(t *testing.T) {
 	h.With().ObserveExemplar(0.05, "trace-slow") // exemplar on le=0.1
 	h.With().ObserveExemplar(5, "trace-inf")     // exemplar on +Inf
 	h.With().ObserveExemplar(0.07, "")           // empty trace ID: counted, no exemplar
+	r.Counter("test_requests_total", "Requests.").With().Inc()
 
-	var b strings.Builder
-	if err := r.WritePrometheus(&b); err != nil {
-		t.Fatalf("WritePrometheus: %v", err)
+	var om strings.Builder
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
 	}
 	want := `# HELP test_latency_seconds Latency.
 # TYPE test_latency_seconds histogram
@@ -377,8 +383,94 @@ test_latency_seconds_bucket{le="1"} 3
 test_latency_seconds_bucket{le="+Inf"} 4 # {trace_id="trace-inf"} 5 1700000000.123
 test_latency_seconds_sum 5.125
 test_latency_seconds_count 4
+# HELP test_requests Requests.
+# TYPE test_requests counter
+test_requests_total 1
+# EOF
 `
-	if got := b.String(); got != want {
-		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	if got := om.String(); got != want {
+		t.Errorf("OpenMetrics exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	var classic strings.Builder
+	if err := r.WritePrometheus(&classic); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	wantClassic := `# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.01"} 1
+test_latency_seconds_bucket{le="0.1"} 3
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 5.125
+test_latency_seconds_count 4
+# HELP test_requests_total Requests.
+# TYPE test_requests_total counter
+test_requests_total 1
+`
+	if got := classic.String(); got != wantClassic {
+		t.Errorf("classic exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, wantClassic)
+	}
+}
+
+// TestMetricsHandlerNegotiation pins the /metrics content negotiation:
+// the default scrape gets classic 0.0.4 text with no exemplar suffix,
+// and an Accept header naming application/openmetrics-text switches
+// the response to the OpenMetrics exposition with exemplars and # EOF.
+func TestMetricsHandlerNegotiation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("nego_latency_seconds", "Latency.", []float64{0.1})
+	h.With().ObserveExemplar(0.05, "trace-nego")
+	handler := Handler(r)
+
+	w := httptest.NewRecorder()
+	handler.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if got := w.Header().Get("Content-Type"); !strings.HasPrefix(got, "text/plain; version=0.0.4") {
+		t.Errorf("default Content-Type = %q, want classic 0.0.4", got)
+	}
+	if body := w.Body.String(); strings.Contains(body, " # {") || strings.Contains(body, "# EOF") {
+		t.Errorf("classic exposition leaks OpenMetrics syntax:\n%s", body)
+	}
+
+	w = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0;q=0.5,text/plain;version=0.0.4;q=0.2")
+	handler.ServeHTTP(w, req)
+	if got := w.Header().Get("Content-Type"); !strings.HasPrefix(got, "application/openmetrics-text") {
+		t.Errorf("negotiated Content-Type = %q, want openmetrics", got)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, `# {trace_id="trace-nego"} 0.05`) {
+		t.Errorf("OpenMetrics exposition missing exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition not terminated by # EOF:\n%s", body)
+	}
+}
+
+// TestTruncateAttrRuneBoundary pins that attribute truncation never
+// splits a multi-byte UTF-8 rune: the cut backs up to a rune start, so
+// the stored value stays valid UTF-8 and the JSON trace view never
+// shows a U+FFFD replacement character.
+func TestTruncateAttrRuneBoundary(t *testing.T) {
+	for _, v := range []string{
+		strings.Repeat("a", maxAttrValueLen+10),
+		strings.Repeat("a", maxAttrValueLen-1) + "é",   // 2-byte rune straddles the cut
+		strings.Repeat("日", maxAttrValueLen),           // 3-byte runes throughout
+		strings.Repeat("a", maxAttrValueLen-3) + "🌍🌍🌍", // 4-byte runes at the cut
+	} {
+		got := truncateAttr(v)
+		if !utf8.ValidString(got) {
+			t.Errorf("truncateAttr(%q) = %q: invalid UTF-8", v, got)
+		}
+		if len(got) > maxAttrValueLen+len("…") {
+			t.Errorf("truncateAttr(%q) = %d bytes, want ≤ %d", v, len(got), maxAttrValueLen+len("…"))
+		}
+		if !strings.HasSuffix(got, "…") {
+			t.Errorf("truncateAttr(%q) = %q: missing ellipsis", v, got)
+		}
+	}
+	if got := truncateAttr("short"); got != "short" {
+		t.Errorf("truncateAttr(short) = %q, want unchanged", got)
 	}
 }

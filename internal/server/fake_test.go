@@ -18,6 +18,7 @@ type fakeSystem struct {
 	stats       neogeo.Stats
 	submitErr   error
 	askErr      error
+	askPanic    bool
 	ckptErr     error
 	feedbackErr error
 	ckptSeq     uint64
@@ -46,6 +47,9 @@ func (f *fakeSystem) Submit(ctx context.Context, body, source string) (int64, er
 func (f *fakeSystem) Ask(ctx context.Context, question, source string) (*neogeo.Answer, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.askPanic {
+		panic("fakeSystem: scripted Ask panic")
+	}
 	if f.askErr != nil {
 		return nil, f.askErr
 	}

@@ -269,14 +269,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sp.SetAttr("method", methodLabel(r.Method))
 	r = r.WithContext(ctx)
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	// Deferred so a handler panic (net/http recovers it per connection)
+	// still completes the root span — an unclosed root would pin the
+	// trace in the recorder's active set forever. The panic is re-raised
+	// after flagging the trace errored so the recorder always keeps it.
+	defer func() {
+		if rec := recover(); rec != nil {
+			sp.SetError(fmt.Errorf("panic: %v", rec))
+			sp.SetInt("status", sw.code)
+			sp.End()
+			panic(rec)
+		}
+		sp.SetInt("status", sw.code)
+		sp.End()
+		// The exemplar ties this route's latency bucket to the recorded
+		// timeline; with tracing off the trace ID is "" and this is a plain
+		// Observe.
+		mHTTPSeconds.With(route).ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
+		mHTTPRequests.With(route, methodLabel(r.Method), strconv.Itoa(sw.code/100)+"xx").Inc()
+	}()
 	s.route(sw, r)
-	sp.SetInt("status", sw.code)
-	sp.End()
-	// The exemplar ties this route's latency bucket to the recorded
-	// timeline; with tracing off the trace ID is "" and this is a plain
-	// Observe.
-	mHTTPSeconds.With(route).ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
-	mHTTPRequests.With(route, methodLabel(r.Method), strconv.Itoa(sw.code/100)+"xx").Inc()
 }
 
 // routeLabel collapses an arbitrary request path onto the server's

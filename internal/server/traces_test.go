@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -179,5 +180,40 @@ func TestTraceEndpoint(t *testing.T) {
 	w = doJSON(t, srv, http.MethodGet, "/debug/traces", "")
 	if w.Code != http.StatusNotFound {
 		t.Errorf("public /debug/traces: %d, want 404", w.Code)
+	}
+}
+
+// TestPanicEndsRootSpan pins the ServeHTTP deferred span completion: a
+// handler panic (which net/http recovers per connection in production)
+// must still end the root span, flag the trace errored, and leave
+// nothing behind in the recorder's active set — an unclosed root would
+// show as in-flight in /debug/traces forever.
+func TestPanicEndsRootSpan(t *testing.T) {
+	rec := obs.NewRecorder(obs.RecorderConfig{Capacity: 8, Slow: time.Hour})
+	obs.SetDefaultRecorder(rec)
+	t.Cleanup(func() { obs.SetDefaultRecorder(nil) })
+
+	srv := New(&fakeSystem{askPanic: true}, WithLogger(t.Logf))
+	req := httptest.NewRequest(http.MethodPost, "/v1/ask", strings.NewReader(`{"question":"q","source":"s"}`))
+	req.Header.Set("X-Request-Id", "panic-trace")
+	w := httptest.NewRecorder()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("handler panic did not propagate to the connection handler")
+			}
+		}()
+		srv.ServeHTTP(w, req)
+	}()
+
+	if got := rec.Stats().Active; got != 0 {
+		t.Errorf("active traces after panic = %d, want 0", got)
+	}
+	v, ok := rec.Get("panic-trace")
+	if !ok {
+		t.Fatal("panicked trace not kept by the recorder")
+	}
+	if !v.Errored {
+		t.Error("panicked trace not flagged errored")
 	}
 }

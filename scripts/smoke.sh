@@ -124,6 +124,19 @@ for span in '"ask"' '"cache_lookup"'; do
 done
 echo "$EXPLAIN" | grep -qi "axel hotel" || { echo "explained answer lost the answer itself" >&2; exit 1; }
 
+echo "== /metrics format negotiation: classic scrape stays exemplar-free, OpenMetrics carries them"
+# The explain ask above stored an exemplar on the ask histogram; the
+# classic 0.0.4 exposition must never show it (its grammar rejects
+# tokens after the sample value), while an OpenMetrics Accept header
+# switches to the exemplar-bearing, # EOF-terminated exposition.
+CLASSIC=$(curl -fsS "$BASE/metrics")
+if echo "$CLASSIC" | grep -q ' # {trace_id='; then
+  echo "classic text exposition leaked an exemplar" >&2; exit 1
+fi
+OM=$(curl -fsS -H 'Accept: application/openmetrics-text; version=1.0.0' "$BASE/metrics")
+echo "$OM" | grep -q ' # {trace_id=' || { echo "OpenMetrics exposition has no exemplar" >&2; exit 1; }
+echo "$OM" | tail -1 | grep -q '^# EOF' || { echo "OpenMetrics exposition not terminated by # EOF" >&2; exit 1; }
+
 echo "== slow trace kept by the recorder and fetchable by request ID"
 curl -fsS -X POST "$BASE/v1/ask" \
   -H 'Content-Type: application/json' \
